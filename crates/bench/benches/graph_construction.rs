@@ -1,0 +1,38 @@
+//! Criterion bench: kernel DSL → IR → PROGRAML-style graph throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pnp_benchmarks::builders::{lookup_kernel, matmul_kernel, stencil2d_kernel};
+use pnp_graph::{build_region_graph, EncodedGraph, Vocabulary};
+use pnp_ir::lower_kernel;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let kernels = vec![
+        ("matmul", matmul_kernel("mm", 500, 500, 500)),
+        ("stencil", stencil2d_kernel("st", 1000, 1000, 9)),
+        ("lookup", lookup_kernel("lk", 500_000, 2e8, "xs", 12, 0.9)),
+    ];
+    let vocab = Vocabulary::standard();
+
+    let mut group = c.benchmark_group("graph_construction");
+    for (name, region) in &kernels {
+        group.bench_function(format!("lower_{name}"), |b| {
+            b.iter(|| lower_kernel("app", std::slice::from_ref(&region.source)))
+        });
+        let module = lower_kernel("app", std::slice::from_ref(&region.source));
+        group.bench_function(format!("build_graph_{name}"), |b| {
+            b.iter(|| build_region_graph(&module, &region.source.name).unwrap())
+        });
+        let graph = build_region_graph(&module, &region.source.name).unwrap();
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |g| EncodedGraph::encode(&g, &vocab),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the real parallel-for executor under each scheduling
+//! policy on the host machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_openmp::{OmpConfig, Schedule, ThreadPool};
+
+fn bench_executor(c: &mut Criterion) {
+    let n = 50_000;
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let work = |i: usize| -> f64 {
+        let mut acc = i as f64;
+        for k in 0..20 {
+            acc = (acc + k as f64).sqrt() + 1.0;
+        }
+        acc
+    };
+
+    let mut group = c.benchmark_group("openmp_executor");
+    group.sample_size(20);
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| (0..n).map(work).sum::<f64>())
+    });
+    for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Guided] {
+        let config = OmpConfig::new(threads, schedule, Some(256));
+        let pool = ThreadPool::new(config);
+        group.bench_function(format!("parallel_{schedule}_chunk256"), |b| {
+            b.iter(|| pool.parallel_reduce_sum(n, work))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: RGCN forward and forward+backward cost per code graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_benchmarks::builders::{matmul_kernel, stencil2d_kernel};
+use pnp_gnn::{ModelConfig, PnPModel};
+use pnp_graph::{build_region_graph, EncodedGraph, Vocabulary};
+use pnp_ir::lower_kernel;
+use pnp_tensor::cross_entropy;
+
+fn encoded(region: &pnp_benchmarks::BenchRegion) -> EncodedGraph {
+    let module = lower_kernel("app", std::slice::from_ref(&region.source));
+    let graph = build_region_graph(&module, &region.source.name).unwrap();
+    EncodedGraph::encode(&graph, &Vocabulary::standard())
+}
+
+fn model(hidden: usize, layers: usize) -> PnPModel {
+    PnPModel::new(ModelConfig {
+        vocab_size: Vocabulary::standard().len(),
+        hidden_dim: hidden,
+        num_rgcn_layers: layers,
+        fc_hidden: 64,
+        num_classes: 126,
+        num_relations: 3,
+        num_dynamic_features: 0,
+        dropout: 0.0,
+        seed: 1,
+    })
+}
+
+fn bench_rgcn(c: &mut Criterion) {
+    let graphs = vec![
+        ("matmul_graph", encoded(&matmul_kernel("mm", 500, 500, 500))),
+        ("stencil_graph", encoded(&stencil2d_kernel("st", 1000, 1000, 9))),
+    ];
+    let mut group = c.benchmark_group("rgcn");
+    for (name, g) in &graphs {
+        for (hidden, layers) in [(16usize, 2usize), (32, 4)] {
+            let mut m = model(hidden, layers);
+            group.bench_function(format!("forward_{name}_h{hidden}_l{layers}"), |b| {
+                b.iter(|| m.forward(g, None, false))
+            });
+            let mut m = model(hidden, layers);
+            group.bench_function(format!("train_step_{name}_h{hidden}_l{layers}"), |b| {
+                b.iter(|| {
+                    let logits = m.forward(g, None, true);
+                    let (_, dl) = cross_entropy(&logits, &[3]);
+                    m.backward(&dl);
+                    m.zero_grad();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rgcn);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: analytic execution-model throughput (configurations
+//! evaluated per second) — this bounds how fast exhaustive sweeps and
+//! execution-based tuners run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_benchmarks::builders::{lookup_kernel, matmul_kernel, streaming_kernel};
+use pnp_machine::{haswell, PowerModel};
+use pnp_openmp::sim::simulate_region_with_model;
+use pnp_openmp::{OmpConfig, Schedule};
+
+fn bench_simulator(c: &mut Criterion) {
+    let machine = haswell();
+    let power_model = PowerModel::for_machine(&machine);
+    let regions = vec![
+        ("compute_bound", matmul_kernel("mm", 600, 600, 600)),
+        ("memory_bound", streaming_kernel("st", 2_000_000, 3, 1.0)),
+        ("irregular", lookup_kernel("lk", 1_000_000, 5e8, "xs", 16, 1.2)),
+    ];
+    let configs = [
+        OmpConfig::new(32, Schedule::Static, None),
+        OmpConfig::new(16, Schedule::Dynamic, Some(8)),
+        OmpConfig::new(8, Schedule::Guided, Some(64)),
+    ];
+
+    let mut group = c.benchmark_group("simulator");
+    for (name, region) in &regions {
+        group.bench_function(format!("single_config_{name}"), |b| {
+            b.iter(|| {
+                simulate_region_with_model(&machine, &power_model, &region.profile, &configs[1], 60.0)
+            })
+        });
+        group.bench_function(format!("config_sweep_{name}"), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for config in &configs {
+                    for cap in [40.0, 60.0, 70.0, 85.0] {
+                        total += simulate_region_with_model(
+                            &machine,
+                            &power_model,
+                            &region.profile,
+                            config,
+                            cap,
+                        )
+                        .time_s;
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: wall-clock cost of each tuner on one region — the cost
+//! asymmetry (oracle ≫ OpenTuner > BLISS ≫ PnP inference) that motivates the
+//! static approach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_benchmarks::builders::matmul_kernel;
+use pnp_machine::haswell;
+use pnp_tuners::{BlissTuner, Objective, OpenTunerLike, OracleTuner, SearchSpace, SimEvaluator};
+
+fn bench_tuners(c: &mut Criterion) {
+    let machine = haswell();
+    let space = SearchSpace::for_machine(&machine);
+    let region = matmul_kernel("mm", 400, 400, 400);
+    let objective = Objective::TimeAtPower { power_watts: 60.0 };
+
+    let mut group = c.benchmark_group("tuner_search");
+    group.sample_size(10);
+    group.bench_function("oracle_126_configs", |b| {
+        b.iter(|| {
+            let eval = SimEvaluator::new(machine.clone(), region.profile.clone());
+            OracleTuner::new(&space).tune(&eval, &objective)
+        })
+    });
+    group.bench_function("bliss_20_samples", |b| {
+        b.iter(|| {
+            let eval = SimEvaluator::new(machine.clone(), region.profile.clone());
+            BlissTuner::new(&space, 1).tune(&eval, &objective)
+        })
+    });
+    group.bench_function("opentuner_60_samples", |b| {
+        b.iter(|| {
+            let eval = SimEvaluator::new(machine.clone(), region.profile.clone());
+            OpenTunerLike::new(&space, 2).tune(&eval, &objective)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuners);
+criterion_main!(benches);

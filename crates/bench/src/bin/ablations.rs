@@ -1,0 +1,17 @@
+//! Runs the design-choice ablations listed in DESIGN.md §6: RGCN vs. plain
+//! GCN, mean vs. sum readout pooling, and BLISS budget sensitivity.
+
+use pnp_bench::{banner, settings_from_env};
+use pnp_core::experiments::ablations;
+use pnp_core::report::write_json;
+use pnp_machine::haswell;
+
+fn main() {
+    banner("Ablations", "RGCN vs GCN, readout pooling, BLISS budget sensitivity (Haswell)");
+    let settings = settings_from_env();
+    let results = ablations::run(&haswell(), &settings);
+    println!("{}", results.render());
+    if let Ok(path) = write_json("ablations", &results) {
+        eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: power-constrained tuning on the Haswell testbed
+//! (normalized speedups per application at 40/60/70/85 W for the default
+//! configuration, PnP static/dynamic, BLISS, and OpenTuner).
+
+use pnp_bench::{banner, settings_from_env};
+use pnp_core::experiments::power_constrained;
+use pnp_core::report::write_json;
+use pnp_machine::haswell;
+
+fn main() {
+    banner("Figure 2", "power-constrained tuning, Haswell (normalized by oracle)");
+    let settings = settings_from_env();
+    let results = power_constrained::run(&haswell(), &settings);
+    println!("{}", results.render());
+    if let Ok(path) = write_json("fig2_haswell_power", &results) {
+        eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+}

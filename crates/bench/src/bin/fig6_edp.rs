@@ -1,0 +1,20 @@
+//! Regenerates Figure 6: normalized EDP improvement over the default OpenMP
+//! configuration at TDP, per application, on both testbeds.
+
+use pnp_bench::{banner, settings_from_env};
+use pnp_core::experiments::edp;
+use pnp_core::report::write_json;
+use pnp_machine::{haswell, skylake};
+
+fn main() {
+    banner("Figure 6", "EDP tuning — normalized EDP improvements (both machines)");
+    let settings = settings_from_env();
+    for machine in [skylake(), haswell()] {
+        let results = edp::run(&machine, &settings);
+        println!("{}", results.render());
+        let name = format!("fig6_edp_{}", machine.name);
+        if let Ok(path) = write_json(&name, &results) {
+            eprintln!("[pnp-bench] wrote {}", path.display());
+        }
+    }
+}

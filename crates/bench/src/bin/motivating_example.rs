@@ -1,0 +1,18 @@
+//! Regenerates the Section I motivating example: exhaustive exploration of
+//! the LULESH boundary-condition region on Haswell.
+
+use pnp_bench::banner;
+use pnp_core::experiments::motivating;
+use pnp_core::report::write_json;
+
+fn main() {
+    banner(
+        "Motivating example (Section I)",
+        "LULESH ApplyAccelerationBoundaryConditionsForNodes on Haswell",
+    );
+    let results = motivating::run();
+    println!("{}", results.render());
+    if let Ok(path) = write_json("motivating_example", &results) {
+        eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Table I: the tuning search space on both machines.
+
+use pnp_bench::banner;
+use pnp_machine::{haswell, skylake};
+use pnp_tuners::SearchSpace;
+
+fn main() {
+    banner("Table I", "search space for performance and power tuning");
+    for machine in [skylake(), haswell()] {
+        let space = SearchSpace::for_machine(&machine);
+        println!("\n{} ({} cores, {} hardware threads)", machine.name, machine.total_cores(), machine.total_hw_threads());
+        println!(
+            "  Power limits     : {}",
+            space
+                .power_levels
+                .iter()
+                .map(|p| format!("{p:.0}W"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  Number of threads: {}",
+            space
+                .thread_counts
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  Scheduling policy: {}",
+            space
+                .schedules
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  Chunk sizes      : {}",
+            space
+                .chunk_sizes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  => {} tuned configurations (+{} defaults) = {} valid configurations",
+            space.num_tuned_points(),
+            space.power_levels.len(),
+            space.num_valid_points()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table II: the deep-learning model hyperparameters, as
+//! instantiated by this implementation (quick and full configurations).
+
+use pnp_bench::banner;
+use pnp_core::training::TrainSettings;
+
+fn print_settings(name: &str, s: &TrainSettings) {
+    println!("\n{name}:");
+    println!("  Layers        : RGCN ({}), FCNN (3)", s.rgcn_layers);
+    println!("  Activations   : Leaky ReLU (RGCN), ReLU (dense)");
+    println!("  Optimizer     : AdamW (amsgrad) for power-constrained tuning, Adam for EDP tuning");
+    println!("  Learning rate : 0.001");
+    println!("  Batch size    : {}", s.batch_size);
+    println!("  Loss function : Cross-entropy");
+    println!("  Hidden width  : {} (readout), {} (dense)", s.hidden_dim, s.fc_hidden);
+    println!("  Epochs        : {}", s.epochs);
+    println!("  CV folds      : {}", s.folds);
+}
+
+fn main() {
+    banner("Table II", "deep learning model hyperparameters");
+    print_settings("Paper-fidelity configuration (PNP_FULL=1)", &TrainSettings::full());
+    print_settings("Quick configuration (default on this container)", &TrainSettings::quick());
+}

@@ -1,0 +1,17 @@
+//! Regenerates the transfer-learning result of Section IV-B: reusing the
+//! Haswell-trained GNN layers on Skylake and retraining only the dense
+//! classifier (paper: ≈ 4.18× faster training / 76 % less training time).
+
+use pnp_bench::{banner, settings_from_env};
+use pnp_core::experiments::transfer;
+use pnp_core::report::write_json;
+
+fn main() {
+    banner("Transfer learning (Section IV-B)", "Haswell GNN reused on Skylake");
+    let settings = settings_from_env();
+    let results = transfer::run(&settings);
+    println!("{}", results.render());
+    if let Ok(path) = write_json("transfer_learning", &results) {
+        eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+}

@@ -1,0 +1,49 @@
+//! # pnp-bench
+//!
+//! Two kinds of artefacts live here:
+//!
+//! 1. **Experiment binaries** (`src/bin/`): one per table/figure of the
+//!    paper. Each builds the required dataset(s), runs the corresponding
+//!    driver from `pnp-core::experiments`, prints the rows/series the paper
+//!    plots, and writes a JSON copy under `target/experiments/`.
+//!    By default they run the *quick* configuration (reduced epochs / folds)
+//!    so the whole set finishes on a single-core machine; set `PNP_FULL=1`
+//!    for the paper-fidelity settings.
+//! 2. **Criterion micro-benchmarks** (`benches/`): component throughput
+//!    (graph construction, RGCN forward/backward, execution-model sweeps,
+//!    tuner search, the real parallel-for executor).
+//!
+//! This library crate only hosts small helpers shared by the binaries.
+
+use pnp_core::training::TrainSettings;
+
+/// Resolves the training settings from the environment (`PNP_FULL=1` for the
+/// paper-fidelity configuration) and prints which mode is active.
+pub fn settings_from_env() -> TrainSettings {
+    let settings = TrainSettings::from_env();
+    let mode = if settings.folds >= 30 { "FULL" } else { "quick" };
+    eprintln!(
+        "[pnp-bench] {mode} settings: {} folds, {} epochs, hidden {}, {} RGCN layers",
+        settings.folds, settings.epochs, settings.hidden_dim, settings.rgcn_layers
+    );
+    settings
+}
+
+/// Prints a standard header naming the figure/table being regenerated.
+pub fn banner(artefact: &str, description: &str) {
+    println!("==============================================================");
+    println!("{artefact}: {description}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_settings_are_quick() {
+        std::env::remove_var("PNP_FULL");
+        let s = settings_from_env();
+        assert!(s.folds < 30);
+    }
+}

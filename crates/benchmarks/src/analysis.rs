@@ -1,0 +1,413 @@
+//! Static analysis of kernel DSL sources.
+//!
+//! [`derive_profile`] walks a [`RegionSource`] and derives the workload
+//! profile the execution simulator needs: per-iteration operation counts,
+//! memory traffic, footprint, branching, and load-imbalance structure. The
+//! analysis multiplies body costs through nested loop trip counts (using the
+//! numeric [`ProblemSizes`] binding of the symbolic size parameters) and
+//! recognizes triangular loops as the source of ramp-shaped imbalance.
+//!
+//! Characteristics that are invisible statically — data-dependent access
+//! irregularity, serial fractions, branch-misprediction rates — are supplied
+//! by [`KernelTraits`], mirroring how the paper's authors know which proxy
+//! apps are table-lookup bound or Monte-Carlo irregular.
+
+use pnp_ir::dsl::{Expr, LoopBound, RegionSource, Stmt};
+use pnp_machine::cache::AccessPattern;
+use pnp_openmp::{ImbalanceShape, RegionProfile};
+use std::collections::HashMap;
+
+/// Numeric bindings for the symbolic problem-size parameters (`N`, `M`, …).
+#[derive(Clone, Debug, Default)]
+pub struct ProblemSizes {
+    values: HashMap<String, i64>,
+}
+
+impl ProblemSizes {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds one parameter (builder style).
+    pub fn with(mut self, name: &str, value: i64) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// The value of a parameter (defaults to 1000 when unbound, so partially
+    /// specified kernels still analyze).
+    pub fn get(&self, name: &str) -> i64 {
+        *self.values.get(name).unwrap_or(&1000)
+    }
+}
+
+/// Kernel characteristics that static analysis cannot recover.
+#[derive(Clone, Debug)]
+pub struct KernelTraits {
+    /// Overrides the inferred access pattern.
+    pub access_pattern: Option<AccessPattern>,
+    /// Overrides the inferred imbalance `(shape, magnitude)`.
+    pub imbalance: Option<(ImbalanceShape, f64)>,
+    /// Fraction of inherently serial work in the region.
+    pub serial_fraction: f64,
+    /// Branch misprediction rate.
+    pub branch_mispredict_rate: f64,
+    /// Maximum useful parallelism.
+    pub scalability_limit: usize,
+    /// Overrides the footprint-derived working set (bytes).
+    pub working_set_override: Option<f64>,
+}
+
+impl Default for KernelTraits {
+    fn default() -> Self {
+        KernelTraits {
+            access_pattern: None,
+            imbalance: None,
+            serial_fraction: 0.0,
+            branch_mispredict_rate: 0.02,
+            scalability_limit: usize::MAX,
+            working_set_override: None,
+        }
+    }
+}
+
+/// Per-outer-iteration operation counts accumulated by the walker.
+#[derive(Clone, Copy, Debug, Default)]
+struct BodyCounts {
+    flops: f64,
+    int_ops: f64,
+    loads: f64,
+    stores: f64,
+    branches: f64,
+    helper_calls: f64,
+    max_loop_depth: usize,
+    has_triangular_loop: bool,
+    has_conditional: bool,
+}
+
+fn count_expr(expr: &Expr, counts: &mut BodyCounts, scale: f64) {
+    match expr {
+        Expr::Const(_) | Expr::IntConst(_) | Expr::Scalar(_) | Expr::LoopVar(_) => {}
+        Expr::Load(aref) => {
+            counts.loads += scale;
+            // index arithmetic
+            counts.int_ops += scale * aref.indices.len() as f64;
+        }
+        Expr::Binary(_, l, r) => {
+            counts.flops += scale;
+            count_expr(l, counts, scale);
+            count_expr(r, counts, scale);
+        }
+        Expr::Neg(e) => {
+            counts.flops += scale;
+            count_expr(e, counts, scale);
+        }
+        Expr::Math(_, args) => {
+            // transcendental ≈ 10 flops
+            counts.flops += 10.0 * scale;
+            for a in args {
+                count_expr(a, counts, scale);
+            }
+        }
+        Expr::CallHelper(_, args) => {
+            counts.helper_calls += scale;
+            // a helper body is a short chain of fp ops
+            counts.flops += 6.0 * scale;
+            for a in args {
+                count_expr(a, counts, scale);
+            }
+        }
+    }
+}
+
+fn trip_count(bound: &LoopBound, sizes: &ProblemSizes, loop_trips: &HashMap<String, f64>) -> f64 {
+    match bound {
+        LoopBound::Const(c) => *c as f64,
+        LoopBound::Param(p) => sizes.get(p) as f64,
+        // Triangular: on average half of the referenced loop's trip count.
+        LoopBound::Var(v) => loop_trips.get(v).copied().unwrap_or(1000.0) / 2.0,
+        LoopBound::VarPlus(v, k) => {
+            loop_trips.get(v).copied().unwrap_or(1000.0) / 2.0 + *k as f64
+        }
+    }
+}
+
+fn count_stmts(
+    stmts: &[Stmt],
+    sizes: &ProblemSizes,
+    loop_trips: &mut HashMap<String, f64>,
+    counts: &mut BodyCounts,
+    scale: f64,
+    depth: usize,
+) {
+    counts.max_loop_depth = counts.max_loop_depth.max(depth);
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                counts.stores += scale;
+                counts.int_ops += scale * target.indices.len() as f64;
+                count_expr(value, counts, scale);
+            }
+            Stmt::Accumulate { target, value, .. } => {
+                counts.loads += scale;
+                counts.stores += scale;
+                counts.flops += scale;
+                counts.int_ops += scale * target.indices.len() as f64;
+                count_expr(value, counts, scale);
+            }
+            Stmt::ScalarAssign { value, .. } => count_expr(value, counts, scale),
+            Stmt::ScalarAccumulate { value, .. } => {
+                counts.flops += scale;
+                count_expr(value, counts, scale);
+            }
+            Stmt::If {
+                lhs,
+                rhs,
+                then_body,
+                else_body,
+                ..
+            } => {
+                counts.branches += scale;
+                counts.has_conditional = true;
+                count_expr(lhs, counts, scale);
+                count_expr(rhs, counts, scale);
+                // Both sides taken half the time on average.
+                count_stmts(then_body, sizes, loop_trips, counts, scale * 0.5, depth);
+                count_stmts(else_body, sizes, loop_trips, counts, scale * 0.5, depth);
+            }
+            Stmt::Loop(inner) => {
+                if matches!(inner.bound, LoopBound::Var(_) | LoopBound::VarPlus(..)) {
+                    counts.has_triangular_loop = true;
+                }
+                let trips = trip_count(&inner.bound, sizes, loop_trips).max(1.0);
+                counts.branches += scale * trips; // loop back-edge branches
+                loop_trips.insert(inner.var.clone(), trips);
+                count_stmts(
+                    &inner.body,
+                    sizes,
+                    loop_trips,
+                    counts,
+                    scale * trips,
+                    depth + 1,
+                );
+                loop_trips.remove(&inner.var);
+            }
+            Stmt::CallStmt { args, .. } => {
+                counts.helper_calls += scale;
+                counts.flops += 6.0 * scale;
+                for a in args {
+                    count_expr(a, counts, scale);
+                }
+            }
+        }
+    }
+}
+
+fn infer_access_pattern(source: &RegionSource, counts: &BodyCounts) -> AccessPattern {
+    if counts.helper_calls > 0.0 && counts.has_conditional {
+        return AccessPattern::Irregular;
+    }
+    let max_dims = source
+        .arrays
+        .iter()
+        .map(|a| a.dims.len())
+        .max()
+        .unwrap_or(1);
+    match (max_dims, counts.max_loop_depth) {
+        (1, 1) => AccessPattern::Streaming,
+        (1, _) => AccessPattern::Stencil,
+        (_, d) if d >= 3 => AccessPattern::HighReuse,
+        _ => AccessPattern::Stencil,
+    }
+}
+
+/// Total declared array footprint in bytes.
+fn footprint_bytes(source: &RegionSource, sizes: &ProblemSizes) -> f64 {
+    source
+        .arrays
+        .iter()
+        .map(|a| {
+            let elems: f64 = a.dims.iter().map(|d| sizes.get(d) as f64).product();
+            elems * 8.0
+        })
+        .sum()
+}
+
+/// Derives the workload profile of a region from its DSL source.
+pub fn derive_profile(
+    source: &RegionSource,
+    sizes: &ProblemSizes,
+    traits: &KernelTraits,
+) -> RegionProfile {
+    let outer = &source.parallel_loop;
+    let iterations = trip_count(&outer.bound, sizes, &HashMap::new()).max(1.0) as usize;
+
+    let mut loop_trips = HashMap::new();
+    loop_trips.insert(outer.var.clone(), iterations as f64);
+    let mut counts = BodyCounts::default();
+    count_stmts(&outer.body, sizes, &mut loop_trips, &mut counts, 1.0, 1);
+
+    let mem_ops = counts.loads + counts.stores;
+    let instructions_per_iter =
+        counts.flops + counts.int_ops + 1.5 * mem_ops + 2.0 * counts.branches + 8.0;
+
+    let (imbalance_shape, imbalance) = traits.imbalance.unwrap_or(if counts.has_triangular_loop {
+        (ImbalanceShape::Ramp, 1.0)
+    } else {
+        (ImbalanceShape::Uniform, 0.0)
+    });
+
+    let access_pattern = traits
+        .access_pattern
+        .unwrap_or_else(|| infer_access_pattern(source, &counts));
+
+    let working_set_bytes = traits
+        .working_set_override
+        .unwrap_or_else(|| footprint_bytes(source, sizes));
+
+    RegionProfile {
+        name: source.name.clone(),
+        iterations,
+        flops_per_iter: counts.flops.max(1.0),
+        instructions_per_iter: instructions_per_iter.max(4.0),
+        bytes_per_iter: (mem_ops * 8.0).max(8.0),
+        working_set_bytes: working_set_bytes.max(1024.0),
+        access_pattern,
+        branches_per_iter: counts.branches.max(1.0),
+        branch_mispredict_rate: traits.branch_mispredict_rate,
+        imbalance,
+        imbalance_shape,
+        serial_fraction: traits.serial_fraction,
+        scalability_limit: traits.scalability_limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_ir::dsl::*;
+
+    fn gemm_source(name: &str) -> RegionSource {
+        let inner_k = LoopNest::new(
+            "k",
+            LoopBound::Param("NK".into()),
+            vec![Stmt::Accumulate {
+                target: ArrayRef::d2("C", IndexExpr::var("i"), IndexExpr::var("j")),
+                op: BinOp::Add,
+                value: Expr::mul(
+                    Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("k")),
+                    Expr::load2("B", IndexExpr::var("k"), IndexExpr::var("j")),
+                ),
+            }],
+        );
+        RegionSource {
+            name: name.into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![
+                ArrayDecl::d2("A", "NI", "NK"),
+                ArrayDecl::d2("B", "NK", "NJ"),
+                ArrayDecl::d2("C", "NI", "NJ"),
+            ],
+            scalars: vec![],
+            size_params: vec!["NI".into(), "NJ".into(), "NK".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("NI".into()),
+                vec![Stmt::Loop(LoopNest::new(
+                    "j",
+                    LoopBound::Param("NJ".into()),
+                    vec![Stmt::Loop(inner_k)],
+                ))],
+            ),
+        }
+    }
+
+    fn triangular_source(name: &str) -> RegionSource {
+        RegionSource {
+            name: name.into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d2("A", "N", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Loop(LoopNest::new(
+                    "j",
+                    LoopBound::Var("i".into()),
+                    vec![Stmt::Accumulate {
+                        target: ArrayRef::d2("A", IndexExpr::var("i"), IndexExpr::var("j")),
+                        op: BinOp::Add,
+                        value: Expr::Const(1.0),
+                    }],
+                ))],
+            ),
+        }
+    }
+
+    #[test]
+    fn gemm_profile_reflects_cubic_work() {
+        let sizes = ProblemSizes::new().with("NI", 400).with("NJ", 400).with("NK", 400);
+        let p = derive_profile(&gemm_source("gemm_r0"), &sizes, &KernelTraits::default());
+        assert_eq!(p.iterations, 400);
+        // Per outer iteration: ~NJ*NK fused multiply-adds → ≥ 2*400*400 flops.
+        assert!(p.flops_per_iter > 2.0 * 400.0 * 400.0 * 0.9, "{}", p.flops_per_iter);
+        assert_eq!(p.access_pattern, AccessPattern::HighReuse);
+        assert_eq!(p.imbalance_shape, ImbalanceShape::Uniform);
+        // Footprint: 3 × 400×400 doubles
+        assert!((p.working_set_bytes - 3.0 * 400.0 * 400.0 * 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn triangular_loops_produce_ramp_imbalance() {
+        let sizes = ProblemSizes::new().with("N", 1000);
+        let p = derive_profile(&triangular_source("lu_r0"), &sizes, &KernelTraits::default());
+        assert_eq!(p.imbalance_shape, ImbalanceShape::Ramp);
+        assert!(p.imbalance > 0.5);
+        // average inner trip count is N/2
+        assert!(p.flops_per_iter > 400.0);
+    }
+
+    #[test]
+    fn problem_size_scales_the_profile() {
+        let small = ProblemSizes::new().with("NI", 100).with("NJ", 100).with("NK", 100);
+        let large = ProblemSizes::new().with("NI", 800).with("NJ", 800).with("NK", 800);
+        let ps = derive_profile(&gemm_source("g"), &small, &KernelTraits::default());
+        let pl = derive_profile(&gemm_source("g"), &large, &KernelTraits::default());
+        assert_eq!(ps.iterations, 100);
+        assert_eq!(pl.iterations, 800);
+        assert!(pl.flops_per_iter > 50.0 * ps.flops_per_iter);
+    }
+
+    #[test]
+    fn traits_override_inference() {
+        let sizes = ProblemSizes::new().with("NI", 100).with("NJ", 100).with("NK", 100);
+        let traits = KernelTraits {
+            access_pattern: Some(AccessPattern::Irregular),
+            imbalance: Some((ImbalanceShape::RandomSpikes, 0.8)),
+            serial_fraction: 0.05,
+            scalability_limit: 16,
+            working_set_override: Some(1e9),
+            ..KernelTraits::default()
+        };
+        let p = derive_profile(&gemm_source("g"), &sizes, &traits);
+        assert_eq!(p.access_pattern, AccessPattern::Irregular);
+        assert_eq!(p.imbalance_shape, ImbalanceShape::RandomSpikes);
+        assert_eq!(p.serial_fraction, 0.05);
+        assert_eq!(p.scalability_limit, 16);
+        assert_eq!(p.working_set_bytes, 1e9);
+    }
+
+    #[test]
+    fn unbound_size_parameters_default_to_1000() {
+        let p = derive_profile(
+            &gemm_source("g"),
+            &ProblemSizes::new(),
+            &KernelTraits::default(),
+        );
+        assert_eq!(p.iterations, 1000);
+    }
+}

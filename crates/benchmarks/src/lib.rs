@@ -1,0 +1,33 @@
+//! # pnp-benchmarks
+//!
+//! The benchmark suite of the paper's evaluation: 30 applications with 68
+//! OpenMP parallel regions in total —
+//!
+//! * 24 PolyBench kernels (dense linear algebra, solvers, data mining,
+//!   stencils), and
+//! * 6 proxy/mini applications: XSBench, RSBench, miniFE, miniAMR,
+//!   Quicksilver, and LULESH.
+//!
+//! Each region is described twice, from the *same* source structure:
+//!
+//! 1. a [`pnp_ir::RegionSource`] kernel-DSL program — compiled to IR and then
+//!    to a flow-aware code graph (the model's static features), and
+//! 2. a [`pnp_openmp::RegionProfile`] workload profile — *derived from that
+//!    DSL* by the static analyzer in [`analysis`], plus per-kernel traits
+//!    that static analysis cannot see (data-dependent irregularity, serial
+//!    fractions). The profile drives the execution simulator.
+//!
+//! Deriving the profile from the code keeps the learning task honest: the
+//! graph the GNN sees and the behaviour the simulator produces are two views
+//! of the same kernel, exactly as in the real system.
+
+pub mod region;
+pub mod analysis;
+pub mod builders;
+pub mod polybench;
+pub mod proxy;
+pub mod suite;
+
+pub use analysis::{derive_profile, KernelTraits, ProblemSizes};
+pub use region::{Application, BenchRegion};
+pub use suite::{full_suite, suite_stats, SuiteStats};

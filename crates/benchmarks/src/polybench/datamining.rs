@@ -1,0 +1,48 @@
+//! PolyBench data-mining kernels.
+
+use crate::builders::{column_stats_kernel, matmul_kernel};
+use crate::region::Application;
+
+/// The two data-mining applications. Both compute per-column statistics and
+/// then a (triangular) pairwise matrix; correlation additionally normalizes
+/// by standard deviations (the sqrt pass).
+pub fn apps() -> Vec<Application> {
+    vec![
+        Application::new(
+            "correlation",
+            vec![
+                column_stats_kernel("correlation_r0", 1400, 1200, true),
+                matmul_kernel("correlation_r1", 1200, 1200, 1400),
+            ],
+        ),
+        Application::new(
+            "covariance",
+            vec![
+                column_stats_kernel("covariance_r0", 1500, 1300, false),
+                matmul_kernel("covariance_r1", 1300, 1300, 1500),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_apps_four_regions() {
+        let apps = apps();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps.iter().map(|a| a.num_regions()).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn correlation_stats_pass_uses_sqrt() {
+        // The sqrt shows up as call.sqrt instruction nodes in the code graph.
+        let apps = apps();
+        let corr = apps.iter().find(|a| a.name == "correlation").unwrap();
+        let graphs = corr.region_graphs();
+        let (_, g0) = &graphs[0];
+        assert!(g0.nodes.iter().any(|n| n.text.starts_with("call.sqrt")));
+    }
+}

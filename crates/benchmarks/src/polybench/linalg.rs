@@ -1,0 +1,89 @@
+//! PolyBench dense linear-algebra kernels (BLAS-like and kernels categories).
+
+use crate::builders::{matmul_kernel, matvec_kernel, streaming_kernel, triangular_kernel};
+use crate::region::Application;
+
+/// The twelve linear-algebra applications.
+pub fn apps() -> Vec<Application> {
+    vec![
+        // C = beta·C + alpha·A·B — the canonical compute-bound kernel.
+        Application::new("gemm", vec![matmul_kernel("gemm_r0", 900, 900, 1000)]),
+        // Two chained matrix products: tmp = A·B, D = tmp·C.
+        Application::new(
+            "2mm",
+            vec![
+                matmul_kernel("2mm_r0", 800, 900, 1000),
+                matmul_kernel("2mm_r1", 800, 1100, 900),
+            ],
+        ),
+        // Symmetric rank-k update: only the lower triangle is touched.
+        Application::new("syrk", vec![triangular_kernel("syrk_r0", 1100, 2, false)]),
+        // Symmetric rank-2k update.
+        Application::new("syr2k", vec![triangular_kernel("syr2k_r0", 1000, 3, false)]),
+        // Triangular matrix multiply.
+        Application::new("trmm", vec![triangular_kernel("trmm_r0", 900, 1, false)]),
+        // Symmetric matrix multiply.
+        Application::new("symm", vec![matmul_kernel("symm_r0", 800, 800, 800)]),
+        // Vector generalizations: A = A + u1·v1ᵀ + u2·v2ᵀ; x = β·Aᵀ·y; w = α·A·x.
+        Application::new(
+            "gemver",
+            vec![
+                streaming_kernel("gemver_r0", 2_000_000, 4, 2.0),
+                matvec_kernel("gemver_r1", 4000, 4000, false),
+                matvec_kernel("gemver_r2", 4000, 4000, true),
+            ],
+        ),
+        // y = α·A·x + β·B·x — two matrix–vector products fused.
+        Application::new("gesummv", vec![matvec_kernel("gesummv_r0", 2800, 2800, false)]),
+        // tmp = A·x ; y = Aᵀ·tmp.
+        Application::new(
+            "atax",
+            vec![
+                matvec_kernel("atax_r0", 3600, 4200, false),
+                matvec_kernel("atax_r1", 4200, 3600, true),
+            ],
+        ),
+        // s = Aᵀ·r ; q = A·p.
+        Application::new(
+            "bicg",
+            vec![
+                matvec_kernel("bicg_r0", 3900, 4100, true),
+                matvec_kernel("bicg_r1", 4100, 3900, false),
+            ],
+        ),
+        // x1 = x1 + A·y1 ; x2 = x2 + Aᵀ·y2.
+        Application::new(
+            "mvt",
+            vec![
+                matvec_kernel("mvt_r0", 4000, 4000, false),
+                matvec_kernel("mvt_r1", 4000, 4000, true),
+            ],
+        ),
+        // Multi-resolution analysis kernel: batched small matrix products.
+        Application::new("doitgen", vec![matmul_kernel("doitgen_r0", 256, 256, 270)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_apps_with_expected_region_counts() {
+        let apps = apps();
+        assert_eq!(apps.len(), 12);
+        let regions: usize = apps.iter().map(|a| a.num_regions()).sum();
+        assert_eq!(regions, 18);
+    }
+
+    #[test]
+    fn gemm_is_compute_bound_and_gemver_first_region_is_memory_bound() {
+        use pnp_machine::cache::AccessPattern;
+        let apps = apps();
+        let gemm = &apps.iter().find(|a| a.name == "gemm").unwrap().regions[0];
+        let gemver = &apps.iter().find(|a| a.name == "gemver").unwrap().regions[0];
+        assert_eq!(gemm.profile.access_pattern, AccessPattern::HighReuse);
+        assert_eq!(gemver.profile.access_pattern, AccessPattern::Streaming);
+        assert!(gemm.profile.flops_per_iter > 1000.0 * gemver.profile.flops_per_iter);
+    }
+}

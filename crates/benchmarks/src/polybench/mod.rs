@@ -1,0 +1,49 @@
+//! The 24 PolyBench kernels used in the paper's evaluation, grouped the same
+//! way the PolyBench suite groups them.
+
+pub mod linalg;
+pub mod solvers;
+pub mod datamining;
+pub mod stencils;
+
+use crate::region::Application;
+
+/// All PolyBench applications, in the order they appear in the paper's
+/// figures (grouped by category).
+pub fn apps() -> Vec<Application> {
+    let mut v = Vec::new();
+    v.extend(stencils::apps());
+    v.extend(linalg::apps());
+    v.extend(solvers::apps());
+    v.extend(datamining::apps());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_polybench_applications() {
+        let apps = apps();
+        assert_eq!(apps.len(), 24);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24, "application names must be unique");
+    }
+
+    #[test]
+    fn every_region_name_is_prefixed_by_its_app() {
+        for app in apps() {
+            for r in &app.regions {
+                assert!(
+                    r.name().starts_with(&app.name.replace('-', "_")),
+                    "region {} should be prefixed by app {}",
+                    r.name(),
+                    app.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! PolyBench linear solvers and decompositions.
+
+use crate::builders::{matvec_kernel, triangular_kernel};
+use crate::region::{Application, BenchRegion};
+
+/// Marks a region as poorly scalable (short dependent loops): caps its useful
+/// parallelism and attributes part of the work to a serial prefix.
+fn poorly_scalable(mut r: BenchRegion, limit: usize, serial_fraction: f64) -> BenchRegion {
+    r.profile.scalability_limit = limit;
+    r.profile.serial_fraction = serial_fraction;
+    r
+}
+
+/// The five solver/decomposition applications.
+pub fn apps() -> Vec<Application> {
+    vec![
+        // Cholesky factorization: triangular update sweep with a sqrt on the
+        // diagonal.
+        Application::new("cholesky", vec![triangular_kernel("cholesky_r0", 1300, 1, true)]),
+        // LU decomposition: same triangular structure, no sqrt, more updates.
+        Application::new("lu", vec![triangular_kernel("lu_r0", 1400, 2, false)]),
+        // Durbin recursion (Toeplitz solver): short dependent vector sweeps —
+        // very limited parallelism.
+        Application::new(
+            "durbin",
+            vec![poorly_scalable(
+                matvec_kernel("durbin_r0", 1200, 600, false),
+                8,
+                0.15,
+            )],
+        ),
+        // Triangular solve: tiny dependent rows; the paper highlights it as an
+        // outlier whose best configuration uses a single thread.
+        Application::new(
+            "trisolv",
+            vec![poorly_scalable(
+                triangular_kernel("trisolv_r0", 380, 0, false),
+                2,
+                0.35,
+            )],
+        ),
+        // Gram–Schmidt orthogonalization: a norm/scale pass and a projection
+        // update pass with growing inner trip counts.
+        Application::new(
+            "gramschmidt",
+            vec![
+                triangular_kernel("gramschmidt_r0", 1000, 1, true),
+                matvec_kernel("gramschmidt_r1", 1000, 1100, true),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_openmp::ImbalanceShape;
+
+    #[test]
+    fn five_apps_six_regions() {
+        let apps = apps();
+        assert_eq!(apps.len(), 5);
+        assert_eq!(apps.iter().map(|a| a.num_regions()).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn factorizations_are_imbalanced_and_trisolv_is_serial_ish() {
+        let apps = apps();
+        let cholesky = &apps.iter().find(|a| a.name == "cholesky").unwrap().regions[0];
+        assert_eq!(cholesky.profile.imbalance_shape, ImbalanceShape::Ramp);
+        let trisolv = &apps.iter().find(|a| a.name == "trisolv").unwrap().regions[0];
+        assert!(trisolv.profile.scalability_limit <= 2);
+        assert!(trisolv.profile.serial_fraction > 0.2);
+    }
+}

@@ -1,0 +1,75 @@
+//! PolyBench stencil kernels.
+
+use crate::builders::{stencil2d_kernel, streaming_kernel};
+use crate::region::{Application, BenchRegion};
+
+/// Seidel has a loop-carried dependence along both dimensions; its wavefront
+/// parallelism is limited.
+fn wavefront_limited(mut r: BenchRegion, limit: usize) -> BenchRegion {
+    r.profile.scalability_limit = limit;
+    r
+}
+
+/// The five stencil applications.
+pub fn apps() -> Vec<Application> {
+    vec![
+        // Jacobi 2-D: two sweeps (A→B, B→A) per time step.
+        Application::new(
+            "jacobi-2d",
+            vec![
+                stencil2d_kernel("jacobi_2d_r0", 2800, 2800, 5),
+                stencil2d_kernel("jacobi_2d_r1", 2800, 2800, 5),
+            ],
+        ),
+        // Gauss–Seidel 2-D: in-place 9-point sweep with carried dependences.
+        Application::new(
+            "seidel-2d",
+            vec![wavefront_limited(
+                stencil2d_kernel("seidel_2d_r0", 2000, 2000, 9),
+                16,
+            )],
+        ),
+        // FDTD 2-D: separate field-update sweeps for E and H fields.
+        Application::new(
+            "fdtd-2d",
+            vec![
+                stencil2d_kernel("fdtd_2d_r0", 2000, 2600, 3),
+                stencil2d_kernel("fdtd_2d_r1", 2600, 2000, 4),
+            ],
+        ),
+        // FDTD with anisotropic perfectly matched layers: heavier per-point
+        // update than plain FDTD.
+        Application::new("fdtd-apml", vec![stencil2d_kernel("fdtd_apml_r0", 1200, 1200, 9)]),
+        // Alternating direction implicit solver: row sweeps plus a
+        // column-order sweep that streams through memory with large stride.
+        Application::new(
+            "adi",
+            vec![
+                stencil2d_kernel("adi_r0", 1800, 1800, 3),
+                streaming_kernel("adi_r1", 3_000_000, 3, 2.0),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_machine::cache::AccessPattern;
+
+    #[test]
+    fn five_apps_eight_regions() {
+        let apps = apps();
+        assert_eq!(apps.len(), 5);
+        assert_eq!(apps.iter().map(|a| a.num_regions()).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn stencils_are_stencil_pattern_and_seidel_is_limited() {
+        let apps = apps();
+        let jacobi = &apps.iter().find(|a| a.name == "jacobi-2d").unwrap().regions[0];
+        assert_eq!(jacobi.profile.access_pattern, AccessPattern::Stencil);
+        let seidel = &apps.iter().find(|a| a.name == "seidel-2d").unwrap().regions[0];
+        assert!(seidel.profile.scalability_limit <= 16);
+    }
+}

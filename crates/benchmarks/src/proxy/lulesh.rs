@@ -1,0 +1,79 @@
+//! LULESH: the Livermore unstructured Lagrangian explicit shock
+//! hydrodynamics proxy.
+//!
+//! LULESH contributes the largest number of OpenMP regions in the suite: a
+//! mix of heavy per-element physics (force calculation, material EOS), medium
+//! node-centred updates (acceleration/velocity/position integration), and
+//! several very small boundary-condition fix-up loops. The
+//! `ApplyAccelerationBoundaryConditionsForNodes` region is the motivating
+//! example of Section I: it is so small that the default all-threads
+//! configuration is dramatically slower than a few-thread configuration,
+//! especially under a tight power cap.
+
+use crate::builders::{fused_update_kernel, small_boundary_kernel, stencil2d_kernel, streaming_kernel};
+use crate::region::Application;
+
+/// Number of mesh elements in the modelled problem (≈ 90³ as in a typical
+/// LULESH run).
+const ELEMENTS: i64 = 729_000;
+/// Number of mesh nodes (≈ 91³).
+const NODES: i64 = 753_571;
+
+/// The LULESH application (twelve regions).
+pub fn app() -> Application {
+    Application::new(
+        "LULESH",
+        vec![
+            // Element-centred force calculation: the heaviest physics kernel.
+            fused_update_kernel("LULESH_CalcElemForce", ELEMENTS, 6, 12, Some(("elem_stress", 40))),
+            // Hourglass-control force contribution: stencil-like neighbour access.
+            stencil2d_kernel("LULESH_CalcHourglassForce", 900, 810, 8),
+            // Node-centred integration chain.
+            fused_update_kernel("LULESH_CalcAccelForNodes", NODES, 2, 2, None),
+            fused_update_kernel("LULESH_CalcVelocityForNodes", NODES, 3, 3, None),
+            fused_update_kernel("LULESH_CalcPositionForNodes", NODES, 2, 2, None),
+            // Kinematics and monotonic-q gradient evaluation on elements.
+            fused_update_kernel("LULESH_CalcKinematics", ELEMENTS, 5, 8, Some(("shape_fn", 24))),
+            fused_update_kernel("LULESH_CalcMonotonicQGradient", ELEMENTS, 4, 6, None),
+            // Equation-of-state / sound-speed updates per material region.
+            fused_update_kernel("LULESH_EvalEOS", ELEMENTS / 2, 4, 10, Some(("eos_pressure", 32))),
+            fused_update_kernel("LULESH_CalcSoundSpeed", ELEMENTS / 2, 2, 4, None),
+            // Courant/hydro time-step constraint reductions.
+            streaming_kernel("LULESH_CalcTimeConstraints", ELEMENTS, 2, 3.0),
+            // Boundary-condition fix-ups: tiny loops over the symmetry planes
+            // (~91² nodes). The first is the paper's motivating example.
+            small_boundary_kernel("LULESH_ApplyAccelBoundary", 8_281, 2),
+            small_boundary_kernel("LULESH_ApplySymmetryBoundary", 8_281, 3),
+        ],
+    )
+}
+
+/// The region name of the paper's motivating example
+/// (`ApplyAccelerationBoundaryConditionsForNodes`).
+pub const MOTIVATING_REGION: &str = "LULESH_ApplyAccelBoundary";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lulesh_has_twelve_regions_spanning_three_orders_of_magnitude() {
+        let app = app();
+        assert_eq!(app.num_regions(), 12);
+        let min_iters = app.regions.iter().map(|r| r.profile.iterations).min().unwrap();
+        let max_iters = app.regions.iter().map(|r| r.profile.iterations).max().unwrap();
+        assert!(max_iters / min_iters > 50, "{max_iters} vs {min_iters}");
+    }
+
+    #[test]
+    fn motivating_region_exists_and_is_tiny() {
+        let app = app();
+        let region = app
+            .regions
+            .iter()
+            .find(|r| r.name() == MOTIVATING_REGION)
+            .expect("motivating region present");
+        assert!(region.profile.iterations < 10_000);
+        assert!(region.profile.flops_per_iter < 20.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! miniAMR: adaptive mesh refinement proxy.
+//!
+//! Work is organized as sweeps over blocks whose cost depends on the (data-
+//! dependent) refinement level, plus cheap ghost-exchange bookkeeping
+//! regions — a mix of irregular block sweeps and tiny fix-up loops.
+
+use crate::builders::{amr_block_kernel, small_boundary_kernel, stencil2d_kernel};
+use crate::region::Application;
+
+/// The miniAMR application (six regions).
+pub fn app() -> Application {
+    Application::new(
+        "miniAMR",
+        vec![
+            // Main stencil sweep over all blocks (refined blocks cost more).
+            amr_block_kernel("miniAMR_stencil_sweep", 6000, 512, 1.4),
+            // Refinement-flagging pass.
+            amr_block_kernel("miniAMR_refine_flags", 6000, 128, 1.0),
+            // Checksum / reduction over blocks.
+            amr_block_kernel("miniAMR_checksum", 6000, 64, 0.6),
+            // Regular structured stencil inside uniformly refined patches.
+            stencil2d_kernel("miniAMR_patch_stencil", 1500, 1500, 7),
+            // Ghost-cell exchange bookkeeping: tiny loops.
+            small_boundary_kernel("miniAMR_ghost_pack", 3000, 2),
+            small_boundary_kernel("miniAMR_ghost_unpack", 3000, 2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_openmp::ImbalanceShape;
+
+    #[test]
+    fn miniamr_mixes_irregular_and_tiny_regions() {
+        let app = app();
+        assert_eq!(app.num_regions(), 6);
+        let sweep = &app.regions[0];
+        assert_eq!(sweep.profile.imbalance_shape, ImbalanceShape::RandomSpikes);
+        assert!(sweep.profile.imbalance > 1.0);
+        let ghost = &app.regions[4];
+        assert!(ghost.profile.iterations <= 3000);
+    }
+}

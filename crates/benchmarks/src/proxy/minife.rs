@@ -1,0 +1,44 @@
+//! miniFE: an implicit finite-element proxy (sparse CG solve).
+//!
+//! The OpenMP regions are the conjugate-gradient building blocks: sparse
+//! matrix–vector products, dot products, vector updates, and the matrix
+//! assembly pass.
+
+use crate::builders::{fused_update_kernel, matvec_kernel, streaming_kernel};
+use crate::region::Application;
+
+/// The miniFE application (five regions).
+pub fn app() -> Application {
+    Application::new(
+        "miniFE",
+        vec![
+            // Sparse matrix-vector product — the CG hot spot, bandwidth bound.
+            matvec_kernel("miniFE_spmv", 1_100_000, 27, false),
+            // waxpby vector updates (two flavours).
+            streaming_kernel("miniFE_waxpby_1", 1_100_000, 2, 2.0),
+            streaming_kernel("miniFE_waxpby_2", 1_100_000, 3, 1.0),
+            // Dot product (reduction).
+            streaming_kernel("miniFE_dot", 1_100_000, 2, 1.0),
+            // Element-operator assembly: denser per-element arithmetic through
+            // a diffusion-operator helper.
+            fused_update_kernel("miniFE_assembly", 400_000, 4, 8, Some(("diffusion_op", 20))),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minife_has_five_regions_and_is_mostly_memory_bound() {
+        let app = app();
+        assert_eq!(app.num_regions(), 5);
+        let spmv = &app.regions[0];
+        let ai = spmv.profile.flops_per_iter / spmv.profile.bytes_per_iter;
+        assert!(ai < 1.0, "spmv should be memory bound (AI {ai})");
+        let assembly = app.regions.last().unwrap();
+        let ai_a = assembly.profile.flops_per_iter / assembly.profile.bytes_per_iter;
+        assert!(ai_a > ai, "assembly is denser than spmv");
+    }
+}

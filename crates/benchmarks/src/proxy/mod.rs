@@ -1,0 +1,40 @@
+//! The six proxy-/mini-applications of the paper's evaluation.
+
+pub mod neutronics;
+pub mod minife;
+pub mod miniamr;
+pub mod quicksilver;
+pub mod lulesh;
+
+use crate::region::Application;
+
+/// All proxy applications, in the order the paper's figures list them.
+pub fn apps() -> Vec<Application> {
+    let mut v = Vec::new();
+    v.extend(neutronics::apps()); // RSBench, XSBench
+    v.push(minife::app());
+    v.push(quicksilver::app());
+    v.push(miniamr::app());
+    v.push(lulesh::app());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_proxy_apps_with_thirty_two_regions() {
+        let apps = apps();
+        assert_eq!(apps.len(), 6);
+        let regions: usize = apps.iter().map(|a| a.num_regions()).sum();
+        assert_eq!(regions, 32);
+    }
+
+    #[test]
+    fn lulesh_has_the_most_regions() {
+        let apps = apps();
+        let max = apps.iter().max_by_key(|a| a.num_regions()).unwrap();
+        assert_eq!(max.name, "LULESH");
+    }
+}

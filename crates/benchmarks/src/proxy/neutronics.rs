@@ -1,0 +1,58 @@
+//! XSBench and RSBench: Monte-Carlo neutron cross-section lookup proxies.
+//!
+//! Both are dominated by data-dependent table lookups over very large energy
+//! grids — latency-bound, branchy, and irregular. RSBench replaces the table
+//! walk with on-the-fly multipole evaluation, trading memory pressure for
+//! extra floating-point work.
+
+use crate::builders::lookup_kernel;
+use crate::region::Application;
+
+/// RSBench and XSBench.
+pub fn apps() -> Vec<Application> {
+    vec![
+        Application::new(
+            "RSBench",
+            vec![
+                // Multipole cross-section evaluation: more math per lookup.
+                lookup_kernel("RSBench_xs_eval", 1_700_000, 6.0e8, "multipole_eval", 24, 0.8),
+                // Sampling/tally pass.
+                lookup_kernel("RSBench_tally", 900_000, 2.5e8, "tally_update", 10, 0.6),
+            ],
+        ),
+        Application::new(
+            "XSBench",
+            vec![
+                // Macroscopic cross-section lookup: binary search over the
+                // unionized energy grid (huge, latency-bound).
+                lookup_kernel("XSBench_macro_xs", 2_000_000, 1.2e9, "grid_search", 14, 1.0),
+                // Per-nuclide micro cross-section accumulation.
+                lookup_kernel("XSBench_micro_xs", 1_400_000, 4.0e8, "interpolate_xs", 8, 0.7),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_machine::cache::AccessPattern;
+
+    #[test]
+    fn both_apps_are_irregular_and_large_footprint() {
+        for app in apps() {
+            for r in &app.regions {
+                assert_eq!(r.profile.access_pattern, AccessPattern::Irregular);
+                assert!(r.profile.working_set_bytes > 1.0e8);
+                assert!(r.profile.branch_mispredict_rate > 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn two_apps_four_regions() {
+        let apps = apps();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps.iter().map(|a| a.num_regions()).sum::<usize>(), 4);
+    }
+}

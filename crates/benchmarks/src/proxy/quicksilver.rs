@@ -1,0 +1,46 @@
+//! Quicksilver: Monte-Carlo particle transport proxy (Mercury surrogate).
+//!
+//! Particle histories have wildly different lengths (absorption vs. long
+//! scattering chains), making the main tracking loop the most imbalanced
+//! region in the suite.
+
+use crate::builders::{fused_update_kernel, lookup_kernel, small_boundary_kernel};
+use crate::region::Application;
+
+/// The Quicksilver application (five regions).
+pub fn app() -> Application {
+    Application::new(
+        "Quicksilver",
+        vec![
+            // Cycle tracking: the dominant, highly irregular particle loop.
+            lookup_kernel("Quicksilver_cycle_tracking", 1_500_000, 5.0e8, "segment_outcome", 30, 1.8),
+            // Collision event processing.
+            lookup_kernel("Quicksilver_collision", 700_000, 2.0e8, "sample_collision", 18, 1.2),
+            // Facet-crossing / tally updates.
+            fused_update_kernel("Quicksilver_tallies", 500_000, 3, 4, Some(("tally_accum", 8))),
+            // Population control (source/rr): medium-size cleanup passes.
+            fused_update_kernel("Quicksilver_population", 300_000, 2, 3, None),
+            // Per-cycle bookkeeping.
+            small_boundary_kernel("Quicksilver_cycle_init", 5000, 4),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_openmp::ImbalanceShape;
+
+    #[test]
+    fn tracking_loop_is_the_most_imbalanced_region() {
+        let app = app();
+        assert_eq!(app.num_regions(), 5);
+        let tracking = &app.regions[0];
+        assert_eq!(tracking.profile.imbalance_shape, ImbalanceShape::RandomSpikes);
+        assert!(tracking.profile.imbalance >= 1.5);
+        assert!(app
+            .regions
+            .iter()
+            .all(|r| r.profile.imbalance <= tracking.profile.imbalance));
+    }
+}

@@ -1,0 +1,125 @@
+//! The full benchmark suite and its summary statistics.
+
+use crate::polybench;
+use crate::proxy;
+use crate::region::Application;
+use serde::Serialize;
+
+/// All 30 applications (24 PolyBench + 6 proxy apps) with 68 OpenMP regions,
+/// in the order the paper's figures present them (proxy apps first).
+pub fn full_suite() -> Vec<Application> {
+    let mut apps = proxy::apps();
+    apps.extend(polybench::apps());
+    apps
+}
+
+/// Aggregate statistics of the suite, used in reports and tests.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SuiteStats {
+    /// Number of applications.
+    pub applications: usize,
+    /// Number of OpenMP regions.
+    pub regions: usize,
+    /// Minimum / maximum outer-loop trip counts across all regions.
+    pub min_iterations: usize,
+    /// Maximum outer-loop trip count across all regions.
+    pub max_iterations: usize,
+    /// Number of regions with noticeable load imbalance (> 0.3).
+    pub imbalanced_regions: usize,
+    /// Number of regions calling helper functions (call-flow edges present).
+    pub regions_with_helpers: usize,
+}
+
+/// Computes [`SuiteStats`] for a set of applications.
+pub fn suite_stats(apps: &[Application]) -> SuiteStats {
+    let mut stats = SuiteStats {
+        applications: apps.len(),
+        min_iterations: usize::MAX,
+        ..SuiteStats::default()
+    };
+    for app in apps {
+        for r in &app.regions {
+            stats.regions += 1;
+            stats.min_iterations = stats.min_iterations.min(r.profile.iterations);
+            stats.max_iterations = stats.max_iterations.max(r.profile.iterations);
+            if r.profile.imbalance > 0.3 {
+                stats.imbalanced_regions += 1;
+            }
+            if !r.source.helpers.is_empty() {
+                stats.regions_with_helpers += 1;
+            }
+        }
+    }
+    if stats.regions == 0 {
+        stats.min_iterations = 0;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_matches_the_paper_scale() {
+        let apps = full_suite();
+        let stats = suite_stats(&apps);
+        assert_eq!(stats.applications, 30, "paper evaluates 30 applications");
+        assert_eq!(stats.regions, 68, "paper evaluates 68 OpenMP regions");
+    }
+
+    #[test]
+    fn region_names_are_globally_unique() {
+        let apps = full_suite();
+        let mut names = HashSet::new();
+        for app in &apps {
+            for r in &app.regions {
+                assert!(
+                    names.insert(r.name().to_string()),
+                    "duplicate region name {}",
+                    r.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_spans_diverse_behaviour() {
+        let apps = full_suite();
+        let stats = suite_stats(&apps);
+        assert!(stats.max_iterations > 100 * stats.min_iterations.max(1));
+        assert!(stats.imbalanced_regions >= 10);
+        assert!(stats.regions_with_helpers >= 8);
+    }
+
+    #[test]
+    fn every_region_lowers_to_a_well_formed_graph() {
+        for app in full_suite() {
+            for (name, graph) in app.region_graphs() {
+                assert!(graph.is_well_formed(), "{name}");
+                assert!(graph.num_nodes() >= 15, "{name} has a suspiciously small graph");
+                assert!(graph.num_edges() >= graph.num_nodes(), "{name} too sparse");
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_are_structurally_diverse_across_the_suite() {
+        let mut signatures = HashSet::new();
+        let mut total = 0;
+        for app in full_suite() {
+            for (_, g) in app.region_graphs() {
+                signatures.insert((g.num_nodes(), g.num_edges()));
+                total += 1;
+            }
+        }
+        // At least half of the 68 regions must have structurally distinct
+        // (node, edge) signatures — the GNN needs variety to learn from.
+        assert!(
+            signatures.len() * 2 >= total,
+            "only {} distinct signatures over {total} regions",
+            signatures.len()
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Evaluation metrics used across all experiments.
+
+use std::collections::BTreeMap;
+
+/// Geometric mean of positive values (1.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    pnp_tensor::ops::geometric_mean(values)
+}
+
+/// Fraction of values that are at least `threshold` (e.g. the paper's
+/// "within 5 % of the oracle" is `fraction_within(&normalized, 0.95)`).
+pub fn fraction_within(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v >= threshold).count() as f64 / values.len() as f64
+}
+
+/// Fraction of pairwise comparisons where `a` is at least as good as `b`
+/// (used for "PnP outperforms BLISS in X % of cases").
+pub fn fraction_no_worse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| **x >= **y - 1e-12)
+        .count() as f64
+        / a.len() as f64
+}
+
+/// Groups `(application, value)` pairs and returns the per-application
+/// geometric mean, in first-appearance order — how every per-application bar
+/// in the paper's figures is computed.
+pub fn per_app_geomean(pairs: &[(String, f64)]) -> Vec<(String, f64)> {
+    let mut order = Vec::new();
+    let mut grouped: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (app, v) in pairs {
+        if !order.contains(app) {
+            order.push(app.clone());
+        }
+        grouped.entry(app.clone()).or_default().push(*v);
+    }
+    order
+        .into_iter()
+        .map(|app| {
+            let g = geomean(&grouped[&app]);
+            (app, g)
+        })
+        .collect()
+}
+
+/// Normalizes tuner speedups by oracle speedups element-wise (the y-axis of
+/// Figures 2–6). Values are clamped to 1.0 from above only when numerical
+/// noise pushes a tuner marginally past the oracle.
+pub fn normalized_speedups(tuner: &[f64], oracle: &[f64]) -> Vec<f64> {
+    assert_eq!(tuner.len(), oracle.len());
+    tuner
+        .iter()
+        .zip(oracle)
+        .map(|(t, o)| if *o <= 0.0 { 0.0 } else { (t / o).min(1.0) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn fraction_within_counts_correctly() {
+        let v = [1.0, 0.96, 0.90, 0.80];
+        assert!((fraction_within(&v, 0.95) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_within(&[], 0.95), 0.0);
+    }
+
+    #[test]
+    fn fraction_no_worse_is_directional() {
+        let a = [1.0, 0.9, 0.8];
+        let b = [0.9, 0.9, 0.9];
+        assert!((fraction_no_worse(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_app_geomean_groups_and_preserves_order() {
+        let pairs = vec![
+            ("beta".to_string(), 2.0),
+            ("alpha".to_string(), 4.0),
+            ("beta".to_string(), 8.0),
+        ];
+        let out = per_app_geomean(&pairs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "beta");
+        assert!((out[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(out[1].0, "alpha");
+    }
+
+    #[test]
+    fn normalized_speedups_clamp_at_one() {
+        let n = normalized_speedups(&[1.2, 0.5], &[1.0, 1.0]);
+        assert_eq!(n, vec![1.0, 0.5]);
+    }
+}

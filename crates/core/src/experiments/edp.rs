@@ -1,0 +1,213 @@
+//! EDP tuning (Figures 6 and 7, plus the §IV-C headline numbers): tuners pick
+//! a *joint* (power cap, OpenMP configuration) point minimizing the
+//! energy-delay product; results are compared against the default OpenMP
+//! configuration at TDP.
+
+use crate::dataset::Dataset;
+use crate::eval::{fraction_within, geomean};
+use crate::report::TextTable;
+use crate::training::{train_scenario2_model, TrainSettings};
+use pnp_machine::MachineSpec;
+use pnp_tuners::{BlissTuner, Objective, OpenTunerLike, SimEvaluator};
+use serde::Serialize;
+
+/// Tuner order used in all EDP result vectors.
+pub const TUNERS: [&str; 5] = ["default", "pnp_static", "pnp_dynamic", "bliss", "opentuner"];
+
+/// One application's bar group in Figure 6 (normalized EDP improvement) and
+/// Figure 7 (speedups/greenups).
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct EdpRow {
+    /// Application name.
+    pub app: String,
+    /// Oracle-normalized EDP improvement per tuner ([`TUNERS`] order).
+    pub normalized_edp: Vec<f64>,
+    /// Raw speedup over default-at-TDP per tuner.
+    pub speedup: Vec<f64>,
+    /// Raw greenup over default-at-TDP per tuner.
+    pub greenup: Vec<f64>,
+}
+
+/// §IV-C summary for one machine.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct EdpSummary {
+    /// Geometric-mean EDP improvement over default-at-TDP per tuner
+    /// (excluding "default").
+    pub geomean_edp_improvement: Vec<f64>,
+    /// Geometric-mean speedup over default-at-TDP per tuner.
+    pub geomean_speedup: Vec<f64>,
+    /// Geometric-mean greenup over default-at-TDP per tuner.
+    pub geomean_greenup: Vec<f64>,
+    /// Fraction of regions where the static PnP prediction is within 5 % /
+    /// 20 % of the oracle EDP improvement.
+    pub pnp_static_within_95: f64,
+    /// Fraction within 20 % of the oracle.
+    pub pnp_static_within_80: f64,
+    /// Same pair for the dynamic variant.
+    pub pnp_dynamic_within_95: f64,
+    /// Fraction within 20 % of the oracle for the dynamic variant.
+    pub pnp_dynamic_within_80: f64,
+    /// Fraction of regions whose tuned execution is faster than the default
+    /// (static PnP).
+    pub pnp_speedup_cases: f64,
+    /// Fraction of regions whose tuned execution uses less energy than the
+    /// default (static PnP).
+    pub pnp_greenup_cases: f64,
+}
+
+/// Full EDP experiment results for one machine.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct EdpResults {
+    /// Machine name.
+    pub machine: String,
+    /// Per-application rows.
+    pub rows: Vec<EdpRow>,
+    /// Summary numbers.
+    pub summary: EdpSummary,
+}
+
+impl EdpResults {
+    /// Renders Figure 6 (normalized EDP improvement) and Figure 7 (speedup /
+    /// greenup) as tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\nNormalized EDP improvement ({}) — oracle = 1.0\n",
+            self.machine
+        ));
+        let hdr = ["app", TUNERS[0], TUNERS[1], TUNERS[2], TUNERS[3], TUNERS[4]];
+        let mut t = TextTable::new(&hdr);
+        for row in &self.rows {
+            t.row_numeric(&row.app, &row.normalized_edp);
+        }
+        out.push_str(&t.render());
+
+        out.push_str(&format!("\nSpeedups over default @ TDP ({})\n", self.machine));
+        let mut t = TextTable::new(&hdr);
+        for row in &self.rows {
+            t.row_numeric(&row.app, &row.speedup);
+        }
+        out.push_str(&t.render());
+
+        out.push_str(&format!("\nGreenups over default @ TDP ({})\n", self.machine));
+        let mut t = TextTable::new(&hdr);
+        for row in &self.rows {
+            t.row_numeric(&row.app, &row.greenup);
+        }
+        out.push_str(&t.render());
+
+        out.push_str(&format!("\nSummary ({})\n", self.machine));
+        let mut t = TextTable::new(&["metric", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);
+        t.row_numeric("geomean EDP improvement", &self.summary.geomean_edp_improvement);
+        t.row_numeric("geomean speedup", &self.summary.geomean_speedup);
+        t.row_numeric("geomean greenup", &self.summary.geomean_greenup);
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "PnP static within 5%/20% of oracle EDP: {:.1}%/{:.1}%; dynamic: {:.1}%/{:.1}%\n",
+            100.0 * self.summary.pnp_static_within_95,
+            100.0 * self.summary.pnp_static_within_80,
+            100.0 * self.summary.pnp_dynamic_within_95,
+            100.0 * self.summary.pnp_dynamic_within_80,
+        ));
+        out.push_str(&format!(
+            "PnP static: faster than default in {:.0}% of regions, less energy in {:.0}% of regions\n",
+            100.0 * self.summary.pnp_speedup_cases,
+            100.0 * self.summary.pnp_greenup_cases,
+        ));
+        out
+    }
+}
+
+/// Runs the EDP experiment on a machine.
+pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> EdpResults {
+    let ds = super::build_full_dataset(machine);
+    run_on_dataset(&ds, settings)
+}
+
+/// Runs the EDP experiment on a pre-built dataset.
+pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> EdpResults {
+    let preds_static = train_scenario2_model(ds, settings, false);
+    let preds_dynamic = train_scenario2_model(ds, settings, true);
+    let tdp_idx = ds.space.power_levels.len() - 1;
+    let per = ds.space.configs_per_power();
+
+    // Per region per tuner: (edp, time, energy).
+    let mut edp_norm: Vec<Vec<f64>> = vec![Vec::new(); TUNERS.len()];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); TUNERS.len()];
+    let mut greenups: Vec<Vec<f64>> = vec![Vec::new(); TUNERS.len()];
+
+    for (i, sweep) in ds.sweeps.iter().enumerate() {
+        let baseline = sweep.default_samples[tdp_idx];
+        let oracle_improvement = baseline.edp() / sweep.best_edp();
+
+        let evaluator = SimEvaluator::new(ds.machine.clone(), ds.regions[i].profile.clone());
+        let bliss = BlissTuner::new(&ds.space, 3000 + i as u64).tune(&evaluator, &Objective::Edp);
+        let opentuner =
+            OpenTunerLike::new(&ds.space, 4000 + i as u64).tune(&evaluator, &Objective::Edp);
+
+        let decode = |class: usize| {
+            let p = class / per;
+            let c = class % per;
+            sweep.samples[p][c]
+        };
+        let samples = [
+            baseline,
+            decode(preds_static[i]),
+            decode(preds_dynamic[i]),
+            bliss.best_sample,
+            opentuner.best_sample,
+        ];
+        for (t, s) in samples.iter().enumerate() {
+            let improvement = baseline.edp() / s.edp();
+            edp_norm[t].push((improvement / oracle_improvement).min(1.0));
+            speedups[t].push(baseline.time_s / s.time_s);
+            greenups[t].push(baseline.energy_j / s.energy_j);
+        }
+    }
+
+    // Per-application rows.
+    let mut rows = Vec::new();
+    for app in ds.applications() {
+        let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.regions[i].app == app).collect();
+        let collect = |per_tuner: &Vec<Vec<f64>>| -> Vec<f64> {
+            per_tuner
+                .iter()
+                .map(|vals| geomean(&idx.iter().map(|&i| vals[i]).collect::<Vec<_>>()))
+                .collect()
+        };
+        rows.push(EdpRow {
+            app,
+            normalized_edp: collect(&edp_norm),
+            speedup: collect(&speedups),
+            greenup: collect(&greenups),
+        });
+    }
+
+    let summary = EdpSummary {
+        // EDP improvement factor over default-at-TDP = speedup × greenup.
+        geomean_edp_improvement: (1..TUNERS.len())
+            .map(|t| {
+                let improvements: Vec<f64> = speedups[t]
+                    .iter()
+                    .zip(&greenups[t])
+                    .map(|(s, g)| s * g)
+                    .collect();
+                geomean(&improvements)
+            })
+            .collect(),
+        geomean_speedup: (1..TUNERS.len()).map(|t| geomean(&speedups[t])).collect(),
+        geomean_greenup: (1..TUNERS.len()).map(|t| geomean(&greenups[t])).collect(),
+        pnp_static_within_95: fraction_within(&edp_norm[1], 0.95),
+        pnp_static_within_80: fraction_within(&edp_norm[1], 0.80),
+        pnp_dynamic_within_95: fraction_within(&edp_norm[2], 0.95),
+        pnp_dynamic_within_80: fraction_within(&edp_norm[2], 0.80),
+        pnp_speedup_cases: fraction_within(&speedups[1], 1.0),
+        pnp_greenup_cases: fraction_within(&greenups[1], 1.0),
+    };
+
+    EdpResults {
+        machine: ds.machine.name.clone(),
+        rows,
+        summary,
+    }
+}

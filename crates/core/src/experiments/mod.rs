@@ -1,0 +1,36 @@
+//! Experiment drivers — one per table/figure of the paper.
+//!
+//! Each driver returns a serializable result structure and knows how to
+//! render itself as the rows/series the corresponding figure plots. The
+//! `pnp-bench` binaries are thin wrappers that call these and print.
+//!
+//! | Paper artefact | Driver |
+//! |---|---|
+//! | §I motivating example | [`motivating`] |
+//! | Table I (search space) | `pnp-tuners::SearchSpace` (printed by the `table1_search_space` binary) |
+//! | Table II (hyperparameters) | printed by the `table2_hyperparameters` binary |
+//! | Fig. 2 / Fig. 3 (+ §IV-B numbers) | [`power_constrained`] |
+//! | Fig. 4 / Fig. 5 | [`unseen_power`] |
+//! | Fig. 6 / Fig. 7 (+ §IV-C numbers) | [`edp`] |
+//! | §IV-B transfer learning | [`transfer`] |
+//! | Design-choice ablations (DESIGN.md §6) | [`ablations`] |
+
+pub mod power_constrained;
+pub mod unseen_power;
+pub mod edp;
+pub mod motivating;
+pub mod transfer;
+pub mod ablations;
+
+use pnp_benchmarks::full_suite;
+use pnp_graph::Vocabulary;
+use pnp_machine::MachineSpec;
+
+use crate::dataset::Dataset;
+
+/// Builds the full-suite dataset for a machine (the expensive exhaustive
+/// sweep shared by several experiments).
+pub fn build_full_dataset(machine: &MachineSpec) -> Dataset {
+    let apps = full_suite();
+    Dataset::build(machine, &apps, &Vocabulary::standard())
+}

@@ -1,0 +1,69 @@
+//! Transfer learning (Section IV-B): the code graphs are identical on both
+//! machines (they are produced statically by the same compiler), so the GNN
+//! layers trained on the Haswell dataset can be reused on Skylake, retraining
+//! only the dense classifier — the paper reports ≈ 4.18× faster training
+//! (76 % less training time).
+
+use crate::report::TextTable;
+use crate::training::{transfer_experiment, TrainSettings, TransferReport};
+use pnp_machine::{haswell, skylake};
+use serde::Serialize;
+
+/// Serializable wrapper of the transfer-learning outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct TransferResults {
+    /// Seconds to train the Skylake model from scratch.
+    pub scratch_seconds: f64,
+    /// Seconds to train with the transferred (frozen) Haswell GNN.
+    pub transfer_seconds: f64,
+    /// Training speed-up factor.
+    pub speedup: f64,
+    /// Training-set accuracy from scratch.
+    pub scratch_accuracy: f32,
+    /// Training-set accuracy with transfer.
+    pub transfer_accuracy: f32,
+}
+
+impl From<TransferReport> for TransferResults {
+    fn from(r: TransferReport) -> Self {
+        TransferResults {
+            speedup: r.training_speedup(),
+            scratch_seconds: r.scratch_seconds,
+            transfer_seconds: r.transfer_seconds,
+            scratch_accuracy: r.scratch_accuracy,
+            transfer_accuracy: r.transfer_accuracy,
+        }
+    }
+}
+
+impl TransferResults {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["training path", "wall time (s)", "train accuracy"]);
+        t.row(&[
+            "from scratch (Skylake)".into(),
+            format!("{:.2}", self.scratch_seconds),
+            format!("{:.2}", self.scratch_accuracy),
+        ]);
+        t.row(&[
+            "transfer (Haswell GNN frozen)".into(),
+            format!("{:.2}", self.transfer_seconds),
+            format!("{:.2}", self.transfer_accuracy),
+        ]);
+        format!(
+            "\nTransfer learning (paper: ~4.18x faster / 76% less training time)\n{}\ntraining speed-up: {:.2}x ({:.0}% less training time)\n",
+            t.render(),
+            self.speedup,
+            100.0 * (1.0 - 1.0 / self.speedup.max(1e-9))
+        )
+    }
+}
+
+/// Runs the transfer-learning experiment (Haswell → Skylake) at the highest
+/// power level.
+pub fn run(settings: &TrainSettings) -> TransferResults {
+    let ds_haswell = super::build_full_dataset(&haswell());
+    let ds_skylake = super::build_full_dataset(&skylake());
+    let power_idx = ds_haswell.space.power_levels.len() - 1;
+    transfer_experiment(&ds_haswell, &ds_skylake, settings, power_idx).into()
+}

@@ -1,0 +1,137 @@
+//! Generalization to unseen power constraints (Figures 4 and 5): the model is
+//! trained with all measurements at the target cap removed, using hardware
+//! counters plus the normalized power cap as dynamic features, and evaluated
+//! on the held-out cap (lowest and highest per machine).
+
+use crate::dataset::Dataset;
+use crate::eval::{fraction_within, geomean};
+use crate::report::TextTable;
+use crate::training::{train_unseen_power, TrainSettings};
+use pnp_machine::MachineSpec;
+use serde::Serialize;
+
+/// One application bar of Figure 4/5 at one held-out power cap.
+#[derive(Clone, Debug, Serialize)]
+pub struct UnseenPowerRow {
+    /// Application name.
+    pub app: String,
+    /// Held-out power cap in watts.
+    pub power_watts: f64,
+    /// Oracle-normalized speedup of the default configuration.
+    pub default_norm: f64,
+    /// Oracle-normalized speedup of the PnP prediction.
+    pub pnp_norm: f64,
+}
+
+/// Results for one machine (two held-out caps).
+#[derive(Clone, Debug, Serialize)]
+pub struct UnseenPowerResults {
+    /// Machine name ("skylake" → Figure 4, "haswell" → Figure 5).
+    pub machine: String,
+    /// Per-application, per-held-out-cap rows.
+    pub rows: Vec<UnseenPowerRow>,
+    /// Geometric-mean PnP speedup over default at each held-out cap,
+    /// `(cap, pnp, oracle)`.
+    pub geomean_speedups: Vec<(f64, f64, f64)>,
+    /// Fraction of regions within 5 % of the oracle (both caps pooled).
+    pub within_95: f64,
+    /// Fraction of regions within 20 % of the oracle.
+    pub within_80: f64,
+}
+
+impl UnseenPowerResults {
+    /// Renders the figure's series as a table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\nUnseen power constraints ({}) — normalized speedups, oracle = 1.0\n",
+            self.machine
+        ));
+        let mut t = TextTable::new(&["app", "power W", "default", "pnp"]);
+        for row in &self.rows {
+            t.row(&[
+                row.app.clone(),
+                format!("{:.0}", row.power_watts),
+                format!("{:.3}", row.default_norm),
+                format!("{:.3}", row.pnp_norm),
+            ]);
+        }
+        out.push_str(&t.render());
+        for (cap, pnp, oracle) in &self.geomean_speedups {
+            out.push_str(&format!(
+                "geomean speedup at {cap:.0} W: PnP {pnp:.2}x vs oracle {oracle:.2}x\n"
+            ));
+        }
+        out.push_str(&format!(
+            "within 5% of oracle: {:.1}% | within 20%: {:.1}%\n",
+            100.0 * self.within_95,
+            100.0 * self.within_80
+        ));
+        out
+    }
+}
+
+/// Runs the unseen-power experiment for a machine (holds out the lowest and
+/// the highest cap, as in the paper).
+pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> UnseenPowerResults {
+    let ds = super::build_full_dataset(machine);
+    run_on_dataset(&ds, settings)
+}
+
+/// Runs the experiment on a pre-built dataset.
+pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> UnseenPowerResults {
+    let held_out = [ds.space.power_levels.len() - 1, 0];
+    let mut rows = Vec::new();
+    let mut geomean_speedups = Vec::new();
+    let mut all_norm = Vec::new();
+
+    for &p in &held_out {
+        let preds = train_unseen_power(ds, settings, p);
+        let mut pnp_speedups = Vec::new();
+        let mut oracle_speedups = Vec::new();
+        let mut norm_per_region = Vec::new();
+        for (i, sweep) in ds.sweeps.iter().enumerate() {
+            let default_t = sweep.default_samples[p].time_s;
+            let best_t = sweep.best_time(p);
+            let pnp_t = sweep.samples[p][preds[i]].time_s;
+            let oracle_speedup = default_t / best_t;
+            let pnp_speedup = default_t / pnp_t;
+            pnp_speedups.push(pnp_speedup);
+            oracle_speedups.push(oracle_speedup);
+            norm_per_region.push((pnp_speedup / oracle_speedup).min(1.0));
+        }
+        all_norm.extend(norm_per_region.iter().copied());
+        geomean_speedups.push((
+            ds.space.power_levels[p],
+            geomean(&pnp_speedups),
+            geomean(&oracle_speedups),
+        ));
+
+        for app in ds.applications() {
+            let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.regions[i].app == app).collect();
+            let default_norm = geomean(
+                &idx.iter()
+                    .map(|&i| {
+                        let sweep = &ds.sweeps[i];
+                        (sweep.best_time(p) / sweep.default_samples[p].time_s).min(1.0)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let pnp_norm = geomean(&idx.iter().map(|&i| norm_per_region[i]).collect::<Vec<_>>());
+            rows.push(UnseenPowerRow {
+                app,
+                power_watts: ds.space.power_levels[p],
+                default_norm,
+                pnp_norm,
+            });
+        }
+    }
+
+    UnseenPowerResults {
+        machine: ds.machine.name.clone(),
+        rows,
+        geomean_speedups,
+        within_95: fraction_within(&all_norm, 0.95),
+        within_80: fraction_within(&all_norm, 0.80),
+    }
+}

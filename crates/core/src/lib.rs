@@ -1,0 +1,33 @@
+//! # pnp-core
+//!
+//! The top of the PnP-tuner stack: everything needed to go from the benchmark
+//! suite to the numbers in the paper's figures.
+//!
+//! * [`dataset`] — runs the exhaustive configuration sweep of every region on
+//!   a machine (the "oracle" data), packages code graphs, counters, and
+//!   best-configuration labels.
+//! * [`pnp`] — the user-facing [`pnp::PnPTuner`]: a trained GNN that predicts
+//!   the best OpenMP configuration (and power level, for EDP mode) for an
+//!   unseen region *without executing it*.
+//! * [`training`] — leave-one-application-out cross-validation pipelines for
+//!   the static and dynamic variants, plus the GNN-freezing transfer-learning
+//!   path.
+//! * [`eval`] — the metrics the paper reports: speedup, greenup, EDP
+//!   improvement, oracle-normalized values, and geometric means.
+//! * [`experiments`] — one driver per table/figure (see DESIGN.md's
+//!   experiment index); the binaries in `pnp-bench` are thin wrappers around
+//!   these.
+//! * [`report`] — plain-text table rendering and JSON export of experiment
+//!   results.
+
+pub mod dataset;
+pub mod pnp;
+pub mod training;
+pub mod eval;
+pub mod experiments;
+pub mod report;
+
+pub use dataset::{Dataset, RegionRecord, Sweep};
+pub use eval::{fraction_within, geomean, normalized_speedups};
+pub use pnp::PnPTuner;
+pub use training::{train_scenario1_models, train_scenario2_model, FoldPlan, TrainSettings};

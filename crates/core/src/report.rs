@@ -1,0 +1,116 @@
+//! Plain-text table rendering and JSON export of experiment results.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned text table, used by every experiment binary to
+/// print the rows/series the paper's figures plot.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of label + numeric cells with 3 decimals.
+    pub fn row_numeric(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Writes any serializable experiment result as JSON under
+/// `target/experiments/<name>.json` (creating the directory if needed) and
+/// returns the path written to.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).unwrap())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["app", "speedup", "greenup"]);
+        t.row_numeric("gemm", &[1.25, 1.4]);
+        t.row_numeric("a-very-long-application-name", &[0.951, 1.0]);
+        let text = t.render();
+        assert!(text.contains("gemm"));
+        assert!(text.contains("1.250"));
+        assert_eq!(t.num_rows(), 2);
+        // every line has the same column structure (two trailing spaces per col)
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+
+    #[test]
+    fn json_export_writes_a_file() {
+        #[derive(Serialize)]
+        struct Dummy {
+            x: f64,
+        }
+        let path = write_json("unit_test_dummy", &Dummy { x: 1.5 }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1.5"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,79 @@
+//! Minibatch index generation.
+//!
+//! Graphs have different sizes, so a "batch" here is a set of sample indices
+//! whose gradients are accumulated before one optimizer step — matching the
+//! paper's batch size of 16 (Table II).
+
+use pnp_tensor::SeededRng;
+
+/// Shuffles sample indices each epoch and yields fixed-size batches.
+pub struct Minibatcher {
+    num_samples: usize,
+    batch_size: usize,
+    rng: SeededRng,
+}
+
+impl Minibatcher {
+    /// Creates a batcher over `num_samples` samples.
+    pub fn new(num_samples: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Minibatcher {
+            num_samples,
+            batch_size,
+            rng: SeededRng::new(seed),
+        }
+    }
+
+    /// Returns the batches (each a vector of sample indices) for one epoch,
+    /// in a freshly shuffled order.
+    pub fn epoch_batches(&mut self) -> Vec<Vec<usize>> {
+        let mut indices: Vec<usize> = (0..self.num_samples).collect();
+        self.rng.shuffle(&mut indices);
+        indices
+            .chunks(self.batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.num_samples.div_ceil(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_every_index_exactly_once() {
+        let mut b = Minibatcher::new(37, 16, 1);
+        let batches = b.epoch_batches();
+        assert_eq!(batches.len(), 3);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffling_changes_between_epochs() {
+        let mut b = Minibatcher::new(64, 16, 2);
+        let e1 = b.epoch_batches();
+        let e2 = b.epoch_batches();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let b = Minibatcher::new(17, 16, 3);
+        assert_eq!(b.batches_per_epoch(), 2);
+        let b = Minibatcher::new(16, 16, 3);
+        assert_eq!(b.batches_per_epoch(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_panics() {
+        Minibatcher::new(4, 0, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pnp-gnn
+//!
+//! The learning core of the PnP tuner: a Relational Graph Convolutional
+//! Network (RGCN) over flow-aware code graphs, followed by a dense classifier
+//! that predicts the best OpenMP configuration.
+//!
+//! The model follows the paper (Section III-D, Table II):
+//!
+//! * node features = embedded node text token + node kind,
+//! * 4 RGCN layers with Leaky ReLU and relation-specific weights
+//!   (control / data / call flow),
+//! * mean readout over all nodes,
+//! * 3 fully connected layers with ReLU producing class logits,
+//! * trained with cross-entropy, Adam / AdamW(amsgrad), lr = 1e-3, batch 16.
+//!
+//! Two variants exist, mirroring the paper's *static* and *dynamic* tuners:
+//! [`PnPModel`] consumes only the code graph; when constructed with
+//! `num_dynamic_features > 0` it additionally concatenates normalized
+//! hardware counters (and, for the unseen-power-constraint experiment, the
+//! normalized power cap) to the readout vector before the dense layers.
+
+pub mod rgcn;
+pub mod readout;
+pub mod model;
+pub mod batch;
+pub mod train;
+pub mod metrics;
+
+pub use batch::Minibatcher;
+pub use model::{ModelConfig, PnPModel};
+pub use readout::MeanReadout;
+pub use rgcn::RgcnLayer;
+pub use train::{TrainConfig, TrainReport, Trainer, TrainingSample};

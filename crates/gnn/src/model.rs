@@ -1,0 +1,442 @@
+//! The PnP model: embedding → RGCN stack → readout → dense classifier.
+
+use crate::readout::MeanReadout;
+use crate::rgcn::RgcnLayer;
+use pnp_graph::EncodedGraph;
+use pnp_tensor::{
+    softmax_rows, Dropout, Embedding, Layer, LeakyReLU, Linear, Parameter, ParameterBundle, ReLU,
+    SeededRng, Tensor,
+};
+
+/// Hyperparameters of the PnP model (defaults follow Table II of the paper,
+/// with a reduced hidden size so the whole evaluation runs on one core).
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Vocabulary size of the node-text embedding.
+    pub vocab_size: usize,
+    /// Node / hidden representation width.
+    pub hidden_dim: usize,
+    /// Number of RGCN layers (paper: 4).
+    pub num_rgcn_layers: usize,
+    /// Width of the dense classifier's hidden layers.
+    pub fc_hidden: usize,
+    /// Number of output classes (tuning configurations).
+    pub num_classes: usize,
+    /// Number of edge relations (3: control, data, call).
+    pub num_relations: usize,
+    /// Number of dynamic features appended to the readout (0 for the static
+    /// tuner; 5 counters [+1 power] for the dynamic tuner).
+    pub num_dynamic_features: usize,
+    /// Dropout probability applied to the readout vector.
+    pub dropout: f32,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            vocab_size: 512,
+            hidden_dim: 32,
+            num_rgcn_layers: 4,
+            fc_hidden: 64,
+            num_classes: 126,
+            num_relations: 3,
+            num_dynamic_features: 0,
+            dropout: 0.1,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The PnP tuner model.
+pub struct PnPModel {
+    /// Configuration the model was built with.
+    pub config: ModelConfig,
+    token_embedding: Embedding,
+    kind_embedding: Embedding,
+    rgcn_layers: Vec<RgcnLayer>,
+    rgcn_activations: Vec<LeakyReLU>,
+    readout: MeanReadout,
+    dropout: Dropout,
+    fc_layers: Vec<Linear>,
+    fc_activations: Vec<ReLU>,
+    // caches for backward
+    cached_dyn_len: usize,
+    cached_h0_rows: usize,
+}
+
+impl PnPModel {
+    /// Builds a model from a configuration.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut rng = SeededRng::new(config.seed);
+        let mut token_embedding = Embedding::new(config.vocab_size, config.hidden_dim, &mut rng);
+        token_embedding.table.name = "embed.token".into();
+        let mut kind_embedding = Embedding::new(3, config.hidden_dim, &mut rng);
+        kind_embedding.table.name = "embed.kind".into();
+
+        let rgcn_layers: Vec<RgcnLayer> = (0..config.num_rgcn_layers)
+            .map(|l| {
+                RgcnLayer::new(
+                    &format!("rgcn{l}"),
+                    config.hidden_dim,
+                    config.hidden_dim,
+                    config.num_relations,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let rgcn_activations = (0..config.num_rgcn_layers).map(|_| LeakyReLU::new()).collect();
+
+        let fc_in = config.hidden_dim + config.num_dynamic_features;
+        let fc_layers = vec![
+            Linear::with_name("fc0", fc_in, config.fc_hidden, &mut rng),
+            Linear::with_name("fc1", config.fc_hidden, config.fc_hidden, &mut rng),
+            Linear::with_name("fc2", config.fc_hidden, config.num_classes, &mut rng),
+        ];
+        let fc_activations = vec![ReLU::new(), ReLU::new()];
+
+        PnPModel {
+            dropout: Dropout::new(config.dropout, config.seed ^ 0xD0),
+            config,
+            token_embedding,
+            kind_embedding,
+            rgcn_layers,
+            rgcn_activations,
+            readout: MeanReadout::new(),
+            fc_layers,
+            fc_activations,
+            cached_dyn_len: 0,
+            cached_h0_rows: 0,
+        }
+    }
+
+    /// Switches every RGCN layer into tied-weight (plain GCN) mode — used by
+    /// the RGCN-vs-GCN ablation.
+    pub fn set_relational(&mut self, relational: bool) {
+        for l in &mut self.rgcn_layers {
+            l.relational = relational;
+        }
+    }
+
+    /// Switches the readout to sum pooling (ablation).
+    pub fn set_sum_pooling(&mut self, sum: bool) {
+        self.readout.sum_pool = sum;
+    }
+
+    /// Forward pass over one encoded graph. `dynamic_features` must have
+    /// length `config.num_dynamic_features`. Returns `(1 x num_classes)`
+    /// logits.
+    pub fn forward(
+        &mut self,
+        graph: &EncodedGraph,
+        dynamic_features: Option<&[f32]>,
+        train: bool,
+    ) -> Tensor {
+        assert!(
+            graph.num_nodes() > 0,
+            "cannot run the model on an empty graph"
+        );
+        let dyn_feats = dynamic_features.unwrap_or(&[]);
+        assert_eq!(
+            dyn_feats.len(),
+            self.config.num_dynamic_features,
+            "expected {} dynamic features, got {}",
+            self.config.num_dynamic_features,
+            dyn_feats.len()
+        );
+
+        // Node features: token embedding + kind embedding.
+        let tok = self.token_embedding.lookup(&graph.tokens, train);
+        let kind = self.kind_embedding.lookup(&graph.kinds, train);
+        let mut h = tok.add(&kind);
+        self.cached_h0_rows = h.rows();
+
+        // RGCN stack.
+        for (layer, act) in self
+            .rgcn_layers
+            .iter_mut()
+            .zip(self.rgcn_activations.iter_mut())
+        {
+            let z = layer.forward(&h, &graph.relations, train);
+            h = act.forward(&z, train);
+        }
+
+        // Readout (+ dropout) and optional dynamic features.
+        let pooled = self.readout.forward(&h, train);
+        let pooled = self.dropout.forward(&pooled, train);
+        self.cached_dyn_len = dyn_feats.len();
+        let mut x = if dyn_feats.is_empty() {
+            pooled
+        } else {
+            let dyn_row = Tensor::from_vec(dyn_feats.to_vec(), &[1, dyn_feats.len()]);
+            pooled.concat_cols(&dyn_row)
+        };
+
+        // Dense classifier.
+        for i in 0..self.fc_layers.len() {
+            x = self.fc_layers[i].forward(&x, train);
+            if i < self.fc_activations.len() {
+                x = self.fc_activations[i].forward(&x, train);
+            }
+        }
+        x
+    }
+
+    /// Backward pass from the logits gradient; accumulates all parameter
+    /// gradients.
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let mut d = grad_logits.clone();
+        for i in (0..self.fc_layers.len()).rev() {
+            if i < self.fc_activations.len() {
+                d = self.fc_activations[i].backward(&d);
+            }
+            d = self.fc_layers[i].backward(&d);
+        }
+        // Split off the dynamic-feature columns (no gradient needed for them).
+        let hidden = self.config.hidden_dim;
+        let d_pooled = if self.cached_dyn_len > 0 {
+            let mut trimmed = Tensor::zeros(&[1, hidden]);
+            trimmed.set_row(0, &d.row(0)[..hidden]);
+            trimmed
+        } else {
+            d
+        };
+        let d_pooled = self.dropout.backward(&d_pooled);
+        let mut dh = self.readout.backward(&d_pooled);
+        for (layer, act) in self
+            .rgcn_layers
+            .iter_mut()
+            .zip(self.rgcn_activations.iter_mut())
+            .rev()
+        {
+            let dz = act.backward(&dh);
+            dh = layer.backward(&dz);
+        }
+        self.token_embedding.backward_ids(&dh);
+        self.kind_embedding.backward_ids(&dh);
+    }
+
+    /// Class probabilities for one graph (inference mode).
+    pub fn predict_proba(
+        &mut self,
+        graph: &EncodedGraph,
+        dynamic_features: Option<&[f32]>,
+    ) -> Vec<f32> {
+        let logits = self.forward(graph, dynamic_features, false);
+        softmax_rows(&logits).row(0).to_vec()
+    }
+
+    /// The predicted class (argmax of the probabilities).
+    pub fn predict(&mut self, graph: &EncodedGraph, dynamic_features: Option<&[f32]>) -> usize {
+        let logits = self.forward(graph, dynamic_features, false);
+        logits.argmax_row(0)
+    }
+
+    /// Classes ranked from most to least likely (used to pick the best
+    /// *valid* configuration when some classes are masked out).
+    pub fn predict_ranked(
+        &mut self,
+        graph: &EncodedGraph,
+        dynamic_features: Option<&[f32]>,
+    ) -> Vec<usize> {
+        let logits = self.forward(graph, dynamic_features, false);
+        let row = logits.row(0);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        idx
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&mut self) -> Vec<&mut Parameter> {
+        let mut ps: Vec<&mut Parameter> = vec![
+            &mut self.token_embedding.table,
+            &mut self.kind_embedding.table,
+        ];
+        for l in &mut self.rgcn_layers {
+            ps.extend(l.parameters());
+        }
+        for l in &mut self.fc_layers {
+            ps.extend(l.parameters());
+        }
+        ps
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_weights(&mut self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Captures the GNN part of the model (embeddings + RGCN layers) for the
+    /// transfer-learning experiment.
+    pub fn gnn_weights(&mut self) -> ParameterBundle {
+        let params = self.parameters();
+        let refs: Vec<&Parameter> = params
+            .iter()
+            .map(|p| &**p)
+            .filter(|p| p.name.starts_with("embed") || p.name.starts_with("rgcn"))
+            .collect();
+        ParameterBundle::capture(&refs)
+    }
+
+    /// Restores previously saved GNN weights (dense layers stay untouched).
+    /// Returns the number of tensors restored.
+    pub fn load_gnn_weights(&mut self, bundle: &ParameterBundle) -> usize {
+        let mut params = self.parameters();
+        bundle.restore(&mut params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_graph::{build_region_graph, Vocabulary};
+    use pnp_ir::dsl::*;
+    use pnp_ir::lower_kernel;
+    use pnp_tensor::cross_entropy;
+
+    fn toy_graph() -> EncodedGraph {
+        let region = RegionSource {
+            name: "r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N"), ArrayDecl::d1("B", "N")],
+            scalars: vec!["alpha".into()],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("B", IndexExpr::var("i")),
+                    value: Expr::mul(
+                        Expr::Scalar("alpha".into()),
+                        Expr::load1("A", IndexExpr::var("i")),
+                    ),
+                }],
+            ),
+        };
+        let m = lower_kernel("toy", &[region]);
+        let g = build_region_graph(&m, "r0").unwrap();
+        EncodedGraph::encode(&g, &Vocabulary::standard())
+    }
+
+    fn small_config(num_classes: usize, dynamic: usize) -> ModelConfig {
+        ModelConfig {
+            vocab_size: Vocabulary::standard().len(),
+            hidden_dim: 8,
+            num_rgcn_layers: 2,
+            fc_hidden: 16,
+            num_classes,
+            num_relations: 3,
+            num_dynamic_features: dynamic,
+            dropout: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn forward_produces_logits_of_expected_shape() {
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(10, 0));
+        let logits = model.forward(&g, None, false);
+        assert_eq!(logits.shape, vec![1, 10]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn dynamic_features_change_the_prediction_inputs() {
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(6, 3));
+        let a = model.forward(&g, Some(&[0.0, 0.0, 0.0]), false);
+        let b = model.forward(&g, Some(&[10.0, -5.0, 3.0]), false);
+        let diff: f32 = a.data.iter().zip(&b.data).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dynamic_feature_count_panics() {
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(6, 3));
+        let _ = model.forward(&g, Some(&[1.0]), false);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_single_graph() {
+        use pnp_tensor::{AdamW, Optimizer};
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(5, 0));
+        let mut opt = AdamW::new(0.01).amsgrad();
+        let target = vec![3usize];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let logits = model.forward(&g, None, true);
+            let (loss, dl) = cross_entropy(&logits, &target);
+            model.backward(&dl);
+            opt.step(&mut model.parameters());
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "loss {first:?} -> {last}");
+        assert_eq!(model.predict(&g, None), 3);
+    }
+
+    #[test]
+    fn predict_ranked_returns_a_permutation() {
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(8, 0));
+        let ranked = model.predict_ranked(&g, None);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gnn_weight_capture_and_restore_roundtrip() {
+        let mut model_a = PnPModel::new(small_config(5, 0));
+        let bundle = model_a.gnn_weights();
+        assert!(bundle.len() > 0);
+        assert!(bundle.tensors.keys().all(|k| k.starts_with("embed") || k.starts_with("rgcn")));
+
+        let mut model_b = PnPModel::new(ModelConfig {
+            seed: 99,
+            ..small_config(5, 0)
+        });
+        let before = model_b.predict_proba(&toy_graph(), None);
+        let restored = model_b.load_gnn_weights(&bundle);
+        assert_eq!(restored, bundle.len());
+        let after = model_b.predict_proba(&toy_graph(), None);
+        let diff: f32 = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "restoring GNN weights must change the output");
+    }
+
+    #[test]
+    fn num_weights_counts_everything() {
+        let mut model = PnPModel::new(small_config(4, 0));
+        let n = model.num_weights();
+        // embeddings + 2 rgcn layers (self+3 rel+bias) + 3 fc layers
+        assert!(n > 1000);
+        let sum: usize = model.parameters().iter().map(|p| p.numel()).sum();
+        assert_eq!(n, sum);
+    }
+
+    #[test]
+    fn parameter_names_are_unique() {
+        let mut model = PnPModel::new(small_config(4, 2));
+        let mut names: Vec<String> = model.parameters().iter().map(|p| p.name.clone()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+}

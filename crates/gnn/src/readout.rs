@@ -1,0 +1,108 @@
+//! Graph readout: pooling node representations into a fixed-size graph
+//! representation.
+
+use pnp_tensor::Tensor;
+
+/// Mean pooling over node features, producing a single row vector.
+///
+/// The paper feeds the GNN output into the dense classifier; mean pooling is
+/// the standard permutation-invariant way to collapse a variable-size node
+/// set, and a sum-pooling variant is provided for the ablation bench.
+pub struct MeanReadout {
+    cached_num_nodes: usize,
+    /// When true, use sum pooling instead of mean (ablation).
+    pub sum_pool: bool,
+}
+
+impl MeanReadout {
+    /// Creates a mean-pooling readout.
+    pub fn new() -> Self {
+        MeanReadout {
+            cached_num_nodes: 0,
+            sum_pool: false,
+        }
+    }
+
+    /// Creates a sum-pooling readout (ablation variant).
+    pub fn sum() -> Self {
+        MeanReadout {
+            cached_num_nodes: 0,
+            sum_pool: true,
+        }
+    }
+
+    /// Pools `(num_nodes x d)` node features into a `(1 x d)` graph vector.
+    pub fn forward(&mut self, h: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_num_nodes = h.rows();
+        }
+        let pooled = if self.sum_pool {
+            h.sum_rows()
+        } else {
+            h.mean_rows()
+        };
+        pooled.reshape(&[1, h.cols()])
+    }
+
+    /// Distributes the graph-level gradient back to every node.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let n = self.cached_num_nodes.max(1);
+        let scale = if self.sum_pool { 1.0 } else { 1.0 / n as f32 };
+        let mut grad = Tensor::zeros(&[n, grad_out.cols()]);
+        for r in 0..n {
+            grad.axpy_row(r, scale, grad_out.row(0));
+        }
+        grad
+    }
+}
+
+impl Default for MeanReadout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_readout_averages_nodes() {
+        let mut r = MeanReadout::new();
+        let h = Tensor::from_rows(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        let out = r.forward(&h, true);
+        assert_eq!(out.shape, vec![1, 2]);
+        assert_eq!(out.data, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_readout_sums_nodes() {
+        let mut r = MeanReadout::sum();
+        let h = Tensor::from_rows(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        let out = r.forward(&h, true);
+        assert_eq!(out.data, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_distributes_gradient_evenly() {
+        let mut r = MeanReadout::new();
+        let h = Tensor::ones(&[4, 3]);
+        let _ = r.forward(&h, true);
+        let grad = r.backward(&Tensor::from_rows(&[vec![4.0, 8.0, 12.0]]));
+        assert_eq!(grad.shape, vec![4, 3]);
+        assert_eq!(grad.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(grad.row(3), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_then_backward_is_consistent_with_finite_difference() {
+        let mut r = MeanReadout::new();
+        let h = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let out = r.forward(&h, true);
+        // objective = sum(readout)
+        let _ = out;
+        let grad = r.backward(&Tensor::ones(&[1, 2]));
+        // d(sum of means)/dh[i][j] = 1/3
+        assert!(grad.data.iter().all(|&g| (g - 1.0 / 3.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,278 @@
+//! Construction of PROGRAML-style graphs from `pnp-ir` modules.
+//!
+//! The construction follows Cummins et al. (PROGRAML):
+//!
+//! * one **instruction node** per IR instruction, labelled with its mnemonic
+//!   and result type;
+//! * one **variable node** per SSA value and per function argument, labelled
+//!   with its type;
+//! * one **constant node** per literal operand occurrence, labelled with its
+//!   type and value;
+//! * **control edges** between consecutive instructions and from terminators
+//!   to the first instruction of each successor block (position = successor
+//!   index);
+//! * **data edges** from a defining instruction to its value node and from
+//!   value/constant nodes to the instructions that use them (position =
+//!   operand index);
+//! * **call edges** from call instructions to the entry instruction of the
+//!   callee, and from the callee's `ret` instructions back to the call site.
+
+use crate::edge::EdgeFlow;
+use crate::graph::CodeGraph;
+use crate::node::NodeKind;
+use pnp_ir::{extract_region, Module, Opcode, Operand};
+use std::collections::HashMap;
+
+/// Builds the code graph of one OpenMP region of a lowered application
+/// module. Returns `None` when the region does not exist.
+pub fn build_region_graph(module: &Module, region_name: &str) -> Option<CodeGraph> {
+    let extracted = extract_region(module, region_name)?;
+    let mut g = build_graph(&extracted);
+    g.name = format!("{}:{}", module.name, region_name);
+    Some(g)
+}
+
+/// Builds the code graph of an entire module (all functions it contains).
+pub fn build_graph(module: &Module) -> CodeGraph {
+    let mut g = CodeGraph::new(module.name.clone());
+
+    // First pass: instruction nodes, plus per-function bookkeeping.
+    // Keyed by (function name, inst id) → node id.
+    let mut inst_node: HashMap<(String, u32), usize> = HashMap::new();
+    // Function name → node id of its entry instruction.
+    let mut entry_node: HashMap<String, usize> = HashMap::new();
+    // Function name → node ids of its `ret` instructions.
+    let mut ret_nodes: HashMap<String, Vec<usize>> = HashMap::new();
+
+    for func in &module.functions {
+        let mut first = true;
+        for block in &func.blocks {
+            for inst in &block.insts {
+                let id = g.add_node(NodeKind::Instruction, inst.node_text(), &func.name);
+                inst_node.insert((func.name.clone(), inst.id), id);
+                if first {
+                    entry_node.insert(func.name.clone(), id);
+                    first = false;
+                }
+                if inst.opcode == Opcode::Ret {
+                    ret_nodes.entry(func.name.clone()).or_default().push(id);
+                }
+            }
+        }
+    }
+
+    // Second pass: variable nodes for SSA values and arguments, constant
+    // nodes, and all edges.
+    for func in &module.functions {
+        // Variable node per argument.
+        let mut arg_node: HashMap<usize, usize> = HashMap::new();
+        for (idx, (_, ty)) in func.params.iter().enumerate() {
+            let id = g.add_node(NodeKind::Variable, ty.to_string(), &func.name);
+            arg_node.insert(idx, id);
+        }
+
+        // Variable node per value-defining instruction, with a data edge
+        // from the defining instruction to the value node.
+        let mut value_node: HashMap<u32, usize> = HashMap::new();
+        for inst in func.insts() {
+            if inst.defines_value() {
+                let vid = g.add_node(NodeKind::Variable, inst.ty.to_string(), &func.name);
+                value_node.insert(inst.id, vid);
+                let src = inst_node[&(func.name.clone(), inst.id)];
+                g.add_edge(src, vid, EdgeFlow::Data, 0);
+            }
+        }
+
+        // Control-flow edges and operand (data/call) edges.
+        for block in &func.blocks {
+            // Consecutive instructions within the block.
+            for pair in block.insts.windows(2) {
+                let a = inst_node[&(func.name.clone(), pair[0].id)];
+                let b = inst_node[&(func.name.clone(), pair[1].id)];
+                g.add_edge(a, b, EdgeFlow::Control, 0);
+            }
+            // Terminator to first instruction of each successor block.
+            if let Some(term) = block.terminator() {
+                let t = inst_node[&(func.name.clone(), term.id)];
+                for (pos, succ) in block.successors().iter().enumerate() {
+                    if let Some(succ_block) = func.block(*succ) {
+                        if let Some(first) = succ_block.insts.first() {
+                            let s = inst_node[&(func.name.clone(), first.id)];
+                            g.add_edge(t, s, EdgeFlow::Control, pos);
+                        }
+                    }
+                }
+            }
+
+            for inst in &block.insts {
+                let dst = inst_node[&(func.name.clone(), inst.id)];
+                for (pos, op) in inst.operands.iter().enumerate() {
+                    match op {
+                        Operand::Inst(vid) => {
+                            if let Some(&vnode) = value_node.get(vid) {
+                                g.add_edge(vnode, dst, EdgeFlow::Data, pos);
+                            }
+                        }
+                        Operand::Arg(idx) => {
+                            if let Some(&anode) = arg_node.get(idx) {
+                                g.add_edge(anode, dst, EdgeFlow::Data, pos);
+                            }
+                        }
+                        Operand::Const(c) => {
+                            let cnode =
+                                g.add_node(NodeKind::Constant, c.ty.to_string(), &func.name);
+                            g.add_edge(cnode, dst, EdgeFlow::Data, pos);
+                        }
+                        Operand::Func(callee) => {
+                            // Call edge to the callee entry, and return edges
+                            // from the callee's rets back to the call site.
+                            if let Some(&entry) = entry_node.get(callee) {
+                                g.add_edge(dst, entry, EdgeFlow::Call, 0);
+                            }
+                            if let Some(rets) = ret_nodes.get(callee) {
+                                for &r in rets {
+                                    g.add_edge(r, dst, EdgeFlow::Call, 1);
+                                }
+                            }
+                        }
+                        Operand::Block(_) | Operand::Global(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use pnp_ir::dsl::*;
+    use pnp_ir::lower_kernel;
+
+    fn saxpy_module() -> Module {
+        let region = RegionSource {
+            name: "saxpy_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("X", "N"), ArrayDecl::d1("Y", "N")],
+            scalars: vec!["a".into()],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("Y", IndexExpr::var("i")),
+                    value: Expr::add(
+                        Expr::mul(
+                            Expr::Scalar("a".into()),
+                            Expr::load1("X", IndexExpr::var("i")),
+                        ),
+                        Expr::load1("Y", IndexExpr::var("i")),
+                    ),
+                }],
+            ),
+        };
+        lower_kernel("saxpy", &[region])
+    }
+
+    fn helper_module() -> Module {
+        let region = RegionSource {
+            name: "qs_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("E", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![HelperFn {
+                name: "cross_section".into(),
+                num_params: 2,
+                body_ops: 5,
+            }],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("E", IndexExpr::var("i")),
+                    value: Expr::CallHelper(
+                        "cross_section".into(),
+                        vec![Expr::load1("E", IndexExpr::var("i")), Expr::Const(0.5)],
+                    ),
+                }],
+            ),
+        };
+        lower_kernel("qs", &[region])
+    }
+
+    #[test]
+    fn region_graph_has_all_three_node_kinds() {
+        let m = saxpy_module();
+        let g = build_region_graph(&m, "saxpy_r0").unwrap();
+        assert!(g.is_well_formed());
+        assert!(g.count_kind(NodeKind::Instruction) > 10);
+        assert!(g.count_kind(NodeKind::Variable) > 5);
+        assert!(g.count_kind(NodeKind::Constant) > 0);
+        assert_eq!(g.name, "saxpy:saxpy_r0");
+    }
+
+    #[test]
+    fn region_graph_has_control_and_data_edges() {
+        let m = saxpy_module();
+        let g = build_region_graph(&m, "saxpy_r0").unwrap();
+        assert!(g.count_flow(EdgeFlow::Control) > 5);
+        assert!(g.count_flow(EdgeFlow::Data) > 10);
+        // no helpers → no call edges in the extracted region
+        assert_eq!(g.count_flow(EdgeFlow::Call), 0);
+    }
+
+    #[test]
+    fn helper_calls_create_call_edges_in_both_directions() {
+        let m = helper_module();
+        let g = build_region_graph(&m, "qs_r0").unwrap();
+        let call_edges: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.flow == EdgeFlow::Call)
+            .collect();
+        // one edge to callee entry (position 0) and one back from ret (position 1)
+        assert_eq!(call_edges.len(), 2);
+        assert!(call_edges.iter().any(|e| e.position == 0));
+        assert!(call_edges.iter().any(|e| e.position == 1));
+    }
+
+    #[test]
+    fn whole_module_graph_includes_host_call_edges() {
+        let m = saxpy_module();
+        let g = build_graph(&m);
+        // host calls the outlined region → at least one call edge
+        assert!(g.count_flow(EdgeFlow::Call) >= 1);
+    }
+
+    #[test]
+    fn missing_region_returns_none() {
+        let m = saxpy_module();
+        assert!(build_region_graph(&m, "nope").is_none());
+    }
+
+    #[test]
+    fn instruction_nodes_are_reachable_from_entry() {
+        let m = saxpy_module();
+        let g = build_region_graph(&m, "saxpy_r0").unwrap();
+        // Node 0 is the first instruction of the outlined function (entry).
+        let reach = g.reachable_from(0);
+        let unreachable_insts = g
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Instruction && !reach[n.id])
+            .count();
+        assert_eq!(unreachable_insts, 0);
+    }
+
+    #[test]
+    fn graphs_differ_between_different_kernels() {
+        let g1 = build_region_graph(&saxpy_module(), "saxpy_r0").unwrap();
+        let g2 = build_region_graph(&helper_module(), "qs_r0").unwrap();
+        assert_ne!(g1.num_nodes(), g2.num_nodes());
+    }
+}

@@ -1,0 +1,62 @@
+//! Graph edges.
+
+use serde::{Deserialize, Serialize};
+
+/// The three PROGRAML edge relations. The RGCN learns one weight matrix per
+/// relation (and direction), which is exactly why typed edges matter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeFlow {
+    /// Control flow between instructions.
+    Control,
+    /// Data flow between values/constants and instructions.
+    Data,
+    /// Call flow between call sites and callee entry/exit instructions.
+    Call,
+}
+
+impl EdgeFlow {
+    /// Dense relation index (0..[`EdgeFlow::COUNT`]).
+    pub fn index(self) -> usize {
+        match self {
+            EdgeFlow::Control => 0,
+            EdgeFlow::Data => 1,
+            EdgeFlow::Call => 2,
+        }
+    }
+
+    /// Number of edge relations.
+    pub const COUNT: usize = 3;
+
+    /// All relations in index order.
+    pub fn all() -> [EdgeFlow; EdgeFlow::COUNT] {
+        [EdgeFlow::Control, EdgeFlow::Data, EdgeFlow::Call]
+    }
+}
+
+/// A directed, typed edge.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node id.
+    pub src: usize,
+    /// Destination node id.
+    pub dst: usize,
+    /// Relation type.
+    pub flow: EdgeFlow,
+    /// Position (operand index for data edges, successor index for control
+    /// edges) — PROGRAML keeps this to disambiguate operand order.
+    pub position: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_indices_cover_count() {
+        let all = EdgeFlow::all();
+        assert_eq!(all.len(), EdgeFlow::COUNT);
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+}

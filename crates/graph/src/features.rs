@@ -1,0 +1,196 @@
+//! Coarse structural features of code graphs.
+//!
+//! These are not fed to the RGCN (which sees the full graph); they are used
+//! for dataset sanity checks, for the ablation that replaces the GNN with a
+//! flat feature vector, and as human-readable summaries in reports.
+
+use crate::edge::EdgeFlow;
+use crate::graph::CodeGraph;
+use crate::node::NodeKind;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one code graph.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphFeatures {
+    /// Total node count.
+    pub num_nodes: usize,
+    /// Total edge count.
+    pub num_edges: usize,
+    /// Instruction node count.
+    pub num_instructions: usize,
+    /// Variable node count.
+    pub num_variables: usize,
+    /// Constant node count.
+    pub num_constants: usize,
+    /// Control-flow edge count.
+    pub control_edges: usize,
+    /// Data-flow edge count.
+    pub data_edges: usize,
+    /// Call-flow edge count.
+    pub call_edges: usize,
+    /// Count of floating-point instruction nodes (by node-text prefix).
+    pub flop_instructions: usize,
+    /// Count of memory instruction nodes (load/store/gep/alloca).
+    pub memory_instructions: usize,
+    /// Count of branch instruction nodes.
+    pub branch_instructions: usize,
+    /// Mean in-degree over all nodes.
+    pub mean_in_degree: f64,
+}
+
+impl GraphFeatures {
+    /// Computes the features of a graph.
+    pub fn of(graph: &CodeGraph) -> Self {
+        let flop_prefixes = [
+            "fadd", "fsub", "fmul", "fdiv", "fneg", "call.sqrt", "call.exp", "call.log",
+            "call.fabs", "call.pow", "call.sin", "call.cos",
+        ];
+        let mem_prefixes = ["load", "store", "getelementptr", "alloca"];
+        let branch_prefixes = ["br", "br.cond"];
+
+        let starts_with_any = |text: &str, prefixes: &[&str]| {
+            prefixes
+                .iter()
+                .any(|p| text == *p || text.starts_with(&format!("{p} ")))
+        };
+
+        let instr_nodes: Vec<&str> = graph
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Instruction)
+            .map(|n| n.text.as_str())
+            .collect();
+
+        let in_deg = graph.in_degrees();
+        let mean_in_degree = if graph.num_nodes() == 0 {
+            0.0
+        } else {
+            in_deg.iter().sum::<usize>() as f64 / graph.num_nodes() as f64
+        };
+
+        GraphFeatures {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            num_instructions: graph.count_kind(NodeKind::Instruction),
+            num_variables: graph.count_kind(NodeKind::Variable),
+            num_constants: graph.count_kind(NodeKind::Constant),
+            control_edges: graph.count_flow(EdgeFlow::Control),
+            data_edges: graph.count_flow(EdgeFlow::Data),
+            call_edges: graph.count_flow(EdgeFlow::Call),
+            flop_instructions: instr_nodes
+                .iter()
+                .filter(|t| starts_with_any(t, &flop_prefixes))
+                .count(),
+            memory_instructions: instr_nodes
+                .iter()
+                .filter(|t| starts_with_any(t, &mem_prefixes))
+                .count(),
+            branch_instructions: instr_nodes
+                .iter()
+                .filter(|t| starts_with_any(t, &branch_prefixes))
+                .count(),
+            mean_in_degree,
+        }
+    }
+
+    /// Flattens the features into a fixed-length vector (used by the
+    /// "no-GNN" ablation baseline).
+    pub fn to_vec(&self) -> Vec<f32> {
+        vec![
+            self.num_nodes as f32,
+            self.num_edges as f32,
+            self.num_instructions as f32,
+            self.num_variables as f32,
+            self.num_constants as f32,
+            self.control_edges as f32,
+            self.data_edges as f32,
+            self.call_edges as f32,
+            self.flop_instructions as f32,
+            self.memory_instructions as f32,
+            self.branch_instructions as f32,
+            self.mean_in_degree as f32,
+        ]
+    }
+
+    /// Ratio of floating-point to memory instructions — a crude arithmetic-
+    /// intensity proxy visible purely from the static graph.
+    pub fn flop_to_mem_ratio(&self) -> f64 {
+        if self.memory_instructions == 0 {
+            return 0.0;
+        }
+        self.flop_instructions as f64 / self.memory_instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_region_graph;
+    use pnp_ir::dsl::*;
+    use pnp_ir::lower_kernel;
+
+    fn gemm_graph() -> CodeGraph {
+        let inner_k = LoopNest::new(
+            "k",
+            LoopBound::Param("N".into()),
+            vec![Stmt::Accumulate {
+                target: ArrayRef::d2("C", IndexExpr::var("i"), IndexExpr::var("j")),
+                op: BinOp::Add,
+                value: Expr::mul(
+                    Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("k")),
+                    Expr::load2("B", IndexExpr::var("k"), IndexExpr::var("j")),
+                ),
+            }],
+        );
+        let region = RegionSource {
+            name: "gemm_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![
+                ArrayDecl::d2("A", "N", "N"),
+                ArrayDecl::d2("B", "N", "N"),
+                ArrayDecl::d2("C", "N", "N"),
+            ],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Loop(LoopNest::new(
+                    "j",
+                    LoopBound::Param("N".into()),
+                    vec![Stmt::Loop(inner_k)],
+                ))],
+            ),
+        };
+        let m = lower_kernel("gemm", &[region]);
+        build_region_graph(&m, "gemm_r0").unwrap()
+    }
+
+    #[test]
+    fn feature_totals_are_consistent() {
+        let g = gemm_graph();
+        let f = GraphFeatures::of(&g);
+        assert_eq!(f.num_nodes, f.num_instructions + f.num_variables + f.num_constants);
+        assert_eq!(f.num_edges, f.control_edges + f.data_edges + f.call_edges);
+        assert!(f.mean_in_degree > 0.5);
+    }
+
+    #[test]
+    fn gemm_has_flops_and_memory_ops() {
+        let f = GraphFeatures::of(&gemm_graph());
+        assert!(f.flop_instructions >= 2); // fmul + fadd
+        assert!(f.memory_instructions >= 6); // geps, loads, store
+        assert!(f.branch_instructions >= 6); // 3 loops × (br + cond br)
+        assert!(f.flop_to_mem_ratio() > 0.0);
+    }
+
+    #[test]
+    fn to_vec_has_fixed_length() {
+        let f = GraphFeatures::of(&gemm_graph());
+        assert_eq!(f.to_vec().len(), 12);
+        let empty = GraphFeatures::default();
+        assert_eq!(empty.to_vec().len(), 12);
+        assert_eq!(empty.flop_to_mem_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The code-graph container.
+
+use crate::edge::{Edge, EdgeFlow};
+use crate::node::{Node, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// A flow-aware multigraph over one extracted OpenMP region (plus its helper
+/// callees).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CodeGraph {
+    /// Graph name, conventionally `"<app>:<region>"`.
+    pub name: String,
+    /// Nodes, indexed by their `id`.
+    pub nodes: Vec<Node>,
+    /// Directed typed edges.
+    pub edges: Vec<Edge>,
+}
+
+impl CodeGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        CodeGraph {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, text: impl Into<String>, function: &str) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind,
+            text: text.into(),
+            function: function.to_string(),
+        });
+        id
+    }
+
+    /// Adds a directed typed edge.
+    pub fn add_edge(&mut self, src: usize, dst: usize, flow: EdgeFlow, position: usize) {
+        debug_assert!(src < self.nodes.len() && dst < self.nodes.len());
+        self.edges.push(Edge {
+            src,
+            dst,
+            flow,
+            position,
+        });
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes of a given kind.
+    pub fn count_kind(&self, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+
+    /// Number of edges of a given relation.
+    pub fn count_flow(&self, flow: EdgeFlow) -> usize {
+        self.edges.iter().filter(|e| e.flow == flow).count()
+    }
+
+    /// Edges grouped by relation: `out[r]` holds `(src, dst)` pairs for
+    /// relation `r`. This is the layout the RGCN layers consume.
+    pub fn edges_by_relation(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut out = vec![Vec::new(); EdgeFlow::COUNT];
+        for e in &self.edges {
+            out[e.flow.index()].push((e.src, e.dst));
+        }
+        out
+    }
+
+    /// In-degree of each node counting all relations.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            deg[e.dst] += 1;
+        }
+        deg
+    }
+
+    /// True when every edge endpoint references an existing node.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.nodes.len();
+        self.edges.iter().all(|e| e.src < n && e.dst < n)
+            && self.nodes.iter().enumerate().all(|(i, node)| node.id == i)
+    }
+
+    /// Returns the set of node ids reachable from `start` following edges of
+    /// any relation (used to test connectivity of generated graphs).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            adj[e.src].push(e.dst);
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CodeGraph {
+        let mut g = CodeGraph::new("t");
+        let a = g.add_node(NodeKind::Instruction, "a", "f");
+        let b = g.add_node(NodeKind::Instruction, "b", "f");
+        let c = g.add_node(NodeKind::Variable, "double", "f");
+        g.add_edge(a, b, EdgeFlow::Control, 0);
+        g.add_edge(a, c, EdgeFlow::Data, 0);
+        g.add_edge(c, b, EdgeFlow::Data, 1);
+        g
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.count_kind(NodeKind::Instruction), 2);
+        assert_eq!(g.count_flow(EdgeFlow::Data), 2);
+        assert_eq!(g.count_flow(EdgeFlow::Call), 0);
+    }
+
+    #[test]
+    fn edges_by_relation_layout() {
+        let g = triangle();
+        let rels = g.edges_by_relation();
+        assert_eq!(rels.len(), 3);
+        assert_eq!(rels[EdgeFlow::Control.index()], vec![(0, 1)]);
+        assert_eq!(rels[EdgeFlow::Data.index()].len(), 2);
+    }
+
+    #[test]
+    fn well_formedness_and_reachability() {
+        let g = triangle();
+        assert!(g.is_well_formed());
+        let reach = g.reachable_from(0);
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn in_degree() {
+        let g = triangle();
+        assert_eq!(g.in_degrees(), vec![0, 2, 1]);
+    }
+}

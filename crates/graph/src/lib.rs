@@ -1,0 +1,31 @@
+//! # pnp-graph
+//!
+//! Flow-aware code graphs in the PROGRAML schema, built from `pnp-ir`
+//! modules. These graphs are the *static features* of the PnP tuner: every
+//! OpenMP region is represented as a multigraph with
+//!
+//! * **instruction** nodes (one per IR instruction),
+//! * **variable** nodes (one per SSA value / function argument), and
+//! * **constant** nodes (one per literal operand),
+//!
+//! connected by **control-flow**, **data-flow**, and **call-flow** edges —
+//! the three edge relations the paper's RGCN consumes.
+//!
+//! The [`vocab::Vocabulary`] maps node text (e.g. `"fadd double"`) to token
+//! ids which the GNN embeds; [`features::GraphFeatures`] additionally exposes
+//! coarse structural statistics used in tests and ablations.
+
+pub mod node;
+pub mod edge;
+pub mod graph;
+pub mod builder;
+pub mod vocab;
+pub mod features;
+pub mod dot;
+
+pub use builder::{build_graph, build_region_graph};
+pub use edge::{Edge, EdgeFlow};
+pub use features::GraphFeatures;
+pub use graph::CodeGraph;
+pub use node::{Node, NodeKind};
+pub use vocab::{EncodedGraph, Vocabulary};

@@ -1,0 +1,53 @@
+//! Graph nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// The three PROGRAML node kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An IR instruction.
+    Instruction,
+    /// An SSA value or function argument.
+    Variable,
+    /// A literal constant operand.
+    Constant,
+}
+
+impl NodeKind {
+    /// Small integer encoding fed to the model alongside the text token.
+    pub fn index(self) -> usize {
+        match self {
+            NodeKind::Instruction => 0,
+            NodeKind::Variable => 1,
+            NodeKind::Constant => 2,
+        }
+    }
+}
+
+/// A node in the code graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Dense node id (index into `CodeGraph::nodes`).
+    pub id: usize,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Node text — the string that is tokenized by the vocabulary
+    /// (e.g. `"fadd double"` for instructions, `"double*"` for variables,
+    /// `"i32 0"` for constants).
+    pub text: String,
+    /// Name of the IR function this node came from (regions and their helper
+    /// callees live in one graph).
+    pub function: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_distinct() {
+        assert_eq!(NodeKind::Instruction.index(), 0);
+        assert_eq!(NodeKind::Variable.index(), 1);
+        assert_eq!(NodeKind::Constant.index(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! The node-text vocabulary.
+//!
+//! Node texts (instruction mnemonics with types, variable types, constant
+//! types) are mapped to dense token ids. The embedding layer of the GNN model
+//! turns these ids into vectors — the "embedding that maps IR text to
+//! tensors" of Section III-D1.
+//!
+//! The vocabulary is *closed over the IR definition*, not learned from data:
+//! it enumerates every opcode × result-type combination the lowering can
+//! produce, plus variable/constant type strings, plus an `<unk>` fallback.
+//! This keeps token ids stable across machines and experiments, which is what
+//! makes the transfer-learning experiment (reusing GNN weights across
+//! systems) possible.
+
+use pnp_ir::{Opcode, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::graph::CodeGraph;
+use crate::node::NodeKind;
+
+/// A bidirectional mapping between node text and token ids.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Builds the standard PROGRAML-style vocabulary over the IR definition.
+    pub fn standard() -> Self {
+        let mut v = Vocabulary {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        let types = [
+            Type::I1,
+            Type::I32,
+            Type::I64,
+            Type::F32,
+            Type::F64,
+            Type::I32.ptr(),
+            Type::I64.ptr(),
+            Type::F32.ptr(),
+            Type::F64.ptr(),
+        ];
+
+        // Instruction node texts: mnemonic alone (void results) and mnemonic
+        // with each result type.
+        for op in Opcode::all() {
+            v.intern(op.mnemonic());
+            for ty in &types {
+                v.intern(&format!("{} {}", op.mnemonic(), ty));
+            }
+        }
+        // Variable node texts: type strings.
+        for ty in &types {
+            v.intern(&ty.to_string());
+        }
+        v.intern("void");
+        // Constant node texts are also type strings (already interned), but
+        // keep the unknown token last by convention.
+        v.intern("<unk>");
+        v
+    }
+
+    fn intern(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Number of tokens (including `<unk>`).
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when the vocabulary is empty (never the case for `standard`).
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// The id of the `<unk>` token.
+    pub fn unk_id(&self) -> usize {
+        self.token_to_id["<unk>"]
+    }
+
+    /// Looks up a token, falling back to `<unk>`.
+    pub fn id_of(&self, token: &str) -> usize {
+        *self
+            .token_to_id
+            .get(token)
+            .unwrap_or(&self.token_to_id["<unk>"])
+    }
+
+    /// The token text of an id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Encodes every node of a graph into a token id sequence (indexed by
+    /// node id).
+    pub fn encode_graph(&self, graph: &CodeGraph) -> Vec<usize> {
+        graph.nodes.iter().map(|n| self.id_of(&n.text)).collect()
+    }
+
+    /// Fraction of nodes in a graph that map to `<unk>` — a data-quality
+    /// diagnostic used in tests.
+    pub fn oov_rate(&self, graph: &CodeGraph) -> f64 {
+        if graph.nodes.is_empty() {
+            return 0.0;
+        }
+        let unk = self.unk_id();
+        let n = graph
+            .nodes
+            .iter()
+            .filter(|node| self.id_of(&node.text) == unk)
+            .count();
+        n as f64 / graph.nodes.len() as f64
+    }
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Per-node model inputs: the text token id plus the node-kind index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EncodedGraph {
+    /// Graph name.
+    pub name: String,
+    /// Token id per node.
+    pub tokens: Vec<usize>,
+    /// Node-kind index per node (instruction/variable/constant).
+    pub kinds: Vec<usize>,
+    /// Edge lists per relation, as `(src, dst)` pairs.
+    pub relations: Vec<Vec<(usize, usize)>>,
+}
+
+impl EncodedGraph {
+    /// Encodes a graph with a vocabulary.
+    pub fn encode(graph: &CodeGraph, vocab: &Vocabulary) -> Self {
+        EncodedGraph {
+            name: graph.name.clone(),
+            tokens: vocab.encode_graph(graph),
+            kinds: graph.nodes.iter().map(|n| n.kind.index()).collect(),
+            relations: graph.edges_by_relation(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of instruction nodes.
+    pub fn num_instruction_nodes(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|&&k| k == NodeKind::Instruction.index())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_region_graph;
+    use pnp_ir::dsl::*;
+    use pnp_ir::lower_kernel;
+
+    #[test]
+    fn standard_vocab_is_reasonably_sized_and_stable() {
+        let v1 = Vocabulary::standard();
+        let v2 = Vocabulary::standard();
+        assert!(v1.len() > 100);
+        assert!(v1.len() < 1000);
+        assert_eq!(v1.len(), v2.len());
+        assert_eq!(v1.id_of("fadd double"), v2.id_of("fadd double"));
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk() {
+        let v = Vocabulary::standard();
+        assert_eq!(v.id_of("definitely not a token"), v.unk_id());
+        assert_eq!(v.token(v.unk_id()), "<unk>");
+    }
+
+    #[test]
+    fn lowered_region_has_zero_oov_rate() {
+        let region = RegionSource {
+            name: "r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d2("A", "N", "N")],
+            scalars: vec!["alpha".into()],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Loop(LoopNest::new(
+                    "j",
+                    LoopBound::Param("N".into()),
+                    vec![Stmt::Accumulate {
+                        target: ArrayRef::d2("A", IndexExpr::var("i"), IndexExpr::var("j")),
+                        op: BinOp::Add,
+                        value: Expr::Math(MathFn::Sqrt, vec![Expr::Scalar("alpha".into())]),
+                    }],
+                ))],
+            ),
+        };
+        let m = lower_kernel("app", &[region]);
+        let g = build_region_graph(&m, "r0").unwrap();
+        let v = Vocabulary::standard();
+        assert_eq!(v.oov_rate(&g), 0.0, "every generated node text must be in-vocabulary");
+    }
+
+    #[test]
+    fn encoded_graph_preserves_structure() {
+        let region = RegionSource {
+            name: "r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("A", IndexExpr::var("i")),
+                    value: Expr::Const(1.0),
+                }],
+            ),
+        };
+        let m = lower_kernel("app", &[region]);
+        let g = build_region_graph(&m, "r0").unwrap();
+        let v = Vocabulary::standard();
+        let enc = EncodedGraph::encode(&g, &v);
+        assert_eq!(enc.num_nodes(), g.num_nodes());
+        assert_eq!(enc.relations.len(), 3);
+        let total_edges: usize = enc.relations.iter().map(|r| r.len()).sum();
+        assert_eq!(total_edges, g.num_edges());
+        assert!(enc.num_instruction_nodes() > 0);
+    }
+}

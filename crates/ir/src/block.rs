@@ -1,0 +1,92 @@
+//! Basic blocks.
+
+use crate::inst::Instruction;
+use crate::value::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// A basic block: a label plus a straight-line sequence of instructions whose
+/// last instruction is a terminator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Function-unique id used as a branch target.
+    pub id: BlockId,
+    /// Human-readable label, e.g. `"for.body.j"`.
+    pub label: String,
+    /// Instructions in program order.
+    pub insts: Vec<Instruction>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    pub fn new(id: BlockId, label: impl Into<String>) -> Self {
+        BasicBlock {
+            id,
+            label: label.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// The block's terminator, if it has one yet.
+    pub fn terminator(&self) -> Option<&Instruction> {
+        self.insts.last().filter(|i| i.opcode.is_terminator())
+    }
+
+    /// True once the block ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.terminator().is_some()
+    }
+
+    /// Ids of successor blocks (empty for `ret`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator()
+            .map(|t| t.used_blocks())
+            .unwrap_or_default()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::types::Type;
+    use crate::value::Operand;
+
+    #[test]
+    fn empty_block_has_no_terminator() {
+        let b = BasicBlock::new(0, "entry");
+        assert!(!b.is_terminated());
+        assert!(b.successors().is_empty());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn successors_come_from_terminator() {
+        let mut b = BasicBlock::new(0, "entry");
+        b.insts.push(Instruction::new(
+            0,
+            Opcode::CondBr,
+            Type::Void,
+            vec![Operand::Inst(9), Operand::Block(1), Operand::Block(2)],
+        ));
+        assert!(b.is_terminated());
+        assert_eq!(b.successors(), vec![1, 2]);
+    }
+
+    #[test]
+    fn non_terminator_last_instruction() {
+        let mut b = BasicBlock::new(0, "body");
+        b.insts.push(Instruction::new(0, Opcode::Add, Type::I32, vec![]));
+        assert!(!b.is_terminated());
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! A small builder API for constructing functions instruction-by-instruction.
+
+use crate::block::BasicBlock;
+use crate::function::Function;
+use crate::inst::{Instruction, Opcode};
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Operand};
+
+/// Builds a [`Function`] by appending instructions to a "current" block, in
+/// the style of LLVM's `IRBuilder`.
+pub struct FunctionBuilder {
+    func: Function,
+    next_inst: InstId,
+    next_block: BlockId,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function with an `entry` block selected.
+    pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret_ty: Type) -> Self {
+        let mut func = Function::new(name, params, ret_ty);
+        func.blocks.push(BasicBlock::new(0, "entry"));
+        FunctionBuilder {
+            func,
+            next_inst: 0,
+            next_block: 1,
+            current: 0,
+        }
+    }
+
+    /// Marks the function as an outlined OpenMP region.
+    pub fn mark_outlined(&mut self) {
+        self.func.is_outlined_region = true;
+    }
+
+    /// Creates a new (empty) block and returns its id. Does not change the
+    /// insertion point.
+    pub fn new_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.next_block;
+        self.next_block += 1;
+        self.func.blocks.push(BasicBlock::new(id, label));
+        id
+    }
+
+    /// Moves the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.func.blocks.iter().any(|b| b.id == block),
+            "switch_to unknown block {block}"
+        );
+        self.current = block;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Index of the parameter named `name`, if any.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.func.params.iter().position(|(n, _)| n == name)
+    }
+
+    /// Appends an instruction and returns its id (= the SSA value it defines).
+    pub fn push(&mut self, opcode: Opcode, ty: Type, operands: Vec<Operand>) -> InstId {
+        let id = self.next_inst;
+        self.next_inst += 1;
+        let block = self
+            .func
+            .blocks
+            .iter_mut()
+            .find(|b| b.id == self.current)
+            .expect("current block exists");
+        assert!(
+            !block.is_terminated(),
+            "appending to already-terminated block {} in {}",
+            block.label,
+            self.func.name
+        );
+        block.insts.push(Instruction::new(id, opcode, ty, operands));
+        id
+    }
+
+    /// Appends an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Opcode::Br, Type::Void, vec![Operand::Block(target)]);
+    }
+
+    /// Appends a conditional branch.
+    pub fn cond_br(&mut self, cond: InstId, then_bb: BlockId, else_bb: BlockId) {
+        self.push(
+            Opcode::CondBr,
+            Type::Void,
+            vec![
+                Operand::Inst(cond),
+                Operand::Block(then_bb),
+                Operand::Block(else_bb),
+            ],
+        );
+    }
+
+    /// Appends `ret void`.
+    pub fn ret_void(&mut self) {
+        self.push(Opcode::Ret, Type::Void, vec![]);
+    }
+
+    /// Replaces the operands of an existing instruction (used to patch phi
+    /// nodes once latch values are known).
+    pub fn set_operands(&mut self, inst: InstId, operands: Vec<Operand>) {
+        for block in &mut self.func.blocks {
+            for i in &mut block.insts {
+                if i.id == inst {
+                    i.operands = operands;
+                    return;
+                }
+            }
+        }
+        panic!("set_operands: unknown instruction {inst}");
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Read-only access to the function under construction (for assertions in
+    /// tests).
+    pub fn function(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_loop_skeleton() {
+        let mut b = FunctionBuilder::new("f", vec![("n".into(), Type::I32)], Type::Void);
+        let header = b.new_block("loop.header");
+        let body = b.new_block("loop.body");
+        let exit = b.new_block("loop.exit");
+
+        b.br(header);
+        b.switch_to(header);
+        let phi = b.push(Opcode::Phi, Type::I32, vec![Operand::const_i32(0), Operand::Block(0)]);
+        let cmp = b.push(
+            Opcode::ICmp,
+            Type::I1,
+            vec![Operand::Inst(phi), Operand::Arg(0)],
+        );
+        b.cond_br(cmp, body, exit);
+
+        b.switch_to(body);
+        let next = b.push(
+            Opcode::Add,
+            Type::I32,
+            vec![Operand::Inst(phi), Operand::const_i32(1)],
+        );
+        b.br(header);
+        b.set_operands(
+            phi,
+            vec![
+                Operand::const_i32(0),
+                Operand::Block(0),
+                Operand::Inst(next),
+                Operand::Block(body),
+            ],
+        );
+
+        b.switch_to(exit);
+        b.ret_void();
+
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.num_insts(), 7);
+        assert_eq!(f.block(header).unwrap().successors(), vec![body, exit]);
+        // phi got patched with 4 operands
+        let phi_inst = f.inst_map()[&phi].clone();
+        assert_eq!(phi_inst.operands.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn appending_after_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.ret_void();
+        b.push(Opcode::Add, Type::I32, vec![]);
+    }
+
+    #[test]
+    fn param_index_lookup() {
+        let b = FunctionBuilder::new(
+            "f",
+            vec![("a".into(), Type::F64.ptr()), ("n".into(), Type::I32)],
+            Type::Void,
+        );
+        assert_eq!(b.param_index("n"), Some(1));
+        assert_eq!(b.param_index("zzz"), None);
+    }
+
+    #[test]
+    fn mark_outlined_sets_flag() {
+        let mut b = FunctionBuilder::new("r", vec![], Type::Void);
+        b.mark_outlined();
+        assert!(b.function().is_outlined_region);
+    }
+}

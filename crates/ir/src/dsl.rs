@@ -1,0 +1,544 @@
+//! The kernel DSL: a structured description of an OpenMP parallel region.
+//!
+//! Benchmarks in `pnp-benchmarks` describe each of their OpenMP regions as a
+//! [`RegionSource`] — the analogue of the C source of a
+//! `#pragma omp parallel for` region. [`crate::lower::lower_kernel`] compiles
+//! these descriptions into the SSA IR from which flow-aware code graphs are
+//! built.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum (lowers to compare + select).
+    Min,
+    /// Maximum (lowers to compare + select).
+    Max,
+}
+
+/// Comparison operators used in `If` conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+/// Math intrinsics that appear in the benchmark kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MathFn {
+    /// Square root.
+    Sqrt,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Absolute value.
+    Fabs,
+    /// Power.
+    Pow,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+}
+
+/// An affine index expression: `sum(scale_k * var_k) + offset`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexExpr {
+    /// `(loop variable name, integer scale)` terms.
+    pub terms: Vec<(String, i64)>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl IndexExpr {
+    /// Index that is exactly one loop variable, e.g. `A[i]`.
+    pub fn var(name: &str) -> Self {
+        IndexExpr {
+            terms: vec![(name.to_string(), 1)],
+            offset: 0,
+        }
+    }
+
+    /// Constant index, e.g. `A[0]`.
+    pub fn constant(c: i64) -> Self {
+        IndexExpr {
+            terms: vec![],
+            offset: c,
+        }
+    }
+
+    /// `var + offset`, e.g. `A[i+1]`.
+    pub fn var_plus(name: &str, offset: i64) -> Self {
+        IndexExpr {
+            terms: vec![(name.to_string(), 1)],
+            offset,
+        }
+    }
+
+    /// `scale * var + offset`.
+    pub fn affine(name: &str, scale: i64, offset: i64) -> Self {
+        IndexExpr {
+            terms: vec![(name.to_string(), scale)],
+            offset,
+        }
+    }
+}
+
+/// A (possibly multi-dimensional) array access such as `A[i][j+1]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrayRef {
+    /// Array name; must be declared in [`RegionSource::arrays`].
+    pub array: String,
+    /// One index per dimension.
+    pub indices: Vec<IndexExpr>,
+}
+
+impl ArrayRef {
+    /// 1-D access `array[i]`.
+    pub fn d1(array: &str, i: IndexExpr) -> Self {
+        ArrayRef {
+            array: array.to_string(),
+            indices: vec![i],
+        }
+    }
+
+    /// 2-D access `array[i][j]`.
+    pub fn d2(array: &str, i: IndexExpr, j: IndexExpr) -> Self {
+        ArrayRef {
+            array: array.to_string(),
+            indices: vec![i, j],
+        }
+    }
+
+    /// 3-D access `array[i][j][k]`.
+    pub fn d3(array: &str, i: IndexExpr, j: IndexExpr, k: IndexExpr) -> Self {
+        ArrayRef {
+            array: array.to_string(),
+            indices: vec![i, j, k],
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Floating-point literal.
+    Const(f64),
+    /// Integer literal.
+    IntConst(i64),
+    /// A scalar variable: either a region parameter (e.g. `alpha`) or a
+    /// scalar temporary assigned earlier in the body.
+    Scalar(String),
+    /// A loop induction variable used as a floating-point value.
+    LoopVar(String),
+    /// Load from an array element.
+    Load(ArrayRef),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Math intrinsic call.
+    Math(MathFn, Vec<Expr>),
+    /// Call to a named helper function with float arguments (models the
+    /// helper routines in the proxy apps, producing call-flow edges).
+    CallHelper(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `lhs + rhs`.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: `lhs - rhs`.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: `lhs * rhs`.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: `lhs / rhs`.
+    pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: load of a 2-D element.
+    pub fn load2(array: &str, i: IndexExpr, j: IndexExpr) -> Expr {
+        Expr::Load(ArrayRef::d2(array, i, j))
+    }
+
+    /// Convenience: load of a 1-D element.
+    pub fn load1(array: &str, i: IndexExpr) -> Expr {
+        Expr::Load(ArrayRef::d1(array, i))
+    }
+}
+
+/// Loop upper bound.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoopBound {
+    /// Compile-time constant trip count.
+    Const(i64),
+    /// A symbolic problem-size parameter, e.g. `"N"` (becomes a function
+    /// argument of the outlined region).
+    Param(String),
+    /// Another loop variable (triangular loops, e.g. `for j in 0..i`).
+    Var(String),
+    /// Loop variable plus a constant (e.g. `for j in 0..=i` ⇒ `Var + 1`).
+    VarPlus(String, i64),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target = value`.
+    Assign {
+        /// Destination array element.
+        target: ArrayRef,
+        /// Value stored.
+        value: Expr,
+    },
+    /// `target op= value`, e.g. `C[i][j] += ...`.
+    Accumulate {
+        /// Destination array element.
+        target: ArrayRef,
+        /// Combining operator.
+        op: BinOp,
+        /// Value combined in.
+        value: Expr,
+    },
+    /// `name = value` for a scalar temporary.
+    ScalarAssign {
+        /// Temporary name.
+        name: String,
+        /// Value assigned.
+        value: Expr,
+    },
+    /// `name op= value` for a scalar temporary (reduction accumulator).
+    ScalarAccumulate {
+        /// Temporary name.
+        name: String,
+        /// Combining operator.
+        op: BinOp,
+        /// Value combined in.
+        value: Expr,
+    },
+    /// Two-sided conditional on a comparison of two expressions.
+    If {
+        /// Left-hand side of the comparison.
+        lhs: Expr,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Right-hand side of the comparison.
+        rhs: Expr,
+        /// Statements executed when the comparison holds.
+        then_body: Vec<Stmt>,
+        /// Statements executed otherwise (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// A nested sequential loop inside the parallel loop.
+    Loop(LoopNest),
+    /// Call to a helper function for its side effects.
+    CallStmt {
+        /// Helper function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A counted loop `for var in 0..bound { body }`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Induction variable name.
+    pub var: String,
+    /// Upper bound (exclusive).
+    pub bound: LoopBound,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// Creates a loop over `0..bound`.
+    pub fn new(var: &str, bound: LoopBound, body: Vec<Stmt>) -> Self {
+        LoopNest {
+            var: var.to_string(),
+            bound,
+            body,
+        }
+    }
+
+    /// Depth of the loop nest (this loop plus the deepest nested loop).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .body
+            .iter()
+            .map(|s| match s {
+                Stmt::Loop(inner) => inner.depth(),
+                Stmt::If { then_body, else_body, .. } => then_body
+                    .iter()
+                    .chain(else_body.iter())
+                    .map(|s| match s {
+                        Stmt::Loop(inner) => inner.depth(),
+                        _ => 0,
+                    })
+                    .max()
+                    .unwrap_or(0),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// OpenMP loop scheduling policies (the tuned parameter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OmpSchedule {
+    /// Contiguous blocks assigned up front.
+    Static,
+    /// Chunks handed out on demand.
+    Dynamic,
+    /// Exponentially shrinking chunks handed out on demand.
+    Guided,
+}
+
+/// The OpenMP pragma attached to a region.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OmpPragma {
+    /// Schedule clause written in the source (usually `None`: the runtime
+    /// schedule is what the tuner controls).
+    pub schedule: Option<OmpSchedule>,
+    /// Reduction clause `(operator, scalar)` if present.
+    pub reduction: Option<(BinOp, String)>,
+    /// `collapse(n)` clause; 1 when absent.
+    pub collapse: usize,
+    /// `nowait` clause.
+    pub nowait: bool,
+}
+
+/// Element type of declared arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElemType {
+    /// 64-bit float (PolyBench default).
+    F64,
+    /// 32-bit float.
+    F32,
+    /// 32-bit integer (index/ID arrays in the proxy apps).
+    I32,
+}
+
+/// An array declaration: name plus symbolic dimension names.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// One symbolic size parameter per dimension, e.g. `["N", "M"]`.
+    pub dims: Vec<String>,
+    /// Element type.
+    pub elem: ElemType,
+}
+
+impl ArrayDecl {
+    /// Declares a 1-D double array.
+    pub fn d1(name: &str, dim: &str) -> Self {
+        ArrayDecl {
+            name: name.to_string(),
+            dims: vec![dim.to_string()],
+            elem: ElemType::F64,
+        }
+    }
+
+    /// Declares a 2-D double array.
+    pub fn d2(name: &str, d0: &str, d1: &str) -> Self {
+        ArrayDecl {
+            name: name.to_string(),
+            dims: vec![d0.to_string(), d1.to_string()],
+            elem: ElemType::F64,
+        }
+    }
+
+    /// Declares a 3-D double array.
+    pub fn d3(name: &str, d0: &str, d1: &str, d2: &str) -> Self {
+        ArrayDecl {
+            name: name.to_string(),
+            dims: vec![d0.to_string(), d1.to_string(), d2.to_string()],
+            elem: ElemType::F64,
+        }
+    }
+
+    /// Changes the element type (builder style).
+    pub fn with_elem(mut self, elem: ElemType) -> Self {
+        self.elem = elem;
+        self
+    }
+}
+
+/// A helper routine called from the region body (produces call-flow edges,
+/// like the physics helper functions in LULESH or Quicksilver).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HelperFn {
+    /// Function name.
+    pub name: String,
+    /// Number of double parameters.
+    pub num_params: usize,
+    /// Number of arithmetic operations in its synthesized body (controls the
+    /// size of the callee in the code graph).
+    pub body_ops: usize,
+}
+
+/// The source description of one OpenMP parallel region.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegionSource {
+    /// Region name, unique within the application (e.g. `"gemm_r0"`).
+    pub name: String,
+    /// The OpenMP pragma on the region.
+    pub pragma: OmpPragma,
+    /// Arrays referenced by the region.
+    pub arrays: Vec<ArrayDecl>,
+    /// Scalar parameters (e.g. `alpha`, `beta`).
+    pub scalars: Vec<String>,
+    /// Symbolic problem-size parameters (e.g. `N`, `M`).
+    pub size_params: Vec<String>,
+    /// Helper routines callable from the body.
+    pub helpers: Vec<HelperFn>,
+    /// The outermost (work-shared) loop of the region.
+    pub parallel_loop: LoopNest,
+}
+
+impl RegionSource {
+    /// Returns the loop-nest depth of the region.
+    pub fn depth(&self) -> usize {
+        self.parallel_loop.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_like() -> RegionSource {
+        // C[i][j] = beta*C[i][j] + alpha * sum_k A[i][k]*B[k][j]
+        let inner_k = LoopNest::new(
+            "k",
+            LoopBound::Param("NK".into()),
+            vec![Stmt::Accumulate {
+                target: ArrayRef::d2("C", IndexExpr::var("i"), IndexExpr::var("j")),
+                op: BinOp::Add,
+                value: Expr::mul(
+                    Expr::mul(
+                        Expr::Scalar("alpha".into()),
+                        Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("k")),
+                    ),
+                    Expr::load2("B", IndexExpr::var("k"), IndexExpr::var("j")),
+                ),
+            }],
+        );
+        let loop_j = LoopNest::new(
+            "j",
+            LoopBound::Param("NJ".into()),
+            vec![
+                Stmt::Assign {
+                    target: ArrayRef::d2("C", IndexExpr::var("i"), IndexExpr::var("j")),
+                    value: Expr::mul(
+                        Expr::Scalar("beta".into()),
+                        Expr::load2("C", IndexExpr::var("i"), IndexExpr::var("j")),
+                    ),
+                },
+                Stmt::Loop(inner_k),
+            ],
+        );
+        let loop_i = LoopNest::new("i", LoopBound::Param("NI".into()), vec![Stmt::Loop(loop_j)]);
+        RegionSource {
+            name: "gemm_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![
+                ArrayDecl::d2("A", "NI", "NK"),
+                ArrayDecl::d2("B", "NK", "NJ"),
+                ArrayDecl::d2("C", "NI", "NJ"),
+            ],
+            scalars: vec!["alpha".into(), "beta".into()],
+            size_params: vec!["NI".into(), "NJ".into(), "NK".into()],
+            helpers: vec![],
+            parallel_loop: loop_i,
+        }
+    }
+
+    #[test]
+    fn gemm_depth_is_three() {
+        assert_eq!(gemm_like().depth(), 3);
+    }
+
+    #[test]
+    fn index_expr_constructors() {
+        let i = IndexExpr::var("i");
+        assert_eq!(i.terms, vec![("i".to_string(), 1)]);
+        let ip1 = IndexExpr::var_plus("i", 1);
+        assert_eq!(ip1.offset, 1);
+        let c = IndexExpr::constant(4);
+        assert!(c.terms.is_empty());
+        let a = IndexExpr::affine("i", 2, -1);
+        assert_eq!(a.terms[0].1, 2);
+        assert_eq!(a.offset, -1);
+    }
+
+    #[test]
+    fn depth_counts_loops_inside_if() {
+        let inner = LoopNest::new("j", LoopBound::Const(4), vec![]);
+        let l = LoopNest::new(
+            "i",
+            LoopBound::Const(8),
+            vec![Stmt::If {
+                lhs: Expr::LoopVar("i".into()),
+                cmp: CmpOp::Lt,
+                rhs: Expr::IntConst(4),
+                then_body: vec![Stmt::Loop(inner)],
+                else_body: vec![],
+            }],
+        );
+        assert_eq!(l.depth(), 2);
+    }
+
+    #[test]
+    fn expr_builders_nest() {
+        let e = Expr::add(
+            Expr::mul(Expr::Const(2.0), Expr::Scalar("x".into())),
+            Expr::Const(1.0),
+        );
+        match e {
+            Expr::Binary(BinOp::Add, lhs, _) => match *lhs {
+                Expr::Binary(BinOp::Mul, _, _) => {}
+                _ => panic!("expected mul on lhs"),
+            },
+            _ => panic!("expected add at top"),
+        }
+    }
+
+    #[test]
+    fn array_decl_builders() {
+        let a = ArrayDecl::d3("grid", "NX", "NY", "NZ").with_elem(ElemType::F32);
+        assert_eq!(a.dims.len(), 3);
+        assert_eq!(a.elem, ElemType::F32);
+    }
+}

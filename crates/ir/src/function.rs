@@ -1,0 +1,134 @@
+//! Functions.
+
+use crate::block::BasicBlock;
+use crate::inst::Instruction;
+use crate::types::Type;
+use crate::value::{BlockId, InstId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A function: named, typed parameters plus a list of basic blocks.
+///
+/// Outlined OpenMP regions are ordinary functions whose `is_outlined_region`
+/// flag is set; the graph extraction step looks for that flag, mirroring how
+/// the paper extracts `.omp_outlined.` functions with `llvm-extract`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name, e.g. `".omp_outlined.gemm_region0"`.
+    pub name: String,
+    /// Parameter names and types (arrays arrive as pointers).
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub ret_ty: Type,
+    /// Basic blocks; block 0 is the entry block.
+    pub blocks: Vec<BasicBlock>,
+    /// True when this function is an outlined `#pragma omp parallel` region.
+    pub is_outlined_region: bool,
+}
+
+impl Function {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret_ty: Type) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: Vec::new(),
+            is_outlined_region: false,
+        }
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Looks up a block by id.
+    pub fn block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.iter().find(|b| b.id == id)
+    }
+
+    /// Iterates over all instructions in block order.
+    pub fn insts(&self) -> impl Iterator<Item = &Instruction> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Builds a map from instruction id to the instruction, for operand
+    /// resolution.
+    pub fn inst_map(&self) -> HashMap<InstId, &Instruction> {
+        self.insts().map(|i| (i.id, i)).collect()
+    }
+
+    /// Names of functions called from this function (deduplicated, in first-
+    /// call order). These become call-flow edges in the code graph.
+    pub fn callees(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for inst in self.insts() {
+            if inst.opcode == crate::inst::Opcode::Call {
+                for op in &inst.operands {
+                    if let crate::value::Operand::Func(name) = op {
+                        if !seen.contains(name) {
+                            seen.push(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Static instruction-mix statistics, useful as auxiliary features and in
+    /// tests.
+    pub fn opcode_histogram(&self) -> HashMap<crate::inst::Opcode, usize> {
+        let mut h = HashMap::new();
+        for inst in self.insts() {
+            *h.entry(inst.opcode).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::value::Operand;
+
+    fn tiny_function() -> Function {
+        let mut f = Function::new("f", vec![("a".into(), Type::F64.ptr())], Type::Void);
+        let mut b = BasicBlock::new(0, "entry");
+        b.insts.push(Instruction::new(0, Opcode::Load, Type::F64, vec![Operand::Arg(0)]));
+        b.insts.push(Instruction::new(
+            1,
+            Opcode::Call,
+            Type::Void,
+            vec![Operand::Func("helper".into())],
+        ));
+        b.insts.push(Instruction::new(2, Opcode::Ret, Type::Void, vec![]));
+        f.blocks.push(b);
+        f
+    }
+
+    #[test]
+    fn inst_count_and_lookup() {
+        let f = tiny_function();
+        assert_eq!(f.num_insts(), 3);
+        assert!(f.block(0).is_some());
+        assert!(f.block(1).is_none());
+        assert!(f.inst_map().contains_key(&1));
+    }
+
+    #[test]
+    fn callees_found() {
+        let f = tiny_function();
+        assert_eq!(f.callees(), vec!["helper".to_string()]);
+    }
+
+    #[test]
+    fn opcode_histogram_counts() {
+        let f = tiny_function();
+        let h = f.opcode_histogram();
+        assert_eq!(h[&Opcode::Load], 1);
+        assert_eq!(h[&Opcode::Ret], 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Instructions and opcodes.
+
+use crate::types::Type;
+use crate::value::{InstId, Operand};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Instruction opcodes — a subset of LLVM sufficient for lowered loop-nest
+/// kernels. The opcode spelling doubles as the node text embedded by the
+/// code-graph vocabulary, so it intentionally mirrors LLVM's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // Integer arithmetic
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    // Floating-point arithmetic
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    // Memory
+    Alloca,
+    Load,
+    Store,
+    GetElementPtr,
+    // Comparisons
+    ICmp,
+    FCmp,
+    // Casts
+    SExt,
+    SIToFP,
+    FPToSI,
+    Trunc,
+    // Control flow
+    Br,
+    CondBr,
+    Phi,
+    Ret,
+    Call,
+    Select,
+    // Math intrinsics modelled as dedicated opcodes so they stand out in the
+    // vocabulary (sqrt/exp/log show up in gramschmidt, correlation, RSBench…)
+    Sqrt,
+    Exp,
+    Log,
+    Fabs,
+    Pow,
+    Sin,
+    Cos,
+}
+
+impl Opcode {
+    /// True for instructions that terminate a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Opcode::Br | Opcode::CondBr | Opcode::Ret)
+    }
+
+    /// True for instructions that touch memory.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Opcode::Load | Opcode::Store | Opcode::Alloca | Opcode::GetElementPtr
+        )
+    }
+
+    /// True for floating-point compute instructions.
+    pub fn is_flop(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FNeg
+                | Opcode::Sqrt
+                | Opcode::Exp
+                | Opcode::Log
+                | Opcode::Fabs
+                | Opcode::Pow
+                | Opcode::Sin
+                | Opcode::Cos
+        )
+    }
+
+    /// LLVM-like mnemonic used for printing and for the graph vocabulary.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::SDiv => "sdiv",
+            Opcode::SRem => "srem",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FNeg => "fneg",
+            Opcode::Alloca => "alloca",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::GetElementPtr => "getelementptr",
+            Opcode::ICmp => "icmp",
+            Opcode::FCmp => "fcmp",
+            Opcode::SExt => "sext",
+            Opcode::SIToFP => "sitofp",
+            Opcode::FPToSI => "fptosi",
+            Opcode::Trunc => "trunc",
+            Opcode::Br => "br",
+            Opcode::CondBr => "br.cond",
+            Opcode::Phi => "phi",
+            Opcode::Ret => "ret",
+            Opcode::Call => "call",
+            Opcode::Select => "select",
+            Opcode::Sqrt => "call.sqrt",
+            Opcode::Exp => "call.exp",
+            Opcode::Log => "call.log",
+            Opcode::Fabs => "call.fabs",
+            Opcode::Pow => "call.pow",
+            Opcode::Sin => "call.sin",
+            Opcode::Cos => "call.cos",
+        }
+    }
+
+    /// All opcodes, in a stable order (used to build the graph vocabulary).
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Add, Sub, Mul, SDiv, SRem, FAdd, FSub, FMul, FDiv, FNeg, Alloca, Load, Store,
+            GetElementPtr, ICmp, FCmp, SExt, SIToFP, FPToSI, Trunc, Br, CondBr, Phi, Ret, Call,
+            Select, Sqrt, Exp, Log, Fabs, Pow, Sin, Cos,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A single IR instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Function-unique id; also names the SSA value this instruction defines.
+    pub id: InstId,
+    /// Operation performed.
+    pub opcode: Opcode,
+    /// Result type (`Void` for stores/branches).
+    pub ty: Type,
+    /// Operands in positional order.
+    pub operands: Vec<Operand>,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    pub fn new(id: InstId, opcode: Opcode, ty: Type, operands: Vec<Operand>) -> Self {
+        Instruction {
+            id,
+            opcode,
+            ty,
+            operands,
+        }
+    }
+
+    /// True when the instruction defines an SSA value usable by others.
+    pub fn defines_value(&self) -> bool {
+        self.ty != Type::Void
+    }
+
+    /// Ids of the SSA values this instruction uses.
+    pub fn used_values(&self) -> Vec<InstId> {
+        self.operands.iter().filter_map(|o| o.as_inst()).collect()
+    }
+
+    /// Ids of the blocks this instruction targets (for terminators / phis).
+    pub fn used_blocks(&self) -> Vec<u32> {
+        self.operands.iter().filter_map(|o| o.as_block()).collect()
+    }
+
+    /// Text embedded as the node label in the code graph: mnemonic plus
+    /// result type, e.g. `"fadd double"` — the same granularity PROGRAML uses.
+    pub fn node_text(&self) -> String {
+        if self.ty == Type::Void {
+            self.opcode.mnemonic().to_string()
+        } else {
+            format!("{} {}", self.opcode.mnemonic(), self.ty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::CondBr.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn memory_and_flop_classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::GetElementPtr.is_memory());
+        assert!(!Opcode::FAdd.is_memory());
+        assert!(Opcode::FMul.is_flop());
+        assert!(Opcode::Sqrt.is_flop());
+        assert!(!Opcode::Add.is_flop());
+    }
+
+    #[test]
+    fn node_text_includes_type_for_values() {
+        let i = Instruction::new(0, Opcode::FAdd, Type::F64, vec![]);
+        assert_eq!(i.node_text(), "fadd double");
+        let s = Instruction::new(1, Opcode::Store, Type::Void, vec![]);
+        assert_eq!(s.node_text(), "store");
+    }
+
+    #[test]
+    fn used_values_filters_operands() {
+        let i = Instruction::new(
+            5,
+            Opcode::Add,
+            Type::I32,
+            vec![Operand::Inst(1), Operand::const_i32(4), Operand::Inst(3)],
+        );
+        assert_eq!(i.used_values(), vec![1, 3]);
+        assert!(i.defines_value());
+    }
+
+    #[test]
+    fn all_opcodes_have_unique_mnemonics() {
+        let all = Opcode::all();
+        let mut names: Vec<&str> = all.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

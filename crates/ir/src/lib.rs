@@ -1,0 +1,44 @@
+//! # pnp-ir
+//!
+//! A compact, LLVM-flavoured intermediate representation plus an OpenMP-style
+//! kernel DSL. This crate plays the role that Clang/LLVM plays in the paper:
+//!
+//! 1. Benchmark OpenMP regions are described in a loop-nest DSL
+//!    ([`dsl::RegionSource`]) — the analogue of the C source of a
+//!    `#pragma omp parallel` region.
+//! 2. [`lower::lower_kernel`] compiles the DSL to an SSA-style IR
+//!    ([`module::Module`]) in which each parallel region is *outlined* into
+//!    its own function (exactly what `clang -fopenmp` does with
+//!    `.omp_outlined.` functions).
+//! 3. [`outline::extract_region`] plays the role of `llvm-extract`, pulling a
+//!    single outlined region (plus its callees) out of the module so that
+//!    `pnp-graph` can turn it into a PROGRAML-style flow graph.
+//!
+//! The IR supports the constructs that appear in the PolyBench and proxy-app
+//! kernels used in the paper: nested counted loops, multi-dimensional array
+//! accesses, float and integer arithmetic, reductions, conditionals, and
+//! calls to math intrinsics.
+
+pub mod types;
+pub mod value;
+pub mod inst;
+pub mod block;
+pub mod function;
+pub mod module;
+pub mod builder;
+pub mod dsl;
+pub mod lower;
+pub mod outline;
+pub mod printer;
+pub mod verify;
+
+pub use block::BasicBlock;
+pub use builder::FunctionBuilder;
+pub use dsl::{ArrayRef, Expr, LoopNest, OmpPragma, OmpSchedule, RegionSource, Stmt};
+pub use function::Function;
+pub use inst::{Instruction, Opcode};
+pub use lower::lower_kernel;
+pub use module::Module;
+pub use outline::extract_region;
+pub use types::Type;
+pub use value::{Constant, InstId, Operand};

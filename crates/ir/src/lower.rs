@@ -1,0 +1,788 @@
+//! Lowering from the kernel DSL to the SSA IR.
+//!
+//! Each [`RegionSource`] becomes an *outlined* function named
+//! `.omp_outlined.<region>` — the same shape Clang produces for
+//! `#pragma omp parallel` regions — plus synthesized helper callees and a
+//! host function that calls every region (the analogue of
+//! `__kmpc_fork_call` sites).
+
+use crate::builder::FunctionBuilder;
+use crate::dsl::{
+    ArrayRef, BinOp, ElemType, Expr, HelperFn, IndexExpr, LoopBound, LoopNest, MathFn,
+    RegionSource, Stmt,
+};
+use crate::function::Function;
+use crate::inst::Opcode;
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{InstId, Operand};
+use std::collections::HashMap;
+
+/// Per-region lowering context.
+struct Ctx {
+    /// Loop variable name → SSA value (i32 phi) of the current iteration.
+    loop_vars: HashMap<String, InstId>,
+    /// Scalar temporary name → alloca instruction id.
+    scalar_slots: HashMap<String, InstId>,
+    /// Array name → (argument index of the base pointer, element type, dims).
+    arrays: HashMap<String, (usize, Type, Vec<String>)>,
+    /// Scalar parameter name → argument index.
+    scalar_params: HashMap<String, usize>,
+    /// Size parameter name → argument index.
+    size_params: HashMap<String, usize>,
+}
+
+fn elem_type(e: ElemType) -> Type {
+    match e {
+        ElemType::F64 => Type::F64,
+        ElemType::F32 => Type::F32,
+        ElemType::I32 => Type::I32,
+    }
+}
+
+/// Lowers a whole application: every region plus helpers plus a host driver.
+pub fn lower_kernel(app_name: &str, regions: &[RegionSource]) -> Module {
+    let mut module = Module::new(app_name);
+    let mut synthesized_helpers: Vec<String> = Vec::new();
+
+    for region in regions {
+        // Synthesize helper callees first so call targets exist.
+        for helper in &region.helpers {
+            if !synthesized_helpers.contains(&helper.name) {
+                module.add_function(synthesize_helper(helper));
+                synthesized_helpers.push(helper.name.clone());
+            }
+        }
+        module.add_function(lower_region(region));
+    }
+
+    // Host function that "forks" every region, mirroring __kmpc_fork_call.
+    let mut host = FunctionBuilder::new(format!("{app_name}.host"), vec![], Type::Void);
+    for region in regions {
+        host.push(
+            Opcode::Call,
+            Type::Void,
+            vec![Operand::Func(outlined_name(&region.name))],
+        );
+    }
+    host.ret_void();
+    module.add_function(host.finish());
+
+    module
+}
+
+/// The symbol name of the outlined function for a region.
+pub fn outlined_name(region_name: &str) -> String {
+    format!(".omp_outlined.{region_name}")
+}
+
+/// Synthesizes a helper function body: a chain of `body_ops` floating-point
+/// operations over its parameters, returning a double.
+fn synthesize_helper(helper: &HelperFn) -> Function {
+    let params: Vec<(String, Type)> = (0..helper.num_params.max(1))
+        .map(|i| (format!("p{i}"), Type::F64))
+        .collect();
+    let mut b = FunctionBuilder::new(helper.name.clone(), params, Type::F64);
+    let mut acc = Operand::Arg(0);
+    for op_idx in 0..helper.body_ops.max(1) {
+        let other = Operand::Arg(op_idx % helper.num_params.max(1));
+        let opcode = match op_idx % 4 {
+            0 => Opcode::FMul,
+            1 => Opcode::FAdd,
+            2 => Opcode::FSub,
+            _ => Opcode::FDiv,
+        };
+        let id = b.push(opcode, Type::F64, vec![acc.clone(), other]);
+        acc = Operand::Inst(id);
+    }
+    b.push(Opcode::Ret, Type::Void, vec![acc]);
+    b.finish()
+}
+
+/// Lowers a single region to its outlined function.
+pub fn lower_region(region: &RegionSource) -> Function {
+    // Parameter list mirrors Clang's outlined signature:
+    //   (i32* .global_tid, i32* .bound_tid, sizes..., scalars..., arrays...)
+    let mut params: Vec<(String, Type)> = vec![
+        (".global_tid".into(), Type::I32.ptr()),
+        (".bound_tid".into(), Type::I32.ptr()),
+    ];
+    let mut size_params = HashMap::new();
+    for s in &region.size_params {
+        size_params.insert(s.clone(), params.len());
+        params.push((s.clone(), Type::I32));
+    }
+    let mut scalar_params = HashMap::new();
+    for s in &region.scalars {
+        scalar_params.insert(s.clone(), params.len());
+        params.push((s.clone(), Type::F64));
+    }
+    let mut arrays = HashMap::new();
+    for a in &region.arrays {
+        let ty = elem_type(a.elem);
+        arrays.insert(a.name.clone(), (params.len(), ty.clone(), a.dims.clone()));
+        params.push((a.name.clone(), ty.ptr()));
+    }
+
+    let mut b = FunctionBuilder::new(outlined_name(&region.name), params, Type::Void);
+    b.mark_outlined();
+
+    let mut ctx = Ctx {
+        loop_vars: HashMap::new(),
+        scalar_slots: HashMap::new(),
+        arrays,
+        scalar_params,
+        size_params,
+    };
+
+    lower_loop(&mut b, &mut ctx, &region.parallel_loop);
+    b.ret_void();
+    b.finish()
+}
+
+/// Lowers a counted loop `for var in 0..bound`.
+fn lower_loop(b: &mut FunctionBuilder, ctx: &mut Ctx, l: &LoopNest) {
+    let header = b.new_block(format!("for.header.{}", l.var));
+    let body = b.new_block(format!("for.body.{}", l.var));
+    let latch = b.new_block(format!("for.latch.{}", l.var));
+    let exit = b.new_block(format!("for.exit.{}", l.var));
+
+    let preheader = b.current_block();
+    b.br(header);
+
+    // Header: phi for the induction variable, bound check.
+    b.switch_to(header);
+    let iv = b.push(
+        Opcode::Phi,
+        Type::I32,
+        vec![Operand::const_i32(0), Operand::Block(preheader)],
+    );
+    let bound = lower_bound(b, ctx, &l.bound);
+    let cmp = b.push(Opcode::ICmp, Type::I1, vec![Operand::Inst(iv), bound]);
+    b.cond_br(cmp, body, exit);
+
+    // Body.
+    b.switch_to(body);
+    let shadowed = ctx.loop_vars.insert(l.var.clone(), iv);
+    for stmt in &l.body {
+        lower_stmt(b, ctx, stmt);
+    }
+    b.br(latch);
+
+    // Latch: increment and loop back; patch the phi with the latch incoming.
+    b.switch_to(latch);
+    let next = b.push(
+        Opcode::Add,
+        Type::I32,
+        vec![Operand::Inst(iv), Operand::const_i32(1)],
+    );
+    b.br(header);
+    b.set_operands(
+        iv,
+        vec![
+            Operand::const_i32(0),
+            Operand::Block(preheader),
+            Operand::Inst(next),
+            Operand::Block(latch),
+        ],
+    );
+
+    // Restore any shadowed outer loop variable with the same name.
+    match shadowed {
+        Some(outer) => {
+            ctx.loop_vars.insert(l.var.clone(), outer);
+        }
+        None => {
+            ctx.loop_vars.remove(&l.var);
+        }
+    }
+
+    b.switch_to(exit);
+}
+
+/// Lowers a loop bound to an i32 operand.
+fn lower_bound(b: &mut FunctionBuilder, ctx: &Ctx, bound: &LoopBound) -> Operand {
+    match bound {
+        LoopBound::Const(c) => Operand::const_i32(*c),
+        LoopBound::Param(p) => Operand::Arg(
+            *ctx.size_params
+                .get(p)
+                .unwrap_or_else(|| panic!("unknown size parameter {p}")),
+        ),
+        LoopBound::Var(v) => Operand::Inst(
+            *ctx.loop_vars
+                .get(v)
+                .unwrap_or_else(|| panic!("unknown loop variable {v} used as bound")),
+        ),
+        LoopBound::VarPlus(v, k) => {
+            let iv = *ctx
+                .loop_vars
+                .get(v)
+                .unwrap_or_else(|| panic!("unknown loop variable {v} used as bound"));
+            let id = b.push(
+                Opcode::Add,
+                Type::I32,
+                vec![Operand::Inst(iv), Operand::const_i32(*k)],
+            );
+            Operand::Inst(id)
+        }
+    }
+}
+
+/// Lowers a statement.
+fn lower_stmt(b: &mut FunctionBuilder, ctx: &mut Ctx, stmt: &Stmt) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let v = lower_expr(b, ctx, value);
+            let (addr, ty) = lower_address(b, ctx, target);
+            let v = coerce(b, v, &ty);
+            b.push(Opcode::Store, Type::Void, vec![v, Operand::Inst(addr)]);
+        }
+        Stmt::Accumulate { target, op, value } => {
+            let v = lower_expr(b, ctx, value);
+            let (addr, ty) = lower_address(b, ctx, target);
+            let old = b.push(Opcode::Load, ty.clone(), vec![Operand::Inst(addr)]);
+            let v = coerce(b, v, &ty);
+            let combined = lower_binop(b, *op, &ty, Operand::Inst(old), v);
+            b.push(
+                Opcode::Store,
+                Type::Void,
+                vec![combined, Operand::Inst(addr)],
+            );
+        }
+        Stmt::ScalarAssign { name, value } => {
+            let v = lower_expr(b, ctx, value);
+            let slot = scalar_slot(b, ctx, name);
+            let v = coerce(b, v, &Type::F64);
+            b.push(Opcode::Store, Type::Void, vec![v, Operand::Inst(slot)]);
+        }
+        Stmt::ScalarAccumulate { name, op, value } => {
+            let v = lower_expr(b, ctx, value);
+            let slot = scalar_slot(b, ctx, name);
+            let old = b.push(Opcode::Load, Type::F64, vec![Operand::Inst(slot)]);
+            let v = coerce(b, v, &Type::F64);
+            let combined = lower_binop(b, *op, &Type::F64, Operand::Inst(old), v);
+            b.push(
+                Opcode::Store,
+                Type::Void,
+                vec![combined, Operand::Inst(slot)],
+            );
+        }
+        Stmt::If {
+            lhs,
+            cmp,
+            rhs,
+            then_body,
+            else_body,
+        } => {
+            let l = lower_expr(b, ctx, lhs);
+            let r = lower_expr(b, ctx, rhs);
+            // Comparison opcode depends on operand kind; we compare as doubles
+            // unless both sides are clearly integers.
+            let int_cmp = matches!(lhs, Expr::IntConst(_) | Expr::LoopVar(_))
+                && matches!(rhs, Expr::IntConst(_) | Expr::LoopVar(_));
+            let opcode = if int_cmp { Opcode::ICmp } else { Opcode::FCmp };
+            let (l, r) = if int_cmp {
+                (int_value(b, ctx, lhs, l), int_value(b, ctx, rhs, r))
+            } else {
+                (coerce(b, l, &Type::F64), coerce(b, r, &Type::F64))
+            };
+            let _ = cmp; // comparison predicate is carried by node text granularity
+            let cond = b.push(opcode, Type::I1, vec![l, r]);
+
+            let then_bb = b.new_block("if.then");
+            let else_bb = b.new_block("if.else");
+            let merge_bb = b.new_block("if.end");
+            b.cond_br(cond, then_bb, else_bb);
+
+            b.switch_to(then_bb);
+            for s in then_body {
+                lower_stmt(b, ctx, s);
+            }
+            b.br(merge_bb);
+
+            b.switch_to(else_bb);
+            for s in else_body {
+                lower_stmt(b, ctx, s);
+            }
+            b.br(merge_bb);
+
+            b.switch_to(merge_bb);
+        }
+        Stmt::Loop(inner) => lower_loop(b, ctx, inner),
+        Stmt::CallStmt { name, args } => {
+            let mut operands = vec![Operand::Func(name.clone())];
+            for a in args {
+                let v = lower_expr(b, ctx, a);
+                operands.push(coerce(b, v, &Type::F64));
+            }
+            b.push(Opcode::Call, Type::Void, operands);
+        }
+    }
+}
+
+/// Gets (lazily creating) the alloca slot for a scalar temporary.
+fn scalar_slot(b: &mut FunctionBuilder, ctx: &mut Ctx, name: &str) -> InstId {
+    if let Some(&slot) = ctx.scalar_slots.get(name) {
+        return slot;
+    }
+    // Allocas conceptually live in the entry block; appending at the current
+    // point keeps the builder simple and does not change the graph topology
+    // meaningfully.
+    let slot = b.push(Opcode::Alloca, Type::F64.ptr(), vec![]);
+    ctx.scalar_slots.insert(name.to_string(), slot);
+    slot
+}
+
+/// Lowers an array reference to an element address; returns `(gep id, elem type)`.
+fn lower_address(b: &mut FunctionBuilder, ctx: &mut Ctx, aref: &ArrayRef) -> (InstId, Type) {
+    let (arg_idx, ty, dims) = ctx
+        .arrays
+        .get(&aref.array)
+        .unwrap_or_else(|| panic!("unknown array {}", aref.array))
+        .clone();
+    assert_eq!(
+        aref.indices.len(),
+        dims.len(),
+        "array {} accessed with {} indices but declared with {} dims",
+        aref.array,
+        aref.indices.len(),
+        dims.len()
+    );
+
+    // Row-major flattening: flat = ((i0 * D1 + i1) * D2 + i2) ...
+    let mut flat = lower_index(b, ctx, &aref.indices[0]);
+    for (k, idx) in aref.indices.iter().enumerate().skip(1) {
+        let dim_arg = Operand::Arg(
+            *ctx.size_params
+                .get(&dims[k])
+                .unwrap_or_else(|| panic!("unknown dimension parameter {}", dims[k])),
+        );
+        let scaled = b.push(Opcode::Mul, Type::I32, vec![flat, dim_arg]);
+        let idx_v = lower_index(b, ctx, idx);
+        let sum = b.push(Opcode::Add, Type::I32, vec![Operand::Inst(scaled), idx_v]);
+        flat = Operand::Inst(sum);
+    }
+    let wide = b.push(Opcode::SExt, Type::I64, vec![flat]);
+    let gep = b.push(
+        Opcode::GetElementPtr,
+        ty.clone().ptr(),
+        vec![Operand::Arg(arg_idx), Operand::Inst(wide)],
+    );
+    (gep, ty)
+}
+
+/// Lowers an affine index expression to an i32 operand.
+fn lower_index(b: &mut FunctionBuilder, ctx: &Ctx, idx: &IndexExpr) -> Operand {
+    let mut acc: Option<Operand> = None;
+    for (var, scale) in &idx.terms {
+        let base = if let Some(&iv) = ctx.loop_vars.get(var) {
+            Operand::Inst(iv)
+        } else if let Some(&arg) = ctx.size_params.get(var) {
+            Operand::Arg(arg)
+        } else {
+            panic!("index expression references unknown variable {var}");
+        };
+        let term = if *scale == 1 {
+            base
+        } else {
+            Operand::Inst(b.push(
+                Opcode::Mul,
+                Type::I32,
+                vec![base, Operand::const_i32(*scale)],
+            ))
+        };
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => Operand::Inst(b.push(Opcode::Add, Type::I32, vec![prev, term])),
+        });
+    }
+    let mut out = acc.unwrap_or_else(|| Operand::const_i32(0));
+    if idx.offset != 0 {
+        out = Operand::Inst(b.push(
+            Opcode::Add,
+            Type::I32,
+            vec![out, Operand::const_i32(idx.offset)],
+        ));
+    }
+    out
+}
+
+/// Lowers a binary op on values of element type `ty`.
+fn lower_binop(
+    b: &mut FunctionBuilder,
+    op: BinOp,
+    ty: &Type,
+    lhs: Operand,
+    rhs: Operand,
+) -> Operand {
+    let float = ty.is_float();
+    let opcode = match (op, float) {
+        (BinOp::Add, true) => Opcode::FAdd,
+        (BinOp::Sub, true) => Opcode::FSub,
+        (BinOp::Mul, true) => Opcode::FMul,
+        (BinOp::Div, true) => Opcode::FDiv,
+        (BinOp::Add, false) => Opcode::Add,
+        (BinOp::Sub, false) => Opcode::Sub,
+        (BinOp::Mul, false) => Opcode::Mul,
+        (BinOp::Div, false) => Opcode::SDiv,
+        (BinOp::Min | BinOp::Max, _) => {
+            // min/max lower to compare + select
+            let cmp_op = if float { Opcode::FCmp } else { Opcode::ICmp };
+            let cond = b.push(cmp_op, Type::I1, vec![lhs.clone(), rhs.clone()]);
+            let sel = b.push(
+                Opcode::Select,
+                ty.clone(),
+                vec![Operand::Inst(cond), lhs, rhs],
+            );
+            return Operand::Inst(sel);
+        }
+    };
+    Operand::Inst(b.push(opcode, ty.clone(), vec![lhs, rhs]))
+}
+
+/// Lowers an expression; the result operand is a double unless the expression
+/// is a pure integer/index expression.
+fn lower_expr(b: &mut FunctionBuilder, ctx: &mut Ctx, expr: &Expr) -> Operand {
+    match expr {
+        Expr::Const(c) => Operand::const_f64(*c),
+        Expr::IntConst(c) => Operand::const_i32(*c),
+        Expr::Scalar(name) => {
+            if let Some(&arg) = ctx.scalar_params.get(name) {
+                Operand::Arg(arg)
+            } else if let Some(&slot) = ctx.scalar_slots.get(name) {
+                Operand::Inst(b.push(Opcode::Load, Type::F64, vec![Operand::Inst(slot)]))
+            } else if let Some(&arg) = ctx.size_params.get(name) {
+                // A size parameter used as a value: convert to double.
+                Operand::Inst(b.push(Opcode::SIToFP, Type::F64, vec![Operand::Arg(arg)]))
+            } else {
+                // First use of an unassigned scalar temporary: create its slot
+                // and load (value is undefined, like reading uninitialized C).
+                let slot = scalar_slot(b, ctx, name);
+                Operand::Inst(b.push(Opcode::Load, Type::F64, vec![Operand::Inst(slot)]))
+            }
+        }
+        Expr::LoopVar(v) => {
+            let iv = *ctx
+                .loop_vars
+                .get(v)
+                .unwrap_or_else(|| panic!("unknown loop variable {v}"));
+            Operand::Inst(b.push(Opcode::SIToFP, Type::F64, vec![Operand::Inst(iv)]))
+        }
+        Expr::Load(aref) => {
+            let (addr, ty) = lower_address(b, ctx, aref);
+            let loaded = b.push(Opcode::Load, ty.clone(), vec![Operand::Inst(addr)]);
+            if ty == Type::I32 {
+                Operand::Inst(b.push(Opcode::SIToFP, Type::F64, vec![Operand::Inst(loaded)]))
+            } else {
+                Operand::Inst(loaded)
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let l = lower_expr(b, ctx, lhs);
+            let r = lower_expr(b, ctx, rhs);
+            let l = coerce(b, l, &Type::F64);
+            let r = coerce(b, r, &Type::F64);
+            lower_binop(b, *op, &Type::F64, l, r)
+        }
+        Expr::Neg(inner) => {
+            let v = lower_expr(b, ctx, inner);
+            let v = coerce(b, v, &Type::F64);
+            Operand::Inst(b.push(Opcode::FNeg, Type::F64, vec![v]))
+        }
+        Expr::Math(f, args) => {
+            let opcode = match f {
+                MathFn::Sqrt => Opcode::Sqrt,
+                MathFn::Exp => Opcode::Exp,
+                MathFn::Log => Opcode::Log,
+                MathFn::Fabs => Opcode::Fabs,
+                MathFn::Pow => Opcode::Pow,
+                MathFn::Sin => Opcode::Sin,
+                MathFn::Cos => Opcode::Cos,
+            };
+            let operands: Vec<Operand> = args
+                .iter()
+                .map(|a| {
+                    let v = lower_expr(b, ctx, a);
+                    coerce(b, v, &Type::F64)
+                })
+                .collect();
+            Operand::Inst(b.push(opcode, Type::F64, operands))
+        }
+        Expr::CallHelper(name, args) => {
+            let mut operands = vec![Operand::Func(name.clone())];
+            for a in args {
+                let v = lower_expr(b, ctx, a);
+                operands.push(coerce(b, v, &Type::F64));
+            }
+            Operand::Inst(b.push(Opcode::Call, Type::F64, operands))
+        }
+    }
+}
+
+/// Returns an integer-typed operand for a value known to be integral.
+fn int_value(b: &mut FunctionBuilder, ctx: &Ctx, expr: &Expr, lowered: Operand) -> Operand {
+    match expr {
+        Expr::LoopVar(v) => Operand::Inst(ctx.loop_vars[v]),
+        Expr::IntConst(c) => Operand::const_i32(*c),
+        _ => {
+            // Fall back to a float-to-int conversion of whatever was lowered.
+            Operand::Inst(b.push(Opcode::FPToSI, Type::I32, vec![lowered]))
+        }
+    }
+}
+
+/// Inserts an int→float conversion when a double is required but an integer
+/// operand was produced.
+fn coerce(_b: &mut FunctionBuilder, op: Operand, want: &Type) -> Operand {
+    if !want.is_float() {
+        return op;
+    }
+    match &op {
+        Operand::Const(c) if c.ty.is_int() => {
+            Operand::const_f64(c.text.parse::<f64>().unwrap_or(0.0))
+        }
+        _ => op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{ArrayDecl, CmpOp, OmpPragma};
+    use crate::verify::verify_module;
+
+    fn vector_add_region() -> RegionSource {
+        // #pragma omp parallel for: C[i] = A[i] + B[i]
+        RegionSource {
+            name: "vadd_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![
+                ArrayDecl::d1("A", "N"),
+                ArrayDecl::d1("B", "N"),
+                ArrayDecl::d1("C", "N"),
+            ],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("C", IndexExpr::var("i")),
+                    value: Expr::add(
+                        Expr::load1("A", IndexExpr::var("i")),
+                        Expr::load1("B", IndexExpr::var("i")),
+                    ),
+                }],
+            ),
+        }
+    }
+
+    fn reduction_region() -> RegionSource {
+        // #pragma omp parallel for reduction(+:sum): sum += A[i]*B[i]
+        RegionSource {
+            name: "dot_r0".into(),
+            pragma: OmpPragma {
+                reduction: Some((BinOp::Add, "sum".into())),
+                ..OmpPragma::default()
+            },
+            arrays: vec![ArrayDecl::d1("A", "N"), ArrayDecl::d1("B", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::ScalarAccumulate {
+                    name: "sum".into(),
+                    op: BinOp::Add,
+                    value: Expr::mul(
+                        Expr::load1("A", IndexExpr::var("i")),
+                        Expr::load1("B", IndexExpr::var("i")),
+                    ),
+                }],
+            ),
+        }
+    }
+
+    #[test]
+    fn vector_add_lowers_and_verifies() {
+        let m = lower_kernel("vadd", &[vector_add_region()]);
+        assert!(verify_module(&m).is_ok(), "{:?}", verify_module(&m));
+        let regions = m.outlined_regions();
+        assert_eq!(regions.len(), 1);
+        let f = regions[0];
+        assert_eq!(f.name, ".omp_outlined.vadd_r0");
+        // loop skeleton: entry + header + body + latch + exit = 5 blocks
+        assert_eq!(f.blocks.len(), 5);
+        let hist = f.opcode_histogram();
+        assert_eq!(hist[&Opcode::Load], 2);
+        assert_eq!(hist[&Opcode::Store], 1);
+        assert_eq!(hist[&Opcode::FAdd], 1);
+        assert_eq!(hist[&Opcode::Phi], 1);
+    }
+
+    #[test]
+    fn host_function_calls_every_region() {
+        let m = lower_kernel("app", &[vector_add_region(), reduction_region()]);
+        let host = m.function("app.host").expect("host exists");
+        assert_eq!(host.callees().len(), 2);
+        assert!(host
+            .callees()
+            .contains(&".omp_outlined.vadd_r0".to_string()));
+    }
+
+    #[test]
+    fn reduction_uses_alloca_load_store() {
+        let m = lower_kernel("dot", &[reduction_region()]);
+        assert!(verify_module(&m).is_ok());
+        let f = &m.outlined_regions()[0];
+        let hist = f.opcode_histogram();
+        assert_eq!(hist[&Opcode::Alloca], 1);
+        // 2 array loads + 1 accumulator load
+        assert_eq!(hist[&Opcode::Load], 3);
+        assert_eq!(hist[&Opcode::FMul], 1);
+        assert_eq!(hist[&Opcode::FAdd], 1);
+    }
+
+    #[test]
+    fn triangular_loop_bound_uses_outer_iv() {
+        // for i in 0..N { for j in 0..i { A[i][j] = 0 } }
+        let region = RegionSource {
+            name: "tri_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d2("A", "N", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Loop(LoopNest::new(
+                    "j",
+                    LoopBound::Var("i".into()),
+                    vec![Stmt::Assign {
+                        target: ArrayRef::d2("A", IndexExpr::var("i"), IndexExpr::var("j")),
+                        value: Expr::Const(0.0),
+                    }],
+                ))],
+            ),
+        };
+        let m = lower_kernel("tri", &[region]);
+        assert!(verify_module(&m).is_ok(), "{:?}", verify_module(&m));
+        let f = &m.outlined_regions()[0];
+        // two loops → two phis
+        assert_eq!(f.opcode_histogram()[&Opcode::Phi], 2);
+        // 9 blocks: entry + 2 × (header, body, latch, exit)
+        assert_eq!(f.blocks.len(), 9);
+    }
+
+    #[test]
+    fn helper_calls_produce_call_instructions_and_functions() {
+        let region = RegionSource {
+            name: "phys_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("X", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![HelperFn {
+                name: "compute_force".into(),
+                num_params: 2,
+                body_ops: 6,
+            }],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("X", IndexExpr::var("i")),
+                    value: Expr::CallHelper(
+                        "compute_force".into(),
+                        vec![Expr::load1("X", IndexExpr::var("i")), Expr::Const(1.5)],
+                    ),
+                }],
+            ),
+        };
+        let m = lower_kernel("phys", &[region]);
+        assert!(verify_module(&m).is_ok());
+        assert!(m.function("compute_force").is_some());
+        let f = &m.outlined_regions()[0];
+        assert_eq!(f.callees(), vec!["compute_force".to_string()]);
+    }
+
+    #[test]
+    fn conditional_creates_diamond_cfg() {
+        let region = RegionSource {
+            name: "cond_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N")],
+            scalars: vec!["thresh".into()],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::If {
+                    lhs: Expr::load1("A", IndexExpr::var("i")),
+                    cmp: CmpOp::Gt,
+                    rhs: Expr::Scalar("thresh".into()),
+                    then_body: vec![Stmt::Assign {
+                        target: ArrayRef::d1("A", IndexExpr::var("i")),
+                        value: Expr::Const(1.0),
+                    }],
+                    else_body: vec![Stmt::Assign {
+                        target: ArrayRef::d1("A", IndexExpr::var("i")),
+                        value: Expr::Const(0.0),
+                    }],
+                }],
+            ),
+        };
+        let m = lower_kernel("cond", &[region]);
+        assert!(verify_module(&m).is_ok());
+        let f = &m.outlined_regions()[0];
+        let hist = f.opcode_histogram();
+        assert_eq!(hist[&Opcode::FCmp], 1);
+        assert_eq!(hist[&Opcode::CondBr], 2); // loop + if
+        assert_eq!(hist[&Opcode::Store], 2);
+        // 8 blocks: entry, header, body, then, else, end, latch, exit
+        assert_eq!(f.blocks.len(), 8);
+    }
+
+    #[test]
+    fn stencil_offsets_generate_add_instructions() {
+        // B[i] = (A[i-1] + A[i] + A[i+1]) / 3
+        let region = RegionSource {
+            name: "stencil_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N"), ArrayDecl::d1("B", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("B", IndexExpr::var("i")),
+                    value: Expr::div(
+                        Expr::add(
+                            Expr::add(
+                                Expr::load1("A", IndexExpr::var_plus("i", -1)),
+                                Expr::load1("A", IndexExpr::var("i")),
+                            ),
+                            Expr::load1("A", IndexExpr::var_plus("i", 1)),
+                        ),
+                        Expr::Const(3.0),
+                    ),
+                }],
+            ),
+        };
+        let m = lower_kernel("stencil", &[region]);
+        assert!(verify_module(&m).is_ok());
+        let f = &m.outlined_regions()[0];
+        let hist = f.opcode_histogram();
+        assert_eq!(hist[&Opcode::Load], 3);
+        assert_eq!(hist[&Opcode::FDiv], 1);
+        // offsets i-1 and i+1 each add one integer Add, plus the latch Add
+        assert!(hist[&Opcode::Add] >= 3);
+    }
+}

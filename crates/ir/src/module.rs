@@ -1,0 +1,75 @@
+//! Modules: the top-level IR container.
+
+use crate::function::Function;
+use serde::{Deserialize, Serialize};
+
+/// A translation unit: a set of functions (the "host" function plus one
+/// outlined function per OpenMP region, plus any helper callees).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name — by convention the benchmark application name.
+    pub name: String,
+    /// All functions. Outlined regions carry `is_outlined_region = true`.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Adds a function and returns a reference to it.
+    pub fn add_function(&mut self, f: Function) -> &Function {
+        self.functions.push(f);
+        self.functions.last().unwrap()
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// All outlined OpenMP region functions, in definition order.
+    pub fn outlined_regions(&self) -> Vec<&Function> {
+        self.functions
+            .iter()
+            .filter(|f| f.is_outlined_region)
+            .collect()
+    }
+
+    /// Total instruction count over all functions.
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn add_and_find_functions() {
+        let mut m = Module::new("gemm");
+        m.add_function(Function::new("main", vec![], Type::Void));
+        let mut outlined = Function::new(".omp_outlined.gemm_r0", vec![], Type::Void);
+        outlined.is_outlined_region = true;
+        m.add_function(outlined);
+
+        assert!(m.function("main").is_some());
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.outlined_regions().len(), 1);
+        assert_eq!(m.outlined_regions()[0].name, ".omp_outlined.gemm_r0");
+    }
+
+    #[test]
+    fn empty_module() {
+        let m = Module::new("empty");
+        assert_eq!(m.num_insts(), 0);
+        assert!(m.outlined_regions().is_empty());
+    }
+}

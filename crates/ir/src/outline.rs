@@ -1,0 +1,143 @@
+//! Region extraction — the `llvm-extract` analogue.
+//!
+//! Given a lowered module and a region name, produces a new module containing
+//! only the outlined region function and the helper functions it (transitively)
+//! calls. This trimmed module is what `pnp-graph` turns into a flow graph, so
+//! that graph size reflects the parallel region rather than the whole
+//! application — exactly how the paper extracts `.omp_outlined.` functions.
+
+use crate::lower::outlined_name;
+use crate::module::Module;
+use std::collections::VecDeque;
+
+/// Extracts the outlined function for `region_name` plus its transitive
+/// callees into a fresh module.
+///
+/// Returns `None` when the region does not exist in the module.
+pub fn extract_region(module: &Module, region_name: &str) -> Option<Module> {
+    let fn_name = outlined_name(region_name);
+    module.function(&fn_name)?;
+
+    let mut out = Module::new(format!("{}:{}", module.name, region_name));
+    let mut queue = VecDeque::new();
+    queue.push_back(fn_name);
+    let mut added: Vec<String> = Vec::new();
+
+    while let Some(name) = queue.pop_front() {
+        if added.contains(&name) {
+            continue;
+        }
+        if let Some(f) = module.function(&name) {
+            for callee in f.callees() {
+                if !added.contains(&callee) {
+                    queue.push_back(callee);
+                }
+            }
+            out.add_function(f.clone());
+            added.push(name);
+        }
+        // Unknown callees (runtime symbols like __kmpc_*) are simply skipped:
+        // they become leaf call edges in the graph.
+    }
+
+    Some(out)
+}
+
+/// Extracts every outlined region of a module, returning `(region function
+/// name, extracted module)` pairs in definition order.
+pub fn extract_all_regions(module: &Module) -> Vec<(String, Module)> {
+    module
+        .outlined_regions()
+        .iter()
+        .filter_map(|f| {
+            let region_name = f.name.strip_prefix(".omp_outlined.")?.to_string();
+            extract_region(module, &region_name).map(|m| (f.name.clone(), m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{
+        ArrayDecl, ArrayRef, Expr, HelperFn, IndexExpr, LoopBound, LoopNest, OmpPragma,
+        RegionSource, Stmt,
+    };
+    use crate::lower::lower_kernel;
+
+    fn app_with_two_regions() -> Module {
+        let r0 = RegionSource {
+            name: "r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![HelperFn {
+                name: "helper_math".into(),
+                num_params: 2,
+                body_ops: 4,
+            }],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("A", IndexExpr::var("i")),
+                    value: Expr::CallHelper(
+                        "helper_math".into(),
+                        vec![Expr::load1("A", IndexExpr::var("i")), Expr::Const(2.0)],
+                    ),
+                }],
+            ),
+        };
+        let r1 = RegionSource {
+            name: "r1".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("B", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("B", IndexExpr::var("i")),
+                    value: Expr::Const(0.0),
+                }],
+            ),
+        };
+        lower_kernel("app", &[r0, r1])
+    }
+
+    #[test]
+    fn extract_keeps_region_and_helpers_only() {
+        let m = app_with_two_regions();
+        let extracted = extract_region(&m, "r0").expect("region exists");
+        let names: Vec<&str> = extracted.functions.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&".omp_outlined.r0"));
+        assert!(names.contains(&"helper_math"));
+        assert!(!names.iter().any(|n| n.contains("r1")));
+        assert!(!names.iter().any(|n| n.contains("host")));
+    }
+
+    #[test]
+    fn extract_region_without_helpers_is_single_function() {
+        let m = app_with_two_regions();
+        let extracted = extract_region(&m, "r1").unwrap();
+        assert_eq!(extracted.functions.len(), 1);
+    }
+
+    #[test]
+    fn extract_missing_region_returns_none() {
+        let m = app_with_two_regions();
+        assert!(extract_region(&m, "does_not_exist").is_none());
+    }
+
+    #[test]
+    fn extract_all_regions_finds_both() {
+        let m = app_with_two_regions();
+        let all = extract_all_regions(&m);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, ".omp_outlined.r0");
+        assert_eq!(all[1].0, ".omp_outlined.r1");
+    }
+}

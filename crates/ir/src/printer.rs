@@ -1,0 +1,132 @@
+//! Textual printer producing LLVM-flavoured assembly, mainly for debugging
+//! and for golden tests.
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::value::Operand;
+use std::fmt::Write;
+
+/// Prints a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; ModuleID = '{}'", module.name);
+    for f in &module.functions {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Prints one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(name, ty)| format!("{ty} %{name}"))
+        .collect();
+    let marker = if f.is_outlined_region {
+        " ; omp outlined region"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{{}",
+        f.ret_ty,
+        f.name,
+        params.join(", "),
+        marker
+    );
+    for block in &f.blocks {
+        let _ = writeln!(out, "{}:                ; bb{}", block.label, block.id);
+        for inst in &block.insts {
+            let ops: Vec<String> = inst.operands.iter().map(print_operand).collect();
+            if inst.defines_value() {
+                let _ = writeln!(
+                    out,
+                    "  %{} = {} {} {}",
+                    inst.id,
+                    inst.opcode,
+                    inst.ty,
+                    ops.join(", ")
+                );
+            } else {
+                let _ = writeln!(out, "  {} {}", inst.opcode, ops.join(", "));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_operand(op: &Operand) -> String {
+    match op {
+        Operand::Inst(id) => format!("%{id}"),
+        Operand::Arg(idx) => format!("%arg{idx}"),
+        Operand::Const(c) => format!("{c}"),
+        Operand::Block(id) => format!("label %bb{id}"),
+        Operand::Global(name) => format!("@{name}"),
+        Operand::Func(name) => format!("@{name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{ArrayDecl, ArrayRef, Expr, IndexExpr, LoopBound, LoopNest, OmpPragma, RegionSource, Stmt};
+    use crate::lower::lower_kernel;
+
+    fn simple_module() -> Module {
+        let region = RegionSource {
+            name: "copy_r0".into(),
+            pragma: OmpPragma::default(),
+            arrays: vec![ArrayDecl::d1("A", "N"), ArrayDecl::d1("B", "N")],
+            scalars: vec![],
+            size_params: vec!["N".into()],
+            helpers: vec![],
+            parallel_loop: LoopNest::new(
+                "i",
+                LoopBound::Param("N".into()),
+                vec![Stmt::Assign {
+                    target: ArrayRef::d1("B", IndexExpr::var("i")),
+                    value: Expr::load1("A", IndexExpr::var("i")),
+                }],
+            ),
+        };
+        lower_kernel("copy", &[region])
+    }
+
+    #[test]
+    fn printed_module_contains_expected_markers() {
+        let text = print_module(&simple_module());
+        assert!(text.contains("; ModuleID = 'copy'"));
+        assert!(text.contains("@.omp_outlined.copy_r0"));
+        assert!(text.contains("omp outlined region"));
+        assert!(text.contains("phi"));
+        assert!(text.contains("getelementptr"));
+        assert!(text.contains("store"));
+        assert!(text.contains("br.cond"));
+    }
+
+    #[test]
+    fn printed_function_has_one_line_per_instruction_plus_headers() {
+        let m = simple_module();
+        let f = m.outlined_regions()[0];
+        let text = print_function(f);
+        let inst_lines = text
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .count();
+        assert_eq!(inst_lines, f.num_insts());
+    }
+
+    #[test]
+    fn operands_print_distinctly() {
+        assert_eq!(print_operand(&Operand::Inst(3)), "%3");
+        assert_eq!(print_operand(&Operand::Arg(1)), "%arg1");
+        assert_eq!(print_operand(&Operand::Block(2)), "label %bb2");
+        assert_eq!(print_operand(&Operand::Func("f".into())), "@f");
+        assert_eq!(print_operand(&Operand::Global("g".into())), "@g");
+    }
+}

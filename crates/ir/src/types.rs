@@ -1,0 +1,118 @@
+//! IR value types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The small set of first-class types used by lowered kernels.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 1-bit boolean (comparison results).
+    I1,
+    /// 32-bit signed integer (loop counters, indices).
+    I32,
+    /// 64-bit signed integer (flattened array offsets).
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float (the default element type of PolyBench arrays).
+    F64,
+    /// Pointer to an element type.
+    Ptr(Box<Type>),
+    /// No value (used by stores, branches, and void calls).
+    Void,
+}
+
+impl Type {
+    /// Pointer to this type.
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// True for the integer types (including `I1`).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64)
+    }
+
+    /// True for pointers.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// The pointee type of a pointer (panics otherwise).
+    pub fn pointee(&self) -> &Type {
+        match self {
+            Type::Ptr(inner) => inner,
+            other => panic!("pointee() called on non-pointer type {other}"),
+        }
+    }
+
+    /// Size of one element in bytes (pointers count as 8).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Type::I1 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr(_) => 8,
+            Type::Void => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::I1 => write!(f, "i1"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F32 => write!(f, "float"),
+            Type::F64 => write!(f, "double"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_llvm_spelling() {
+        assert_eq!(Type::F64.to_string(), "double");
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::F64.ptr().to_string(), "double*");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::F32.is_float());
+        assert!(!Type::I64.is_float());
+        assert!(Type::I1.is_int());
+        assert!(Type::F64.ptr().is_ptr());
+    }
+
+    #[test]
+    fn pointee_unwraps() {
+        let p = Type::F64.ptr();
+        assert_eq!(*p.pointee(), Type::F64);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::F32.size_bytes(), 4);
+        assert_eq!(Type::I32.ptr().size_bytes(), 8);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pointee_of_scalar_panics() {
+        Type::I32.pointee();
+    }
+}

@@ -1,0 +1,130 @@
+//! Operands and constants.
+
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an instruction within a function (also identifies the SSA
+/// value the instruction produces).
+pub type InstId = u32;
+
+/// Identifier of a basic block within a function.
+pub type BlockId = u32;
+
+/// A literal constant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constant {
+    /// The constant's type.
+    pub ty: Type,
+    /// Textual spelling, e.g. `"0"`, `"1.5"`. Text is what the code graph
+    /// embeds, mirroring PROGRAML's constant nodes.
+    pub text: String,
+}
+
+impl Constant {
+    /// Integer constant of type `i32`.
+    pub fn i32(v: i64) -> Self {
+        Constant {
+            ty: Type::I32,
+            text: v.to_string(),
+        }
+    }
+
+    /// Integer constant of type `i64`.
+    pub fn i64(v: i64) -> Self {
+        Constant {
+            ty: Type::I64,
+            text: v.to_string(),
+        }
+    }
+
+    /// Floating-point constant of type `double`.
+    pub fn f64(v: f64) -> Self {
+        Constant {
+            ty: Type::F64,
+            text: format!("{v:.6e}"),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.ty, self.text)
+    }
+}
+
+/// An instruction operand.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// The SSA value produced by another instruction in the same function.
+    Inst(InstId),
+    /// A function argument (by index).
+    Arg(usize),
+    /// An inline constant.
+    Const(Constant),
+    /// A basic-block label (branch targets, phi incoming blocks).
+    Block(BlockId),
+    /// A global symbol (arrays shared into the outlined region).
+    Global(String),
+    /// A callee function name.
+    Func(String),
+}
+
+impl Operand {
+    /// Convenience constructor for integer constants.
+    pub fn const_i32(v: i64) -> Self {
+        Operand::Const(Constant::i32(v))
+    }
+
+    /// Convenience constructor for 64-bit integer constants.
+    pub fn const_i64(v: i64) -> Self {
+        Operand::Const(Constant::i64(v))
+    }
+
+    /// Convenience constructor for double constants.
+    pub fn const_f64(v: f64) -> Self {
+        Operand::Const(Constant::f64(v))
+    }
+
+    /// Returns the instruction id if this operand is an SSA value.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Operand::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns the block id if this operand is a label.
+    pub fn as_block(&self) -> Option<BlockId> {
+        match self {
+            Operand::Block(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_constructors() {
+        assert_eq!(Constant::i32(5).text, "5");
+        assert_eq!(Constant::i32(5).ty, Type::I32);
+        assert_eq!(Constant::i64(-3).ty, Type::I64);
+        assert!(Constant::f64(1.5).text.contains('e'));
+    }
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Inst(7).as_inst(), Some(7));
+        assert_eq!(Operand::Block(2).as_block(), Some(2));
+        assert_eq!(Operand::const_i32(1).as_inst(), None);
+        assert_eq!(Operand::Func("f".into()).as_block(), None);
+    }
+
+    #[test]
+    fn constant_display() {
+        assert_eq!(Constant::i32(7).to_string(), "i32 7");
+    }
+}

@@ -1,0 +1,213 @@
+//! IR structural verifier.
+//!
+//! Catches lowering bugs early: every block must end in exactly one
+//! terminator, every operand must reference an existing instruction, block or
+//! argument, and call targets must exist (or be well-known runtime symbols).
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::value::Operand;
+use std::collections::HashSet;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.function, self.message)
+    }
+}
+
+/// Verifies every function in the module. Returns all problems found.
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let known_functions: HashSet<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+    let mut errors = Vec::new();
+    for f in &module.functions {
+        verify_function(f, &known_functions, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn verify_function(f: &Function, known_functions: &HashSet<&str>, errors: &mut Vec<VerifyError>) {
+    let err = |msg: String, errors: &mut Vec<VerifyError>| {
+        errors.push(VerifyError {
+            function: f.name.clone(),
+            message: msg,
+        });
+    };
+
+    if f.blocks.is_empty() {
+        err("function has no blocks".into(), errors);
+        return;
+    }
+
+    let block_ids: HashSet<u32> = f.blocks.iter().map(|b| b.id).collect();
+    let inst_ids: HashSet<u32> = f.insts().map(|i| i.id).collect();
+
+    // Instruction ids must be unique.
+    if inst_ids.len() != f.num_insts() {
+        err("duplicate instruction ids".into(), errors);
+    }
+
+    for block in &f.blocks {
+        if !block.is_terminated() {
+            err(format!("block '{}' is not terminated", block.label), errors);
+        }
+        for (pos, inst) in block.insts.iter().enumerate() {
+            if inst.opcode.is_terminator() && pos + 1 != block.insts.len() {
+                err(
+                    format!(
+                        "terminator {} in the middle of block '{}'",
+                        inst.opcode, block.label
+                    ),
+                    errors,
+                );
+            }
+            for op in &inst.operands {
+                match op {
+                    Operand::Inst(id) => {
+                        if !inst_ids.contains(id) {
+                            err(
+                                format!(
+                                    "instruction {} references unknown value %{}",
+                                    inst.id, id
+                                ),
+                                errors,
+                            );
+                        }
+                    }
+                    Operand::Block(id) => {
+                        if !block_ids.contains(id) {
+                            err(
+                                format!("instruction {} targets unknown block bb{}", inst.id, id),
+                                errors,
+                            );
+                        }
+                    }
+                    Operand::Arg(idx) => {
+                        if *idx >= f.params.len() {
+                            err(
+                                format!(
+                                    "instruction {} references argument #{} but function has {}",
+                                    inst.id,
+                                    idx,
+                                    f.params.len()
+                                ),
+                                errors,
+                            );
+                        }
+                    }
+                    Operand::Func(name) => {
+                        if !known_functions.contains(name.as_str())
+                            && !name.starts_with("__kmpc")
+                            && !name.starts_with("llvm.")
+                        {
+                            err(
+                                format!("call to unknown function '{name}'"),
+                                errors,
+                            );
+                        }
+                    }
+                    Operand::Const(_) | Operand::Global(_) => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::inst::{Instruction, Opcode};
+    use crate::types::Type;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![("n".into(), Type::I32)], Type::Void);
+        let mut b = BasicBlock::new(0, "entry");
+        b.insts.push(Instruction::new(
+            0,
+            Opcode::Add,
+            Type::I32,
+            vec![Operand::Arg(0), Operand::const_i32(1)],
+        ));
+        b.insts.push(Instruction::new(1, Opcode::Ret, Type::Void, vec![]));
+        f.blocks.push(b);
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(verify_module(&ok_module()).is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_is_reported() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts.pop(); // drop the ret
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not terminated")));
+    }
+
+    #[test]
+    fn unknown_value_reference_is_reported() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts[0].operands[0] = Operand::Inst(99);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown value")));
+    }
+
+    #[test]
+    fn unknown_call_target_is_reported() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts[0] = Instruction::new(
+            0,
+            Opcode::Call,
+            Type::Void,
+            vec![Operand::Func("missing_fn".into())],
+        );
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown function")));
+    }
+
+    #[test]
+    fn kmpc_runtime_calls_are_allowed() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts[0] = Instruction::new(
+            0,
+            Opcode::Call,
+            Type::Void,
+            vec![Operand::Func("__kmpc_fork_call".into())],
+        );
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_argument_is_reported() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts[0].operands[0] = Operand::Arg(5);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("argument")));
+    }
+
+    #[test]
+    fn error_display_includes_function() {
+        let e = VerifyError {
+            function: "f".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "[f] boom");
+    }
+}

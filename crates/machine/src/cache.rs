@@ -1,0 +1,210 @@
+//! Cache hierarchy description and an analytic miss model.
+//!
+//! The miss model is deliberately simple: it estimates per-level miss ratios
+//! from the working-set size of a kernel relative to each cache level's
+//! capacity and from the kernel's access pattern (streaming vs. reusing).
+//! That is enough to (a) produce PAPI-like counter values for the dynamic
+//! tuner and (b) make memory-bound kernels respond differently to thread
+//! count and frequency than compute-bound ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes and latencies of the three cache levels.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    /// L1 data cache size per core, in KiB.
+    pub l1_kib: f64,
+    /// L2 cache size per core, in KiB.
+    pub l2_kib: f64,
+    /// Shared L3 size per socket, in MiB.
+    pub l3_mib: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: f64,
+    /// L1 hit latency in cycles.
+    pub l1_latency_cycles: f64,
+    /// L2 hit latency in cycles.
+    pub l2_latency_cycles: f64,
+    /// L3 hit latency in cycles.
+    pub l3_latency_cycles: f64,
+    /// DRAM latency in nanoseconds.
+    pub dram_latency_ns: f64,
+}
+
+/// How much temporal reuse a kernel's memory accesses exhibit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Pure streaming (every element touched once, e.g. vector add, copy).
+    Streaming,
+    /// Strided or stencil-style access with short-range reuse.
+    Stencil,
+    /// Blocked/tiled reuse (dense linear algebra with cache-resident tiles).
+    HighReuse,
+    /// Data-dependent, irregular access (table look-ups, Monte Carlo).
+    Irregular,
+}
+
+impl AccessPattern {
+    /// Fraction of accesses that *cannot* be captured by a cache even when
+    /// the working set fits — models conflict/irregularity effects.
+    pub fn irreducible_miss_fraction(self) -> f64 {
+        match self {
+            AccessPattern::Streaming => 0.9,
+            AccessPattern::Stencil => 0.25,
+            AccessPattern::HighReuse => 0.05,
+            AccessPattern::Irregular => 0.6,
+        }
+    }
+}
+
+/// Estimated miss ratios (relative to all memory accesses) at each level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MissProfile {
+    /// Fraction of accesses missing L1.
+    pub l1_miss_ratio: f64,
+    /// Fraction of accesses missing L2.
+    pub l2_miss_ratio: f64,
+    /// Fraction of accesses missing L3 (i.e. going to DRAM).
+    pub l3_miss_ratio: f64,
+}
+
+impl MissProfile {
+    /// Bytes transferred from DRAM per memory access of `access_bytes` size.
+    pub fn dram_bytes_per_access(&self, line_bytes: f64) -> f64 {
+        self.l3_miss_ratio * line_bytes
+    }
+}
+
+impl CacheHierarchy {
+    /// Estimates miss ratios for a kernel whose *per-thread* working set is
+    /// `working_set_bytes`, running with `threads_per_socket` threads sharing
+    /// the socket's L3, using the given access pattern.
+    ///
+    /// The model: a level captures reuse when the working set fits in the
+    /// capacity available to the thread; the captured fraction decays as the
+    /// working set exceeds capacity (capacity misses), floored by the
+    /// pattern's irreducible miss fraction.
+    pub fn miss_profile(
+        &self,
+        working_set_bytes: f64,
+        threads_per_socket: usize,
+        pattern: AccessPattern,
+    ) -> MissProfile {
+        let l1 = self.l1_kib * 1024.0;
+        let l2 = self.l2_kib * 1024.0;
+        let l3_share = self.l3_mib * 1024.0 * 1024.0 / threads_per_socket.max(1) as f64;
+        let irreducible = pattern.irreducible_miss_fraction();
+
+        let miss_at = |capacity: f64| -> f64 {
+            if working_set_bytes <= 0.0 {
+                return 0.0;
+            }
+            // Fraction of the working set that does NOT fit in this level.
+            let overflow = ((working_set_bytes - capacity) / working_set_bytes).max(0.0);
+            // Misses = irreducible streaming component scaled by overflow,
+            // plus a small floor for cold misses.
+            let cold = 0.002;
+            (irreducible * overflow + cold).min(1.0)
+        };
+
+        let l1_miss = miss_at(l1).max(0.01 * irreducible);
+        let l2_miss = (miss_at(l2)).min(l1_miss);
+        let l3_miss = (miss_at(l3_share)).min(l2_miss);
+        MissProfile {
+            l1_miss_ratio: l1_miss,
+            l2_miss_ratio: l2_miss,
+            l3_miss_ratio: l3_miss,
+        }
+    }
+
+    /// Average memory access latency in cycles implied by a miss profile at a
+    /// given core frequency.
+    pub fn average_access_latency_cycles(&self, miss: &MissProfile, freq_ghz: f64) -> f64 {
+        let dram_cycles = self.dram_latency_ns * freq_ghz;
+        let l1_hit = 1.0 - miss.l1_miss_ratio;
+        let l2_hit = miss.l1_miss_ratio - miss.l2_miss_ratio;
+        let l3_hit = miss.l2_miss_ratio - miss.l3_miss_ratio;
+        l1_hit * self.l1_latency_cycles
+            + l2_hit * self.l2_latency_cycles
+            + l3_hit * self.l3_latency_cycles
+            + miss.l3_miss_ratio * dram_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::haswell;
+
+    #[test]
+    fn tiny_working_set_mostly_hits_l1() {
+        let c = haswell().cache;
+        let m = c.miss_profile(8.0 * 1024.0, 1, AccessPattern::HighReuse);
+        assert!(m.l1_miss_ratio < 0.05);
+        assert!(m.l3_miss_ratio < 0.01);
+    }
+
+    #[test]
+    fn huge_streaming_working_set_goes_to_dram() {
+        let c = haswell().cache;
+        let m = c.miss_profile(4.0e9, 1, AccessPattern::Streaming);
+        assert!(m.l3_miss_ratio > 0.5);
+        assert!(m.l1_miss_ratio >= m.l2_miss_ratio);
+        assert!(m.l2_miss_ratio >= m.l3_miss_ratio);
+    }
+
+    #[test]
+    fn sharing_l3_with_more_threads_increases_l3_misses() {
+        let c = haswell().cache;
+        let ws = 2.0 * 1024.0 * 1024.0; // 2 MiB per thread
+        let alone = c.miss_profile(ws, 1, AccessPattern::Stencil);
+        let crowded = c.miss_profile(ws, 16, AccessPattern::Stencil);
+        assert!(crowded.l3_miss_ratio > alone.l3_miss_ratio);
+    }
+
+    #[test]
+    fn reuse_pattern_misses_less_than_streaming() {
+        let c = haswell().cache;
+        let ws = 64.0 * 1024.0 * 1024.0;
+        let stream = c.miss_profile(ws, 8, AccessPattern::Streaming);
+        let reuse = c.miss_profile(ws, 8, AccessPattern::HighReuse);
+        assert!(reuse.l3_miss_ratio < stream.l3_miss_ratio);
+    }
+
+    #[test]
+    fn latency_grows_with_misses() {
+        let c = haswell().cache;
+        let low = MissProfile {
+            l1_miss_ratio: 0.02,
+            l2_miss_ratio: 0.01,
+            l3_miss_ratio: 0.001,
+        };
+        let high = MissProfile {
+            l1_miss_ratio: 0.9,
+            l2_miss_ratio: 0.8,
+            l3_miss_ratio: 0.7,
+        };
+        let freq = 2.5;
+        assert!(
+            c.average_access_latency_cycles(&high, freq)
+                > 10.0 * c.average_access_latency_cycles(&low, freq)
+        );
+    }
+
+    #[test]
+    fn miss_ratios_are_probabilities() {
+        let c = haswell().cache;
+        for &ws in &[1e3, 1e5, 1e7, 1e9, 1e11] {
+            for &pat in &[
+                AccessPattern::Streaming,
+                AccessPattern::Stencil,
+                AccessPattern::HighReuse,
+                AccessPattern::Irregular,
+            ] {
+                let m = c.miss_profile(ws, 4, pat);
+                for v in [m.l1_miss_ratio, m.l2_miss_ratio, m.l3_miss_ratio] {
+                    assert!((0.0..=1.0).contains(&v), "ws={ws} pat={pat:?} v={v}");
+                }
+            }
+        }
+    }
+}

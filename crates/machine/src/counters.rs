@@ -1,0 +1,134 @@
+//! PAPI-style hardware performance counters.
+//!
+//! The dynamic variant of the PnP tuner feeds five counters to the dense
+//! layers: L1, L2, and L3 cache misses, retired instructions, and
+//! mispredicted branches (Section IV-B). The simulator produces these from
+//! the kernel's workload profile and the cache model; this module defines the
+//! counter set and the normalization applied before they enter the model.
+
+use serde::{Deserialize, Serialize};
+
+/// One region execution's counter readings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// `PAPI_L1_DCM` — L1 data-cache misses.
+    pub l1_misses: f64,
+    /// `PAPI_L2_TCM` — L2 cache misses.
+    pub l2_misses: f64,
+    /// `PAPI_L3_TCM` — L3 cache misses.
+    pub l3_misses: f64,
+    /// `PAPI_TOT_INS` — retired instructions.
+    pub instructions: f64,
+    /// `PAPI_BR_MSP` — mispredicted branches.
+    pub branch_mispredictions: f64,
+}
+
+impl CounterSet {
+    /// Number of counters (the feature width contributed to the model).
+    pub const WIDTH: usize = 5;
+
+    /// Miss rates and misprediction rate per thousand instructions, log-
+    /// compressed — the normalized feature vector handed to the classifier.
+    /// Normalizing per-instruction makes the features problem-size invariant,
+    /// which is what lets the model generalize across regions.
+    pub fn normalized_features(&self) -> Vec<f32> {
+        let per_kilo = |x: f64| {
+            if self.instructions <= 0.0 {
+                0.0
+            } else {
+                (1.0 + x * 1000.0 / self.instructions).ln() as f32
+            }
+        };
+        vec![
+            per_kilo(self.l1_misses),
+            per_kilo(self.l2_misses),
+            per_kilo(self.l3_misses),
+            // Instructions themselves are log-scaled to stay in a small range.
+            ((1.0 + self.instructions).ln() / 30.0) as f32,
+            per_kilo(self.branch_mispredictions),
+        ]
+    }
+
+    /// Element-wise sum (aggregating counters over threads or sub-regions).
+    pub fn combine(&self, other: &CounterSet) -> CounterSet {
+        CounterSet {
+            l1_misses: self.l1_misses + other.l1_misses,
+            l2_misses: self.l2_misses + other.l2_misses,
+            l3_misses: self.l3_misses + other.l3_misses,
+            instructions: self.instructions + other.instructions,
+            branch_mispredictions: self.branch_mispredictions + other.branch_mispredictions,
+        }
+    }
+
+    /// Misses per kilo-instruction at each level, a common derived metric.
+    pub fn mpki(&self) -> (f64, f64, f64) {
+        if self.instructions <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let k = 1000.0 / self.instructions;
+        (self.l1_misses * k, self.l2_misses * k, self.l3_misses * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSet {
+        CounterSet {
+            l1_misses: 1.0e6,
+            l2_misses: 4.0e5,
+            l3_misses: 1.0e5,
+            instructions: 1.0e8,
+            branch_mispredictions: 2.0e5,
+        }
+    }
+
+    #[test]
+    fn normalized_features_have_expected_width_and_are_finite() {
+        let f = sample().normalized_features();
+        assert_eq!(f.len(), CounterSet::WIDTH);
+        assert!(f.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn zero_instructions_do_not_produce_nan() {
+        let f = CounterSet::default().normalized_features();
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn normalization_is_scale_invariant() {
+        let a = sample();
+        let b = CounterSet {
+            l1_misses: a.l1_misses * 10.0,
+            l2_misses: a.l2_misses * 10.0,
+            l3_misses: a.l3_misses * 10.0,
+            instructions: a.instructions * 10.0,
+            branch_mispredictions: a.branch_mispredictions * 10.0,
+        };
+        let fa = a.normalized_features();
+        let fb = b.normalized_features();
+        // Per-instruction ratios (features 0,1,2,4) are unchanged; only the
+        // log-instruction feature (index 3) moves.
+        for i in [0usize, 1, 2, 4] {
+            assert!((fa[i] - fb[i]).abs() < 1e-6);
+        }
+        assert!(fb[3] > fa[3]);
+    }
+
+    #[test]
+    fn combine_adds_counters() {
+        let c = sample().combine(&sample());
+        assert_eq!(c.instructions, 2.0e8);
+        assert_eq!(c.l3_misses, 2.0e5);
+    }
+
+    #[test]
+    fn mpki_matches_hand_computation() {
+        let (l1, l2, l3) = sample().mpki();
+        assert!((l1 - 10.0).abs() < 1e-9);
+        assert!((l2 - 4.0).abs() < 1e-9);
+        assert!((l3 - 1.0).abs() < 1e-9);
+    }
+}

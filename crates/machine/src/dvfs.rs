@@ -1,0 +1,209 @@
+//! The DVFS power/frequency model.
+//!
+//! Under RAPL, the package firmware keeps average power below the cap by
+//! lowering the core frequency (and voltage). We model package power as
+//!
+//! ```text
+//! P(f, n, u) = P_static + n_eff · (α·f + β·f³) · (0.55 + 0.45·u)
+//! ```
+//!
+//! where `f` is the core frequency, `n_eff` the number of effectively active
+//! cores (hyper-threads count fractionally), and `u` the average execution
+//! utilization (memory-stalled cores draw less power). `α` and `β` are
+//! calibrated per machine so that all cores at the base frequency draw TDP
+//! and all cores at the minimum frequency draw roughly the minimum supported
+//! power cap — matching how the real testbeds behave at their RAPL limits.
+//!
+//! [`PowerModel::freq_at_cap`] inverts the model: the highest sustainable
+//! frequency under a cap. This is the mechanism that makes power-constrained
+//! tuning interesting: compute-bound kernels lose performance proportionally
+//! to the frequency drop, while memory-bound kernels barely notice it.
+
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated package power model for one machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static (idle/uncore/leakage) power in watts.
+    pub static_power: f64,
+    /// Linear dynamic-power coefficient (W per GHz per core).
+    pub alpha: f64,
+    /// Cubic dynamic-power coefficient (W per GHz³ per core).
+    pub beta: f64,
+    /// Physical core count.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Frequency bounds in GHz.
+    pub min_freq: f64,
+    /// Maximum (turbo) frequency in GHz.
+    pub max_freq: f64,
+    /// Base frequency in GHz.
+    pub base_freq: f64,
+    /// TDP in watts.
+    pub tdp: f64,
+}
+
+impl PowerModel {
+    /// Calibrates the model for a machine.
+    pub fn for_machine(spec: &MachineSpec) -> Self {
+        let n = spec.total_cores() as f64;
+        let fb = spec.base_freq_ghz;
+        let fm = spec.min_freq_ghz;
+        // Two calibration points:
+        //   all cores @ base freq, full utilization  → TDP
+        //   all cores @ min freq,  full utilization  → ~min supported cap
+        let p_hi = (spec.tdp_watts - spec.static_power_watts) / n;
+        let p_lo = (spec.min_power_watts * 0.96 - spec.static_power_watts) / n;
+        // Solve  α·fb + β·fb³ = p_hi ;  α·fm + β·fm³ = p_lo
+        let det = fb * fm.powi(3) - fm * fb.powi(3);
+        let (alpha, beta) = if det.abs() < 1e-12 {
+            (p_hi / fb, 0.0)
+        } else {
+            let beta = (fb * p_lo - fm * p_hi) / det;
+            let alpha = (p_hi - beta * fb.powi(3)) / fb;
+            (alpha.max(0.0), beta.max(0.0))
+        };
+        PowerModel {
+            static_power: spec.static_power_watts,
+            alpha,
+            beta,
+            cores: spec.total_cores(),
+            threads_per_core: spec.threads_per_core,
+            min_freq: spec.min_freq_ghz,
+            max_freq: spec.max_freq_ghz,
+            base_freq: spec.base_freq_ghz,
+            tdp: spec.tdp_watts,
+        }
+    }
+
+    /// Number of effectively active cores for a thread count: hyper-threads
+    /// sharing a core add only a fraction of a core's power.
+    pub fn effective_cores(&self, threads: usize) -> f64 {
+        let physical = threads.min(self.cores) as f64;
+        let ht_extra = threads.saturating_sub(self.cores) as f64;
+        physical + 0.18 * ht_extra
+    }
+
+    /// Package power in watts at frequency `freq_ghz` with `threads` busy
+    /// threads at average utilization `utilization ∈ [0, 1]`.
+    pub fn package_power(&self, freq_ghz: f64, threads: usize, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let n_eff = self.effective_cores(threads);
+        let per_core = self.alpha * freq_ghz + self.beta * freq_ghz.powi(3);
+        self.static_power + n_eff * per_core * (0.55 + 0.45 * u)
+    }
+
+    /// The highest frequency (GHz) sustainable under `cap_watts` with
+    /// `threads` busy threads at the given utilization. Clamped to the
+    /// machine's frequency range; if even the minimum frequency exceeds the
+    /// cap the minimum frequency is returned (RAPL cannot go lower and will
+    /// simply run at the floor).
+    pub fn freq_at_cap(&self, cap_watts: f64, threads: usize, utilization: f64) -> f64 {
+        if self.package_power(self.max_freq, threads, utilization) <= cap_watts {
+            return self.max_freq;
+        }
+        if self.package_power(self.min_freq, threads, utilization) >= cap_watts {
+            return self.min_freq;
+        }
+        // Bisection on the monotone power curve.
+        let (mut lo, mut hi) = (self.min_freq, self.max_freq);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.package_power(mid, threads, utilization) > cap_watts {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// Actual average package power drawn when running under a cap: the
+    /// model power at the throttled frequency, never above the cap unless the
+    /// frequency floor forces it.
+    pub fn power_under_cap(&self, cap_watts: f64, threads: usize, utilization: f64) -> f64 {
+        let f = self.freq_at_cap(cap_watts, threads, utilization);
+        self.package_power(f, threads, utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{haswell, skylake};
+
+    #[test]
+    fn calibration_hits_tdp_at_base_frequency() {
+        for spec in [haswell(), skylake()] {
+            let pm = PowerModel::for_machine(&spec);
+            let p = pm.package_power(spec.base_freq_ghz, spec.total_cores(), 1.0);
+            assert!(
+                (p - spec.tdp_watts).abs() / spec.tdp_watts < 0.02,
+                "{}: {p} vs TDP {}",
+                spec.name,
+                spec.tdp_watts
+            );
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_threads_and_utilization() {
+        let pm = PowerModel::for_machine(&haswell());
+        assert!(pm.package_power(2.0, 16, 1.0) > pm.package_power(1.5, 16, 1.0));
+        assert!(pm.package_power(2.0, 16, 1.0) > pm.package_power(2.0, 8, 1.0));
+        assert!(pm.package_power(2.0, 16, 1.0) > pm.package_power(2.0, 16, 0.3));
+    }
+
+    #[test]
+    fn lower_caps_give_lower_frequencies() {
+        let spec = haswell();
+        let pm = PowerModel::for_machine(&spec);
+        let f40 = pm.freq_at_cap(40.0, 32, 1.0);
+        let f60 = pm.freq_at_cap(60.0, 32, 1.0);
+        let f85 = pm.freq_at_cap(85.0, 32, 1.0);
+        assert!(f40 < f60 && f60 < f85, "{f40} {f60} {f85}");
+        assert!(f40 >= spec.min_freq_ghz);
+        assert!(f85 <= spec.max_freq_ghz);
+    }
+
+    #[test]
+    fn fewer_threads_run_faster_under_the_same_cap() {
+        let pm = PowerModel::for_machine(&skylake());
+        let few = pm.freq_at_cap(75.0, 8, 1.0);
+        let many = pm.freq_at_cap(75.0, 64, 1.0);
+        assert!(few > many, "{few} vs {many}");
+    }
+
+    #[test]
+    fn power_under_cap_respects_the_cap_when_feasible() {
+        let pm = PowerModel::for_machine(&skylake());
+        for cap in [75.0, 100.0, 120.0, 150.0] {
+            for threads in [1usize, 8, 32, 64] {
+                let p = pm.power_under_cap(cap, threads, 1.0);
+                assert!(
+                    p <= cap * 1.001 || (pm.freq_at_cap(cap, threads, 1.0) - pm.min_freq).abs() < 1e-9,
+                    "cap {cap} threads {threads} power {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_tdp_single_thread_reaches_turbo() {
+        let spec = skylake();
+        let pm = PowerModel::for_machine(&spec);
+        let f = pm.freq_at_cap(spec.tdp_watts, 1, 1.0);
+        assert!((f - spec.max_freq_ghz).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hyperthreads_add_fractional_power() {
+        let pm = PowerModel::for_machine(&haswell());
+        let p16 = pm.package_power(2.0, 16, 1.0);
+        let p32 = pm.package_power(2.0, 32, 1.0);
+        assert!(p32 > p16);
+        assert!(p32 - p16 < (p16 - pm.static_power) * 0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Energy and energy-delay-product accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of executing one region under one configuration: time, energy,
+/// and average power.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergySample {
+    /// Wall-clock execution time in seconds.
+    pub time_s: f64,
+    /// Package energy in joules.
+    pub energy_j: f64,
+}
+
+impl EnergySample {
+    /// Creates a sample.
+    pub fn new(time_s: f64, energy_j: f64) -> Self {
+        EnergySample { time_s, energy_j }
+    }
+
+    /// Average power in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.time_s
+        }
+    }
+
+    /// Energy-delay product in joule-seconds (the paper's fused metric,
+    /// `E · T` with equal weight on both).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Speedup of this sample relative to a baseline (baseline time / this
+    /// time).
+    pub fn speedup_over(&self, baseline: &EnergySample) -> f64 {
+        baseline.time_s / self.time_s
+    }
+
+    /// Greenup relative to a baseline (baseline energy / this energy), the
+    /// metric of Choi et al. used in the paper.
+    pub fn greenup_over(&self, baseline: &EnergySample) -> f64 {
+        baseline.energy_j / self.energy_j
+    }
+
+    /// EDP improvement factor relative to a baseline (>1 means better).
+    pub fn edp_improvement_over(&self, baseline: &EnergySample) -> f64 {
+        baseline.edp() / self.edp()
+    }
+}
+
+/// Energy-delay product of a `(time, energy)` pair.
+pub fn edp(time_s: f64, energy_j: f64) -> f64 {
+    time_s * energy_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_power_and_edp() {
+        let s = EnergySample::new(2.0, 100.0);
+        assert_eq!(s.average_power_w(), 50.0);
+        assert_eq!(s.edp(), 200.0);
+        assert_eq!(edp(2.0, 100.0), 200.0);
+    }
+
+    #[test]
+    fn zero_time_does_not_divide_by_zero() {
+        let s = EnergySample::new(0.0, 10.0);
+        assert_eq!(s.average_power_w(), 0.0);
+    }
+
+    #[test]
+    fn speedup_greenup_and_edp_improvement() {
+        let baseline = EnergySample::new(4.0, 200.0);
+        let tuned = EnergySample::new(2.0, 100.0);
+        assert_eq!(tuned.speedup_over(&baseline), 2.0);
+        assert_eq!(tuned.greenup_over(&baseline), 2.0);
+        assert_eq!(tuned.edp_improvement_over(&baseline), 4.0);
+    }
+
+    #[test]
+    fn race_to_halt_counterexample_is_expressible() {
+        // Faster is not always greener: tuned is quicker but uses more power.
+        let baseline = EnergySample::new(4.0, 200.0); // 50 W
+        let tuned = EnergySample::new(3.0, 240.0); // 80 W
+        assert!(tuned.speedup_over(&baseline) > 1.0);
+        assert!(tuned.greenup_over(&baseline) < 1.0);
+    }
+}

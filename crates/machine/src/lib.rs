@@ -1,0 +1,41 @@
+//! # pnp-machine
+//!
+//! The hardware substrate the paper's experiments run on, rebuilt as an
+//! analytic simulator:
+//!
+//! * [`MachineSpec`] — descriptions of the two testbeds (a 16-core dual-socket
+//!   Haswell and a 32-core dual-socket Skylake) with core counts, frequency
+//!   ranges, cache hierarchy, memory bandwidth, and package power limits.
+//! * [`rapl`] / [`variorum`] — a Running-Average-Power-Limit style interface
+//!   for applying package power caps and reading energy counters, wrapped in
+//!   a Variorum-like facade (the tool the paper uses).
+//! * [`dvfs`] — the power/frequency model: under a package power cap the
+//!   sustained frequency drops as more cores are active; compute-bound code
+//!   therefore slows down more than memory-bound code, which is the central
+//!   mechanism behind power-constrained tuning.
+//! * [`cache`] / [`counters`] — an analytic cache-miss model and PAPI-style
+//!   counter set (L1/L2/L3 misses, instructions, branch mispredictions) used
+//!   as the *dynamic features* of the PnP tuner.
+//! * [`energy`] — energy/EDP accounting.
+//!
+//! This substitutes for real RAPL/Variorum/PAPI access (unavailable in a
+//! container), while preserving the qualitative behaviour the paper's tuning
+//! problem depends on; see DESIGN.md for the substitution argument.
+
+pub mod machine;
+pub mod presets;
+pub mod rapl;
+pub mod variorum;
+pub mod dvfs;
+pub mod cache;
+pub mod counters;
+pub mod energy;
+
+pub use cache::CacheHierarchy;
+pub use counters::CounterSet;
+pub use dvfs::PowerModel;
+pub use energy::{edp, EnergySample};
+pub use machine::MachineSpec;
+pub use presets::{haswell, skylake};
+pub use rapl::{PowerCapError, RaplDomain, RaplPackage};
+pub use variorum::Variorum;

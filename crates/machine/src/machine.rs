@@ -1,0 +1,152 @@
+//! Machine descriptions.
+
+use crate::cache::CacheHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// A description of a multi-core, multi-socket machine — the static facts the
+/// performance and power models need.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name (e.g. `"skylake"`).
+    pub name: String,
+    /// Number of sockets (packages).
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Minimum sustainable core frequency in GHz.
+    pub min_freq_ghz: f64,
+    /// Nominal (base) frequency in GHz.
+    pub base_freq_ghz: f64,
+    /// Maximum (turbo) frequency in GHz.
+    pub max_freq_ghz: f64,
+    /// Package thermal design power in watts (per machine, both sockets).
+    pub tdp_watts: f64,
+    /// Minimum supported package power cap in watts.
+    pub min_power_watts: f64,
+    /// Idle/static power in watts (uncore, DRAM refresh, leakage).
+    pub static_power_watts: f64,
+    /// Peak double-precision FLOPs per cycle per core (SIMD width × FMA).
+    pub flops_per_cycle: f64,
+    /// Sustained memory bandwidth in GB/s (whole machine).
+    pub mem_bandwidth_gbs: f64,
+    /// Cache hierarchy.
+    pub cache: CacheHierarchy,
+    /// Per-chunk scheduling overhead of the OpenMP runtime in microseconds
+    /// (cost of one dynamic/guided dispatch).
+    pub sched_overhead_us: f64,
+    /// Fork/join + barrier overhead per thread in microseconds.
+    pub fork_join_us_per_thread: f64,
+}
+
+impl MachineSpec {
+    /// Total physical core count.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware thread count.
+    pub fn total_hw_threads(&self) -> usize {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// The power-cap levels used by the paper's search space for this
+    /// machine (Table I): four levels from the minimum cap to TDP.
+    pub fn default_power_levels(&self) -> Vec<f64> {
+        match self.name.as_str() {
+            "haswell" => vec![40.0, 60.0, 70.0, 85.0],
+            "skylake" => vec![75.0, 100.0, 120.0, 150.0],
+            _ => {
+                // Generic: min, ~2/3, ~5/6, TDP.
+                let lo = self.min_power_watts;
+                let hi = self.tdp_watts;
+                vec![lo, lo + (hi - lo) * 0.45, lo + (hi - lo) * 0.7, hi]
+            }
+        }
+    }
+
+    /// The thread counts exposed in the tuning search space for this machine
+    /// (Table I): powers of two up to the hardware thread count.
+    pub fn default_thread_counts(&self) -> Vec<usize> {
+        match self.name.as_str() {
+            "haswell" => vec![1, 2, 4, 8, 16, 32],
+            "skylake" => vec![1, 4, 8, 16, 32, 64],
+            _ => {
+                let mut v = vec![1];
+                let mut t = 2;
+                while t <= self.total_hw_threads() {
+                    v.push(t);
+                    t *= 2;
+                }
+                v
+            }
+        }
+    }
+
+    /// The default OpenMP thread count (`OMP_NUM_THREADS` unset): every
+    /// hardware thread.
+    pub fn default_threads(&self) -> usize {
+        self.total_hw_threads()
+    }
+
+    /// Peak double-precision GFLOP/s at a given frequency with `cores` active.
+    pub fn peak_gflops(&self, cores: usize, freq_ghz: f64) -> f64 {
+        cores as f64 * freq_ghz * self.flops_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::{haswell, skylake};
+
+    #[test]
+    fn core_counts_match_the_paper() {
+        let h = haswell();
+        let s = skylake();
+        assert_eq!(h.total_cores(), 16);
+        assert_eq!(h.total_hw_threads(), 32);
+        assert_eq!(s.total_cores(), 32);
+        assert_eq!(s.total_hw_threads(), 64);
+    }
+
+    #[test]
+    fn power_levels_match_table_one() {
+        assert_eq!(haswell().default_power_levels(), vec![40.0, 60.0, 70.0, 85.0]);
+        assert_eq!(
+            skylake().default_power_levels(),
+            vec![75.0, 100.0, 120.0, 150.0]
+        );
+    }
+
+    #[test]
+    fn thread_counts_match_table_one() {
+        assert_eq!(haswell().default_thread_counts(), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(skylake().default_thread_counts(), vec![1, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn default_threads_is_all_hw_threads() {
+        assert_eq!(haswell().default_threads(), 32);
+        assert_eq!(skylake().default_threads(), 64);
+    }
+
+    #[test]
+    fn peak_gflops_scales_with_cores_and_frequency() {
+        let s = skylake();
+        let one = s.peak_gflops(1, 2.0);
+        let many = s.peak_gflops(32, 2.0);
+        assert!((many / one - 32.0).abs() < 1e-9);
+        assert!(s.peak_gflops(1, 3.0) > one);
+    }
+
+    #[test]
+    fn generic_machine_power_levels_are_monotone() {
+        let mut m = haswell();
+        m.name = "custom".into();
+        let levels = m.default_power_levels();
+        assert_eq!(levels.len(), 4);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!((levels[3] - m.tdp_watts).abs() < 1e-9);
+    }
+}

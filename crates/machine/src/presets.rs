@@ -1,0 +1,115 @@
+//! The two testbed machines used in the paper's evaluation.
+
+use crate::cache::CacheHierarchy;
+use crate::machine::MachineSpec;
+
+/// The Haswell testbed: a dual-socket Intel Xeon E5-2630 v3 — 16 cores,
+/// 2 hyper-threads per core, package power range 40–85 W (Section IV-A).
+pub fn haswell() -> MachineSpec {
+    MachineSpec {
+        name: "haswell".into(),
+        sockets: 2,
+        cores_per_socket: 8,
+        threads_per_core: 2,
+        min_freq_ghz: 1.2,
+        base_freq_ghz: 2.4,
+        max_freq_ghz: 3.2,
+        tdp_watts: 85.0,
+        min_power_watts: 40.0,
+        static_power_watts: 18.0,
+        // 4-wide AVX2 FMA: 2 × 4 × 2 = 16 DP flops/cycle is the theoretical
+        // peak; sustained codes reach far less, use a realistic 8.
+        flops_per_cycle: 8.0,
+        mem_bandwidth_gbs: 59.0,
+        cache: CacheHierarchy {
+            l1_kib: 32.0,
+            l2_kib: 256.0,
+            l3_mib: 20.0,
+            line_bytes: 64.0,
+            l1_latency_cycles: 4.0,
+            l2_latency_cycles: 12.0,
+            l3_latency_cycles: 34.0,
+            dram_latency_ns: 90.0,
+        },
+        sched_overhead_us: 0.35,
+        fork_join_us_per_thread: 0.9,
+    }
+}
+
+/// The Skylake testbed: a dual-socket Intel Xeon Gold 6142 — 32 cores,
+/// 2 hyper-threads per core, package power range 75–150 W (Section IV-A).
+pub fn skylake() -> MachineSpec {
+    MachineSpec {
+        name: "skylake".into(),
+        sockets: 2,
+        cores_per_socket: 16,
+        threads_per_core: 2,
+        min_freq_ghz: 1.0,
+        base_freq_ghz: 2.6,
+        max_freq_ghz: 3.7,
+        tdp_watts: 150.0,
+        min_power_watts: 75.0,
+        static_power_watts: 28.0,
+        // AVX-512 FMA peak is 32 DP flops/cycle; sustained realistic value.
+        flops_per_cycle: 12.0,
+        mem_bandwidth_gbs: 119.0,
+        cache: CacheHierarchy {
+            l1_kib: 32.0,
+            l2_kib: 1024.0,
+            l3_mib: 22.0,
+            line_bytes: 64.0,
+            l1_latency_cycles: 4.0,
+            l2_latency_cycles: 14.0,
+            l3_latency_cycles: 44.0,
+            dram_latency_ns: 85.0,
+        },
+        sched_overhead_us: 0.3,
+        fork_join_us_per_thread: 0.7,
+    }
+}
+
+/// Both testbeds, in the order the paper reports them.
+pub fn all_machines() -> Vec<MachineSpec> {
+    vec![skylake(), haswell()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdp_and_min_power_match_the_paper() {
+        let h = haswell();
+        assert_eq!(h.tdp_watts, 85.0);
+        assert_eq!(h.min_power_watts, 40.0);
+        let s = skylake();
+        assert_eq!(s.tdp_watts, 150.0);
+        assert_eq!(s.min_power_watts, 75.0);
+    }
+
+    #[test]
+    fn skylake_is_bigger_than_haswell() {
+        let h = haswell();
+        let s = skylake();
+        assert!(s.total_cores() > h.total_cores());
+        assert!(s.mem_bandwidth_gbs > h.mem_bandwidth_gbs);
+        assert!(s.peak_gflops(s.total_cores(), s.base_freq_ghz) > h.peak_gflops(h.total_cores(), h.base_freq_ghz));
+    }
+
+    #[test]
+    fn all_machines_lists_both() {
+        let ms = all_machines();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "skylake");
+        assert_eq!(ms[1].name, "haswell");
+    }
+
+    #[test]
+    fn frequencies_are_ordered() {
+        for m in all_machines() {
+            assert!(m.min_freq_ghz < m.base_freq_ghz);
+            assert!(m.base_freq_ghz < m.max_freq_ghz);
+            assert!(m.static_power_watts < m.min_power_watts);
+        }
+    }
+}

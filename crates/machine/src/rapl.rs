@@ -1,0 +1,227 @@
+//! A RAPL-style power capping and energy metering interface.
+//!
+//! On the real testbeds the paper constrains package power through the
+//! Running Average Power Limit MSRs (via Variorum) and reads energy through
+//! the RAPL energy status counters (via PAPI). This module models the same
+//! interface: per-package domains with a settable power limit and a
+//! monotonically increasing energy counter, including the counter's 32-bit
+//! wraparound behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from power-cap operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PowerCapError {
+    /// Requested cap below the platform minimum.
+    BelowMinimum {
+        /// Requested watts.
+        requested: f64,
+        /// Minimum supported watts.
+        minimum: f64,
+    },
+    /// Requested cap above TDP.
+    AboveMaximum {
+        /// Requested watts.
+        requested: f64,
+        /// Maximum supported watts (TDP).
+        maximum: f64,
+    },
+}
+
+impl fmt::Display for PowerCapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerCapError::BelowMinimum { requested, minimum } => write!(
+                f,
+                "requested power cap {requested:.1} W is below the platform minimum {minimum:.1} W"
+            ),
+            PowerCapError::AboveMaximum { requested, maximum } => write!(
+                f,
+                "requested power cap {requested:.1} W is above the platform maximum {maximum:.1} W"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PowerCapError {}
+
+/// One RAPL package domain (a socket).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RaplDomain {
+    /// Socket index.
+    pub socket: usize,
+    /// Current package power limit in watts.
+    pub power_limit_watts: f64,
+    /// Minimum settable limit in watts.
+    pub min_watts: f64,
+    /// Maximum settable limit (TDP share) in watts.
+    pub max_watts: f64,
+    /// Energy counter in micro-joules (wraps like the real 32-bit MSR).
+    energy_uj: u64,
+    /// Total energy ever accumulated, for convenience (no wraparound).
+    total_energy_j: f64,
+}
+
+/// Wraparound limit of the energy status counter (32-bit micro-joules).
+const ENERGY_WRAP_UJ: u64 = u32::MAX as u64;
+
+impl RaplDomain {
+    /// Creates a domain with the limit set to its maximum (no constraint).
+    pub fn new(socket: usize, min_watts: f64, max_watts: f64) -> Self {
+        RaplDomain {
+            socket,
+            power_limit_watts: max_watts,
+            min_watts,
+            max_watts,
+            energy_uj: 0,
+            total_energy_j: 0.0,
+        }
+    }
+
+    /// Sets the package power limit.
+    pub fn set_power_limit(&mut self, watts: f64) -> Result<(), PowerCapError> {
+        if watts < self.min_watts {
+            return Err(PowerCapError::BelowMinimum {
+                requested: watts,
+                minimum: self.min_watts,
+            });
+        }
+        if watts > self.max_watts {
+            return Err(PowerCapError::AboveMaximum {
+                requested: watts,
+                maximum: self.max_watts,
+            });
+        }
+        self.power_limit_watts = watts;
+        Ok(())
+    }
+
+    /// Accumulates `joules` of consumed energy into the counter.
+    pub fn add_energy(&mut self, joules: f64) {
+        assert!(joules >= 0.0, "energy cannot decrease");
+        self.total_energy_j += joules;
+        let uj = (joules * 1e6) as u64;
+        self.energy_uj = (self.energy_uj + uj) % ENERGY_WRAP_UJ;
+    }
+
+    /// Raw energy counter in micro-joules (wraps around like hardware).
+    pub fn energy_counter_uj(&self) -> u64 {
+        self.energy_uj
+    }
+
+    /// Total energy in joules since creation (never wraps).
+    pub fn total_energy_joules(&self) -> f64 {
+        self.total_energy_j
+    }
+}
+
+/// All RAPL package domains of a machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RaplPackage {
+    /// One domain per socket.
+    pub domains: Vec<RaplDomain>,
+}
+
+impl RaplPackage {
+    /// Creates one domain per socket; `min_watts`/`max_watts` are machine
+    /// totals split evenly across sockets.
+    pub fn new(sockets: usize, min_watts: f64, max_watts: f64) -> Self {
+        let per = sockets.max(1) as f64;
+        RaplPackage {
+            domains: (0..sockets)
+                .map(|s| RaplDomain::new(s, min_watts / per, max_watts / per))
+                .collect(),
+        }
+    }
+
+    /// Sets a machine-wide power limit by splitting it evenly across sockets.
+    pub fn set_node_power_limit(&mut self, watts: f64) -> Result<(), PowerCapError> {
+        let per = watts / self.domains.len().max(1) as f64;
+        for d in &mut self.domains {
+            d.set_power_limit(per)?;
+        }
+        Ok(())
+    }
+
+    /// Current machine-wide limit (sum over sockets).
+    pub fn node_power_limit(&self) -> f64 {
+        self.domains.iter().map(|d| d.power_limit_watts).sum()
+    }
+
+    /// Adds machine-wide energy, split evenly across sockets.
+    pub fn add_node_energy(&mut self, joules: f64) {
+        let per = joules / self.domains.len().max(1) as f64;
+        for d in &mut self.domains {
+            d.add_energy(per);
+        }
+    }
+
+    /// Total machine energy in joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.domains.iter().map(|d| d.total_energy_joules()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_limit_within_range_succeeds() {
+        let mut d = RaplDomain::new(0, 20.0, 42.5);
+        assert!(d.set_power_limit(30.0).is_ok());
+        assert_eq!(d.power_limit_watts, 30.0);
+    }
+
+    #[test]
+    fn out_of_range_limits_are_rejected() {
+        let mut d = RaplDomain::new(0, 20.0, 42.5);
+        assert!(matches!(
+            d.set_power_limit(10.0),
+            Err(PowerCapError::BelowMinimum { .. })
+        ));
+        assert!(matches!(
+            d.set_power_limit(50.0),
+            Err(PowerCapError::AboveMaximum { .. })
+        ));
+        // limit unchanged after failed attempts
+        assert_eq!(d.power_limit_watts, 42.5);
+    }
+
+    #[test]
+    fn energy_counter_wraps_but_total_does_not() {
+        let mut d = RaplDomain::new(0, 10.0, 50.0);
+        // 5000 J = 5e9 µJ > 2^32 µJ, so the raw counter must wrap.
+        d.add_energy(5000.0);
+        assert!(d.energy_counter_uj() < ENERGY_WRAP_UJ);
+        assert!((d.total_energy_joules() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_splits_across_sockets() {
+        let mut p = RaplPackage::new(2, 40.0, 85.0);
+        p.set_node_power_limit(60.0).unwrap();
+        assert!((p.node_power_limit() - 60.0).abs() < 1e-9);
+        for d in &p.domains {
+            assert!((d.power_limit_watts - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_energy_accumulates_over_domains() {
+        let mut p = RaplPackage::new(2, 40.0, 85.0);
+        p.add_node_energy(100.0);
+        p.add_node_energy(50.0);
+        assert!((p.total_energy_joules() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = PowerCapError::BelowMinimum {
+            requested: 10.0,
+            minimum: 20.0,
+        };
+        assert!(e.to_string().contains("below"));
+    }
+}

@@ -1,0 +1,117 @@
+//! A Variorum-like facade over the RAPL model.
+//!
+//! The paper uses LLNL's Variorum library to apply power caps and read power
+//! data without touching MSRs directly. This facade provides the same small
+//! API surface over [`crate::rapl`]: node-level best-effort power capping and
+//! power/energy queries, bound to one machine's [`PowerModel`].
+
+use crate::dvfs::PowerModel;
+use crate::machine::MachineSpec;
+use crate::rapl::{PowerCapError, RaplPackage};
+use serde::{Deserialize, Serialize};
+
+/// Handle for applying power caps and reading power on one (simulated) node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Variorum {
+    /// The machine being controlled.
+    pub machine: MachineSpec,
+    /// Calibrated power model.
+    pub power_model: PowerModel,
+    rapl: RaplPackage,
+}
+
+impl Variorum {
+    /// Opens a handle on a machine, with the cap initially at TDP.
+    pub fn new(machine: MachineSpec) -> Self {
+        let power_model = PowerModel::for_machine(&machine);
+        let rapl = RaplPackage::new(machine.sockets, machine.min_power_watts, machine.tdp_watts);
+        Variorum {
+            machine,
+            power_model,
+            rapl,
+        }
+    }
+
+    /// `variorum_cap_best_effort_node_power_limit`: applies a node-wide cap.
+    pub fn cap_node_power_limit(&mut self, watts: f64) -> Result<(), PowerCapError> {
+        self.rapl.set_node_power_limit(watts)
+    }
+
+    /// The currently applied node power cap in watts.
+    pub fn node_power_limit(&self) -> f64 {
+        self.rapl.node_power_limit()
+    }
+
+    /// The sustained core frequency under the current cap for a workload
+    /// using `threads` threads at the given utilization.
+    pub fn sustained_frequency_ghz(&self, threads: usize, utilization: f64) -> f64 {
+        self.power_model
+            .freq_at_cap(self.node_power_limit(), threads, utilization)
+    }
+
+    /// Average node power drawn by such a workload under the current cap.
+    pub fn node_power_watts(&self, threads: usize, utilization: f64) -> f64 {
+        self.power_model
+            .power_under_cap(self.node_power_limit(), threads, utilization)
+    }
+
+    /// Records that a region ran for `seconds` at `threads`/`utilization`,
+    /// charging the corresponding energy to the RAPL counters and returning
+    /// the energy in joules.
+    pub fn record_execution(&mut self, seconds: f64, threads: usize, utilization: f64) -> f64 {
+        let power = self.node_power_watts(threads, utilization);
+        let energy = power * seconds;
+        self.rapl.add_node_energy(energy);
+        energy
+    }
+
+    /// Total energy charged so far, in joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.rapl.total_energy_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::haswell;
+
+    #[test]
+    fn capping_reduces_sustained_frequency() {
+        let mut v = Variorum::new(haswell());
+        let f_tdp = v.sustained_frequency_ghz(32, 1.0);
+        v.cap_node_power_limit(40.0).unwrap();
+        let f_low = v.sustained_frequency_ghz(32, 1.0);
+        assert!(f_low < f_tdp);
+    }
+
+    #[test]
+    fn invalid_caps_are_rejected() {
+        let mut v = Variorum::new(haswell());
+        assert!(v.cap_node_power_limit(10.0).is_err());
+        assert!(v.cap_node_power_limit(500.0).is_err());
+        assert!(v.cap_node_power_limit(60.0).is_ok());
+        assert!((v.node_power_limit() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_energy_equals_power_times_time() {
+        let mut v = Variorum::new(haswell());
+        v.cap_node_power_limit(70.0).unwrap();
+        let p = v.node_power_watts(16, 0.8);
+        let e = v.record_execution(2.0, 16, 0.8);
+        assert!((e - 2.0 * p).abs() < 1e-9);
+        assert!((v.total_energy_joules() - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_never_exceeds_cap_when_feasible() {
+        let mut v = Variorum::new(haswell());
+        for cap in [40.0, 60.0, 70.0, 85.0] {
+            v.cap_node_power_limit(cap).unwrap();
+            let p = v.node_power_watts(32, 1.0);
+            let at_floor = (v.sustained_frequency_ghz(32, 1.0) - v.power_model.min_freq).abs() < 1e-9;
+            assert!(p <= cap * 1.001 || at_floor, "cap {cap}: power {p}");
+        }
+    }
+}

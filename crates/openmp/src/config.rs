@@ -1,0 +1,140 @@
+//! OpenMP runtime configurations — the tuned parameters.
+
+use pnp_machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Loop scheduling policy (`OMP_SCHEDULE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Iterations divided into chunks assigned round-robin up front.
+    Static,
+    /// Chunks handed to threads on demand.
+    Dynamic,
+    /// Exponentially decreasing chunk sizes handed out on demand.
+    Guided,
+}
+
+impl Schedule {
+    /// All policies in the order of Table I.
+    pub fn all() -> [Schedule; 3] {
+        [Schedule::Static, Schedule::Dynamic, Schedule::Guided]
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schedule::Static => write!(f, "STATIC"),
+            Schedule::Dynamic => write!(f, "DYNAMIC"),
+            Schedule::Guided => write!(f, "GUIDED"),
+        }
+    }
+}
+
+/// One OpenMP runtime configuration: the triple the tuner selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OmpConfig {
+    /// `OMP_NUM_THREADS`.
+    pub threads: usize,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Chunk size; `None` means the implementation default (whole-range /
+    /// trip-count ÷ threads for static, 1 for dynamic/guided).
+    pub chunk: Option<usize>,
+}
+
+impl OmpConfig {
+    /// Creates a configuration.
+    pub fn new(threads: usize, schedule: Schedule, chunk: Option<usize>) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        if let Some(c) = chunk {
+            assert!(c > 0, "chunk size must be positive");
+        }
+        OmpConfig {
+            threads,
+            schedule,
+            chunk,
+        }
+    }
+
+    /// The effective chunk size for a loop with `iterations` iterations.
+    pub fn effective_chunk(&self, iterations: usize) -> usize {
+        match (self.chunk, self.schedule) {
+            (Some(c), _) => c.max(1),
+            (None, Schedule::Static) => iterations.div_ceil(self.threads.max(1)).max(1),
+            (None, _) => 1,
+        }
+    }
+}
+
+impl fmt::Display for OmpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.chunk {
+            Some(c) => write!(f, "{} threads, {}, chunk {}", self.threads, self.schedule, c),
+            None => write!(f, "{} threads, {}, default chunk", self.threads, self.schedule),
+        }
+    }
+}
+
+/// The *default* OpenMP configuration the paper compares against: all
+/// hardware threads, static scheduling, compiler-defined (default) chunk.
+pub fn default_config(machine: &MachineSpec) -> OmpConfig {
+    OmpConfig {
+        threads: machine.default_threads(),
+        schedule: Schedule::Static,
+        chunk: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_machine::{haswell, skylake};
+
+    #[test]
+    fn default_config_uses_all_threads_static() {
+        let c = default_config(&haswell());
+        assert_eq!(c.threads, 32);
+        assert_eq!(c.schedule, Schedule::Static);
+        assert_eq!(c.chunk, None);
+        assert_eq!(default_config(&skylake()).threads, 64);
+    }
+
+    #[test]
+    fn effective_chunk_defaults() {
+        let c = OmpConfig::new(8, Schedule::Static, None);
+        assert_eq!(c.effective_chunk(800), 100);
+        assert_eq!(c.effective_chunk(7), 1);
+        let d = OmpConfig::new(8, Schedule::Dynamic, None);
+        assert_eq!(d.effective_chunk(800), 1);
+        let g = OmpConfig::new(8, Schedule::Guided, Some(32));
+        assert_eq!(g.effective_chunk(800), 32);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = OmpConfig::new(16, Schedule::Dynamic, Some(64));
+        assert_eq!(c.to_string(), "16 threads, DYNAMIC, chunk 64");
+        let d = OmpConfig::new(4, Schedule::Static, None);
+        assert!(d.to_string().contains("default chunk"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        OmpConfig::new(0, Schedule::Static, None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rejected() {
+        OmpConfig::new(4, Schedule::Static, Some(0));
+    }
+
+    #[test]
+    fn schedules_enumerate_all_three() {
+        assert_eq!(Schedule::all().len(), 3);
+        assert_eq!(Schedule::Static.to_string(), "STATIC");
+    }
+}

@@ -1,0 +1,220 @@
+//! A real shared-memory worksharing executor.
+//!
+//! This is the "OpenMP runtime" a downstream user of the library actually
+//! runs code with: `parallel_for` divides an iteration space among OS threads
+//! according to an [`OmpConfig`] — static chunks are bound round-robin up
+//! front, dynamic and guided chunks are grabbed from a shared queue — exactly
+//! the semantics the analytic simulator models. Examples and integration
+//! tests use it to execute the benchmark kernels for real.
+
+use crate::config::{OmpConfig, Schedule};
+use crate::schedule::{chunks_for, static_assignment, Chunk};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A lightweight fork/join executor.
+///
+/// Threads are spawned per parallel region (like an OpenMP runtime without a
+/// persistent team); for the kernel sizes used in the examples the spawn cost
+/// is negligible, and it keeps the executor free of shared mutable state.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    config: OmpConfig,
+}
+
+impl ThreadPool {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: OmpConfig) -> Self {
+        ThreadPool { config }
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &OmpConfig {
+        &self.config
+    }
+
+    /// Runs `body(i)` for every `i` in `0..iterations`, in parallel, using
+    /// the configured schedule.
+    pub fn parallel_for<F>(&self, iterations: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if iterations == 0 {
+            return;
+        }
+        let threads = self.config.threads.min(iterations).max(1);
+        let chunks = chunks_for(iterations, &self.config);
+
+        match self.config.schedule {
+            Schedule::Static => {
+                let assignment = static_assignment(&chunks, threads);
+                std::thread::scope(|scope| {
+                    for thread_chunks in assignment.iter().filter(|c| !c.is_empty()) {
+                        let body = &body;
+                        scope.spawn(move || {
+                            for c in thread_chunks {
+                                for i in c.start..c.start + c.len {
+                                    body(i);
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            Schedule::Dynamic | Schedule::Guided => {
+                let next = AtomicUsize::new(0);
+                let chunks_ref: &[Chunk] = &chunks;
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let body = &body;
+                        let next = &next;
+                        scope.spawn(move || loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(c) = chunks_ref.get(k) else { break };
+                            for i in c.start..c.start + c.len {
+                                body(i);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel sum reduction: computes `Σ body(i)` over `0..iterations`.
+    pub fn parallel_reduce_sum<F>(&self, iterations: usize, body: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        if iterations == 0 {
+            return 0.0;
+        }
+        let threads = self.config.threads.min(iterations).max(1);
+        let chunks = chunks_for(iterations, &self.config);
+        let partials: Vec<f64> = match self.config.schedule {
+            Schedule::Static => {
+                let assignment = static_assignment(&chunks, threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = assignment
+                        .iter()
+                        .map(|thread_chunks| {
+                            let body = &body;
+                            scope.spawn(move || {
+                                let mut acc = 0.0;
+                                for c in thread_chunks {
+                                    for i in c.start..c.start + c.len {
+                                        acc += body(i);
+                                    }
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            }
+            Schedule::Dynamic | Schedule::Guided => {
+                let next = AtomicUsize::new(0);
+                let chunks_ref: &[Chunk] = &chunks;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let body = &body;
+                            let next = &next;
+                            scope.spawn(move || {
+                                let mut acc = 0.0;
+                                loop {
+                                    let k = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(c) = chunks_ref.get(k) else { break };
+                                    for i in c.start..c.start + c.len {
+                                        acc += body(i);
+                                    }
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            }
+        };
+        partials.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn all_configs() -> Vec<OmpConfig> {
+        let mut v = Vec::new();
+        for threads in [1usize, 2, 4] {
+            for schedule in Schedule::all() {
+                for chunk in [None, Some(1), Some(16)] {
+                    v.push(OmpConfig::new(threads, schedule, chunk));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_iteration_executes_exactly_once() {
+        for config in all_configs() {
+            let n = 1000;
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ThreadPool::new(config).parallel_for(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "config {config} executed some iteration != once"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_matches_serial_sum() {
+        let n = 10_000;
+        let expected: f64 = (0..n).map(|i| (i as f64).sqrt()).sum();
+        for config in all_configs() {
+            let got = ThreadPool::new(config).parallel_reduce_sum(n, |i| (i as f64).sqrt());
+            assert!(
+                (got - expected).abs() / expected < 1e-9,
+                "config {config}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_a_no_op() {
+        let pool = ThreadPool::new(OmpConfig::new(4, Schedule::Dynamic, Some(4)));
+        pool.parallel_for(0, |_| panic!("must not run"));
+        assert_eq!(pool.parallel_reduce_sum(0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn dynamic_schedule_actually_uses_multiple_threads() {
+        let pool = ThreadPool::new(OmpConfig::new(4, Schedule::Dynamic, Some(1)));
+        let ids = Mutex::new(HashSet::new());
+        pool.parallel_for(64, |_| {
+            ids.lock().insert(std::thread::current().id());
+            // Give other threads a chance to grab chunks.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(ids.lock().len() > 1, "expected more than one worker thread");
+    }
+
+    #[test]
+    fn writes_through_disjoint_indices_are_visible() {
+        let n = 4096;
+        let data: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let pool = ThreadPool::new(OmpConfig::new(4, Schedule::Guided, Some(8)));
+        pool.parallel_for(n, |i| data[i].store(i as u64 * 3, Ordering::Relaxed));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), i as u64 * 3);
+        }
+    }
+}

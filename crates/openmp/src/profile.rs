@@ -1,0 +1,238 @@
+//! Workload profiles: the per-region execution characteristics that drive the
+//! analytic simulator.
+//!
+//! Each benchmark region in `pnp-benchmarks` carries one of these profiles,
+//! derived from the kernel's loop structure and array footprint. The profile
+//! plays the role of "what the code does to the machine" while the code graph
+//! plays the role of "what the code looks like" — the learning task is to
+//! recover the former's consequences from the latter.
+
+pub use pnp_machine::cache::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// Shape of per-iteration cost variation across the iteration space; this is
+/// what makes scheduling policy and chunk size matter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ImbalanceShape {
+    /// All iterations cost the same (dense linear algebra).
+    Uniform,
+    /// Cost grows linearly across the iteration space (triangular loops such
+    /// as factorizations: later rows touch fewer/more elements).
+    Ramp,
+    /// A small fraction of iterations near the front is much more expensive
+    /// (e.g. surface cells, boundary handling).
+    FrontLoaded,
+    /// Irregular, data-dependent cost (Monte Carlo particle tracking,
+    /// adaptive refinement); modelled as deterministic pseudo-random spikes.
+    RandomSpikes,
+}
+
+/// Per-region workload characterization.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// Region name (matches the `RegionSource` / code-graph name).
+    pub name: String,
+    /// Number of iterations of the work-shared (outermost parallel) loop.
+    pub iterations: usize,
+    /// Double-precision floating-point operations per iteration.
+    pub flops_per_iter: f64,
+    /// Total instructions per iteration (integer + memory + branch + fp).
+    pub instructions_per_iter: f64,
+    /// Bytes of data touched per iteration (before cache filtering).
+    pub bytes_per_iter: f64,
+    /// Working-set size per thread in bytes (what competes for cache).
+    pub working_set_bytes: f64,
+    /// Memory access pattern.
+    pub access_pattern: AccessPattern,
+    /// Branches per iteration.
+    pub branches_per_iter: f64,
+    /// Fraction of branches mispredicted.
+    pub branch_mispredict_rate: f64,
+    /// Relative magnitude of per-iteration cost variation (0 = perfectly
+    /// balanced; 1 = the most expensive iterations cost ~2× the mean).
+    pub imbalance: f64,
+    /// Shape of the imbalance.
+    pub imbalance_shape: ImbalanceShape,
+    /// Fraction of the region's work that is inherently serial (executed by
+    /// one thread regardless of the configuration).
+    pub serial_fraction: f64,
+    /// Maximum useful parallelism beyond which extra threads only add
+    /// overhead (models small trip counts and sync-heavy regions).
+    pub scalability_limit: usize,
+}
+
+impl RegionProfile {
+    /// A reasonable default profile used as a starting point by builders.
+    pub fn balanced(name: &str, iterations: usize) -> Self {
+        RegionProfile {
+            name: name.to_string(),
+            iterations,
+            flops_per_iter: 100.0,
+            instructions_per_iter: 300.0,
+            bytes_per_iter: 200.0,
+            working_set_bytes: 1024.0 * 1024.0,
+            access_pattern: AccessPattern::Stencil,
+            branches_per_iter: 10.0,
+            branch_mispredict_rate: 0.02,
+            imbalance: 0.0,
+            imbalance_shape: ImbalanceShape::Uniform,
+            serial_fraction: 0.0,
+            scalability_limit: usize::MAX,
+        }
+    }
+
+    /// Relative cost of iteration `i` (mean cost is ~1.0). Deterministic so
+    /// that every tuner sees the same workload.
+    pub fn iteration_cost(&self, i: usize) -> f64 {
+        let n = self.iterations.max(1) as f64;
+        let x = i as f64 / n;
+        match self.imbalance_shape {
+            ImbalanceShape::Uniform => 1.0,
+            // mean of (1 + imb*x) over x∈[0,1] is 1 + imb/2; normalize to ~1
+            ImbalanceShape::Ramp => (1.0 + self.imbalance * x) / (1.0 + self.imbalance / 2.0),
+            ImbalanceShape::FrontLoaded => {
+                // first 10% of iterations cost (1 + 10·imb), the rest 1.0,
+                // normalized so the mean stays 1.
+                let spike = 1.0 + 10.0 * self.imbalance;
+                let mean = 0.1 * spike + 0.9;
+                if x < 0.1 {
+                    spike / mean
+                } else {
+                    1.0 / mean
+                }
+            }
+            ImbalanceShape::RandomSpikes => {
+                // Deterministic hash-based spikes: ~20% of iterations cost up
+                // to (1 + 4·imb)× the base.
+                let h = splitmix(i as u64);
+                let u = (h % 1000) as f64 / 1000.0;
+                let spike = if u < 0.2 { 1.0 + 4.0 * self.imbalance } else { 1.0 };
+                let mean = 0.2 * (1.0 + 4.0 * self.imbalance) + 0.8;
+                spike / mean
+            }
+        }
+    }
+
+    /// Total relative cost of the contiguous iteration range `[start, start+len)`.
+    ///
+    /// Closed-form for the smooth shapes; sampled for the spiky one when the
+    /// range is small and approximated by the mean when it is large.
+    pub fn range_cost(&self, start: usize, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let n = self.iterations.max(1) as f64;
+        match self.imbalance_shape {
+            ImbalanceShape::Uniform => len as f64,
+            ImbalanceShape::Ramp => {
+                // sum over i in [start, start+len) of (1 + imb*i/n) / (1 + imb/2)
+                let s = start as f64;
+                let l = len as f64;
+                let sum_x = l * (s + (l - 1.0) / 2.0) / n;
+                (l + self.imbalance * sum_x) / (1.0 + self.imbalance / 2.0)
+            }
+            ImbalanceShape::FrontLoaded => {
+                let spike = 1.0 + 10.0 * self.imbalance;
+                let mean = 0.1 * spike + 0.9;
+                let boundary = (0.1 * n) as usize;
+                let end = start + len;
+                let in_spike = end.min(boundary).saturating_sub(start);
+                let out_spike = len - in_spike;
+                (in_spike as f64 * spike + out_spike as f64) / mean
+            }
+            ImbalanceShape::RandomSpikes => {
+                if len <= 256 {
+                    (start..start + len).map(|i| self.iteration_cost(i)).sum()
+                } else {
+                    // Large ranges converge to the mean cost of 1 per iteration.
+                    len as f64
+                }
+            }
+        }
+    }
+
+    /// Total relative cost of the whole iteration space (≈ `iterations`).
+    pub fn total_cost(&self) -> f64 {
+        self.range_cost(0, self.iterations)
+    }
+}
+
+/// SplitMix64 hash for deterministic pseudo-random iteration costs.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(shape: ImbalanceShape, imbalance: f64) -> RegionProfile {
+        RegionProfile {
+            imbalance,
+            imbalance_shape: shape,
+            ..RegionProfile::balanced("p", 10_000)
+        }
+    }
+
+    #[test]
+    fn uniform_cost_is_one_per_iteration() {
+        let p = profile(ImbalanceShape::Uniform, 0.5);
+        assert_eq!(p.iteration_cost(0), 1.0);
+        assert_eq!(p.range_cost(100, 50), 50.0);
+        assert!((p.total_cost() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_costs_increase_but_mean_stays_one() {
+        let p = profile(ImbalanceShape::Ramp, 1.0);
+        assert!(p.iteration_cost(9_999) > p.iteration_cost(0));
+        let total = p.total_cost();
+        assert!((total / 10_000.0 - 1.0).abs() < 0.01, "mean {}", total / 10_000.0);
+    }
+
+    #[test]
+    fn front_loaded_spike_is_in_the_first_tenth() {
+        let p = profile(ImbalanceShape::FrontLoaded, 0.5);
+        assert!(p.iteration_cost(10) > p.iteration_cost(5_000));
+        let total = p.total_cost();
+        assert!((total / 10_000.0 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn range_cost_matches_sum_of_iteration_costs() {
+        for shape in [
+            ImbalanceShape::Uniform,
+            ImbalanceShape::Ramp,
+            ImbalanceShape::FrontLoaded,
+            ImbalanceShape::RandomSpikes,
+        ] {
+            let p = profile(shape, 0.7);
+            let analytic = p.range_cost(900, 200);
+            let summed: f64 = (900..1100).map(|i| p.iteration_cost(i)).collect::<Vec<_>>().iter().sum();
+            assert!(
+                (analytic - summed).abs() / summed < 0.02,
+                "{shape:?}: {analytic} vs {summed}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_spikes_are_deterministic() {
+        let p = profile(ImbalanceShape::RandomSpikes, 0.8);
+        let a: f64 = (0..100).map(|i| p.iteration_cost(i)).sum();
+        let b: f64 = (0..100).map(|i| p.iteration_cost(i)).sum();
+        assert_eq!(a, b);
+        // and actually varies across iterations
+        assert!((0..100).any(|i| (p.iteration_cost(i) - p.iteration_cost(i + 1)).abs() > 1e-6));
+    }
+
+    #[test]
+    fn zero_length_range_costs_nothing() {
+        let p = profile(ImbalanceShape::Ramp, 0.5);
+        assert_eq!(p.range_cost(10, 0), 0.0);
+    }
+}

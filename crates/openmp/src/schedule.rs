@@ -1,0 +1,264 @@
+//! Iteration scheduling: how `static`, `dynamic`, and `guided` split an
+//! iteration space into chunks and assign them to threads.
+//!
+//! Two views are provided:
+//!
+//! * [`chunks_for`] — the chunk decomposition of an iteration space,
+//!   independent of execution cost (used by the real executor in
+//!   [`crate::pool`]).
+//! * [`simulate_schedule`] — a cost-aware list-scheduling simulation that
+//!   returns per-thread busy times given a per-chunk cost function (used by
+//!   the analytic model in [`crate::sim`]). Static chunks are bound
+//!   round-robin; dynamic and guided chunks go to the earliest-available
+//!   thread, which is how the real OpenMP runtimes behave.
+
+use crate::config::{OmpConfig, Schedule};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A contiguous range of iterations `[start, start + len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First iteration index.
+    pub start: usize,
+    /// Number of iterations.
+    pub len: usize,
+}
+
+/// Decomposes `iterations` into chunks according to the configuration, in the
+/// order the runtime would hand them out.
+pub fn chunks_for(iterations: usize, config: &OmpConfig) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    if iterations == 0 {
+        return chunks;
+    }
+    match config.schedule {
+        Schedule::Static | Schedule::Dynamic => {
+            let chunk = config.effective_chunk(iterations);
+            let mut start = 0;
+            while start < iterations {
+                let len = chunk.min(iterations - start);
+                chunks.push(Chunk { start, len });
+                start += len;
+            }
+        }
+        Schedule::Guided => {
+            // OpenMP guided: each grab is ~remaining / threads, floored at the
+            // configured minimum chunk size.
+            let min_chunk = config.effective_chunk(iterations).max(1);
+            let threads = config.threads.max(1);
+            let mut start = 0;
+            while start < iterations {
+                let remaining = iterations - start;
+                let len = (remaining.div_ceil(threads)).max(min_chunk).min(remaining);
+                chunks.push(Chunk { start, len });
+                start += len;
+            }
+        }
+    }
+    chunks
+}
+
+/// Static round-robin binding of chunks to threads: chunk `k` goes to thread
+/// `k mod threads` (this is what `schedule(static, chunk)` specifies).
+pub fn static_assignment(chunks: &[Chunk], threads: usize) -> Vec<Vec<Chunk>> {
+    let mut per_thread = vec![Vec::new(); threads.max(1)];
+    for (k, c) in chunks.iter().enumerate() {
+        per_thread[k % threads.max(1)].push(*c);
+    }
+    per_thread
+}
+
+/// Result of a cost-aware scheduling simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Busy time (in cost units) of each thread, excluding dispatch overhead.
+    pub per_thread_cost: Vec<f64>,
+    /// The makespan: time at which the last thread finishes (including
+    /// per-chunk dispatch overhead).
+    pub makespan: f64,
+    /// Number of chunks dispatched.
+    pub num_chunks: usize,
+}
+
+impl ScheduleOutcome {
+    /// Load-balance efficiency: mean busy time / max busy time (1.0 = perfect).
+    pub fn balance_efficiency(&self) -> f64 {
+        let max = self
+            .per_thread_cost
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        let mean: f64 =
+            self.per_thread_cost.iter().sum::<f64>() / self.per_thread_cost.len() as f64;
+        mean / max
+    }
+}
+
+/// Simulates executing the chunked iteration space on `threads` threads where
+/// chunk `c` costs `chunk_cost(c)` time units and every dispatch (grab of a
+/// chunk by a thread) costs `dispatch_overhead` time units for dynamic/guided
+/// schedules (static binding has no per-chunk dispatch cost).
+pub fn simulate_schedule<F>(
+    iterations: usize,
+    config: &OmpConfig,
+    dispatch_overhead: f64,
+    chunk_cost: F,
+) -> ScheduleOutcome
+where
+    F: Fn(&Chunk) -> f64,
+{
+    let threads = config.threads.max(1);
+    let chunks = chunks_for(iterations, config);
+    let num_chunks = chunks.len();
+
+    match config.schedule {
+        Schedule::Static => {
+            let assignment = static_assignment(&chunks, threads);
+            let per_thread_cost: Vec<f64> = assignment
+                .iter()
+                .map(|cs| cs.iter().map(&chunk_cost).sum())
+                .collect();
+            let makespan = per_thread_cost
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            ScheduleOutcome {
+                per_thread_cost,
+                makespan,
+                num_chunks,
+            }
+        }
+        Schedule::Dynamic | Schedule::Guided => {
+            // Greedy list scheduling: each chunk (in order) is taken by the
+            // thread that becomes available first.
+            let mut busy = vec![0.0f64; threads];
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+                (0..threads).map(|t| Reverse((0u64, t))).collect();
+            // Times are kept as integer nanoscale keys in the heap to avoid
+            // float ordering issues; busy[] keeps the true float value.
+            const SCALE: f64 = 1e9;
+            for c in &chunks {
+                let Reverse((_, t)) = heap.pop().expect("heap never empty");
+                let cost = chunk_cost(c) + dispatch_overhead;
+                busy[t] += cost;
+                heap.push(Reverse(((busy[t] * SCALE) as u64, t)));
+            }
+            let makespan = busy.iter().cloned().fold(0.0f64, f64::max);
+            ScheduleOutcome {
+                per_thread_cost: busy,
+                makespan,
+                num_chunks,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threads: usize, schedule: Schedule, chunk: Option<usize>) -> OmpConfig {
+        OmpConfig::new(threads, schedule, chunk)
+    }
+
+    #[test]
+    fn chunks_cover_the_iteration_space_exactly() {
+        for schedule in Schedule::all() {
+            for chunk in [None, Some(1), Some(7), Some(64)] {
+                let config = cfg(4, schedule, chunk);
+                let chunks = chunks_for(1000, &config);
+                let total: usize = chunks.iter().map(|c| c.len).sum();
+                assert_eq!(total, 1000, "{schedule:?} {chunk:?}");
+                // Chunks are contiguous and ordered.
+                let mut expect = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expect);
+                    expect += c.len;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let config = cfg(4, Schedule::Guided, Some(1));
+        let chunks = chunks_for(1024, &config);
+        assert!(chunks.len() > 4);
+        assert!(chunks[0].len > chunks[chunks.len() - 2].len);
+    }
+
+    #[test]
+    fn static_default_chunk_gives_one_chunk_per_thread() {
+        let config = cfg(8, Schedule::Static, None);
+        let chunks = chunks_for(800, &config);
+        assert_eq!(chunks.len(), 8);
+        let assignment = static_assignment(&chunks, 8);
+        assert!(assignment.iter().all(|cs| cs.len() == 1));
+    }
+
+    #[test]
+    fn empty_iteration_space_has_no_chunks() {
+        let config = cfg(4, Schedule::Dynamic, Some(8));
+        assert!(chunks_for(0, &config).is_empty());
+        let out = simulate_schedule(0, &config, 0.1, |c| c.len as f64);
+        assert_eq!(out.makespan, 0.0);
+    }
+
+    #[test]
+    fn uniform_cost_static_is_perfectly_balanced() {
+        let config = cfg(4, Schedule::Static, None);
+        let out = simulate_schedule(1000, &config, 0.0, |c| c.len as f64);
+        assert!(out.balance_efficiency() > 0.99);
+        assert!((out.makespan - 250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_ramp_imbalance() {
+        // Iterations get linearly more expensive; static contiguous blocks
+        // put all the expensive ones on the last thread.
+        let cost = |c: &Chunk| {
+            (c.start..c.start + c.len)
+                .map(|i| 1.0 + 3.0 * i as f64 / 1000.0)
+                .sum::<f64>()
+        };
+        let stat = simulate_schedule(1000, &cfg(4, Schedule::Static, None), 0.0, cost);
+        let dyna = simulate_schedule(1000, &cfg(4, Schedule::Dynamic, Some(8)), 0.0, cost);
+        assert!(
+            dyna.makespan < stat.makespan * 0.85,
+            "dynamic {} vs static {}",
+            dyna.makespan,
+            stat.makespan
+        );
+    }
+
+    #[test]
+    fn dispatch_overhead_penalizes_tiny_dynamic_chunks() {
+        let cost = |c: &Chunk| c.len as f64;
+        let small = simulate_schedule(10_000, &cfg(8, Schedule::Dynamic, Some(1)), 0.5, cost);
+        let large = simulate_schedule(10_000, &cfg(8, Schedule::Dynamic, Some(256)), 0.5, cost);
+        assert!(small.makespan > large.makespan);
+    }
+
+    #[test]
+    fn guided_overhead_is_between_static_and_tiny_dynamic() {
+        let cost = |c: &Chunk| c.len as f64;
+        let overhead = 0.5;
+        let stat = simulate_schedule(10_000, &cfg(8, Schedule::Static, None), overhead, cost);
+        let dyn1 = simulate_schedule(10_000, &cfg(8, Schedule::Dynamic, Some(1)), overhead, cost);
+        let guided = simulate_schedule(10_000, &cfg(8, Schedule::Guided, Some(1)), overhead, cost);
+        assert!(guided.makespan <= dyn1.makespan);
+        assert!(guided.num_chunks > stat.num_chunks.min(8));
+    }
+
+    #[test]
+    fn more_threads_reduce_makespan_for_balanced_work() {
+        let cost = |c: &Chunk| c.len as f64;
+        let t2 = simulate_schedule(4096, &cfg(2, Schedule::Static, None), 0.0, cost);
+        let t8 = simulate_schedule(4096, &cfg(8, Schedule::Static, None), 0.0, cost);
+        assert!(t8.makespan < t2.makespan / 3.0);
+    }
+}

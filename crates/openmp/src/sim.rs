@@ -1,0 +1,455 @@
+//! The analytic execution model: predicts time, energy, and counters for one
+//! OpenMP region under one `(power cap, OmpConfig)` pair on one machine.
+//!
+//! This is the stand-in for the paper's physical measurements. The model is
+//! deliberately mechanistic rather than fitted: each term corresponds to a
+//! real effect the paper's tuning problem depends on —
+//!
+//! * the power cap throttles frequency (via [`PowerModel::freq_at_cap`]),
+//!   hurting compute-bound regions more than memory-bound ones;
+//! * memory bandwidth is shared, so memory-bound regions stop scaling at
+//!   moderate thread counts while compute-bound ones keep scaling;
+//! * hyper-threads share execution units and add little once a core is busy;
+//! * static scheduling suffers under load imbalance, dynamic/guided fix the
+//!   imbalance at the price of per-chunk dispatch overhead (so the chunk size
+//!   matters in both directions);
+//! * fork/join and barrier costs grow with the thread count, so tiny regions
+//!   prefer few threads;
+//! * package energy is power × time, with static power making slow
+//!   executions energy-expensive even at low power.
+//!
+//! Together these produce the qualitative landscape the paper reports:
+//! different regions (and different power caps) favour very different
+//! configurations, and optimizing time, energy, or EDP leads to different
+//! choices.
+
+use crate::config::{OmpConfig, Schedule};
+use crate::profile::RegionProfile;
+use crate::schedule::simulate_schedule;
+use pnp_machine::cache::AccessPattern;
+use pnp_machine::{CounterSet, EnergySample, MachineSpec, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// The predicted outcome of executing a region once.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    /// Wall-clock time in seconds.
+    pub time_s: f64,
+    /// Package energy in joules.
+    pub energy_j: f64,
+    /// Sustained core frequency in GHz under the power cap.
+    pub frequency_ghz: f64,
+    /// Average execution-unit utilization (0..1) of the busy threads.
+    pub utilization: f64,
+    /// PAPI-style counters for the whole region execution.
+    pub counters: CounterSet,
+    /// Average package power in watts.
+    pub power_w: f64,
+}
+
+impl ExecutionResult {
+    /// The `(time, energy)` pair as an [`EnergySample`].
+    pub fn sample(&self) -> EnergySample {
+        EnergySample::new(self.time_s, self.energy_j)
+    }
+
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.time_s * self.energy_j
+    }
+}
+
+/// Per-iteration timing breakdown at a fixed frequency.
+struct IterationModel {
+    iter_time_s: f64,
+    utilization: f64,
+    accesses_per_iter: f64,
+    miss_l1: f64,
+    miss_l2: f64,
+    miss_l3: f64,
+}
+
+/// Average achieved instructions per cycle for scalar/SIMD mixes.
+const BASE_IPC: f64 = 2.0;
+/// Cycles lost per mispredicted branch.
+const MISPREDICT_PENALTY_CYCLES: f64 = 15.0;
+
+fn iteration_model(
+    machine: &MachineSpec,
+    profile: &RegionProfile,
+    threads: usize,
+    freq_ghz: f64,
+) -> IterationModel {
+    let hz = freq_ghz * 1e9;
+    let cores = machine.total_cores();
+
+    // Hyper-threading: two threads on one core share execution units and
+    // reach ~1.25× the throughput of one thread.
+    let per_thread_speed = if threads <= cores {
+        1.0
+    } else {
+        1.25 * cores as f64 / threads as f64
+    };
+
+    // Compute-side time per iteration.
+    let flop_time = profile.flops_per_iter / (machine.flops_per_cycle * hz);
+    let instr_time = profile.instructions_per_iter / (BASE_IPC * hz);
+    let branch_penalty = profile.branches_per_iter
+        * profile.branch_mispredict_rate
+        * MISPREDICT_PENALTY_CYCLES
+        / hz;
+    let compute_time = (flop_time.max(instr_time) + branch_penalty) / per_thread_speed;
+
+    // Memory-side time per iteration.
+    let threads_per_socket = threads.div_ceil(machine.sockets).max(1);
+    let miss = machine.cache.miss_profile(
+        profile.working_set_bytes,
+        threads_per_socket.min(machine.cores_per_socket * machine.threads_per_core),
+        profile.access_pattern,
+    );
+    let dram_bytes = profile.bytes_per_iter * miss.l3_miss_ratio;
+    // Bandwidth: shared across threads; a single thread cannot saturate the
+    // whole socket interface (cap at ~1/5 of the machine bandwidth).
+    let total_bw = machine.mem_bandwidth_gbs * 1e9;
+    let per_thread_bw = (total_bw / threads as f64).min(total_bw / 5.0);
+    let bw_time = dram_bytes / per_thread_bw;
+    // Latency-bound component: only irregular access patterns expose raw
+    // latency; streaming/stencil/blocked codes are effectively prefetched.
+    let latency_exposure = match profile.access_pattern {
+        AccessPattern::Irregular => 0.5,
+        AccessPattern::Stencil => 0.02,
+        AccessPattern::Streaming => 0.0,
+        AccessPattern::HighReuse => 0.005,
+    };
+    let accesses_per_iter = profile.bytes_per_iter / 8.0;
+    let avg_latency_cycles = machine.cache.average_access_latency_cycles(&miss, freq_ghz);
+    let lat_time = accesses_per_iter * avg_latency_cycles * latency_exposure / hz;
+    let mem_time = bw_time.max(lat_time);
+
+    // Compute and memory partially overlap (out-of-order execution +
+    // prefetching); the longer one dominates, a slice of the shorter leaks.
+    let iter_time_s = compute_time.max(mem_time) + 0.15 * compute_time.min(mem_time);
+    let utilization = (compute_time / iter_time_s).clamp(0.05, 1.0);
+
+    IterationModel {
+        iter_time_s,
+        utilization,
+        accesses_per_iter,
+        miss_l1: miss.l1_miss_ratio,
+        miss_l2: miss.l2_miss_ratio,
+        miss_l3: miss.l3_miss_ratio,
+    }
+}
+
+/// Predicts the execution of `profile` on `machine` under `power_cap_watts`
+/// with the runtime configuration `config`.
+pub fn simulate_region(
+    machine: &MachineSpec,
+    profile: &RegionProfile,
+    config: &OmpConfig,
+    power_cap_watts: f64,
+) -> ExecutionResult {
+    let power_model = PowerModel::for_machine(machine);
+    simulate_region_with_model(machine, &power_model, profile, config, power_cap_watts)
+}
+
+/// Same as [`simulate_region`] but reuses a pre-calibrated [`PowerModel`]
+/// (the hot path for exhaustive sweeps).
+pub fn simulate_region_with_model(
+    machine: &MachineSpec,
+    power_model: &PowerModel,
+    profile: &RegionProfile,
+    config: &OmpConfig,
+    power_cap_watts: f64,
+) -> ExecutionResult {
+    let threads = config.threads.min(machine.total_hw_threads()).max(1);
+    let useful_threads = threads.min(profile.scalability_limit).max(1);
+
+    // Frequency/utilization fixed point (two rounds are plenty: utilization
+    // moves the sustainable frequency by a few hundred MHz at most).
+    let mut freq = power_model.freq_at_cap(power_cap_watts, threads, 1.0);
+    let mut model = iteration_model(machine, profile, threads, freq);
+    freq = power_model.freq_at_cap(power_cap_watts, threads, model.utilization);
+    model = iteration_model(machine, profile, threads, freq);
+
+    // Scheduling: makespan in units of "mean iteration cost".
+    let sched_config = OmpConfig {
+        threads: useful_threads,
+        schedule: config.schedule,
+        chunk: config.chunk,
+    };
+    let dispatch_units = match config.schedule {
+        Schedule::Static => 0.0,
+        _ => (machine.sched_overhead_us * 1e-6) / model.iter_time_s,
+    };
+    let effective_chunk = sched_config.effective_chunk(profile.iterations);
+    let num_chunks = profile.iterations.div_ceil(effective_chunk);
+
+    let (makespan_units, balance_eff) = if num_chunks <= 4096 {
+        let outcome = simulate_schedule(profile.iterations, &sched_config, dispatch_units, |c| {
+            profile.range_cost(c.start, c.len)
+        });
+        (outcome.makespan, outcome.balance_efficiency())
+    } else {
+        // Closed-form approximation for very large chunk counts.
+        let total = profile.total_cost();
+        let t = useful_threads as f64;
+        match config.schedule {
+            Schedule::Static => {
+                // Small round-robin chunks interleave the imbalance away.
+                (total / t * (1.0 + 0.03 * profile.imbalance), 1.0)
+            }
+            Schedule::Dynamic | Schedule::Guided => {
+                let per_thread = total / t + dispatch_units * num_chunks as f64 / t;
+                let straggler = effective_chunk as f64 * (1.0 + profile.imbalance);
+                (per_thread + straggler, 0.98)
+            }
+        }
+    };
+
+    // Serial fraction plus fork/join overhead.
+    let total_units = profile.total_cost();
+    let serial_time = profile.serial_fraction * total_units * model.iter_time_s;
+    let parallel_time = (1.0 - profile.serial_fraction) * makespan_units * model.iter_time_s;
+    let fork_join = machine.fork_join_us_per_thread * 1e-6 * threads as f64;
+    let time_s = serial_time + parallel_time + fork_join;
+
+    // Power: busy threads draw according to their utilization; idle waiting
+    // (imbalance) and threads beyond the scalability limit reduce the average
+    // draw.
+    let busy_share = (useful_threads as f64 / threads as f64) * balance_eff.clamp(0.1, 1.0);
+    let power_util = (model.utilization * busy_share).clamp(0.05, 1.0);
+    let mut power_w = power_model.power_under_cap(power_cap_watts, threads, power_util);
+    // If even the frequency floor exceeds the cap, RAPL enforces the limit by
+    // duty-cycling the clock: execution stretches and average power equals
+    // the cap.
+    let mut time_s = time_s;
+    if power_w > power_cap_watts {
+        time_s *= power_w / power_cap_watts;
+        power_w = power_cap_watts;
+    }
+    let energy_j = power_w * time_s;
+
+    // Counters for the whole region.
+    let iters = profile.iterations as f64;
+    let accesses_total = model.accesses_per_iter * iters;
+    let counters = CounterSet {
+        l1_misses: accesses_total * model.miss_l1,
+        l2_misses: accesses_total * model.miss_l2,
+        l3_misses: accesses_total * model.miss_l3,
+        instructions: profile.instructions_per_iter * iters,
+        branch_mispredictions: profile.branches_per_iter
+            * profile.branch_mispredict_rate
+            * iters,
+    };
+
+    ExecutionResult {
+        time_s,
+        energy_j,
+        frequency_ghz: freq,
+        utilization: model.utilization,
+        counters,
+        power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::default_config;
+    use crate::profile::ImbalanceShape;
+    use pnp_machine::{haswell, skylake};
+
+    fn compute_bound(iters: usize) -> RegionProfile {
+        RegionProfile {
+            flops_per_iter: 4000.0,
+            instructions_per_iter: 6000.0,
+            bytes_per_iter: 64.0,
+            working_set_bytes: 200.0 * 1024.0,
+            access_pattern: AccessPattern::HighReuse,
+            ..RegionProfile::balanced("compute", iters)
+        }
+    }
+
+    fn memory_bound(iters: usize) -> RegionProfile {
+        RegionProfile {
+            flops_per_iter: 16.0,
+            instructions_per_iter: 60.0,
+            bytes_per_iter: 512.0,
+            working_set_bytes: 512.0 * 1024.0 * 1024.0,
+            access_pattern: AccessPattern::Streaming,
+            ..RegionProfile::balanced("memory", iters)
+        }
+    }
+
+    #[test]
+    fn results_are_finite_and_positive_across_the_config_space() {
+        let machine = haswell();
+        for &threads in &[1usize, 2, 8, 32] {
+            for schedule in Schedule::all() {
+                for &chunk in &[None, Some(1), Some(128)] {
+                    for &cap in &[40.0, 60.0, 85.0] {
+                        let config = OmpConfig::new(threads, schedule, chunk);
+                        let r = simulate_region(&machine, &compute_bound(20_000), &config, cap);
+                        assert!(r.time_s > 0.0 && r.time_s.is_finite());
+                        assert!(r.energy_j > 0.0 && r.energy_j.is_finite());
+                        assert!(r.power_w <= cap * 1.01 + 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_scale_with_threads() {
+        let machine = skylake();
+        let p = compute_bound(200_000);
+        let t1 = simulate_region(&machine, &p, &OmpConfig::new(1, Schedule::Static, None), 150.0);
+        let t32 = simulate_region(&machine, &p, &OmpConfig::new(32, Schedule::Static, None), 150.0);
+        let speedup = t1.time_s / t32.time_s;
+        assert!(speedup > 12.0, "expected strong scaling, got {speedup}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_saturate_early() {
+        let machine = skylake();
+        let p = memory_bound(500_000);
+        let t8 = simulate_region(&machine, &p, &OmpConfig::new(8, Schedule::Static, None), 150.0);
+        let t64 = simulate_region(&machine, &p, &OmpConfig::new(64, Schedule::Static, None), 150.0);
+        let speedup = t8.time_s / t64.time_s;
+        assert!(
+            speedup < 2.0,
+            "memory-bound region should not keep scaling: {speedup}"
+        );
+    }
+
+    #[test]
+    fn power_caps_hurt_compute_bound_more_than_memory_bound() {
+        let machine = haswell();
+        let config = default_config(&machine);
+        let cb = compute_bound(100_000);
+        let mb = memory_bound(100_000);
+        let slowdown = |p: &RegionProfile| {
+            let hi = simulate_region(&machine, p, &config, 85.0).time_s;
+            let lo = simulate_region(&machine, p, &config, 40.0).time_s;
+            lo / hi
+        };
+        let s_cb = slowdown(&cb);
+        let s_mb = slowdown(&mb);
+        assert!(s_cb > 1.1, "compute-bound should slow down under the cap: {s_cb}");
+        assert!(
+            s_cb > s_mb,
+            "compute-bound slowdown {s_cb} should exceed memory-bound slowdown {s_mb}"
+        );
+    }
+
+    #[test]
+    fn dynamic_scheduling_helps_imbalanced_regions() {
+        let machine = haswell();
+        let p = RegionProfile {
+            imbalance: 1.5,
+            imbalance_shape: ImbalanceShape::Ramp,
+            ..compute_bound(4_000)
+        };
+        let stat = simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Static, None), 85.0);
+        let dynamic =
+            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(8)), 85.0);
+        assert!(
+            dynamic.time_s < stat.time_s * 0.9,
+            "dynamic {} vs static {}",
+            dynamic.time_s,
+            stat.time_s
+        );
+    }
+
+    #[test]
+    fn tiny_chunks_with_dynamic_pay_dispatch_overhead() {
+        let machine = haswell();
+        let p = compute_bound(50_000);
+        let chunk1 =
+            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(1)), 85.0);
+        let chunk256 =
+            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(256)), 85.0);
+        assert!(chunk1.time_s > chunk256.time_s);
+    }
+
+    #[test]
+    fn tiny_regions_prefer_fewer_threads() {
+        let machine = skylake();
+        let p = compute_bound(128);
+        let few = simulate_region(&machine, &p, &OmpConfig::new(4, Schedule::Static, None), 150.0);
+        let many = simulate_region(&machine, &p, &OmpConfig::new(64, Schedule::Static, None), 150.0);
+        assert!(
+            few.time_s < many.time_s,
+            "fork/join overhead should dominate: few {} many {}",
+            few.time_s,
+            many.time_s
+        );
+    }
+
+    #[test]
+    fn lower_caps_reduce_power_and_frequency() {
+        let machine = haswell();
+        let p = compute_bound(100_000);
+        let config = default_config(&machine);
+        let hi = simulate_region(&machine, &p, &config, 85.0);
+        let lo = simulate_region(&machine, &p, &config, 40.0);
+        assert!(lo.frequency_ghz < hi.frequency_ghz);
+        assert!(lo.power_w < hi.power_w);
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let machine = skylake();
+        let r = simulate_region(
+            &machine,
+            &memory_bound(100_000),
+            &OmpConfig::new(16, Schedule::Guided, Some(32)),
+            120.0,
+        );
+        assert!((r.energy_j - r.power_w * r.time_s).abs() < 1e-9);
+        assert!((r.sample().edp() - r.edp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_scale_with_iteration_count() {
+        let machine = haswell();
+        let config = default_config(&machine);
+        let small = simulate_region(&machine, &memory_bound(10_000), &config, 85.0);
+        let large = simulate_region(&machine, &memory_bound(100_000), &config, 85.0);
+        assert!((large.counters.instructions / small.counters.instructions - 10.0).abs() < 0.2);
+        assert!(large.counters.l3_misses > small.counters.l3_misses * 5.0);
+    }
+
+    #[test]
+    fn race_to_halt_does_not_always_hold() {
+        // Find a case where the fastest config is not the most energy
+        // efficient — the paper's motivating observation.
+        let machine = haswell();
+        let p = memory_bound(300_000);
+        let configs = [
+            OmpConfig::new(32, Schedule::Static, None),
+            OmpConfig::new(8, Schedule::Static, None),
+            OmpConfig::new(4, Schedule::Static, None),
+        ];
+        let caps = [40.0, 60.0, 70.0, 85.0];
+        let mut best_time = (f64::INFINITY, 0usize, 0usize);
+        let mut best_energy = (f64::INFINITY, 0usize, 0usize);
+        for (ci, c) in configs.iter().enumerate() {
+            for (pi, &cap) in caps.iter().enumerate() {
+                let r = simulate_region(&machine, &p, c, cap);
+                if r.time_s < best_time.0 {
+                    best_time = (r.time_s, ci, pi);
+                }
+                if r.energy_j < best_energy.0 {
+                    best_energy = (r.energy_j, ci, pi);
+                }
+            }
+        }
+        assert_ne!(
+            (best_time.1, best_time.2),
+            (best_energy.1, best_energy.2),
+            "fastest and greenest configuration should differ for a memory-bound kernel"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic random number generation and weight initialization schemes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::Tensor;
+
+/// A seeded random number generator used everywhere in the workspace so that
+/// experiments are exactly reproducible run-to-run.
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+    /// Cached second value of the Box-Muller pair.
+    spare_normal: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator (used to give each LOOCV fold
+    /// or each tuner its own stream without correlation).
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let seed = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(seed)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample (Box-Muller).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(v) = self.spare_normal.take() {
+            return v;
+        }
+        loop {
+            let u1: f32 = self.inner.gen::<f32>();
+            let u2: f32 = self.inner.gen::<f32>();
+            if u1 <= f32::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            self.spare_normal = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks one element uniformly at random.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// Raw 64-bit value, for deriving sub-seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited for tanh/linear layers.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(&[fan_in, fan_out], -a, a, rng)
+}
+
+/// Kaiming/He normal initialization: `N(0, sqrt(2 / fan_in))`. Suited for
+/// ReLU-family activations (what the PnP model uses).
+pub fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::randn(&[fan_in, fan_out], rng);
+    t.data.iter_mut().for_each(|x| *x *= std);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = SeededRng::new(3);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeededRng::new(4);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SeededRng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(6);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SeededRng::new(7);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(w.data.iter().all(|x| x.abs() <= a));
+    }
+
+    #[test]
+    fn kaiming_scale() {
+        let mut rng = SeededRng::new(8);
+        let w = kaiming_normal(256, 64, &mut rng);
+        let std = (w.data.iter().map(|x| x * x).sum::<f32>() / w.numel() as f32).sqrt();
+        let expected = (2.0f32 / 256.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.15);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut base = SeededRng::new(9);
+        let mut c1 = base.fork(1);
+        let mut c2 = base.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+}

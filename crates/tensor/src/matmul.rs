@@ -1,0 +1,210 @@
+//! Matrix multiplication kernels.
+//!
+//! The RGCN forward/backward passes are dominated by dense `H · W` products
+//! where `H` is a node-feature matrix (hundreds of rows) and `W` a small
+//! square weight matrix (16–64 columns). A simple ikj-ordered kernel with a
+//! transposed-operand variant is more than fast enough on a single core and
+//! keeps the code dependency-free.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Dense matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "matmul dimension mismatch: ({m}x{k}) · ({k2}x{n})"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        // ikj loop order: streams through `other` rows, good cache behaviour.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `selfᵀ · other` without materializing the transpose.
+    ///
+    /// Shapes: `self` is `(k x m)`, `other` is `(k x n)`, result is `(m x n)`.
+    pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "matmul_at_b dimension mismatch: ({k}x{m})ᵀ · ({k2}x{n})"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self · otherᵀ` without materializing the transpose.
+    ///
+    /// Shapes: `self` is `(m x k)`, `other` is `(n x k)`, result is `(m x n)`.
+    pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "matmul_a_bt dimension mismatch: ({m}x{k}) · ({n}x{k2})ᵀ"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`, returning a 1-D tensor of length
+    /// `rows`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.cols(), v.numel(), "matvec dimension mismatch");
+        let mut out = Tensor::zeros(&[self.rows()]);
+        for i in 0..self.rows() {
+            out.data[i] = self
+                .row(i)
+                .iter()
+                .zip(&v.data)
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        out
+    }
+
+    /// Outer product of two 1-D tensors: `(m) ⊗ (n) -> (m x n)`.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        let m = self.numel();
+        let n = other.numel();
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a = self.data[i];
+            for j in 0..n {
+                out.data[i * n + j] = a * other.data[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SeededRng;
+
+    #[test]
+    fn small_matmul_exact() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(1);
+        let a = Tensor::randn(&[5, 5], &mut rng);
+        let i = Tensor::eye(5);
+        let ai = a.matmul(&i);
+        for (x, y) in a.data.iter().zip(&ai.data) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(2);
+        let a = Tensor::randn(&[7, 3], &mut rng);
+        let b = Tensor::randn(&[7, 4], &mut rng);
+        let fast = a.matmul_at_b(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(3);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let b = Tensor::randn(&[5, 6], &mut rng);
+        let fast = a.matmul_a_bt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]);
+        let out = a.matvec(&v);
+        assert_eq!(out.data, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b);
+        assert_eq!(o.shape, vec![2, 3]);
+        assert_eq!(o.data, vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn associativity_numerically() {
+        let mut rng = SeededRng::new(4);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 5], &mut rng);
+        let c = Tensor::randn(&[5, 2], &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data.iter().zip(&right.data) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+}

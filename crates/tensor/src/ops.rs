@@ -1,0 +1,288 @@
+//! Elementwise operations, reductions and broadcasting helpers on [`Tensor`].
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise addition. Shapes must match exactly.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// In-place elementwise addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// In-place `self += scale * other` (AXPY).
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * *b;
+        }
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Adds a row vector (bias) to every row of a matrix.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(
+            bias.numel(),
+            self.cols(),
+            "bias length {} must equal column count {}",
+            bias.numel(),
+            self.cols()
+        );
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (d, b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+                *d += *b;
+            }
+        }
+        out
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (NaN-free input assumed).
+    pub fn max(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column-wise sum: returns a 1-D tensor of length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.cols()]);
+        for r in 0..self.rows() {
+            for (o, v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += *v;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean: returns a 1-D tensor of length `cols`.
+    pub fn mean_rows(&self) -> Tensor {
+        let mut s = self.sum_rows();
+        let n = self.rows().max(1) as f32;
+        s.scale_inplace(1.0 / n);
+        s
+    }
+
+    /// Index of the maximum value in row `r`.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax for the whole matrix.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows()).map(|r| self.argmax_row(r)).collect()
+    }
+
+    /// Clamps all values into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Returns the dot product of two 1-D tensors (or flattened tensors of
+    /// equal length).
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+/// Computes the geometric mean of a slice of positive values.
+///
+/// Used throughout the evaluation: the paper reports geometric-mean speedups,
+/// greenups, and EDP improvements.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).data, vec![5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).data, vec![-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).data, vec![4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).data, vec![0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.sum_rows().data, vec![4.0, 6.0]);
+        assert_eq!(a.mean_rows().data, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let x = Tensor::zeros(&[3, 2]);
+        let b = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        let y = x.add_row_broadcast(&b);
+        for r in 0..3 {
+            assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let x = Tensor::from_rows(&[vec![0.1, 0.9, 0.2], vec![5.0, 1.0, 2.0]]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 3.0);
+        a.axpy(2.0, &b);
+        assert!(a.data.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geometric_mean(&[2.0, 2.0, 2.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_shapes_panic() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Weight checkpointing.
+//!
+//! The paper's transfer-learning optimization (Section IV-B) saves the GNN
+//! weights trained on the Haswell dataset and re-loads them before training
+//! on Skylake, re-training only the dense classifier layers. This module
+//! provides the (de)serialization that experiment relies on.
+
+use crate::layer::Parameter;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A named collection of parameter values (no gradients) that can be written
+/// to / read from JSON.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParameterBundle {
+    /// Parameter values keyed by their stable names.
+    pub tensors: BTreeMap<String, Tensor>,
+}
+
+impl ParameterBundle {
+    /// Captures the current values of the given parameters.
+    pub fn capture(params: &[&Parameter]) -> Self {
+        let mut tensors = BTreeMap::new();
+        for p in params {
+            tensors.insert(p.name.clone(), p.value.clone());
+        }
+        ParameterBundle { tensors }
+    }
+
+    /// Restores values into matching parameters (matched by name and shape).
+    ///
+    /// Returns the number of parameters that were restored. Parameters with
+    /// no matching entry are left untouched, which is exactly what the
+    /// transfer-learning experiment wants (dense layers stay freshly
+    /// initialized).
+    pub fn restore(&self, params: &mut [&mut Parameter]) -> usize {
+        let mut restored = 0;
+        for p in params.iter_mut() {
+            if let Some(saved) = self.tensors.get(&p.name) {
+                if saved.shape == p.value.shape {
+                    p.value = saved.clone();
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when the bundle holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar values stored.
+    pub fn num_weights(&self) -> usize {
+        self.tensors.values().map(|t| t.numel()).sum()
+    }
+
+    /// Keeps only tensors whose name starts with `prefix` (e.g. `"rgcn"` to
+    /// transfer only the graph layers).
+    pub fn filter_prefix(&self, prefix: &str) -> ParameterBundle {
+        ParameterBundle {
+            tensors: self
+                .tensors
+                .iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serializes the bundle to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParameterBundle serialization cannot fail")
+    }
+
+    /// Parses a bundle from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Writes parameters to a JSON checkpoint file.
+pub fn save_parameters(path: &Path, params: &[&Parameter]) -> io::Result<()> {
+    let bundle = ParameterBundle::capture(params);
+    fs::write(path, bundle.to_json())
+}
+
+/// Loads a JSON checkpoint file into a bundle.
+pub fn load_parameters(path: &Path) -> io::Result<ParameterBundle> {
+    let json = fs::read_to_string(path)?;
+    ParameterBundle::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_params() -> Vec<Parameter> {
+        vec![
+            Parameter::new("rgcn0.weight", Tensor::full(&[2, 2], 1.5)),
+            Parameter::new("fc1.weight", Tensor::full(&[2, 3], -0.5)),
+        ]
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let params = make_params();
+        let refs: Vec<&Parameter> = params.iter().collect();
+        let bundle = ParameterBundle::capture(&refs);
+        assert_eq!(bundle.len(), 2);
+        assert_eq!(bundle.num_weights(), 10);
+
+        let mut fresh = make_params();
+        fresh[0].value.fill(0.0);
+        fresh[1].value.fill(0.0);
+        let mut refs_mut: Vec<&mut Parameter> = fresh.iter_mut().collect();
+        let restored = bundle.restore(&mut refs_mut);
+        assert_eq!(restored, 2);
+        assert_eq!(fresh[0].value.get(0, 0), 1.5);
+        assert_eq!(fresh[1].value.get(1, 2), -0.5);
+    }
+
+    #[test]
+    fn restore_skips_shape_mismatch() {
+        let params = make_params();
+        let refs: Vec<&Parameter> = params.iter().collect();
+        let bundle = ParameterBundle::capture(&refs);
+
+        let mut other = vec![Parameter::new("rgcn0.weight", Tensor::zeros(&[3, 3]))];
+        let mut refs_mut: Vec<&mut Parameter> = other.iter_mut().collect();
+        assert_eq!(bundle.restore(&mut refs_mut), 0);
+        assert!(other[0].value.data.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn filter_prefix_selects_gnn_layers_only() {
+        let params = make_params();
+        let refs: Vec<&Parameter> = params.iter().collect();
+        let bundle = ParameterBundle::capture(&refs).filter_prefix("rgcn");
+        assert_eq!(bundle.len(), 1);
+        assert!(bundle.tensors.contains_key("rgcn0.weight"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let params = make_params();
+        let refs: Vec<&Parameter> = params.iter().collect();
+        let bundle = ParameterBundle::capture(&refs);
+        let json = bundle.to_json();
+        let back = ParameterBundle::from_json(&json).unwrap();
+        assert_eq!(back.tensors["fc1.weight"], bundle.tensors["fc1.weight"]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let params = make_params();
+        let refs: Vec<&Parameter> = params.iter().collect();
+        let dir = std::env::temp_dir().join("pnp_tensor_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.json");
+        save_parameters(&path, &refs).unwrap();
+        let bundle = load_parameters(&path).unwrap();
+        assert_eq!(bundle.len(), 2);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the tensor core: algebraic identities that must
+//! hold for arbitrary (finite, bounded) inputs.
+
+use pnp_tensor::ops::geometric_mean;
+use pnp_tensor::{softmax_rows, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(a in small_matrix(3, 4), b in small_matrix(3, 4)) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        for (x, y) in ab.data.iter().zip(&ba.data) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_matrix(4, 5)) {
+        let back = a.transpose().transpose();
+        prop_assert_eq!(back.shape, a.shape.clone());
+        for (x, y) in back.data.iter().zip(&a.data) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(3, 3),
+        b in small_matrix(3, 3),
+        c in small_matrix(3, 3),
+    ) {
+        // a·(b + c) == a·b + a·c
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data.iter().zip(&rhs.data) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(4, 3), b in small_matrix(3, 5)) {
+        // (a·b)ᵀ == bᵀ·aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data.iter().zip(&rhs.data) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_then_sum_matches_sum_then_scale(a in small_matrix(2, 6), s in -3.0f32..3.0) {
+        let lhs = a.scale(s).sum();
+        let rhs = a.sum() * s;
+        prop_assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(a in small_matrix(3, 7)) {
+        let p = softmax_rows(&a);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn geometric_mean_bounded_by_min_max(values in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geometric_mean(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001);
+    }
+
+    #[test]
+    fn select_rows_preserves_row_content(a in small_matrix(5, 3), idx in prop::collection::vec(0usize..5, 1..8)) {
+        let s = a.select_rows(&idx);
+        prop_assert_eq!(s.rows(), idx.len());
+        for (out_row, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(out_row), a.row(src));
+        }
+    }
+}

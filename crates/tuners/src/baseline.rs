@@ -1,0 +1,78 @@
+//! The default-configuration baseline.
+
+use crate::evaluator::RegionEvaluator;
+use crate::objective::Objective;
+use crate::result::TuningResult;
+use crate::space::{ConfigPoint, SearchSpace};
+use pnp_machine::EnergySample;
+
+/// The baseline every speedup/greenup in the paper is measured against: the
+/// default OpenMP configuration (all hardware threads, static schedule,
+/// default chunk) at the objective's power level — or at TDP for the EDP
+/// scenario.
+pub struct DefaultBaseline<'a> {
+    space: &'a SearchSpace,
+    /// The machine's TDP (used when the objective does not fix a power cap).
+    pub tdp_watts: f64,
+}
+
+impl<'a> DefaultBaseline<'a> {
+    /// Creates the baseline.
+    pub fn new(space: &'a SearchSpace, tdp_watts: f64) -> Self {
+        DefaultBaseline { space, tdp_watts }
+    }
+
+    /// The baseline configuration point for an objective.
+    pub fn point(&self, objective: &Objective) -> ConfigPoint {
+        ConfigPoint {
+            power_watts: objective.fixed_power().unwrap_or(self.tdp_watts),
+            omp: self.space.default_config,
+        }
+    }
+
+    /// Evaluates the baseline.
+    pub fn sample(&self, evaluator: &dyn RegionEvaluator, objective: &Objective) -> EnergySample {
+        evaluator.evaluate(&self.point(objective))
+    }
+
+    /// The baseline expressed as a [`TuningResult`] (zero tuning evaluations).
+    pub fn as_result(
+        &self,
+        evaluator: &dyn RegionEvaluator,
+        objective: &Objective,
+    ) -> TuningResult {
+        TuningResult::new("default", self.point(objective), self.sample(evaluator, objective), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use pnp_machine::haswell;
+    use pnp_openmp::{RegionProfile, Schedule};
+
+    #[test]
+    fn baseline_uses_default_config_at_the_right_power() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let baseline = DefaultBaseline::new(&space, machine.tdp_watts);
+        let p1 = baseline.point(&Objective::TimeAtPower { power_watts: 60.0 });
+        assert_eq!(p1.power_watts, 60.0);
+        assert_eq!(p1.omp.threads, 32);
+        assert_eq!(p1.omp.schedule, Schedule::Static);
+        assert_eq!(p1.omp.chunk, None);
+        let p2 = baseline.point(&Objective::Edp);
+        assert_eq!(p2.power_watts, 85.0);
+    }
+
+    #[test]
+    fn baseline_sample_is_reproducible() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let baseline = DefaultBaseline::new(&space, machine.tdp_watts);
+        let eval = SimEvaluator::new(machine, RegionProfile::balanced("r", 10_000));
+        let o = Objective::TimeAtPower { power_watts: 70.0 };
+        assert_eq!(baseline.sample(&eval, &o), baseline.sample(&eval, &o));
+    }
+}

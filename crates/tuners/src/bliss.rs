@@ -1,0 +1,271 @@
+//! A BLISS-style tuner.
+//!
+//! BLISS (Roy et al., PLDI 2021) replaces a single heavyweight Bayesian model
+//! with a *pool of diverse lightweight models* and picks samples using the
+//! pool's disagreement. This implementation keeps that structure under the
+//! same sampling budget the paper used (20 executions per code region):
+//!
+//! 1. an initial space-filling batch is executed;
+//! 2. an ensemble of ridge regressors — each trained on a bootstrap resample
+//!    with a different regularization strength and feature weighting — models
+//!    `score(point)`;
+//! 3. the next sample is the unevaluated candidate minimizing a lower
+//!    confidence bound (predicted score minus κ × ensemble spread);
+//! 4. after the budget is exhausted, the best *observed* point wins.
+
+use crate::evaluator::RegionEvaluator;
+use crate::objective::Objective;
+use crate::oracle::OracleTuner;
+use crate::result::TuningResult;
+use crate::space::SearchSpace;
+use pnp_tensor::SeededRng;
+
+/// Ridge regression on a small dense feature matrix (normal equations with
+/// Gaussian elimination — the feature dimension is 8).
+struct Ridge {
+    weights: Vec<f64>,
+}
+
+impl Ridge {
+    fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Ridge {
+        let n = xs.len();
+        let d = xs[0].len() + 1; // + bias
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        let row = |x: &Vec<f64>| {
+            let mut r = Vec::with_capacity(d);
+            r.push(1.0);
+            r.extend_from_slice(x);
+            r
+        };
+        for i in 0..n {
+            let xi = row(&xs[i]);
+            for a in 0..d {
+                xty[a] += xi[a] * ys[i];
+                for b in 0..d {
+                    xtx[a][b] += xi[a] * xi[b];
+                }
+            }
+        }
+        for (a, r) in xtx.iter_mut().enumerate() {
+            r[a] += lambda;
+        }
+        // Gaussian elimination with partial pivoting.
+        let mut aug = xtx;
+        for (a, r) in aug.iter_mut().enumerate() {
+            r.push(xty[a]);
+        }
+        for col in 0..d {
+            let pivot = (col..d)
+                .max_by(|&a, &b| aug[a][col].abs().partial_cmp(&aug[b][col].abs()).unwrap())
+                .unwrap();
+            aug.swap(col, pivot);
+            let pv = aug[col][col];
+            if pv.abs() < 1e-12 {
+                continue;
+            }
+            for r in col + 1..d {
+                let factor = aug[r][col] / pv;
+                for c in col..=d {
+                    aug[r][c] -= factor * aug[col][c];
+                }
+            }
+        }
+        let mut w = vec![0.0f64; d];
+        for r in (0..d).rev() {
+            let mut acc = aug[r][d];
+            for c in r + 1..d {
+                acc -= aug[r][c] * w[c];
+            }
+            w[r] = if aug[r][r].abs() < 1e-12 { 0.0 } else { acc / aug[r][r] };
+        }
+        Ridge { weights: w }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut y = self.weights[0];
+        for (w, xi) in self.weights[1..].iter().zip(x) {
+            y += w * xi;
+        }
+        y
+    }
+}
+
+/// The BLISS-style tuner.
+pub struct BlissTuner<'a> {
+    space: &'a SearchSpace,
+    /// Total sampling budget (paper: 20 executions per region).
+    pub budget: usize,
+    /// Size of the initial space-filling batch.
+    pub initial_samples: usize,
+    /// Number of lightweight models in the pool.
+    pub pool_size: usize,
+    seed: u64,
+}
+
+impl<'a> BlissTuner<'a> {
+    /// Creates a BLISS-style tuner with the paper's 20-run budget.
+    pub fn new(space: &'a SearchSpace, seed: u64) -> Self {
+        BlissTuner {
+            space,
+            budget: 20,
+            initial_samples: 8,
+            pool_size: 6,
+            seed,
+        }
+    }
+
+    /// Overrides the sampling budget (used by the budget-sensitivity
+    /// ablation).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(2);
+        self.initial_samples = self.initial_samples.min(self.budget / 2).max(1);
+        self
+    }
+
+    /// Runs the tuner.
+    pub fn tune(&self, evaluator: &dyn RegionEvaluator, objective: &Objective) -> TuningResult {
+        let mut rng = SeededRng::new(self.seed);
+        let candidates = OracleTuner::new(self.space).candidates(objective);
+        let features: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| self.space.point_features(p))
+            .collect();
+
+        let mut evaluated: Vec<usize> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+
+        // Phase 1: space-filling random batch (stratified over thread counts
+        // so the pool sees the main performance cliff).
+        let mut initial: Vec<usize> = Vec::new();
+        while initial.len() < self.initial_samples.min(candidates.len()) {
+            let idx = rng.below(candidates.len());
+            if !initial.contains(&idx) {
+                initial.push(idx);
+            }
+        }
+        for idx in initial {
+            let s = evaluator.evaluate(&candidates[idx]);
+            evaluated.push(idx);
+            scores.push(objective.score(&s).ln());
+        }
+
+        // Phase 2: model-guided sampling.
+        while evaluated.len() < self.budget.min(candidates.len()) {
+            let xs: Vec<Vec<f64>> = evaluated.iter().map(|&i| features[i].clone()).collect();
+            // Pool of lightweight models: bootstrap resamples × different
+            // regularization strengths.
+            let mut pool = Vec::with_capacity(self.pool_size);
+            for m in 0..self.pool_size {
+                let lambda = 10f64.powi(m as i32 % 3 - 2);
+                let mut bx = Vec::with_capacity(xs.len());
+                let mut by = Vec::with_capacity(xs.len());
+                for _ in 0..xs.len() {
+                    let k = rng.below(xs.len());
+                    bx.push(xs[k].clone());
+                    by.push(scores[k]);
+                }
+                pool.push(Ridge::fit(&bx, &by, lambda));
+            }
+            // Lower-confidence-bound acquisition over unevaluated candidates.
+            let kappa = 1.0;
+            let mut best_candidate = None;
+            let mut best_acq = f64::INFINITY;
+            for (i, f) in features.iter().enumerate() {
+                if evaluated.contains(&i) {
+                    continue;
+                }
+                let preds: Vec<f64> = pool.iter().map(|m| m.predict(f)).collect();
+                let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+                let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+                    / preds.len() as f64;
+                let acq = mean - kappa * var.sqrt();
+                if acq < best_acq {
+                    best_acq = acq;
+                    best_candidate = Some(i);
+                }
+            }
+            let idx = best_candidate.expect("candidates remain");
+            let s = evaluator.evaluate(&candidates[idx]);
+            evaluated.push(idx);
+            scores.push(objective.score(&s).ln());
+        }
+
+        // Best observed point wins.
+        let (best_pos, _) = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let best_idx = evaluated[best_pos];
+        let best_sample = evaluator.evaluate(&candidates[best_idx]);
+        TuningResult::new(
+            "bliss",
+            candidates[best_idx],
+            best_sample,
+            evaluator.evaluations(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::DefaultBaseline;
+    use crate::evaluator::SimEvaluator;
+    use pnp_machine::haswell;
+    use pnp_openmp::RegionProfile;
+
+    #[test]
+    fn ridge_recovers_a_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, (i % 7) as f64 / 7.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - 1.5 * x[1]).collect();
+        let model = Ridge::fit(&xs, &ys, 1e-6);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((model.predict(x) - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bliss_stays_within_budget_and_beats_the_default() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let profile = RegionProfile {
+            imbalance: 1.2,
+            imbalance_shape: pnp_openmp::ImbalanceShape::Ramp,
+            ..RegionProfile::balanced("r", 30_000)
+        };
+        let o = Objective::TimeAtPower { power_watts: 40.0 };
+
+        let eval = SimEvaluator::new(machine.clone(), profile.clone());
+        let result = BlissTuner::new(&space, 3).tune(&eval, &o);
+        // budget evaluations + 1 re-evaluation of the winner
+        assert!(result.evaluations <= 21, "{}", result.evaluations);
+
+        let eval_b = SimEvaluator::new(machine.clone(), profile);
+        let baseline = DefaultBaseline::new(&space, machine.tdp_watts).sample(&eval_b, &o);
+        assert!(
+            result.best_sample.time_s <= baseline.time_s * 1.05,
+            "BLISS ({}) should be at least competitive with the default ({})",
+            result.best_sample.time_s,
+            baseline.time_s
+        );
+    }
+
+    #[test]
+    fn smaller_budget_is_never_better_in_expectation_here() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let o = Objective::Edp;
+        let profile = RegionProfile::balanced("r", 60_000);
+        let small = BlissTuner::new(&space, 11)
+            .with_budget(5)
+            .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &o);
+        let large = BlissTuner::new(&space, 11)
+            .with_budget(40)
+            .tune(&SimEvaluator::new(machine, profile), &o);
+        assert!(o.score(&large.best_sample) <= o.score(&small.best_sample) * 1.2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pnp-tuners
+//!
+//! The tuning problem and the tuners the paper compares against:
+//!
+//! * [`SearchSpace`] — Table I: four power caps per machine, six thread
+//!   counts, three schedules, seven chunk sizes (504 combinations, plus the
+//!   default OpenMP configuration at each power level → 508 points).
+//! * [`Objective`] — what is being minimized: execution time at a fixed
+//!   power cap (scenario 1) or the energy-delay product over the joint
+//!   power × configuration space (scenario 2).
+//! * [`SimEvaluator`] — runs a configuration through the analytic execution
+//!   model; every execution-based tuner is charged one "sampling run" per
+//!   call, reproducing the cost asymmetry the paper emphasizes (the PnP
+//!   tuner needs zero executions, BLISS ~20, OpenTuner many more).
+//! * [`OracleTuner`] — exhaustive search (the normalizer for every figure).
+//! * [`DefaultBaseline`] — the default OpenMP configuration.
+//! * [`RandomTuner`] — budgeted random search (sanity baseline).
+//! * [`BlissTuner`] — a BLISS-style tuner: a pool of lightweight surrogate
+//!   models with acquisition-driven sampling under a small budget.
+//! * [`OpenTunerLike`] — an AUC-bandit meta-search over hill-climbing /
+//!   random / pattern-step operators under an evaluation budget.
+//!
+//! The GNN-based PnP tuner itself lives in `pnp-core` (it needs the trained
+//! model); it consumes the same [`SearchSpace`] indices defined here.
+
+pub mod space;
+pub mod objective;
+pub mod evaluator;
+pub mod result;
+pub mod oracle;
+pub mod baseline;
+pub mod random;
+pub mod bliss;
+pub mod opentuner;
+
+pub use baseline::DefaultBaseline;
+pub use bliss::BlissTuner;
+pub use evaluator::{RegionEvaluator, SimEvaluator};
+pub use objective::Objective;
+pub use opentuner::OpenTunerLike;
+pub use oracle::OracleTuner;
+pub use random::RandomTuner;
+pub use result::TuningResult;
+pub use space::{ConfigPoint, SearchSpace};

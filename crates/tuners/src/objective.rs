@@ -1,0 +1,65 @@
+//! Tuning objectives.
+
+use pnp_machine::EnergySample;
+use serde::{Deserialize, Serialize};
+
+/// What a tuner minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Scenario 1: minimize execution time at a fixed, externally imposed
+    /// power cap (the cap is not tunable).
+    TimeAtPower {
+        /// The imposed package power cap in watts.
+        power_watts: f64,
+    },
+    /// Scenario 2: minimize the energy-delay product over the joint
+    /// (power cap × OpenMP configuration) space.
+    Edp,
+}
+
+impl Objective {
+    /// The scalar score of an execution under this objective (lower is
+    /// better).
+    pub fn score(&self, sample: &EnergySample) -> f64 {
+        match self {
+            Objective::TimeAtPower { .. } => sample.time_s,
+            Objective::Edp => sample.edp(),
+        }
+    }
+
+    /// True when this objective also tunes the power level.
+    pub fn tunes_power(&self) -> bool {
+        matches!(self, Objective::Edp)
+    }
+
+    /// The fixed power cap of a scenario-1 objective, if any.
+    pub fn fixed_power(&self) -> Option<f64> {
+        match self {
+            Objective::TimeAtPower { power_watts } => Some(*power_watts),
+            Objective::Edp => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_objective_scores_time_only() {
+        let o = Objective::TimeAtPower { power_watts: 60.0 };
+        let s = EnergySample::new(2.0, 500.0);
+        assert_eq!(o.score(&s), 2.0);
+        assert!(!o.tunes_power());
+        assert_eq!(o.fixed_power(), Some(60.0));
+    }
+
+    #[test]
+    fn edp_objective_scores_product() {
+        let o = Objective::Edp;
+        let s = EnergySample::new(2.0, 500.0);
+        assert_eq!(o.score(&s), 1000.0);
+        assert!(o.tunes_power());
+        assert_eq!(o.fixed_power(), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! An OpenTuner-style search tuner.
+//!
+//! OpenTuner (Ansel et al., PACT 2014) runs an ensemble of search techniques
+//! (hill climbers, pattern search, random) coordinated by an AUC-bandit
+//! meta-technique that gives more trials to whichever technique has recently
+//! produced improvements. This implementation reproduces that structure over
+//! the Table I space, with a wall-budget expressed in region executions
+//! (standing in for the paper's `--stop-after` seconds flag).
+
+use crate::evaluator::RegionEvaluator;
+use crate::objective::Objective;
+use crate::oracle::OracleTuner;
+use crate::result::TuningResult;
+use crate::space::{ConfigPoint, SearchSpace};
+use pnp_openmp::{OmpConfig, Schedule};
+use pnp_tensor::SeededRng;
+
+/// The search operators driven by the bandit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Technique {
+    /// Uniform random candidate.
+    Random,
+    /// Mutate one dimension of the current best.
+    HillClimb,
+    /// Move the thread count one step (the dominant dimension).
+    PatternStep,
+}
+
+const TECHNIQUES: [Technique; 3] = [Technique::Random, Technique::HillClimb, Technique::PatternStep];
+
+/// OpenTuner-style bandit meta-search.
+pub struct OpenTunerLike<'a> {
+    space: &'a SearchSpace,
+    /// Evaluation budget (the stand-in for `--stop-after`).
+    pub budget: usize,
+    seed: u64,
+}
+
+impl<'a> OpenTunerLike<'a> {
+    /// Creates the tuner with the default budget of 60 evaluations.
+    pub fn new(space: &'a SearchSpace, seed: u64) -> Self {
+        OpenTunerLike {
+            space,
+            budget: 60,
+            seed,
+        }
+    }
+
+    /// Overrides the evaluation budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(2);
+        self
+    }
+
+    fn mutate(&self, rng: &mut SeededRng, base: &ConfigPoint, tune_power: bool) -> ConfigPoint {
+        let mut threads = base.omp.threads;
+        let mut schedule = base.omp.schedule;
+        let mut chunk = base.omp.chunk.unwrap_or(1);
+        let mut power = base.power_watts;
+        let dims = if tune_power { 4 } else { 3 };
+        match rng.below(dims) {
+            0 => threads = *rng.choose(&self.space.thread_counts),
+            1 => schedule = *rng.choose(&self.space.schedules),
+            2 => chunk = *rng.choose(&self.space.chunk_sizes),
+            _ => power = *rng.choose(&self.space.power_levels),
+        }
+        ConfigPoint {
+            power_watts: power,
+            omp: OmpConfig::new(threads, schedule, Some(chunk)),
+        }
+    }
+
+    fn pattern_step(&self, rng: &mut SeededRng, base: &ConfigPoint) -> ConfigPoint {
+        let idx = self
+            .space
+            .thread_counts
+            .iter()
+            .position(|&t| t == base.omp.threads)
+            .unwrap_or(0);
+        let next = if rng.bernoulli(0.5) {
+            idx.saturating_sub(1)
+        } else {
+            (idx + 1).min(self.space.thread_counts.len() - 1)
+        };
+        ConfigPoint {
+            power_watts: base.power_watts,
+            omp: OmpConfig::new(
+                self.space.thread_counts[next],
+                base.omp.schedule,
+                base.omp.chunk.or(Some(1)),
+            ),
+        }
+    }
+
+    /// Runs the search.
+    pub fn tune(&self, evaluator: &dyn RegionEvaluator, objective: &Objective) -> TuningResult {
+        let mut rng = SeededRng::new(self.seed);
+        let candidates = OracleTuner::new(self.space).candidates(objective);
+        let tune_power = objective.tunes_power();
+
+        // Start from the default configuration's nearest tuned neighbour.
+        let start = ConfigPoint {
+            power_watts: objective
+                .fixed_power()
+                .unwrap_or_else(|| *self.space.power_levels.last().unwrap()),
+            omp: OmpConfig::new(
+                *self.space.thread_counts.last().unwrap(),
+                Schedule::Static,
+                Some(1),
+            ),
+        };
+        let mut best_point = start;
+        let mut best_sample = evaluator.evaluate(&best_point);
+        let mut best_score = objective.score(&best_sample);
+
+        // AUC-bandit state: exponentially decayed credit per technique.
+        let mut credit = [1.0f64; 3];
+        let mut uses = [1.0f64; 3];
+        let decay = 0.9;
+
+        for _ in 1..self.budget {
+            // Select the technique with the best upper-confidence credit.
+            let total_uses: f64 = uses.iter().sum();
+            let t_idx = (0..TECHNIQUES.len())
+                .max_by(|&a, &b| {
+                    let ucb = |i: usize| {
+                        credit[i] / uses[i] + (2.0 * total_uses.ln() / uses[i]).sqrt() * 0.3
+                    };
+                    ucb(a).partial_cmp(&ucb(b)).unwrap()
+                })
+                .unwrap();
+            let candidate = match TECHNIQUES[t_idx] {
+                Technique::Random => candidates[rng.below(candidates.len())],
+                Technique::HillClimb => self.mutate(&mut rng, &best_point, tune_power),
+                Technique::PatternStep => self.pattern_step(&mut rng, &best_point),
+            };
+            let sample = evaluator.evaluate(&candidate);
+            let score = objective.score(&sample);
+
+            for c in credit.iter_mut() {
+                *c *= decay;
+            }
+            for u in uses.iter_mut() {
+                *u *= decay;
+            }
+            uses[t_idx] += 1.0;
+            if score < best_score {
+                credit[t_idx] += 1.0;
+                best_score = score;
+                best_point = candidate;
+                best_sample = sample;
+            }
+        }
+
+        TuningResult::new("opentuner", best_point, best_sample, evaluator.evaluations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use pnp_machine::haswell;
+    use pnp_openmp::RegionProfile;
+
+    #[test]
+    fn search_respects_budget_and_improves_over_its_start() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let profile = RegionProfile {
+            imbalance: 1.0,
+            imbalance_shape: pnp_openmp::ImbalanceShape::Ramp,
+            ..RegionProfile::balanced("r", 20_000)
+        };
+        let o = Objective::TimeAtPower { power_watts: 40.0 };
+        let eval = SimEvaluator::new(machine.clone(), profile.clone());
+        let result = OpenTunerLike::new(&space, 5).with_budget(40).tune(&eval, &o);
+        assert_eq!(result.evaluations, 40);
+
+        // Compare against the very first point it evaluated (its start).
+        let eval2 = SimEvaluator::new(machine, profile);
+        let start_sample = eval2.evaluate(&ConfigPoint {
+            power_watts: 40.0,
+            omp: OmpConfig::new(32, Schedule::Static, Some(1)),
+        });
+        assert!(result.best_sample.time_s <= start_sample.time_s);
+    }
+
+    #[test]
+    fn edp_objective_explores_power_levels() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let eval = SimEvaluator::new(machine, RegionProfile::balanced("r", 200_000));
+        let result = OpenTunerLike::new(&space, 9)
+            .with_budget(80)
+            .tune(&eval, &Objective::Edp);
+        assert!(space.power_levels.contains(&result.best_point.power_watts));
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let profile = RegionProfile::balanced("r", 50_000);
+        let o = Objective::Edp;
+        let a = OpenTunerLike::new(&space, 123)
+            .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &o);
+        let b = OpenTunerLike::new(&space, 123).tune(&SimEvaluator::new(machine, profile), &o);
+        assert_eq!(a.best_point, b.best_point);
+    }
+}

@@ -1,0 +1,116 @@
+//! The oracle: exhaustive search over the relevant slice of the search space.
+//!
+//! Every figure in the paper normalizes tuner results by the oracle's, so the
+//! oracle also exposes the full sweep (every point with its sample), which
+//! the dataset-creation pipeline reuses as training labels.
+
+use crate::evaluator::RegionEvaluator;
+use crate::objective::Objective;
+use crate::result::TuningResult;
+use crate::space::{ConfigPoint, SearchSpace};
+use pnp_machine::EnergySample;
+
+/// Exhaustive-search tuner.
+pub struct OracleTuner<'a> {
+    space: &'a SearchSpace,
+}
+
+impl<'a> OracleTuner<'a> {
+    /// Creates an oracle over a search space.
+    pub fn new(space: &'a SearchSpace) -> Self {
+        OracleTuner { space }
+    }
+
+    /// The candidate points for an objective: all OpenMP configurations at
+    /// the fixed power level (scenario 1), or the full joint space
+    /// (scenario 2).
+    pub fn candidates(&self, objective: &Objective) -> Vec<ConfigPoint> {
+        match objective.fixed_power() {
+            Some(power) => self
+                .space
+                .omp_configs()
+                .into_iter()
+                .map(|omp| ConfigPoint {
+                    power_watts: power,
+                    omp,
+                })
+                .collect(),
+            None => self.space.joint_points(),
+        }
+    }
+
+    /// Sweeps every candidate and returns `(point, sample)` pairs in
+    /// candidate order.
+    pub fn sweep(
+        &self,
+        evaluator: &dyn RegionEvaluator,
+        objective: &Objective,
+    ) -> Vec<(ConfigPoint, EnergySample)> {
+        self.candidates(objective)
+            .into_iter()
+            .map(|p| {
+                let s = evaluator.evaluate(&p);
+                (p, s)
+            })
+            .collect()
+    }
+
+    /// Runs the exhaustive search and returns the best point.
+    pub fn tune(&self, evaluator: &dyn RegionEvaluator, objective: &Objective) -> TuningResult {
+        let sweep = self.sweep(evaluator, objective);
+        let (best_point, best_sample) = sweep
+            .into_iter()
+            .min_by(|a, b| {
+                objective
+                    .score(&a.1)
+                    .partial_cmp(&objective.score(&b.1))
+                    .unwrap()
+            })
+            .expect("search space is never empty");
+        TuningResult::new("oracle", best_point, best_sample, evaluator.evaluations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use pnp_machine::haswell;
+    use pnp_openmp::RegionProfile;
+
+    fn setup() -> (SearchSpace, SimEvaluator) {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let eval = SimEvaluator::new(machine, RegionProfile::balanced("r", 30_000));
+        (space, eval)
+    }
+
+    #[test]
+    fn scenario1_oracle_sweeps_126_points() {
+        let (space, eval) = setup();
+        let oracle = OracleTuner::new(&space);
+        let result = oracle.tune(&eval, &Objective::TimeAtPower { power_watts: 60.0 });
+        assert_eq!(result.evaluations, 126);
+        assert_eq!(result.best_point.power_watts, 60.0);
+    }
+
+    #[test]
+    fn scenario2_oracle_sweeps_the_joint_space() {
+        let (space, eval) = setup();
+        let oracle = OracleTuner::new(&space);
+        let result = oracle.tune(&eval, &Objective::Edp);
+        assert_eq!(result.evaluations, 504);
+    }
+
+    #[test]
+    fn oracle_result_is_no_worse_than_any_sweep_point() {
+        let (space, eval) = setup();
+        let oracle = OracleTuner::new(&space);
+        let objective = Objective::TimeAtPower { power_watts: 85.0 };
+        let sweep = oracle.sweep(&eval, &objective);
+        let best = oracle.tune(&eval, &objective);
+        for (_, s) in sweep {
+            assert!(objective.score(&best.best_sample) <= objective.score(&s) + 1e-12);
+        }
+    }
+}

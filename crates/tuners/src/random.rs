@@ -1,0 +1,87 @@
+//! Budgeted random search — the simplest execution-based baseline.
+
+use crate::evaluator::RegionEvaluator;
+use crate::objective::Objective;
+use crate::oracle::OracleTuner;
+use crate::result::TuningResult;
+use crate::space::SearchSpace;
+use pnp_tensor::SeededRng;
+
+/// Random search with a fixed evaluation budget.
+pub struct RandomTuner<'a> {
+    space: &'a SearchSpace,
+    /// Number of sampling executions allowed.
+    pub budget: usize,
+    seed: u64,
+}
+
+impl<'a> RandomTuner<'a> {
+    /// Creates a random tuner.
+    pub fn new(space: &'a SearchSpace, budget: usize, seed: u64) -> Self {
+        RandomTuner {
+            space,
+            budget: budget.max(1),
+            seed,
+        }
+    }
+
+    /// Runs the search.
+    pub fn tune(&self, evaluator: &dyn RegionEvaluator, objective: &Objective) -> TuningResult {
+        let mut rng = SeededRng::new(self.seed);
+        let candidates = OracleTuner::new(self.space).candidates(objective);
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_sample = None;
+        for _ in 0..self.budget.min(candidates.len()) {
+            let idx = rng.below(candidates.len());
+            let sample = evaluator.evaluate(&candidates[idx]);
+            let score = objective.score(&sample);
+            if best.map_or(true, |(_, s)| score < s) {
+                best = Some((idx, score));
+                best_sample = Some(sample);
+            }
+        }
+        let (idx, _) = best.unwrap();
+        TuningResult::new(
+            "random",
+            candidates[idx],
+            best_sample.unwrap(),
+            evaluator.evaluations(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use pnp_machine::haswell;
+    use pnp_openmp::RegionProfile;
+
+    #[test]
+    fn random_search_respects_its_budget_and_is_deterministic() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let o = Objective::TimeAtPower { power_watts: 60.0 };
+
+        let e1 = SimEvaluator::new(machine.clone(), RegionProfile::balanced("r", 40_000));
+        let r1 = RandomTuner::new(&space, 10, 42).tune(&e1, &o);
+        assert_eq!(r1.evaluations, 10);
+
+        let e2 = SimEvaluator::new(machine, RegionProfile::balanced("r", 40_000));
+        let r2 = RandomTuner::new(&space, 10, 42).tune(&e2, &o);
+        assert_eq!(r1.best_point, r2.best_point);
+    }
+
+    #[test]
+    fn bigger_budgets_never_hurt() {
+        let machine = haswell();
+        let space = SearchSpace::for_machine(&machine);
+        let o = Objective::Edp;
+        let profile = RegionProfile::balanced("r", 40_000);
+        let small = RandomTuner::new(&space, 5, 7)
+            .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &o);
+        let large = RandomTuner::new(&space, 100, 7)
+            .tune(&SimEvaluator::new(machine, profile), &o);
+        assert!(o.score(&large.best_sample) <= o.score(&small.best_sample) + 1e-12);
+    }
+}

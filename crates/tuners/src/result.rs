@@ -1,0 +1,75 @@
+//! Tuning results.
+
+use crate::space::ConfigPoint;
+use pnp_machine::EnergySample;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one tuner run on one region.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Name of the tuner that produced the result.
+    pub tuner: String,
+    /// The best configuration point found.
+    pub best_point: ConfigPoint,
+    /// The sample observed (or predicted) at the best point.
+    pub best_sample: EnergySample,
+    /// Number of region executions the tuner needed (0 for the static PnP
+    /// tuner, 2 for the dynamic PnP tuner, ≥ budget for the search tuners).
+    pub evaluations: usize,
+}
+
+impl TuningResult {
+    /// Creates a result.
+    pub fn new(
+        tuner: impl Into<String>,
+        best_point: ConfigPoint,
+        best_sample: EnergySample,
+        evaluations: usize,
+    ) -> Self {
+        TuningResult {
+            tuner: tuner.into(),
+            best_point,
+            best_sample,
+            evaluations,
+        }
+    }
+
+    /// Speedup of this result over a baseline sample.
+    pub fn speedup_over(&self, baseline: &EnergySample) -> f64 {
+        self.best_sample.speedup_over(baseline)
+    }
+
+    /// Greenup of this result over a baseline sample.
+    pub fn greenup_over(&self, baseline: &EnergySample) -> f64 {
+        self.best_sample.greenup_over(baseline)
+    }
+
+    /// EDP improvement of this result over a baseline sample.
+    pub fn edp_improvement_over(&self, baseline: &EnergySample) -> f64 {
+        self.best_sample.edp_improvement_over(baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_openmp::{OmpConfig, Schedule};
+
+    #[test]
+    fn derived_metrics_use_the_best_sample() {
+        let r = TuningResult::new(
+            "test",
+            ConfigPoint {
+                power_watts: 85.0,
+                omp: OmpConfig::new(8, Schedule::Static, Some(64)),
+            },
+            EnergySample::new(1.0, 50.0),
+            20,
+        );
+        let baseline = EnergySample::new(2.0, 150.0);
+        assert_eq!(r.speedup_over(&baseline), 2.0);
+        assert_eq!(r.greenup_over(&baseline), 3.0);
+        assert_eq!(r.edp_improvement_over(&baseline), 6.0);
+        assert_eq!(r.evaluations, 20);
+    }
+}

@@ -1,0 +1,71 @@
+//! Scenario 2 walkthrough: jointly tune the power cap and the OpenMP
+//! configuration to minimize the energy-delay product of a Quicksilver-style
+//! irregular region, and show why "race to halt" does not hold.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example edp_tuning
+//! ```
+
+use pnp_benchmarks::builders::lookup_kernel;
+use pnp_machine::skylake;
+use pnp_tuners::{DefaultBaseline, Objective, OracleTuner, SearchSpace, SimEvaluator};
+
+fn main() {
+    let machine = skylake();
+    let space = SearchSpace::for_machine(&machine);
+    let region = lookup_kernel("demo_tracking", 1_200_000, 4.0e8, "segment_outcome", 24, 1.5);
+
+    let evaluator = SimEvaluator::new(machine.clone(), region.profile.clone());
+    let oracle = OracleTuner::new(&space);
+
+    // Default configuration at TDP — the baseline of Figures 6 and 7.
+    let baseline =
+        DefaultBaseline::new(&space, machine.tdp_watts).sample(&evaluator, &Objective::Edp);
+    println!(
+        "default @ TDP: {:.3} ms, {:.1} J, EDP {:.3}",
+        baseline.time_s * 1e3,
+        baseline.energy_j,
+        baseline.edp()
+    );
+
+    // Exhaustive sweep of the joint space: fastest, greenest, and best-EDP points.
+    let sweep = oracle.sweep(&evaluator, &Objective::Edp);
+    let fastest = sweep
+        .iter()
+        .min_by(|a, b| a.1.time_s.partial_cmp(&b.1.time_s).unwrap())
+        .unwrap();
+    let greenest = sweep
+        .iter()
+        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).unwrap())
+        .unwrap();
+    let best_edp = sweep
+        .iter()
+        .min_by(|a, b| a.1.edp().partial_cmp(&b.1.edp()).unwrap())
+        .unwrap();
+
+    let describe = |name: &str, point: &pnp_tuners::ConfigPoint, s: &pnp_machine::EnergySample| {
+        println!(
+            "{name:>10}: {} @ {:.0} W -> {:.3} ms, {:.1} J | speedup {:.2}x, greenup {:.2}x, EDP improvement {:.2}x",
+            point.omp,
+            point.power_watts,
+            s.time_s * 1e3,
+            s.energy_j,
+            baseline.time_s / s.time_s,
+            baseline.energy_j / s.energy_j,
+            baseline.edp() / s.edp(),
+        );
+    };
+    describe("fastest", &fastest.0, &fastest.1);
+    describe("greenest", &greenest.0, &greenest.1);
+    describe("best EDP", &best_edp.0, &best_edp.1);
+
+    if fastest.0 != greenest.0 {
+        println!("\nrace-to-halt does NOT hold here: the fastest point and the most energy-efficient point differ.");
+    }
+    println!(
+        "the best-EDP point trades {:.0}% of the fastest point's speed for {:.0}% less energy.",
+        100.0 * (1.0 - fastest.1.time_s / best_edp.1.time_s).abs(),
+        100.0 * (1.0 - best_edp.1.energy_j / fastest.1.energy_j)
+    );
+}

@@ -1,0 +1,47 @@
+//! Run a real kernel on the host with the library's OpenMP-style executor,
+//! exercising every scheduling policy the tuner can select.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example openmp_executor
+//! ```
+
+use pnp_openmp::{OmpConfig, Schedule, ThreadPool};
+use std::time::Instant;
+
+/// A deliberately imbalanced workload: later iterations do more work, like
+//  the triangular loops in LU/Cholesky.
+fn work(i: usize) -> f64 {
+    let reps = 10 + i / 50;
+    let mut acc = i as f64;
+    for k in 0..reps {
+        acc = (acc + k as f64).sqrt() + 1.0;
+    }
+    acc
+}
+
+fn main() {
+    let n = 200_000;
+    let serial: f64 = (0..n).map(work).sum();
+    println!("serial reference sum = {serial:.3}");
+
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    println!("running with {threads} worker threads\n");
+    println!("{:<28} {:>12} {:>10}", "configuration", "time (ms)", "correct");
+
+    for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Guided] {
+        for chunk in [None, Some(64), Some(1024)] {
+            let config = OmpConfig::new(threads, schedule, chunk);
+            let pool = ThreadPool::new(config);
+            let start = Instant::now();
+            let sum = pool.parallel_reduce_sum(n, work);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let correct = (sum - serial).abs() / serial < 1e-9;
+            println!("{:<28} {:>12.2} {:>10}", config.to_string(), elapsed, correct);
+        }
+    }
+
+    println!("\nNote: on an imbalanced loop like this, dynamic/guided schedules");
+    println!("with a moderate chunk size usually beat the static default —");
+    println!("exactly the effect the PnP tuner learns to predict from the code graph.");
+}

@@ -1,0 +1,59 @@
+//! Scenario 1 walkthrough: compare the tuners on one memory-bound and one
+//! compute-bound region under every Haswell power cap.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example power_constrained_tuning
+//! ```
+
+use pnp_benchmarks::builders::{matmul_kernel, streaming_kernel};
+use pnp_machine::haswell;
+use pnp_tuners::{
+    BlissTuner, DefaultBaseline, Objective, OpenTunerLike, OracleTuner, RegionEvaluator,
+    SearchSpace, SimEvaluator,
+};
+
+fn main() {
+    let machine = haswell();
+    let space = SearchSpace::for_machine(&machine);
+    let regions = vec![
+        ("gemm-like (compute bound)", matmul_kernel("demo_gemm", 700, 700, 700)),
+        ("stream-like (memory bound)", streaming_kernel("demo_stream", 2_000_000, 3, 1.0)),
+    ];
+
+    for (label, region) in &regions {
+        println!("\n=== {label} ===");
+        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "cap (W)", "oracle", "bliss", "opentuner", "default");
+        for &cap in &space.power_levels {
+            let objective = Objective::TimeAtPower { power_watts: cap };
+            let make_eval = || SimEvaluator::new(machine.clone(), region.profile.clone());
+
+            let eval = make_eval();
+            let oracle = OracleTuner::new(&space).tune(&eval, &objective);
+            let eval = make_eval();
+            let bliss = BlissTuner::new(&space, 1).tune(&eval, &objective);
+            let eval = make_eval();
+            let opentuner = OpenTunerLike::new(&space, 2).tune(&eval, &objective);
+            let eval = make_eval();
+            let default = DefaultBaseline::new(&space, machine.tdp_watts).sample(&eval, &objective);
+
+            println!(
+                "{:<10.0} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms",
+                cap,
+                oracle.best_sample.time_s * 1e3,
+                bliss.best_sample.time_s * 1e3,
+                opentuner.best_sample.time_s * 1e3,
+                default.time_s * 1e3,
+            );
+            println!(
+                "{:<10} best config: {} (speedup over default {:.2}x, {} sampling runs for BLISS, {} for OpenTuner)",
+                "",
+                oracle.best_point.omp,
+                default.time_s / oracle.best_sample.time_s,
+                bliss.evaluations,
+                opentuner.evaluations,
+            );
+            let _ = eval.evaluations();
+        }
+    }
+}

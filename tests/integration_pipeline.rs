@@ -1,0 +1,98 @@
+//! End-to-end integration: benchmark suite → IR → code graphs → dataset →
+//! labels, across crates.
+
+use pnp_benchmarks::{full_suite, suite_stats};
+use pnp_core::dataset::Dataset;
+use pnp_graph::{EncodedGraph, Vocabulary};
+use pnp_ir::verify::verify_module;
+use pnp_machine::{haswell, skylake};
+
+#[test]
+fn full_suite_lowers_verifies_and_encodes() {
+    let apps = full_suite();
+    let stats = suite_stats(&apps);
+    assert_eq!(stats.applications, 30);
+    assert_eq!(stats.regions, 68);
+
+    let vocab = Vocabulary::standard();
+    for app in &apps {
+        let module = app.lower();
+        assert!(
+            verify_module(&module).is_ok(),
+            "IR verification failed for {}: {:?}",
+            app.name,
+            verify_module(&module)
+        );
+        for (name, graph) in app.region_graphs() {
+            assert!(graph.is_well_formed(), "{name}");
+            // Every node text must be in the closed vocabulary.
+            assert_eq!(vocab.oov_rate(&graph), 0.0, "{name} has OOV node text");
+            let encoded = EncodedGraph::encode(&graph, &vocab);
+            assert_eq!(encoded.num_nodes(), graph.num_nodes());
+            assert_eq!(encoded.relations.len(), 3);
+        }
+    }
+}
+
+#[test]
+fn datasets_build_for_both_testbeds_with_sane_labels() {
+    // A subset of the suite keeps this test fast while still crossing every
+    // crate boundary (benchmarks → graphs → machine/openmp sweep → labels).
+    let apps: Vec<_> = full_suite().into_iter().take(6).collect();
+    let vocab = Vocabulary::standard();
+    for machine in [haswell(), skylake()] {
+        let ds = Dataset::build(&machine, &apps, &vocab);
+        assert_eq!(ds.space.power_levels.len(), 4);
+        assert_eq!(ds.space.configs_per_power(), 126);
+        assert!(!ds.is_empty());
+        for (i, sweep) in ds.sweeps.iter().enumerate() {
+            for p in 0..4 {
+                let best = sweep.best_time_config(p);
+                assert!(best < 126);
+                // The oracle never loses to the default configuration by more
+                // than numerical noise.
+                assert!(
+                    sweep.best_time(p) <= sweep.default_samples[p].time_s * 1.05,
+                    "machine {} region {} power {}",
+                    machine.name,
+                    ds.regions[i].region,
+                    p
+                );
+                // All samples are physical.
+                for s in &sweep.samples[p] {
+                    assert!(s.time_s > 0.0 && s.time_s.is_finite());
+                    assert!(s.energy_j > 0.0 && s.energy_j.is_finite());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn best_configurations_differ_across_regions_and_power_levels() {
+    // The tuning problem is only interesting (and learnable) if different
+    // regions want different configurations — verify the dataset exhibits
+    // that diversity.
+    let apps: Vec<_> = full_suite().into_iter().take(10).collect();
+    let ds = Dataset::build(&haswell(), &apps, &Vocabulary::standard());
+    let mut distinct_labels = std::collections::HashSet::new();
+    let mut label_changes_across_power = 0;
+    for sweep in &ds.sweeps {
+        let labels: Vec<usize> = (0..4).map(|p| sweep.best_time_config(p)).collect();
+        for &l in &labels {
+            distinct_labels.insert(l);
+        }
+        if labels.iter().any(|&l| l != labels[0]) {
+            label_changes_across_power += 1;
+        }
+    }
+    assert!(
+        distinct_labels.len() >= 5,
+        "only {} distinct best configurations across the subset",
+        distinct_labels.len()
+    );
+    assert!(
+        label_changes_across_power >= 2,
+        "power caps should change the best configuration for some regions"
+    );
+}

@@ -1,0 +1,93 @@
+//! Cross-crate tuner integration: oracle vs. BLISS vs. OpenTuner vs. default
+//! on real benchmark regions, for both objectives.
+
+use pnp_benchmarks::full_suite;
+use pnp_machine::haswell;
+use pnp_tuners::{
+    BlissTuner, DefaultBaseline, Objective, OpenTunerLike, OracleTuner, RandomTuner,
+    SearchSpace, SimEvaluator,
+};
+
+fn some_regions(n: usize) -> Vec<(String, pnp_openmp::RegionProfile)> {
+    full_suite()
+        .into_iter()
+        .flat_map(|app| {
+            app.regions
+                .into_iter()
+                .map(move |r| (r.profile.name.clone(), r.profile))
+        })
+        .step_by(7)
+        .take(n)
+        .collect()
+}
+
+#[test]
+fn oracle_dominates_every_other_tuner() {
+    let machine = haswell();
+    let space = SearchSpace::for_machine(&machine);
+    for (name, profile) in some_regions(4) {
+        for objective in [Objective::TimeAtPower { power_watts: 60.0 }, Objective::Edp] {
+            let oracle = OracleTuner::new(&space)
+                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+            let bliss = BlissTuner::new(&space, 1)
+                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+            let opentuner = OpenTunerLike::new(&space, 2)
+                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+            let random = RandomTuner::new(&space, 20, 3)
+                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+            let oracle_score = objective.score(&oracle.best_sample);
+            for other in [&bliss, &opentuner, &random] {
+                assert!(
+                    oracle_score <= objective.score(&other.best_sample) * (1.0 + 1e-9),
+                    "{name}: oracle must dominate {}",
+                    other.tuner
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn search_tuners_usually_beat_the_default_under_a_tight_cap() {
+    let machine = haswell();
+    let space = SearchSpace::for_machine(&machine);
+    let objective = Objective::TimeAtPower { power_watts: 40.0 };
+    let mut bliss_wins = 0usize;
+    let mut total = 0usize;
+    for (_, profile) in some_regions(6) {
+        let default = DefaultBaseline::new(&space, machine.tdp_watts)
+            .sample(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+        let bliss = BlissTuner::new(&space, 11)
+            .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+        total += 1;
+        if bliss.best_sample.time_s <= default.time_s * 1.001 {
+            bliss_wins += 1;
+        }
+    }
+    assert!(
+        bliss_wins * 3 >= total * 2,
+        "BLISS should at least match the default in most cases ({bliss_wins}/{total})"
+    );
+}
+
+#[test]
+fn execution_counts_reflect_the_papers_cost_asymmetry() {
+    // The paper's key selling point: search tuners need many executions, the
+    // static PnP tuner needs none. Verify the accounting that claim rests on.
+    let machine = haswell();
+    let space = SearchSpace::for_machine(&machine);
+    let profile = some_regions(1).remove(0).1;
+    let objective = Objective::TimeAtPower { power_watts: 70.0 };
+
+    let eval = SimEvaluator::new(machine.clone(), profile.clone());
+    let oracle = OracleTuner::new(&space).tune(&eval, &objective);
+    assert_eq!(oracle.evaluations, 126);
+
+    let eval = SimEvaluator::new(machine.clone(), profile.clone());
+    let bliss = BlissTuner::new(&space, 5).tune(&eval, &objective);
+    assert!(bliss.evaluations <= 21 && bliss.evaluations >= 19);
+
+    let eval = SimEvaluator::new(machine, profile);
+    let opentuner = OpenTunerLike::new(&space, 5).tune(&eval, &objective);
+    assert_eq!(opentuner.evaluations, 60);
+}
