@@ -6,7 +6,9 @@ use pnp_openmp::{OmpConfig, Schedule, ThreadPool};
 
 fn bench_executor(c: &mut Criterion) {
     let n = 50_000;
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
     let work = |i: usize| -> f64 {
         let mut acc = i as f64;
         for k in 0..20 {

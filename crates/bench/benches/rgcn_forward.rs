@@ -30,7 +30,10 @@ fn model(hidden: usize, layers: usize) -> PnPModel {
 fn bench_rgcn(c: &mut Criterion) {
     let graphs = vec![
         ("matmul_graph", encoded(&matmul_kernel("mm", 500, 500, 500))),
-        ("stencil_graph", encoded(&stencil2d_kernel("st", 1000, 1000, 9))),
+        (
+            "stencil_graph",
+            encoded(&stencil2d_kernel("st", 1000, 1000, 9)),
+        ),
     ];
     let mut group = c.benchmark_group("rgcn");
     for (name, g) in &graphs {

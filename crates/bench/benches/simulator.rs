@@ -14,7 +14,10 @@ fn bench_simulator(c: &mut Criterion) {
     let regions = vec![
         ("compute_bound", matmul_kernel("mm", 600, 600, 600)),
         ("memory_bound", streaming_kernel("st", 2_000_000, 3, 1.0)),
-        ("irregular", lookup_kernel("lk", 1_000_000, 5e8, "xs", 16, 1.2)),
+        (
+            "irregular",
+            lookup_kernel("lk", 1_000_000, 5e8, "xs", 16, 1.2),
+        ),
     ];
     let configs = [
         OmpConfig::new(32, Schedule::Static, None),
@@ -26,7 +29,13 @@ fn bench_simulator(c: &mut Criterion) {
     for (name, region) in &regions {
         group.bench_function(format!("single_config_{name}"), |b| {
             b.iter(|| {
-                simulate_region_with_model(&machine, &power_model, &region.profile, &configs[1], 60.0)
+                simulate_region_with_model(
+                    &machine,
+                    &power_model,
+                    &region.profile,
+                    &configs[1],
+                    60.0,
+                )
             })
         });
         group.bench_function(format!("config_sweep_{name}"), |b| {

@@ -7,7 +7,10 @@ use pnp_core::report::write_json;
 use pnp_machine::haswell;
 
 fn main() {
-    banner("Ablations", "RGCN vs GCN, readout pooling, BLISS budget sensitivity (Haswell)");
+    banner(
+        "Ablations",
+        "RGCN vs GCN, readout pooling, BLISS budget sensitivity (Haswell)",
+    );
     let settings = settings_from_env();
     let results = ablations::run(&haswell(), &settings);
     println!("{}", results.render());

@@ -8,7 +8,10 @@ use pnp_core::report::write_json;
 use pnp_machine::haswell;
 
 fn main() {
-    banner("Figure 2", "power-constrained tuning, Haswell (normalized by oracle)");
+    banner(
+        "Figure 2",
+        "power-constrained tuning, Haswell (normalized by oracle)",
+    );
     let settings = settings_from_env();
     let results = power_constrained::run(&haswell(), &settings);
     println!("{}", results.render());

@@ -7,7 +7,10 @@ use pnp_core::report::write_json;
 use pnp_machine::skylake;
 
 fn main() {
-    banner("Figure 3", "power-constrained tuning, Skylake (normalized by oracle)");
+    banner(
+        "Figure 3",
+        "power-constrained tuning, Skylake (normalized by oracle)",
+    );
     let settings = settings_from_env();
     let results = power_constrained::run(&skylake(), &settings);
     println!("{}", results.render());

@@ -7,7 +7,10 @@ use pnp_core::report::write_json;
 use pnp_machine::{haswell, skylake};
 
 fn main() {
-    banner("Figure 6", "EDP tuning — normalized EDP improvements (both machines)");
+    banner(
+        "Figure 6",
+        "EDP tuning — normalized EDP improvements (both machines)",
+    );
     let settings = settings_from_env();
     for machine in [skylake(), haswell()] {
         let results = edp::run(&machine, &settings);

@@ -19,15 +19,28 @@ fn load_cached(machine: &str) -> Option<EdpResults> {
 }
 
 fn main() {
-    banner("Figure 7", "EDP tuning — speedups and greenups over default @ TDP");
+    banner(
+        "Figure 7",
+        "EDP tuning — speedups and greenups over default @ TDP",
+    );
     let settings = settings_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {
-            eprintln!("[pnp-bench] no cached fig6 results for {}, re-running", machine.name);
+            eprintln!(
+                "[pnp-bench] no cached fig6 results for {}, re-running",
+                machine.name
+            );
             edp::run(&machine, &settings)
         });
         println!("\n--- {} ---", machine.name);
-        let hdr = ["app", "default", "pnp_static", "pnp_dynamic", "bliss", "opentuner"];
+        let hdr = [
+            "app",
+            "default",
+            "pnp_static",
+            "pnp_dynamic",
+            "bliss",
+            "opentuner",
+        ];
         println!("Speedups over default @ TDP");
         let mut t = TextTable::new(&hdr);
         for row in &results.rows {

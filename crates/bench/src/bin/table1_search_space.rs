@@ -8,7 +8,12 @@ fn main() {
     banner("Table I", "search space for performance and power tuning");
     for machine in [skylake(), haswell()] {
         let space = SearchSpace::for_machine(&machine);
-        println!("\n{} ({} cores, {} hardware threads)", machine.name, machine.total_cores(), machine.total_hw_threads());
+        println!(
+            "\n{} ({} cores, {} hardware threads)",
+            machine.name,
+            machine.total_cores(),
+            machine.total_hw_threads()
+        );
         println!(
             "  Power limits     : {}",
             space

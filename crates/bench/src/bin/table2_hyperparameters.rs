@@ -12,13 +12,22 @@ fn print_settings(name: &str, s: &TrainSettings) {
     println!("  Learning rate : 0.001");
     println!("  Batch size    : {}", s.batch_size);
     println!("  Loss function : Cross-entropy");
-    println!("  Hidden width  : {} (readout), {} (dense)", s.hidden_dim, s.fc_hidden);
+    println!(
+        "  Hidden width  : {} (readout), {} (dense)",
+        s.hidden_dim, s.fc_hidden
+    );
     println!("  Epochs        : {}", s.epochs);
     println!("  CV folds      : {}", s.folds);
 }
 
 fn main() {
     banner("Table II", "deep learning model hyperparameters");
-    print_settings("Paper-fidelity configuration (PNP_FULL=1)", &TrainSettings::full());
-    print_settings("Quick configuration (default on this container)", &TrainSettings::quick());
+    print_settings(
+        "Paper-fidelity configuration (PNP_FULL=1)",
+        &TrainSettings::full(),
+    );
+    print_settings(
+        "Quick configuration (default on this container)",
+        &TrainSettings::quick(),
+    );
 }

@@ -9,12 +9,17 @@ use pnp_machine::{haswell, skylake};
 use std::path::Path;
 
 fn load_cached(name: &str) -> Option<PowerConstrainedResults> {
-    let path = Path::new("target").join("experiments").join(format!("{name}.json"));
+    let path = Path::new("target")
+        .join("experiments")
+        .join(format!("{name}.json"));
     serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()
 }
 
 fn main() {
-    banner("Section IV-B summary", "geomean speedups per power cap and oracle proximity");
+    banner(
+        "Section IV-B summary",
+        "geomean speedups per power cap and oracle proximity",
+    );
     let settings = settings_from_env();
     let runs = [
         ("fig2_haswell_power", haswell()),
@@ -22,11 +27,20 @@ fn main() {
     ];
     for (cache, machine) in runs {
         let results = load_cached(cache).unwrap_or_else(|| {
-            eprintln!("[pnp-bench] no cached {cache}, re-running (use fig2/fig3 binaries to cache)");
+            eprintln!(
+                "[pnp-bench] no cached {cache}, re-running (use fig2/fig3 binaries to cache)"
+            );
             power_constrained::run(&machine, &settings)
         });
         println!("\n--- {} ---", results.machine);
-        let mut t = TextTable::new(&["power W", "oracle", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);
+        let mut t = TextTable::new(&[
+            "power W",
+            "oracle",
+            "pnp_static",
+            "pnp_dynamic",
+            "bliss",
+            "opentuner",
+        ]);
         for ((power, tuners), (_, oracle)) in results
             .summary
             .geomean_speedup_per_power

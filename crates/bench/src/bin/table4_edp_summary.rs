@@ -20,12 +20,18 @@ fn main() {
     let settings = settings_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {
-            eprintln!("[pnp-bench] no cached fig6 results for {}, re-running", machine.name);
+            eprintln!(
+                "[pnp-bench] no cached fig6 results for {}, re-running",
+                machine.name
+            );
             edp::run(&machine, &settings)
         });
         println!("\n--- {} ---", results.machine);
         let mut t = TextTable::new(&["metric", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);
-        t.row_numeric("geomean EDP improvement", &results.summary.geomean_edp_improvement);
+        t.row_numeric(
+            "geomean EDP improvement",
+            &results.summary.geomean_edp_improvement,
+        );
         t.row_numeric("geomean speedup", &results.summary.geomean_speedup);
         t.row_numeric("geomean greenup", &results.summary.geomean_greenup);
         println!("{}", t.render());

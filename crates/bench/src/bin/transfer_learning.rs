@@ -7,7 +7,10 @@ use pnp_core::experiments::transfer;
 use pnp_core::report::write_json;
 
 fn main() {
-    banner("Transfer learning (Section IV-B)", "Haswell GNN reused on Skylake");
+    banner(
+        "Transfer learning (Section IV-B)",
+        "Haswell GNN reused on Skylake",
+    );
     let settings = settings_from_env();
     let results = transfer::run(&settings);
     println!("{}", results.render());

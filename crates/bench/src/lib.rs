@@ -21,7 +21,11 @@ use pnp_core::training::TrainSettings;
 /// paper-fidelity configuration) and prints which mode is active.
 pub fn settings_from_env() -> TrainSettings {
     let settings = TrainSettings::from_env();
-    let mode = if settings.folds >= 30 { "FULL" } else { "quick" };
+    let mode = if settings.folds >= 30 {
+        "FULL"
+    } else {
+        "quick"
+    };
     eprintln!(
         "[pnp-bench] {mode} settings: {} folds, {} epochs, hidden {}, {} RGCN layers",
         settings.folds, settings.epochs, settings.hidden_dim, settings.rgcn_layers

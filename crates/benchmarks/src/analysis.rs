@@ -127,9 +127,7 @@ fn trip_count(bound: &LoopBound, sizes: &ProblemSizes, loop_trips: &HashMap<Stri
         LoopBound::Param(p) => sizes.get(p) as f64,
         // Triangular: on average half of the referenced loop's trip count.
         LoopBound::Var(v) => loop_trips.get(v).copied().unwrap_or(1000.0) / 2.0,
-        LoopBound::VarPlus(v, k) => {
-            loop_trips.get(v).copied().unwrap_or(1000.0) / 2.0 + *k as f64
-        }
+        LoopBound::VarPlus(v, k) => loop_trips.get(v).copied().unwrap_or(1000.0) / 2.0 + *k as f64,
     }
 }
 
@@ -350,11 +348,18 @@ mod tests {
 
     #[test]
     fn gemm_profile_reflects_cubic_work() {
-        let sizes = ProblemSizes::new().with("NI", 400).with("NJ", 400).with("NK", 400);
+        let sizes = ProblemSizes::new()
+            .with("NI", 400)
+            .with("NJ", 400)
+            .with("NK", 400);
         let p = derive_profile(&gemm_source("gemm_r0"), &sizes, &KernelTraits::default());
         assert_eq!(p.iterations, 400);
         // Per outer iteration: ~NJ*NK fused multiply-adds → ≥ 2*400*400 flops.
-        assert!(p.flops_per_iter > 2.0 * 400.0 * 400.0 * 0.9, "{}", p.flops_per_iter);
+        assert!(
+            p.flops_per_iter > 2.0 * 400.0 * 400.0 * 0.9,
+            "{}",
+            p.flops_per_iter
+        );
         assert_eq!(p.access_pattern, AccessPattern::HighReuse);
         assert_eq!(p.imbalance_shape, ImbalanceShape::Uniform);
         // Footprint: 3 × 400×400 doubles
@@ -364,7 +369,11 @@ mod tests {
     #[test]
     fn triangular_loops_produce_ramp_imbalance() {
         let sizes = ProblemSizes::new().with("N", 1000);
-        let p = derive_profile(&triangular_source("lu_r0"), &sizes, &KernelTraits::default());
+        let p = derive_profile(
+            &triangular_source("lu_r0"),
+            &sizes,
+            &KernelTraits::default(),
+        );
         assert_eq!(p.imbalance_shape, ImbalanceShape::Ramp);
         assert!(p.imbalance > 0.5);
         // average inner trip count is N/2
@@ -373,8 +382,14 @@ mod tests {
 
     #[test]
     fn problem_size_scales_the_profile() {
-        let small = ProblemSizes::new().with("NI", 100).with("NJ", 100).with("NK", 100);
-        let large = ProblemSizes::new().with("NI", 800).with("NJ", 800).with("NK", 800);
+        let small = ProblemSizes::new()
+            .with("NI", 100)
+            .with("NJ", 100)
+            .with("NK", 100);
+        let large = ProblemSizes::new()
+            .with("NI", 800)
+            .with("NJ", 800)
+            .with("NK", 800);
         let ps = derive_profile(&gemm_source("g"), &small, &KernelTraits::default());
         let pl = derive_profile(&gemm_source("g"), &large, &KernelTraits::default());
         assert_eq!(ps.iterations, 100);
@@ -384,7 +399,10 @@ mod tests {
 
     #[test]
     fn traits_override_inference() {
-        let sizes = ProblemSizes::new().with("NI", 100).with("NJ", 100).with("NK", 100);
+        let sizes = ProblemSizes::new()
+            .with("NI", 100)
+            .with("NJ", 100)
+            .with("NK", 100);
         let traits = KernelTraits {
             access_pattern: Some(AccessPattern::Irregular),
             imbalance: Some((ImbalanceShape::RandomSpikes, 0.8)),

@@ -67,7 +67,11 @@ pub fn streaming_kernel(name: &str, n: i64, num_inputs: usize, flop_chain: f64) 
         vec![],
         LoopNest::new("i", LoopBound::Param("N".into()), body),
     );
-    build(src, ProblemSizes::new().with("N", n), KernelTraits::default())
+    build(
+        src,
+        ProblemSizes::new().with("N", n),
+        KernelTraits::default(),
+    )
 }
 
 /// A dense matrix-multiplication kernel (`C = beta·C + alpha·A·B`), the
@@ -116,7 +120,10 @@ pub fn matmul_kernel(name: &str, ni: i64, nj: i64, nk: i64) -> BenchRegion {
     );
     build(
         src,
-        ProblemSizes::new().with("NI", ni).with("NJ", nj).with("NK", nk),
+        ProblemSizes::new()
+            .with("NI", ni)
+            .with("NJ", nj)
+            .with("NK", nk),
         KernelTraits::default(),
     )
 }
@@ -190,10 +197,20 @@ pub fn matvec_kernel(name: &str, n: i64, m: i64, second_pass: bool) -> BenchRegi
 /// A 2-D stencil sweep: each row is updated from `points` neighbouring
 /// elements of the previous grid.
 pub fn stencil2d_kernel(name: &str, n: i64, m: i64, points: usize) -> BenchRegion {
-    let offsets: Vec<(i64, i64)> = [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (-1, -1), (1, -1), (-1, 1)]
-        .into_iter()
-        .take(points.clamp(3, 9))
-        .collect();
+    let offsets: Vec<(i64, i64)> = [
+        (0, 0),
+        (0, 1),
+        (0, -1),
+        (1, 0),
+        (-1, 0),
+        (1, 1),
+        (-1, -1),
+        (1, -1),
+        (-1, 1),
+    ]
+    .into_iter()
+    .take(points.clamp(3, 9))
+    .collect();
     let mut value = Expr::load2(
         "GRID",
         IndexExpr::var_plus("i", offsets[0].0),
@@ -220,7 +237,10 @@ pub fn stencil2d_kernel(name: &str, n: i64, m: i64, points: usize) -> BenchRegio
     );
     let src = region(
         name,
-        vec![ArrayDecl::d2("GRID", "N", "M"), ArrayDecl::d2("OUT", "N", "M")],
+        vec![
+            ArrayDecl::d2("GRID", "N", "M"),
+            ArrayDecl::d2("OUT", "N", "M"),
+        ],
         vec!["coeff"],
         vec!["N", "M"],
         vec![],
@@ -244,7 +264,10 @@ pub fn triangular_kernel(name: &str, n: i64, extra_flops: usize, use_sqrt: bool)
         Expr::load2("A", IndexExpr::var("j"), IndexExpr::var("j")),
     );
     for _ in 0..extra_flops {
-        value = Expr::add(value, Expr::load2("B", IndexExpr::var("i"), IndexExpr::var("j")));
+        value = Expr::add(
+            value,
+            Expr::load2("B", IndexExpr::var("i"), IndexExpr::var("j")),
+        );
     }
     if use_sqrt {
         value = Expr::Math(MathFn::Sqrt, vec![Expr::Math(MathFn::Fabs, vec![value])]);
@@ -266,17 +289,18 @@ pub fn triangular_kernel(name: &str, n: i64, extra_flops: usize, use_sqrt: bool)
         vec![],
         LoopNest::new("i", LoopBound::Param("N".into()), vec![Stmt::Loop(inner)]),
     );
-    build(src, ProblemSizes::new().with("N", n), KernelTraits::default())
+    build(
+        src,
+        ProblemSizes::new().with("N", n),
+        KernelTraits::default(),
+    )
 }
 
 /// A column-statistics kernel (correlation/covariance): per column, a
 /// reduction over all rows followed by a normalization, optionally with a
 /// square root (standard deviation).
 pub fn column_stats_kernel(name: &str, rows: i64, cols: i64, use_sqrt: bool) -> BenchRegion {
-    let mut normalize = Expr::div(
-        Expr::Scalar("acc".into()),
-        Expr::Scalar("float_n".into()),
-    );
+    let mut normalize = Expr::div(Expr::Scalar("acc".into()), Expr::Scalar("float_n".into()));
     if use_sqrt {
         normalize = Expr::Math(MathFn::Sqrt, vec![normalize]);
     }
@@ -304,7 +328,10 @@ pub fn column_stats_kernel(name: &str, rows: i64, cols: i64, use_sqrt: bool) -> 
     ];
     let src = region(
         name,
-        vec![ArrayDecl::d2("DATA", "ROWS", "COLS"), ArrayDecl::d1("STAT", "COLS")],
+        vec![
+            ArrayDecl::d2("DATA", "ROWS", "COLS"),
+            ArrayDecl::d1("STAT", "COLS"),
+        ],
         vec!["float_n"],
         vec!["ROWS", "COLS"],
         vec![],
@@ -472,13 +499,22 @@ pub fn fused_update_kernel(
             }],
         ),
     );
-    build(src, ProblemSizes::new().with("N", n), KernelTraits::default())
+    build(
+        src,
+        ProblemSizes::new().with("N", n),
+        KernelTraits::default(),
+    )
 }
 
 /// An AMR-style block sweep (miniAMR): an outer loop over blocks whose inner
 /// work per block is uneven (refined blocks do more work), with a conditional
 /// refinement test.
-pub fn amr_block_kernel(name: &str, blocks: i64, cells_per_block: i64, imbalance: f64) -> BenchRegion {
+pub fn amr_block_kernel(
+    name: &str,
+    blocks: i64,
+    cells_per_block: i64,
+    imbalance: f64,
+) -> BenchRegion {
     let inner = LoopNest::new(
         "c",
         LoopBound::Param("CELLS".into()),
@@ -512,7 +548,11 @@ pub fn amr_block_kernel(name: &str, blocks: i64, cells_per_block: i64, imbalance
         vec!["refine_threshold", "dt", "decay"],
         vec!["BLOCKS", "CELLS"],
         vec![],
-        LoopNest::new("b", LoopBound::Param("BLOCKS".into()), vec![Stmt::Loop(inner)]),
+        LoopNest::new(
+            "b",
+            LoopBound::Param("BLOCKS".into()),
+            vec![Stmt::Loop(inner)],
+        ),
     );
     build(
         src,
@@ -552,7 +592,7 @@ mod tests {
     #[test]
     fn every_builder_produces_verifiable_ir_and_a_graph() {
         for r in all_builders() {
-            let m = lower_kernel("app", &[r.source.clone()]);
+            let m = lower_kernel("app", std::slice::from_ref(&r.source));
             assert!(
                 verify_module(&m).is_ok(),
                 "{}: {:?}",
@@ -570,7 +610,7 @@ mod tests {
         let regions = all_builders();
         let mut sizes = Vec::new();
         for r in &regions {
-            let m = lower_kernel("app", &[r.source.clone()]);
+            let m = lower_kernel("app", std::slice::from_ref(&r.source));
             let g = build_region_graph(&m, r.name()).unwrap();
             sizes.push((g.num_nodes(), g.num_edges()));
         }
@@ -614,7 +654,7 @@ mod tests {
     #[test]
     fn helper_builders_generate_call_flow() {
         let fu = fused_update_kernel("fu", 100_000, 3, 4, Some(("eos_helper", 12)));
-        let m = lower_kernel("app", &[fu.source.clone()]);
+        let m = lower_kernel("app", std::slice::from_ref(&fu.source));
         assert!(m.function("eos_helper").is_some());
         let g = build_region_graph(&m, "fu").unwrap();
         assert!(g.count_flow(pnp_graph::EdgeFlow::Call) >= 2);

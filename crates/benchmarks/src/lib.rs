@@ -21,11 +21,11 @@
 //! graph the GNN sees and the behaviour the simulator produces are two views
 //! of the same kernel, exactly as in the real system.
 
-pub mod region;
 pub mod analysis;
 pub mod builders;
 pub mod polybench;
 pub mod proxy;
+pub mod region;
 pub mod suite;
 
 pub use analysis::{derive_profile, KernelTraits, ProblemSizes};

@@ -34,7 +34,10 @@ pub fn apps() -> Vec<Application> {
             ],
         ),
         // y = α·A·x + β·B·x — two matrix–vector products fused.
-        Application::new("gesummv", vec![matvec_kernel("gesummv_r0", 2800, 2800, false)]),
+        Application::new(
+            "gesummv",
+            vec![matvec_kernel("gesummv_r0", 2800, 2800, false)],
+        ),
         // tmp = A·x ; y = Aᵀ·tmp.
         Application::new(
             "atax",

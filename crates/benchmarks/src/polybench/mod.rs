@@ -1,9 +1,9 @@
 //! The 24 PolyBench kernels used in the paper's evaluation, grouped the same
 //! way the PolyBench suite groups them.
 
+pub mod datamining;
 pub mod linalg;
 pub mod solvers;
-pub mod datamining;
 pub mod stencils;
 
 use crate::region::Application;

@@ -16,7 +16,10 @@ pub fn apps() -> Vec<Application> {
     vec![
         // Cholesky factorization: triangular update sweep with a sqrt on the
         // diagonal.
-        Application::new("cholesky", vec![triangular_kernel("cholesky_r0", 1300, 1, true)]),
+        Application::new(
+            "cholesky",
+            vec![triangular_kernel("cholesky_r0", 1300, 1, true)],
+        ),
         // LU decomposition: same triangular structure, no sqrt, more updates.
         Application::new("lu", vec![triangular_kernel("lu_r0", 1400, 2, false)]),
         // Durbin recursion (Toeplitz solver): short dependent vector sweeps —

@@ -39,7 +39,10 @@ pub fn apps() -> Vec<Application> {
         ),
         // FDTD with anisotropic perfectly matched layers: heavier per-point
         // update than plain FDTD.
-        Application::new("fdtd-apml", vec![stencil2d_kernel("fdtd_apml_r0", 1200, 1200, 9)]),
+        Application::new(
+            "fdtd-apml",
+            vec![stencil2d_kernel("fdtd_apml_r0", 1200, 1200, 9)],
+        ),
         // Alternating direction implicit solver: row sweeps plus a
         // column-order sweep that streams through memory with large stride.
         Application::new(

@@ -10,7 +10,9 @@
 //! configuration is dramatically slower than a few-thread configuration,
 //! especially under a tight power cap.
 
-use crate::builders::{fused_update_kernel, small_boundary_kernel, stencil2d_kernel, streaming_kernel};
+use crate::builders::{
+    fused_update_kernel, small_boundary_kernel, stencil2d_kernel, streaming_kernel,
+};
 use crate::region::Application;
 
 /// Number of mesh elements in the modelled problem (≈ 90³ as in a typical
@@ -25,7 +27,13 @@ pub fn app() -> Application {
         "LULESH",
         vec![
             // Element-centred force calculation: the heaviest physics kernel.
-            fused_update_kernel("LULESH_CalcElemForce", ELEMENTS, 6, 12, Some(("elem_stress", 40))),
+            fused_update_kernel(
+                "LULESH_CalcElemForce",
+                ELEMENTS,
+                6,
+                12,
+                Some(("elem_stress", 40)),
+            ),
             // Hourglass-control force contribution: stencil-like neighbour access.
             stencil2d_kernel("LULESH_CalcHourglassForce", 900, 810, 8),
             // Node-centred integration chain.
@@ -33,10 +41,22 @@ pub fn app() -> Application {
             fused_update_kernel("LULESH_CalcVelocityForNodes", NODES, 3, 3, None),
             fused_update_kernel("LULESH_CalcPositionForNodes", NODES, 2, 2, None),
             // Kinematics and monotonic-q gradient evaluation on elements.
-            fused_update_kernel("LULESH_CalcKinematics", ELEMENTS, 5, 8, Some(("shape_fn", 24))),
+            fused_update_kernel(
+                "LULESH_CalcKinematics",
+                ELEMENTS,
+                5,
+                8,
+                Some(("shape_fn", 24)),
+            ),
             fused_update_kernel("LULESH_CalcMonotonicQGradient", ELEMENTS, 4, 6, None),
             // Equation-of-state / sound-speed updates per material region.
-            fused_update_kernel("LULESH_EvalEOS", ELEMENTS / 2, 4, 10, Some(("eos_pressure", 32))),
+            fused_update_kernel(
+                "LULESH_EvalEOS",
+                ELEMENTS / 2,
+                4,
+                10,
+                Some(("eos_pressure", 32)),
+            ),
             fused_update_kernel("LULESH_CalcSoundSpeed", ELEMENTS / 2, 2, 4, None),
             // Courant/hydro time-step constraint reductions.
             streaming_kernel("LULESH_CalcTimeConstraints", ELEMENTS, 2, 3.0),
@@ -60,8 +80,18 @@ mod tests {
     fn lulesh_has_twelve_regions_spanning_three_orders_of_magnitude() {
         let app = app();
         assert_eq!(app.num_regions(), 12);
-        let min_iters = app.regions.iter().map(|r| r.profile.iterations).min().unwrap();
-        let max_iters = app.regions.iter().map(|r| r.profile.iterations).max().unwrap();
+        let min_iters = app
+            .regions
+            .iter()
+            .map(|r| r.profile.iterations)
+            .min()
+            .unwrap();
+        let max_iters = app
+            .regions
+            .iter()
+            .map(|r| r.profile.iterations)
+            .max()
+            .unwrap();
         assert!(max_iters / min_iters > 50, "{max_iters} vs {min_iters}");
     }
 

@@ -1,10 +1,10 @@
 //! The six proxy-/mini-applications of the paper's evaluation.
 
-pub mod neutronics;
-pub mod minife;
-pub mod miniamr;
-pub mod quicksilver;
 pub mod lulesh;
+pub mod miniamr;
+pub mod minife;
+pub mod neutronics;
+pub mod quicksilver;
 
 use crate::region::Application;
 

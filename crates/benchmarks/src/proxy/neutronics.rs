@@ -15,7 +15,14 @@ pub fn apps() -> Vec<Application> {
             "RSBench",
             vec![
                 // Multipole cross-section evaluation: more math per lookup.
-                lookup_kernel("RSBench_xs_eval", 1_700_000, 6.0e8, "multipole_eval", 24, 0.8),
+                lookup_kernel(
+                    "RSBench_xs_eval",
+                    1_700_000,
+                    6.0e8,
+                    "multipole_eval",
+                    24,
+                    0.8,
+                ),
                 // Sampling/tally pass.
                 lookup_kernel("RSBench_tally", 900_000, 2.5e8, "tally_update", 10, 0.6),
             ],
@@ -27,7 +34,14 @@ pub fn apps() -> Vec<Application> {
                 // unionized energy grid (huge, latency-bound).
                 lookup_kernel("XSBench_macro_xs", 2_000_000, 1.2e9, "grid_search", 14, 1.0),
                 // Per-nuclide micro cross-section accumulation.
-                lookup_kernel("XSBench_micro_xs", 1_400_000, 4.0e8, "interpolate_xs", 8, 0.7),
+                lookup_kernel(
+                    "XSBench_micro_xs",
+                    1_400_000,
+                    4.0e8,
+                    "interpolate_xs",
+                    8,
+                    0.7,
+                ),
             ],
         ),
     ]

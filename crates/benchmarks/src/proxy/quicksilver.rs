@@ -13,11 +13,31 @@ pub fn app() -> Application {
         "Quicksilver",
         vec![
             // Cycle tracking: the dominant, highly irregular particle loop.
-            lookup_kernel("Quicksilver_cycle_tracking", 1_500_000, 5.0e8, "segment_outcome", 30, 1.8),
+            lookup_kernel(
+                "Quicksilver_cycle_tracking",
+                1_500_000,
+                5.0e8,
+                "segment_outcome",
+                30,
+                1.8,
+            ),
             // Collision event processing.
-            lookup_kernel("Quicksilver_collision", 700_000, 2.0e8, "sample_collision", 18, 1.2),
+            lookup_kernel(
+                "Quicksilver_collision",
+                700_000,
+                2.0e8,
+                "sample_collision",
+                18,
+                1.2,
+            ),
             // Facet-crossing / tally updates.
-            fused_update_kernel("Quicksilver_tallies", 500_000, 3, 4, Some(("tally_accum", 8))),
+            fused_update_kernel(
+                "Quicksilver_tallies",
+                500_000,
+                3,
+                4,
+                Some(("tally_accum", 8)),
+            ),
             // Population control (source/rr): medium-size cleanup passes.
             fused_update_kernel("Quicksilver_population", 300_000, 2, 3, None),
             // Per-cycle bookkeeping.
@@ -36,7 +56,10 @@ mod tests {
         let app = app();
         assert_eq!(app.num_regions(), 5);
         let tracking = &app.regions[0];
-        assert_eq!(tracking.profile.imbalance_shape, ImbalanceShape::RandomSpikes);
+        assert_eq!(
+            tracking.profile.imbalance_shape,
+            ImbalanceShape::RandomSpikes
+        );
         assert!(tracking.profile.imbalance >= 1.5);
         assert!(app
             .regions

@@ -90,7 +90,9 @@ mod tests {
         assert_eq!(app.num_regions(), 2);
         let graphs = app.region_graphs();
         assert_eq!(graphs.len(), 2);
-        assert!(graphs.iter().all(|(_, g)| g.num_nodes() > 10 && g.is_well_formed()));
+        assert!(graphs
+            .iter()
+            .all(|(_, g)| g.num_nodes() > 10 && g.is_well_formed()));
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
         for app in full_suite() {
             for (name, graph) in app.region_graphs() {
                 assert!(graph.is_well_formed(), "{name}");
-                assert!(graph.num_nodes() >= 15, "{name} has a suspiciously small graph");
+                assert!(
+                    graph.num_nodes() >= 15,
+                    "{name} has a suspiciously small graph"
+                );
                 assert!(graph.num_edges() >= graph.num_nodes(), "{name} too sparse");
             }
         }

@@ -195,7 +195,12 @@ impl Dataset {
     /// Normalized dynamic-feature vector for a region at a power level:
     /// the five PAPI-style counters (from the default-configuration profiling
     /// run) plus, optionally, the normalized power cap.
-    pub fn dynamic_features(&self, region_idx: usize, power_idx: usize, include_power: bool) -> Vec<f32> {
+    pub fn dynamic_features(
+        &self,
+        region_idx: usize,
+        power_idx: usize,
+        include_power: bool,
+    ) -> Vec<f32> {
         let mut f = self.sweeps[region_idx].default_counters[power_idx].normalized_features();
         if include_power {
             let max_power = self.machine.tdp_watts;
@@ -229,7 +234,10 @@ mod tests {
         let machine = haswell();
         let ds = Dataset::build(&machine, &tiny_apps(), &Vocabulary::standard());
         assert_eq!(ds.len(), 3);
-        assert_eq!(ds.applications(), vec!["appA".to_string(), "appB".to_string()]);
+        assert_eq!(
+            ds.applications(),
+            vec!["appA".to_string(), "appB".to_string()]
+        );
         for sweep in &ds.sweeps {
             assert_eq!(sweep.samples.len(), 4);
             assert_eq!(sweep.samples[0].len(), 126);

@@ -23,11 +23,7 @@ pub fn fraction_no_worse(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    a.iter()
-        .zip(b)
-        .filter(|(x, y)| **x >= **y - 1e-12)
-        .count() as f64
-        / a.len() as f64
+    a.iter().zip(b).filter(|(x, y)| **x >= **y - 1e-12).count() as f64 / a.len() as f64
 }
 
 /// Groups `(application, value)` pairs and returns the per-application

@@ -69,12 +69,7 @@ fn samples_at_power(ds: &Dataset, power_idx: usize) -> Vec<TrainingSample> {
         .collect()
 }
 
-fn train_variant(
-    ds: &Dataset,
-    settings: &TrainSettings,
-    relational: bool,
-    sum_pool: bool,
-) -> f64 {
+fn train_variant(ds: &Dataset, settings: &TrainSettings, relational: bool, sum_pool: bool) -> f64 {
     let tdp_idx = ds.space.power_levels.len() - 1;
     let samples = samples_at_power(ds, tdp_idx);
     let mut model = PnPModel::new(ModelConfig {

@@ -82,14 +82,20 @@ impl EdpResults {
         }
         out.push_str(&t.render());
 
-        out.push_str(&format!("\nSpeedups over default @ TDP ({})\n", self.machine));
+        out.push_str(&format!(
+            "\nSpeedups over default @ TDP ({})\n",
+            self.machine
+        ));
         let mut t = TextTable::new(&hdr);
         for row in &self.rows {
             t.row_numeric(&row.app, &row.speedup);
         }
         out.push_str(&t.render());
 
-        out.push_str(&format!("\nGreenups over default @ TDP ({})\n", self.machine));
+        out.push_str(&format!(
+            "\nGreenups over default @ TDP ({})\n",
+            self.machine
+        ));
         let mut t = TextTable::new(&hdr);
         for row in &self.rows {
             t.row_numeric(&row.app, &row.greenup);
@@ -98,7 +104,10 @@ impl EdpResults {
 
         out.push_str(&format!("\nSummary ({})\n", self.machine));
         let mut t = TextTable::new(&["metric", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);
-        t.row_numeric("geomean EDP improvement", &self.summary.geomean_edp_improvement);
+        t.row_numeric(
+            "geomean EDP improvement",
+            &self.summary.geomean_edp_improvement,
+        );
         t.row_numeric("geomean speedup", &self.summary.geomean_speedup);
         t.row_numeric("geomean greenup", &self.summary.geomean_greenup);
         out.push_str(&t.render());
@@ -168,7 +177,9 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> EdpResults {
     // Per-application rows.
     let mut rows = Vec::new();
     for app in ds.applications() {
-        let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.regions[i].app == app).collect();
+        let idx: Vec<usize> = (0..ds.len())
+            .filter(|&i| ds.regions[i].app == app)
+            .collect();
         let collect = |per_tuner: &Vec<Vec<f64>>| -> Vec<f64> {
             per_tuner
                 .iter()

@@ -15,12 +15,12 @@
 //! | §IV-B transfer learning | [`transfer`] |
 //! | Design-choice ablations (DESIGN.md §6) | [`ablations`] |
 
-pub mod power_constrained;
-pub mod unseen_power;
+pub mod ablations;
 pub mod edp;
 pub mod motivating;
+pub mod power_constrained;
 pub mod transfer;
-pub mod ablations;
+pub mod unseen_power;
 
 use pnp_benchmarks::full_suite;
 use pnp_graph::Vocabulary;

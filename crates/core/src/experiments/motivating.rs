@@ -127,7 +127,12 @@ pub fn run() -> MotivatingResults {
 
     // Use the geometric mean of the per-cap speedups as a stable scalar for
     // reports (not part of the paper's numbers, but handy in EXPERIMENTS.md).
-    let _overall = geomean(&best_speedup_per_cap.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    let _overall = geomean(
+        &best_speedup_per_cap
+            .iter()
+            .map(|(_, s)| *s)
+            .collect::<Vec<_>>(),
+    );
 
     MotivatingResults {
         best_speedup_per_cap,

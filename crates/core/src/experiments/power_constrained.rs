@@ -78,14 +78,22 @@ impl PowerConstrainedResults {
                 "\nNormalized speedups at {power:.0} W ({}) — oracle = 1.0\n",
                 self.machine
             ));
-            let mut table = TextTable::new(&["app", TUNERS[0], TUNERS[1], TUNERS[2], TUNERS[3], TUNERS[4]]);
+            let mut table =
+                TextTable::new(&["app", TUNERS[0], TUNERS[1], TUNERS[2], TUNERS[3], TUNERS[4]]);
             for row in self.rows.iter().filter(|r| r.power_watts == power) {
                 table.row_numeric(&row.app, &row.normalized);
             }
             out.push_str(&table.render());
         }
         out.push_str(&format!("\nSummary ({})\n", self.machine));
-        let mut table = TextTable::new(&["power W", "oracle", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);
+        let mut table = TextTable::new(&[
+            "power W",
+            "oracle",
+            "pnp_static",
+            "pnp_dynamic",
+            "bliss",
+            "opentuner",
+        ]);
         for ((power, tuners), (_, oracle)) in self
             .summary
             .geomean_speedup_per_power
@@ -224,7 +232,9 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstraine
             .map(|p| {
                 (
                     ds.space.power_levels[p],
-                    (1..TUNERS.len()).map(|t| geomean(&raw_speedup[t][p])).collect(),
+                    (1..TUNERS.len())
+                        .map(|t| geomean(&raw_speedup[t][p]))
+                        .collect(),
                 )
             })
             .collect(),

@@ -108,7 +108,9 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> UnseenPowerResu
         ));
 
         for app in ds.applications() {
-            let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.regions[i].app == app).collect();
+            let idx: Vec<usize> = (0..ds.len())
+                .filter(|&i| ds.regions[i].app == app)
+                .collect();
             let default_norm = geomean(
                 &idx.iter()
                     .map(|&i| {

@@ -21,11 +21,11 @@
 //!   results.
 
 pub mod dataset;
-pub mod pnp;
-pub mod training;
 pub mod eval;
 pub mod experiments;
+pub mod pnp;
 pub mod report;
+pub mod training;
 
 pub use dataset::{Dataset, RegionRecord, Sweep};
 pub use eval::{fraction_within, geomean, normalized_speedups};

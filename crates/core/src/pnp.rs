@@ -134,9 +134,8 @@ impl PnPTuner {
         let probs = self.model.predict_proba(graph, None);
         let mut classes: Vec<usize> = (0..probs.len()).collect();
         classes.sort_by(|&a, &b| {
-            let score = |c: usize| {
-                (probs[c].max(1e-9) as f64).ln() + self.class_prior[c].max(1e-9).ln()
-            };
+            let score =
+                |c: usize| (probs[c].max(1e-9) as f64).ln() + self.class_prior[c].max(1e-9).ln();
             score(b).partial_cmp(&score(a)).unwrap()
         });
         classes
@@ -212,11 +211,8 @@ mod tests {
         let ds = tiny_dataset();
         let mut settings = tiny_settings();
         settings.epochs = 40;
-        let mut tuner = PnPTuner::train(
-            &ds,
-            TunerMode::PowerConstrained { power_idx: 3 },
-            &settings,
-        );
+        let mut tuner =
+            PnPTuner::train(&ds, TunerMode::PowerConstrained { power_idx: 3 }, &settings);
         let mut near_optimal = 0;
         for i in 0..ds.len() {
             let predicted = tuner.predict(&ds.regions[i].graph);

@@ -3,8 +3,8 @@
 //! unseen-power-constraint generalization, and transfer learning.
 
 use crate::dataset::Dataset;
-use pnp_gnn::{ModelConfig, PnPModel, TrainConfig, Trainer, TrainingSample};
 use pnp_gnn::train::OptimizerKind;
+use pnp_gnn::{ModelConfig, PnPModel, TrainConfig, Trainer, TrainingSample};
 use pnp_graph::Vocabulary;
 use pnp_tensor::ParameterBundle;
 use std::time::Instant;
@@ -67,7 +67,12 @@ impl TrainSettings {
         }
     }
 
-    fn model_config(&self, num_classes: usize, num_dynamic: usize, seed_offset: u64) -> ModelConfig {
+    fn model_config(
+        &self,
+        num_classes: usize,
+        num_dynamic: usize,
+        seed_offset: u64,
+    ) -> ModelConfig {
         ModelConfig {
             vocab_size: Vocabulary::standard().len(),
             hidden_dim: self.hidden_dim,
@@ -135,17 +140,21 @@ impl FoldPlan {
 /// are trained far longer on real hardware; this blending compensates for the
 /// reduced training budget of the reproduction and is documented in
 /// DESIGN.md.
-pub(crate) fn class_prior_scenario1(ds: &Dataset, power_idx: usize, train_idx: &[usize]) -> Vec<f64> {
+pub(crate) fn class_prior_scenario1(
+    ds: &Dataset,
+    power_idx: usize,
+    train_idx: &[usize],
+) -> Vec<f64> {
     let num_classes = ds.space.configs_per_power();
     let mut scores = vec![0.0f64; num_classes];
-    for c in 0..num_classes {
+    for (c, score) in scores.iter_mut().enumerate() {
         let mut log_sum = 0.0;
         for &i in train_idx {
             let best = ds.sweeps[i].best_time(power_idx);
             let t = ds.sweeps[i].samples[power_idx][c].time_s;
             log_sum += (best / t).max(1e-6).ln();
         }
-        scores[c] = (log_sum / train_idx.len().max(1) as f64).exp();
+        *score = (log_sum / train_idx.len().max(1) as f64).exp();
     }
     scores
 }
@@ -154,7 +163,7 @@ pub(crate) fn class_prior_scenario2(ds: &Dataset, train_idx: &[usize]) -> Vec<f6
     let per = ds.space.configs_per_power();
     let num_classes = ds.space.num_tuned_points();
     let mut scores = vec![0.0f64; num_classes];
-    for class in 0..num_classes {
+    for (class, score) in scores.iter_mut().enumerate() {
         let (p, c) = (class / per, class % per);
         let mut log_sum = 0.0;
         for &i in train_idx {
@@ -162,7 +171,7 @@ pub(crate) fn class_prior_scenario2(ds: &Dataset, train_idx: &[usize]) -> Vec<f6
             let e = ds.sweeps[i].samples[p][c].edp();
             log_sum += (best / e).max(1e-9).ln();
         }
-        scores[class] = (log_sum / train_idx.len().max(1) as f64).exp();
+        *score = (log_sum / train_idx.len().max(1) as f64).exp();
     }
     scores
 }
@@ -232,7 +241,7 @@ pub fn train_scenario1_models(
         if train_idx.is_empty() || val_idx.is_empty() {
             continue;
         }
-        for power_idx in 0..num_powers {
+        for (power_idx, _power) in ds.space.power_levels.iter().enumerate() {
             let samples = scenario1_samples(
                 ds,
                 power_idx,
@@ -253,8 +262,12 @@ pub fn train_scenario1_models(
                 } else {
                     None
                 };
-                predictions[i][power_idx] =
-                    predict_with_prior(&mut model, &ds.regions[i].graph, dynamic.as_deref(), &prior);
+                predictions[i][power_idx] = predict_with_prior(
+                    &mut model,
+                    &ds.regions[i].graph,
+                    dynamic.as_deref(),
+                    &prior,
+                );
             }
         }
     }
@@ -362,7 +375,10 @@ pub fn train_unseen_power(
         // by construction, unavailable).
         let mut prior = vec![0.0f64; num_classes];
         for &p in &train_powers {
-            for (c, v) in class_prior_scenario1(ds, p, &train_idx).into_iter().enumerate() {
+            for (c, v) in class_prior_scenario1(ds, p, &train_idx)
+                .into_iter()
+                .enumerate()
+            {
                 prior[c] += v / train_powers.len() as f64;
             }
         }

@@ -19,12 +19,12 @@
 //! hardware counters (and, for the unseen-power-constraint experiment, the
 //! normalized power cap) to the readout vector before the dense layers.
 
-pub mod rgcn;
-pub mod readout;
-pub mod model;
 pub mod batch;
-pub mod train;
 pub mod metrics;
+pub mod model;
+pub mod readout;
+pub mod rgcn;
+pub mod train;
 
 pub use batch::Minibatcher;
 pub use model::{ModelConfig, PnPModel};

@@ -37,7 +37,10 @@ pub fn topk_accuracy(model: &mut PnPModel, samples: &[TrainingSample], k: usize)
 
 /// Per-class prediction counts `(class, count)` sorted by class id — a quick
 /// check that the classifier is not collapsing onto a single output.
-pub fn prediction_histogram(model: &mut PnPModel, samples: &[TrainingSample]) -> Vec<(usize, usize)> {
+pub fn prediction_histogram(
+    model: &mut PnPModel,
+    samples: &[TrainingSample],
+) -> Vec<(usize, usize)> {
     let mut counts = std::collections::BTreeMap::new();
     for s in samples {
         *counts

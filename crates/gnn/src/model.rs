@@ -86,7 +86,9 @@ impl PnPModel {
                 )
             })
             .collect();
-        let rgcn_activations = (0..config.num_rgcn_layers).map(|_| LeakyReLU::new()).collect();
+        let rgcn_activations = (0..config.num_rgcn_layers)
+            .map(|_| LeakyReLU::new())
+            .collect();
 
         let fc_in = config.hidden_dim + config.num_dynamic_features;
         let fc_layers = vec![
@@ -405,8 +407,11 @@ mod tests {
     fn gnn_weight_capture_and_restore_roundtrip() {
         let mut model_a = PnPModel::new(small_config(5, 0));
         let bundle = model_a.gnn_weights();
-        assert!(bundle.len() > 0);
-        assert!(bundle.tensors.keys().all(|k| k.starts_with("embed") || k.starts_with("rgcn")));
+        assert!(!bundle.is_empty());
+        assert!(bundle
+            .tensors
+            .keys()
+            .all(|k| k.starts_with("embed") || k.starts_with("rgcn")));
 
         let mut model_b = PnPModel::new(ModelConfig {
             seed: 99,

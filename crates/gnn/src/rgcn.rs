@@ -112,7 +112,9 @@ impl RgcnLayer {
         let inv_deg = Self::inverse_degrees(num_nodes, relations);
 
         // Self-loop term plus bias.
-        let mut out = h.matmul(&self.w_self.value).add_row_broadcast(&self.bias.value);
+        let mut out = h
+            .matmul(&self.w_self.value)
+            .add_row_broadcast(&self.bias.value);
 
         // Per-relation message passing with normalized-sum aggregation.
         for (r, edges) in relations.iter().enumerate() {

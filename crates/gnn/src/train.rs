@@ -153,7 +153,9 @@ impl Trainer {
                 batches_done += 1;
                 report.steps += 1;
             }
-            report.epoch_losses.push(epoch_loss / batches_done.max(1) as f32);
+            report
+                .epoch_losses
+                .push(epoch_loss / batches_done.max(1) as f32);
         }
 
         report.final_train_accuracy = crate::metrics::accuracy(model, samples);
@@ -241,7 +243,7 @@ mod tests {
                 helpers: vec![],
                 parallel_loop: LoopNest::new("i", LoopBound::Param("N".into()), body),
             };
-            let m = lower_kernel(&format!("app{variant}"), &[region.clone()]);
+            let m = lower_kernel(&format!("app{variant}"), std::slice::from_ref(&region));
             let g = build_region_graph(&m, &region.name).unwrap();
             samples.push(TrainingSample {
                 graph: pnp_graph::EncodedGraph::encode(&g, &vocab),
@@ -271,8 +273,10 @@ mod tests {
     fn training_learns_structure_labels() {
         let samples = dataset();
         let mut model = tiny_model(2);
+        // 6 samples / batch 4 gives only 2 optimizer steps per epoch, so the
+        // paper's lr of 1e-3 needs a real epoch budget to memorize the set.
         let trainer = Trainer::new(TrainConfig {
-            epochs: 30,
+            epochs: 120,
             batch_size: 4,
             ..TrainConfig::default()
         });

@@ -42,8 +42,18 @@ impl GraphFeatures {
     /// Computes the features of a graph.
     pub fn of(graph: &CodeGraph) -> Self {
         let flop_prefixes = [
-            "fadd", "fsub", "fmul", "fdiv", "fneg", "call.sqrt", "call.exp", "call.log",
-            "call.fabs", "call.pow", "call.sin", "call.cos",
+            "fadd",
+            "fsub",
+            "fmul",
+            "fdiv",
+            "fneg",
+            "call.sqrt",
+            "call.exp",
+            "call.log",
+            "call.fabs",
+            "call.pow",
+            "call.sin",
+            "call.cos",
         ];
         let mem_prefixes = ["load", "store", "getelementptr", "alloca"];
         let branch_prefixes = ["br", "br.cond"];
@@ -171,7 +181,10 @@ mod tests {
     fn feature_totals_are_consistent() {
         let g = gemm_graph();
         let f = GraphFeatures::of(&g);
-        assert_eq!(f.num_nodes, f.num_instructions + f.num_variables + f.num_constants);
+        assert_eq!(
+            f.num_nodes,
+            f.num_instructions + f.num_variables + f.num_constants
+        );
         assert_eq!(f.num_edges, f.control_edges + f.data_edges + f.call_edges);
         assert!(f.mean_in_degree > 0.5);
     }

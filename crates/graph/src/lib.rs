@@ -15,13 +15,13 @@
 //! ids which the GNN embeds; [`features::GraphFeatures`] additionally exposes
 //! coarse structural statistics used in tests and ablations.
 
-pub mod node;
-pub mod edge;
-pub mod graph;
 pub mod builder;
-pub mod vocab;
-pub mod features;
 pub mod dot;
+pub mod edge;
+pub mod features;
+pub mod graph;
+pub mod node;
+pub mod vocab;
 
 pub use builder::{build_graph, build_region_graph};
 pub use edge::{Edge, EdgeFlow};

@@ -218,7 +218,11 @@ mod tests {
         let m = lower_kernel("app", &[region]);
         let g = build_region_graph(&m, "r0").unwrap();
         let v = Vocabulary::standard();
-        assert_eq!(v.oov_rate(&g), 0.0, "every generated node text must be in-vocabulary");
+        assert_eq!(
+            v.oov_rate(&g),
+            0.0,
+            "every generated node text must be in-vocabulary"
+        );
     }
 
     #[test]

@@ -85,7 +85,8 @@ mod tests {
     #[test]
     fn non_terminator_last_instruction() {
         let mut b = BasicBlock::new(0, "body");
-        b.insts.push(Instruction::new(0, Opcode::Add, Type::I32, vec![]));
+        b.insts
+            .push(Instruction::new(0, Opcode::Add, Type::I32, vec![]));
         assert!(!b.is_terminated());
         assert_eq!(b.len(), 1);
     }

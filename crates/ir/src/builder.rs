@@ -143,7 +143,11 @@ mod tests {
 
         b.br(header);
         b.switch_to(header);
-        let phi = b.push(Opcode::Phi, Type::I32, vec![Operand::const_i32(0), Operand::Block(0)]);
+        let phi = b.push(
+            Opcode::Phi,
+            Type::I32,
+            vec![Operand::const_i32(0), Operand::Block(0)],
+        );
         let cmp = b.push(
             Opcode::ICmp,
             Type::I1,

@@ -164,6 +164,10 @@ pub enum Expr {
     CallHelper(String, Vec<Expr>),
 }
 
+// The arithmetic constructors deliberately mirror operator names; they are
+// associated functions over two operands, not `self` methods, so the std
+// operator traits cannot express them.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience: `lhs + rhs`.
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
@@ -297,7 +301,11 @@ impl LoopNest {
             .iter()
             .map(|s| match s {
                 Stmt::Loop(inner) => inner.depth(),
-                Stmt::If { then_body, else_body, .. } => then_body
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => then_body
                     .iter()
                     .chain(else_body.iter())
                     .map(|s| match s {

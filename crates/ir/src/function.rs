@@ -97,14 +97,20 @@ mod tests {
     fn tiny_function() -> Function {
         let mut f = Function::new("f", vec![("a".into(), Type::F64.ptr())], Type::Void);
         let mut b = BasicBlock::new(0, "entry");
-        b.insts.push(Instruction::new(0, Opcode::Load, Type::F64, vec![Operand::Arg(0)]));
+        b.insts.push(Instruction::new(
+            0,
+            Opcode::Load,
+            Type::F64,
+            vec![Operand::Arg(0)],
+        ));
         b.insts.push(Instruction::new(
             1,
             Opcode::Call,
             Type::Void,
             vec![Operand::Func("helper".into())],
         ));
-        b.insts.push(Instruction::new(2, Opcode::Ret, Type::Void, vec![]));
+        b.insts
+            .push(Instruction::new(2, Opcode::Ret, Type::Void, vec![]));
         f.blocks.push(b);
         f
     }

@@ -129,9 +129,39 @@ impl Opcode {
     pub fn all() -> &'static [Opcode] {
         use Opcode::*;
         &[
-            Add, Sub, Mul, SDiv, SRem, FAdd, FSub, FMul, FDiv, FNeg, Alloca, Load, Store,
-            GetElementPtr, ICmp, FCmp, SExt, SIToFP, FPToSI, Trunc, Br, CondBr, Phi, Ret, Call,
-            Select, Sqrt, Exp, Log, Fabs, Pow, Sin, Cos,
+            Add,
+            Sub,
+            Mul,
+            SDiv,
+            SRem,
+            FAdd,
+            FSub,
+            FMul,
+            FDiv,
+            FNeg,
+            Alloca,
+            Load,
+            Store,
+            GetElementPtr,
+            ICmp,
+            FCmp,
+            SExt,
+            SIToFP,
+            FPToSI,
+            Trunc,
+            Br,
+            CondBr,
+            Phi,
+            Ret,
+            Call,
+            Select,
+            Sqrt,
+            Exp,
+            Log,
+            Fabs,
+            Pow,
+            Sin,
+            Cos,
         ]
     }
 }

@@ -19,17 +19,17 @@
 //! accesses, float and integer arithmetic, reductions, conditionals, and
 //! calls to math intrinsics.
 
-pub mod types;
-pub mod value;
-pub mod inst;
 pub mod block;
-pub mod function;
-pub mod module;
 pub mod builder;
 pub mod dsl;
+pub mod function;
+pub mod inst;
 pub mod lower;
+pub mod module;
 pub mod outline;
 pub mod printer;
+pub mod types;
+pub mod value;
 pub mod verify;
 
 pub use block::BasicBlock;

@@ -112,7 +112,11 @@ mod tests {
     fn extract_keeps_region_and_helpers_only() {
         let m = app_with_two_regions();
         let extracted = extract_region(&m, "r0").expect("region exists");
-        let names: Vec<&str> = extracted.functions.iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = extracted
+            .functions
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         assert!(names.contains(&".omp_outlined.r0"));
         assert!(names.contains(&"helper_math"));
         assert!(!names.iter().any(|n| n.contains("r1")));

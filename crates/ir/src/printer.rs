@@ -74,7 +74,9 @@ fn print_operand(op: &Operand) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dsl::{ArrayDecl, ArrayRef, Expr, IndexExpr, LoopBound, LoopNest, OmpPragma, RegionSource, Stmt};
+    use crate::dsl::{
+        ArrayDecl, ArrayRef, Expr, IndexExpr, LoopBound, LoopNest, OmpPragma, RegionSource, Stmt,
+    };
     use crate::lower::lower_kernel;
 
     fn simple_module() -> Module {
@@ -114,10 +116,7 @@ mod tests {
         let m = simple_module();
         let f = m.outlined_regions()[0];
         let text = print_function(f);
-        let inst_lines = text
-            .lines()
-            .filter(|l| l.starts_with("  "))
-            .count();
+        let inst_lines = text.lines().filter(|l| l.starts_with("  ")).count();
         assert_eq!(inst_lines, f.num_insts());
     }
 

@@ -78,10 +78,7 @@ fn verify_function(f: &Function, known_functions: &HashSet<&str>, errors: &mut V
                     Operand::Inst(id) => {
                         if !inst_ids.contains(id) {
                             err(
-                                format!(
-                                    "instruction {} references unknown value %{}",
-                                    inst.id, id
-                                ),
+                                format!("instruction {} references unknown value %{}", inst.id, id),
                                 errors,
                             );
                         }
@@ -112,10 +109,7 @@ fn verify_function(f: &Function, known_functions: &HashSet<&str>, errors: &mut V
                             && !name.starts_with("__kmpc")
                             && !name.starts_with("llvm.")
                         {
-                            err(
-                                format!("call to unknown function '{name}'"),
-                                errors,
-                            );
+                            err(format!("call to unknown function '{name}'"), errors);
                         }
                     }
                     Operand::Const(_) | Operand::Global(_) => {}
@@ -142,7 +136,8 @@ mod tests {
             Type::I32,
             vec![Operand::Arg(0), Operand::const_i32(1)],
         ));
-        b.insts.push(Instruction::new(1, Opcode::Ret, Type::Void, vec![]));
+        b.insts
+            .push(Instruction::new(1, Opcode::Ret, Type::Void, vec![]));
         f.blocks.push(b);
         m.add_function(f);
         m

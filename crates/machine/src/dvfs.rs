@@ -183,7 +183,8 @@ mod tests {
             for threads in [1usize, 8, 32, 64] {
                 let p = pm.power_under_cap(cap, threads, 1.0);
                 assert!(
-                    p <= cap * 1.001 || (pm.freq_at_cap(cap, threads, 1.0) - pm.min_freq).abs() < 1e-9,
+                    p <= cap * 1.001
+                        || (pm.freq_at_cap(cap, threads, 1.0) - pm.min_freq).abs() < 1e-9,
                     "cap {cap} threads {threads} power {p}"
                 );
             }

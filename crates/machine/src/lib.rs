@@ -22,14 +22,14 @@
 //! container), while preserving the qualitative behaviour the paper's tuning
 //! problem depends on; see DESIGN.md for the substitution argument.
 
+pub mod cache;
+pub mod counters;
+pub mod dvfs;
+pub mod energy;
 pub mod machine;
 pub mod presets;
 pub mod rapl;
 pub mod variorum;
-pub mod dvfs;
-pub mod cache;
-pub mod counters;
-pub mod energy;
 
 pub use cache::CacheHierarchy;
 pub use counters::CounterSet;

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn power_levels_match_table_one() {
-        assert_eq!(haswell().default_power_levels(), vec![40.0, 60.0, 70.0, 85.0]);
+        assert_eq!(
+            haswell().default_power_levels(),
+            vec![40.0, 60.0, 70.0, 85.0]
+        );
         assert_eq!(
             skylake().default_power_levels(),
             vec![75.0, 100.0, 120.0, 150.0]

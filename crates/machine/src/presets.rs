@@ -93,7 +93,10 @@ mod tests {
         let s = skylake();
         assert!(s.total_cores() > h.total_cores());
         assert!(s.mem_bandwidth_gbs > h.mem_bandwidth_gbs);
-        assert!(s.peak_gflops(s.total_cores(), s.base_freq_ghz) > h.peak_gflops(h.total_cores(), h.base_freq_ghz));
+        assert!(
+            s.peak_gflops(s.total_cores(), s.base_freq_ghz)
+                > h.peak_gflops(h.total_cores(), h.base_freq_ghz)
+        );
     }
 
     #[test]

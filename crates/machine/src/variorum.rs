@@ -110,7 +110,8 @@ mod tests {
         for cap in [40.0, 60.0, 70.0, 85.0] {
             v.cap_node_power_limit(cap).unwrap();
             let p = v.node_power_watts(32, 1.0);
-            let at_floor = (v.sustained_frequency_ghz(32, 1.0) - v.power_model.min_freq).abs() < 1e-9;
+            let at_floor =
+                (v.sustained_frequency_ghz(32, 1.0) - v.power_model.min_freq).abs() < 1e-9;
             assert!(p <= cap * 1.001 || at_floor, "cap {cap}: power {p}");
         }
     }

@@ -71,8 +71,16 @@ impl OmpConfig {
 impl fmt::Display for OmpConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.chunk {
-            Some(c) => write!(f, "{} threads, {}, chunk {}", self.threads, self.schedule, c),
-            None => write!(f, "{} threads, {}, default chunk", self.threads, self.schedule),
+            Some(c) => write!(
+                f,
+                "{} threads, {}, chunk {}",
+                self.threads, self.schedule, c
+            ),
+            None => write!(
+                f,
+                "{} threads, {}, default chunk",
+                self.threads, self.schedule
+            ),
         }
     }
 }

@@ -18,9 +18,9 @@
 //!   the paper's physical testbed measurements (see DESIGN.md).
 
 pub mod config;
-pub mod schedule;
-pub mod profile;
 pub mod pool;
+pub mod profile;
+pub mod schedule;
 pub mod sim;
 
 pub use config::{default_config, OmpConfig, Schedule};

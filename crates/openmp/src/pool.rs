@@ -144,9 +144,9 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
 
     fn all_configs() -> Vec<OmpConfig> {
         let mut v = Vec::new();
@@ -200,11 +200,14 @@ mod tests {
         let pool = ThreadPool::new(OmpConfig::new(4, Schedule::Dynamic, Some(1)));
         let ids = Mutex::new(HashSet::new());
         pool.parallel_for(64, |_| {
-            ids.lock().insert(std::thread::current().id());
+            ids.lock().unwrap().insert(std::thread::current().id());
             // Give other threads a chance to grab chunks.
             std::thread::sleep(std::time::Duration::from_micros(200));
         });
-        assert!(ids.lock().len() > 1, "expected more than one worker thread");
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected more than one worker thread"
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl RegionProfile {
                 // to (1 + 4·imb)× the base.
                 let h = splitmix(i as u64);
                 let u = (h % 1000) as f64 / 1000.0;
-                let spike = if u < 0.2 { 1.0 + 4.0 * self.imbalance } else { 1.0 };
+                let spike = if u < 0.2 {
+                    1.0 + 4.0 * self.imbalance
+                } else {
+                    1.0
+                };
                 let mean = 0.2 * (1.0 + 4.0 * self.imbalance) + 0.8;
                 spike / mean
             }
@@ -191,7 +195,11 @@ mod tests {
         let p = profile(ImbalanceShape::Ramp, 1.0);
         assert!(p.iteration_cost(9_999) > p.iteration_cost(0));
         let total = p.total_cost();
-        assert!((total / 10_000.0 - 1.0).abs() < 0.01, "mean {}", total / 10_000.0);
+        assert!(
+            (total / 10_000.0 - 1.0).abs() < 0.01,
+            "mean {}",
+            total / 10_000.0
+        );
     }
 
     #[test]
@@ -212,7 +220,11 @@ mod tests {
         ] {
             let p = profile(shape, 0.7);
             let analytic = p.range_cost(900, 200);
-            let summed: f64 = (900..1100).map(|i| p.iteration_cost(i)).collect::<Vec<_>>().iter().sum();
+            let summed: f64 = (900..1100)
+                .map(|i| p.iteration_cost(i))
+                .collect::<Vec<_>>()
+                .iter()
+                .sum();
             assert!(
                 (analytic - summed).abs() / summed < 0.02,
                 "{shape:?}: {analytic} vs {summed}"

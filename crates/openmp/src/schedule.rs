@@ -122,10 +122,7 @@ where
                 .iter()
                 .map(|cs| cs.iter().map(&chunk_cost).sum())
                 .collect();
-            let makespan = per_thread_cost
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let makespan = per_thread_cost.iter().cloned().fold(0.0f64, f64::max);
             ScheduleOutcome {
                 per_thread_cost,
                 makespan,

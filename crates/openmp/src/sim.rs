@@ -94,10 +94,8 @@ fn iteration_model(
     // Compute-side time per iteration.
     let flop_time = profile.flops_per_iter / (machine.flops_per_cycle * hz);
     let instr_time = profile.instructions_per_iter / (BASE_IPC * hz);
-    let branch_penalty = profile.branches_per_iter
-        * profile.branch_mispredict_rate
-        * MISPREDICT_PENALTY_CYCLES
-        / hz;
+    let branch_penalty =
+        profile.branches_per_iter * profile.branch_mispredict_rate * MISPREDICT_PENALTY_CYCLES / hz;
     let compute_time = (flop_time.max(instr_time) + branch_penalty) / per_thread_speed;
 
     // Memory-side time per iteration.
@@ -238,9 +236,7 @@ pub fn simulate_region_with_model(
         l2_misses: accesses_total * model.miss_l2,
         l3_misses: accesses_total * model.miss_l3,
         instructions: profile.instructions_per_iter * iters,
-        branch_mispredictions: profile.branches_per_iter
-            * profile.branch_mispredict_rate
-            * iters,
+        branch_mispredictions: profile.branches_per_iter * profile.branch_mispredict_rate * iters,
     };
 
     ExecutionResult {
@@ -304,8 +300,18 @@ mod tests {
     fn compute_bound_kernels_scale_with_threads() {
         let machine = skylake();
         let p = compute_bound(200_000);
-        let t1 = simulate_region(&machine, &p, &OmpConfig::new(1, Schedule::Static, None), 150.0);
-        let t32 = simulate_region(&machine, &p, &OmpConfig::new(32, Schedule::Static, None), 150.0);
+        let t1 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(1, Schedule::Static, None),
+            150.0,
+        );
+        let t32 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(32, Schedule::Static, None),
+            150.0,
+        );
         let speedup = t1.time_s / t32.time_s;
         assert!(speedup > 12.0, "expected strong scaling, got {speedup}");
     }
@@ -314,8 +320,18 @@ mod tests {
     fn memory_bound_kernels_saturate_early() {
         let machine = skylake();
         let p = memory_bound(500_000);
-        let t8 = simulate_region(&machine, &p, &OmpConfig::new(8, Schedule::Static, None), 150.0);
-        let t64 = simulate_region(&machine, &p, &OmpConfig::new(64, Schedule::Static, None), 150.0);
+        let t8 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(8, Schedule::Static, None),
+            150.0,
+        );
+        let t64 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(64, Schedule::Static, None),
+            150.0,
+        );
         let speedup = t8.time_s / t64.time_s;
         assert!(
             speedup < 2.0,
@@ -336,7 +352,10 @@ mod tests {
         };
         let s_cb = slowdown(&cb);
         let s_mb = slowdown(&mb);
-        assert!(s_cb > 1.1, "compute-bound should slow down under the cap: {s_cb}");
+        assert!(
+            s_cb > 1.1,
+            "compute-bound should slow down under the cap: {s_cb}"
+        );
         assert!(
             s_cb > s_mb,
             "compute-bound slowdown {s_cb} should exceed memory-bound slowdown {s_mb}"
@@ -351,9 +370,18 @@ mod tests {
             imbalance_shape: ImbalanceShape::Ramp,
             ..compute_bound(4_000)
         };
-        let stat = simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Static, None), 85.0);
-        let dynamic =
-            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(8)), 85.0);
+        let stat = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(16, Schedule::Static, None),
+            85.0,
+        );
+        let dynamic = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(16, Schedule::Dynamic, Some(8)),
+            85.0,
+        );
         assert!(
             dynamic.time_s < stat.time_s * 0.9,
             "dynamic {} vs static {}",
@@ -366,10 +394,18 @@ mod tests {
     fn tiny_chunks_with_dynamic_pay_dispatch_overhead() {
         let machine = haswell();
         let p = compute_bound(50_000);
-        let chunk1 =
-            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(1)), 85.0);
-        let chunk256 =
-            simulate_region(&machine, &p, &OmpConfig::new(16, Schedule::Dynamic, Some(256)), 85.0);
+        let chunk1 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(16, Schedule::Dynamic, Some(1)),
+            85.0,
+        );
+        let chunk256 = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(16, Schedule::Dynamic, Some(256)),
+            85.0,
+        );
         assert!(chunk1.time_s > chunk256.time_s);
     }
 
@@ -377,8 +413,18 @@ mod tests {
     fn tiny_regions_prefer_fewer_threads() {
         let machine = skylake();
         let p = compute_bound(128);
-        let few = simulate_region(&machine, &p, &OmpConfig::new(4, Schedule::Static, None), 150.0);
-        let many = simulate_region(&machine, &p, &OmpConfig::new(64, Schedule::Static, None), 150.0);
+        let few = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(4, Schedule::Static, None),
+            150.0,
+        );
+        let many = simulate_region(
+            &machine,
+            &p,
+            &OmpConfig::new(64, Schedule::Static, None),
+            150.0,
+        );
         assert!(
             few.time_s < many.time_s,
             "fork/join overhead should dominate: few {} many {}",

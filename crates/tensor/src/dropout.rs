@@ -17,7 +17,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p` and its own RNG seed.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout {
             p,
             rng: SeededRng::new(seed),
@@ -35,7 +38,11 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let mut mask = Tensor::zeros(&input.shape);
         for m in mask.data.iter_mut() {
-            *m = if self.rng.bernoulli(keep) { 1.0 / keep } else { 0.0 };
+            *m = if self.rng.bernoulli(keep) {
+                1.0 / keep
+            } else {
+                0.0
+            };
         }
         let out = input.mul(&mask);
         self.mask = Some(mask);

@@ -115,8 +115,18 @@ mod tests {
         let _ = emb.lookup(&[1, 1, 2], true);
         let g = Tensor::ones(&[3, 3]);
         emb.backward_ids(&g);
-        assert!(emb.table.grad.row(1).iter().all(|&x| (x - 2.0).abs() < 1e-6));
-        assert!(emb.table.grad.row(2).iter().all(|&x| (x - 1.0).abs() < 1e-6));
+        assert!(emb
+            .table
+            .grad
+            .row(1)
+            .iter()
+            .all(|&x| (x - 2.0).abs() < 1e-6));
+        assert!(emb
+            .table
+            .grad
+            .row(2)
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-6));
         assert!(emb.table.grad.row(0).iter().all(|&x| x == 0.0));
     }
 

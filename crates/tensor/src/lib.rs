@@ -48,18 +48,18 @@
 //! }
 //! ```
 
-pub mod tensor;
-pub mod ops;
-pub mod matmul;
-pub mod init;
-pub mod layer;
-pub mod linear;
 pub mod activation;
 pub mod dropout;
 pub mod embedding;
+pub mod init;
+pub mod layer;
+pub mod linear;
 pub mod loss;
+pub mod matmul;
+pub mod ops;
 pub mod optim;
 pub mod serialize;
+pub mod tensor;
 
 pub use activation::{LeakyReLU, ReLU, Sigmoid, Tanh};
 pub use dropout::Dropout;

@@ -21,7 +21,10 @@ impl Linear {
     /// Creates a layer with Kaiming-normal weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
         Linear {
-            weight: Parameter::new("linear.weight", kaiming_normal(in_features, out_features, rng)),
+            weight: Parameter::new(
+                "linear.weight",
+                kaiming_normal(in_features, out_features, rng),
+            ),
             bias: Parameter::new("linear.bias", Tensor::zeros(&[out_features])),
             cached_input: None,
         }

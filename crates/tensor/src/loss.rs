@@ -95,11 +95,7 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
         return 0.0;
     }
     let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(targets)
-        .filter(|(p, t)| *p == *t)
-        .count();
+    let correct = preds.iter().zip(targets).filter(|(p, t)| *p == *t).count();
     correct as f32 / targets.len() as f32
 }
 

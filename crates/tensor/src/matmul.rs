@@ -16,10 +16,7 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
-        assert_eq!(
-            k, k2,
-            "matmul dimension mismatch: ({m}x{k}) · ({k2}x{n})"
-        );
+        assert_eq!(k, k2, "matmul dimension mismatch: ({m}x{k}) · ({k2}x{n})");
         let mut out = Tensor::zeros(&[m, n]);
         // ikj loop order: streams through `other` rows, good cache behaviour.
         for i in 0..m {
@@ -97,12 +94,7 @@ impl Tensor {
         assert_eq!(self.cols(), v.numel(), "matvec dimension mismatch");
         let mut out = Tensor::zeros(&[self.rows()]);
         for i in 0..self.rows() {
-            out.data[i] = self
-                .row(i)
-                .iter()
-                .zip(&v.data)
-                .map(|(a, b)| a * b)
-                .sum();
+            out.data[i] = self.row(i).iter().zip(&v.data).map(|(a, b)| a * b).sum();
         }
         out
     }

@@ -107,11 +107,14 @@ impl AdamCore {
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
         for p in params.iter_mut() {
-            let st = self.state.entry(p.name.clone()).or_insert_with(|| AdamState {
-                m: Tensor::zeros(&p.value.shape),
-                v: Tensor::zeros(&p.value.shape),
-                v_max: Tensor::zeros(&p.value.shape),
-            });
+            let st = self
+                .state
+                .entry(p.name.clone())
+                .or_insert_with(|| AdamState {
+                    m: Tensor::zeros(&p.value.shape),
+                    v: Tensor::zeros(&p.value.shape),
+                    v_max: Tensor::zeros(&p.value.shape),
+                });
             assert_eq!(
                 st.m.shape, p.value.shape,
                 "parameter {} changed shape between optimizer steps",
@@ -337,7 +340,9 @@ mod tests {
         let mut rng = SeededRng::new(31);
         let x = Tensor::randn(&[16, 4], &mut rng);
         // Labels defined by a simple separable rule.
-        let targets: Vec<usize> = (0..16).map(|r| if x.get(r, 0) > 0.0 { 1 } else { 0 }).collect();
+        let targets: Vec<usize> = (0..16)
+            .map(|r| if x.get(r, 0) > 0.0 { 1 } else { 0 })
+            .collect();
         let mut layer = Linear::new(4, 2, &mut rng);
         let mut opt = AdamW::new(0.05).amsgrad();
         let mut last_loss = f32::INFINITY;

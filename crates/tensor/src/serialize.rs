@@ -136,7 +136,7 @@ mod tests {
         let refs: Vec<&Parameter> = params.iter().collect();
         let bundle = ParameterBundle::capture(&refs);
 
-        let mut other = vec![Parameter::new("rgcn0.weight", Tensor::zeros(&[3, 3]))];
+        let mut other = [Parameter::new("rgcn0.weight", Tensor::zeros(&[3, 3]))];
         let mut refs_mut: Vec<&mut Parameter> = other.iter_mut().collect();
         assert_eq!(bundle.restore(&mut refs_mut), 0);
         assert!(other[0].value.data.iter().all(|&x| x == 0.0));

@@ -41,7 +41,12 @@ impl<'a> DefaultBaseline<'a> {
         evaluator: &dyn RegionEvaluator,
         objective: &Objective,
     ) -> TuningResult {
-        TuningResult::new("default", self.point(objective), self.sample(evaluator, objective), 0)
+        TuningResult::new(
+            "default",
+            self.point(objective),
+            self.sample(evaluator, objective),
+            0,
+        )
     }
 }
 

@@ -64,10 +64,12 @@ impl Ridge {
             if pv.abs() < 1e-12 {
                 continue;
             }
-            for r in col + 1..d {
-                let factor = aug[r][col] / pv;
-                for c in col..=d {
-                    aug[r][c] -= factor * aug[col][c];
+            let (upper, lower) = aug.split_at_mut(col + 1);
+            let pivot_row = &upper[col];
+            for row in lower.iter_mut() {
+                let factor = row[col] / pv;
+                for (dst, src) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
+                    *dst -= factor * src;
                 }
             }
         }
@@ -77,7 +79,11 @@ impl Ridge {
             for c in r + 1..d {
                 acc -= aug[r][c] * w[c];
             }
-            w[r] = if aug[r][r].abs() < 1e-12 { 0.0 } else { acc / aug[r][r] };
+            w[r] = if aug[r][r].abs() < 1e-12 {
+                0.0
+            } else {
+                acc / aug[r][r]
+            };
         }
         Ridge { weights: w }
     }
@@ -177,8 +183,8 @@ impl<'a> BlissTuner<'a> {
                 }
                 let preds: Vec<f64> = pool.iter().map(|m| m.predict(f)).collect();
                 let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-                let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-                    / preds.len() as f64;
+                let var =
+                    preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
                 let acq = mean - kappa * var.sqrt();
                 if acq < best_acq {
                     best_acq = acq;

@@ -23,15 +23,15 @@
 //! The GNN-based PnP tuner itself lives in `pnp-core` (it needs the trained
 //! model); it consumes the same [`SearchSpace`] indices defined here.
 
-pub mod space;
-pub mod objective;
-pub mod evaluator;
-pub mod result;
-pub mod oracle;
 pub mod baseline;
-pub mod random;
 pub mod bliss;
+pub mod evaluator;
+pub mod objective;
 pub mod opentuner;
+pub mod oracle;
+pub mod random;
+pub mod result;
+pub mod space;
 
 pub use baseline::DefaultBaseline;
 pub use bliss::BlissTuner;

@@ -26,7 +26,11 @@ enum Technique {
     PatternStep,
 }
 
-const TECHNIQUES: [Technique; 3] = [Technique::Random, Technique::HillClimb, Technique::PatternStep];
+const TECHNIQUES: [Technique; 3] = [
+    Technique::Random,
+    Technique::HillClimb,
+    Technique::PatternStep,
+];
 
 /// OpenTuner-style bandit meta-search.
 pub struct OpenTunerLike<'a> {
@@ -152,7 +156,12 @@ impl<'a> OpenTunerLike<'a> {
             }
         }
 
-        TuningResult::new("opentuner", best_point, best_sample, evaluator.evaluations())
+        TuningResult::new(
+            "opentuner",
+            best_point,
+            best_sample,
+            evaluator.evaluations(),
+        )
     }
 }
 
@@ -174,7 +183,9 @@ mod tests {
         };
         let o = Objective::TimeAtPower { power_watts: 40.0 };
         let eval = SimEvaluator::new(machine.clone(), profile.clone());
-        let result = OpenTunerLike::new(&space, 5).with_budget(40).tune(&eval, &o);
+        let result = OpenTunerLike::new(&space, 5)
+            .with_budget(40)
+            .tune(&eval, &o);
         assert_eq!(result.evaluations, 40);
 
         // Compare against the very first point it evaluated (its start).

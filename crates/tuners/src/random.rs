@@ -35,7 +35,7 @@ impl<'a> RandomTuner<'a> {
             let idx = rng.below(candidates.len());
             let sample = evaluator.evaluate(&candidates[idx]);
             let score = objective.score(&sample);
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some((idx, score));
                 best_sample = Some(sample);
             }
@@ -80,8 +80,7 @@ mod tests {
         let profile = RegionProfile::balanced("r", 40_000);
         let small = RandomTuner::new(&space, 5, 7)
             .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &o);
-        let large = RandomTuner::new(&space, 100, 7)
-            .tune(&SimEvaluator::new(machine, profile), &o);
+        let large = RandomTuner::new(&space, 100, 7).tune(&SimEvaluator::new(machine, profile), &o);
         assert!(o.score(&large.best_sample) <= o.score(&small.best_sample) + 1e-12);
     }
 }

@@ -78,7 +78,10 @@ impl SearchSpace {
     /// The class index of an OpenMP configuration within a power level, if it
     /// is part of the tuned space.
     pub fn omp_index(&self, config: &OmpConfig) -> Option<usize> {
-        let t = self.thread_counts.iter().position(|&x| x == config.threads)?;
+        let t = self
+            .thread_counts
+            .iter()
+            .position(|&x| x == config.threads)?;
         let s = self.schedules.iter().position(|&x| x == config.schedule)?;
         let c = self
             .chunk_sizes

@@ -14,7 +14,14 @@ use pnp_tuners::{DefaultBaseline, Objective, OracleTuner, SearchSpace, SimEvalua
 fn main() {
     let machine = skylake();
     let space = SearchSpace::for_machine(&machine);
-    let region = lookup_kernel("demo_tracking", 1_200_000, 4.0e8, "segment_outcome", 24, 1.5);
+    let region = lookup_kernel(
+        "demo_tracking",
+        1_200_000,
+        4.0e8,
+        "segment_outcome",
+        24,
+        1.5,
+    );
 
     let evaluator = SimEvaluator::new(machine.clone(), region.profile.clone());
     let oracle = OracleTuner::new(&space);

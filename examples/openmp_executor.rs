@@ -25,9 +25,14 @@ fn main() {
     let serial: f64 = (0..n).map(work).sum();
     println!("serial reference sum = {serial:.3}");
 
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
     println!("running with {threads} worker threads\n");
-    println!("{:<28} {:>12} {:>10}", "configuration", "time (ms)", "correct");
+    println!(
+        "{:<28} {:>12} {:>10}",
+        "configuration", "time (ms)", "correct"
+    );
 
     for schedule in [Schedule::Static, Schedule::Dynamic, Schedule::Guided] {
         for chunk in [None, Some(64), Some(1024)] {
@@ -37,7 +42,12 @@ fn main() {
             let sum = pool.parallel_reduce_sum(n, work);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             let correct = (sum - serial).abs() / serial < 1e-9;
-            println!("{:<28} {:>12.2} {:>10}", config.to_string(), elapsed, correct);
+            println!(
+                "{:<28} {:>12.2} {:>10}",
+                config.to_string(),
+                elapsed,
+                correct
+            );
         }
     }
 

@@ -17,13 +17,22 @@ fn main() {
     let machine = haswell();
     let space = SearchSpace::for_machine(&machine);
     let regions = vec![
-        ("gemm-like (compute bound)", matmul_kernel("demo_gemm", 700, 700, 700)),
-        ("stream-like (memory bound)", streaming_kernel("demo_stream", 2_000_000, 3, 1.0)),
+        (
+            "gemm-like (compute bound)",
+            matmul_kernel("demo_gemm", 700, 700, 700),
+        ),
+        (
+            "stream-like (memory bound)",
+            streaming_kernel("demo_stream", 2_000_000, 3, 1.0),
+        ),
     ];
 
     for (label, region) in &regions {
         println!("\n=== {label} ===");
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "cap (W)", "oracle", "bliss", "opentuner", "default");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            "cap (W)", "oracle", "bliss", "opentuner", "default"
+        );
         for &cap in &space.power_levels {
             let objective = Objective::TimeAtPower { power_watts: cap };
             let make_eval = || SimEvaluator::new(machine.clone(), region.profile.clone());

@@ -18,10 +18,16 @@ use pnp_machine::haswell;
 use pnp_openmp::simulate_region;
 
 fn main() {
+    run();
+}
+
+/// The whole quickstart pipeline; also exercised by the `#[test]` below so
+/// `cargo test --examples` keeps this walkthrough working.
+fn run() {
     // 1. Describe a new OpenMP region (a 5-point stencil the tuner has never
     //    seen) and turn it into a flow-aware code graph.
     let region = stencil2d_kernel("user_stencil", 2048, 2048, 5);
-    let module = lower_kernel("user_app", &[region.source.clone()]);
+    let module = lower_kernel("user_app", std::slice::from_ref(&region.source));
     let graph = pnp_graph::build_region_graph(&module, "user_stencil").expect("region lowered");
     let features = GraphFeatures::of(&graph);
     println!(
@@ -37,11 +43,18 @@ fn main() {
     //    on the simulated Haswell testbed) and train the static PnP tuner for
     //    the 40 W power cap.
     let machine = haswell();
-    println!("building dataset on {} (this sweeps 68 regions x 504 configs)...", machine.name);
+    println!(
+        "building dataset on {} (this sweeps 68 regions x 504 configs)...",
+        machine.name
+    );
     let dataset = Dataset::build(&machine, &full_suite(), &Vocabulary::standard());
     let settings = TrainSettings::quick();
     println!("training the PnP tuner ({} epochs)...", settings.epochs);
-    let mut tuner = PnPTuner::train(&dataset, TunerMode::PowerConstrained { power_idx: 0 }, &settings);
+    let mut tuner = PnPTuner::train(
+        &dataset,
+        TunerMode::PowerConstrained { power_idx: 0 },
+        &settings,
+    );
 
     // 3. Ask for the best configuration for the unseen region.
     let encoded = EncodedGraph::encode(&graph, &Vocabulary::standard());
@@ -72,4 +85,12 @@ fn main() {
         base.time_s / tuned.time_s,
         base.energy_j / tuned.energy_j
     );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quickstart_pipeline_runs() {
+        super::run();
+    }
 }

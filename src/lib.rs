@@ -1,0 +1,38 @@
+//! # pnp
+//!
+//! Facade crate for the PnP ("Predict and Pick") power-constrained OpenMP
+//! autotuner reproduction. It re-exports every layer of the stack under one
+//! roof and hosts the repository-level integration tests (`tests/`) and the
+//! runnable walkthroughs (`examples/`).
+//!
+//! The stack, bottom to top (see `ARCHITECTURE.md` for the dataflow):
+//!
+//! * [`tensor`] — dense `f32` tensors, layers, losses, optimizers.
+//! * [`ir`] — kernel DSL and LLVM-flavoured IR with OpenMP region outlining.
+//! * [`graph`] — PROGRAML-style flow-aware code graphs built from the IR.
+//! * [`gnn`] — the RGCN + dense-classifier model over those graphs.
+//! * [`machine`] — Haswell/Skylake testbed models: power caps, DVFS, caches,
+//!   counters, energy accounting.
+//! * [`openmp`] — OpenMP configurations, schedules, a real thread-pool
+//!   executor, and the analytic execution simulator.
+//! * [`benchmarks`] — the 30-application / 68-region evaluation suite.
+//! * [`tuners`] — the search space, objectives, and baseline tuners
+//!   (oracle, default, random, BLISS-style, OpenTuner-like).
+//! * [`core`] — datasets, training pipelines, the PnP tuner itself, and one
+//!   driver per paper experiment.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+pub use pnp_benchmarks as benchmarks;
+pub use pnp_core as core;
+pub use pnp_gnn as gnn;
+pub use pnp_graph as graph;
+pub use pnp_ir as ir;
+pub use pnp_machine as machine;
+pub use pnp_openmp as openmp;
+pub use pnp_tensor as tensor;
+pub use pnp_tuners as tuners;

@@ -37,8 +37,7 @@ fn loocv_predictions_are_valid_classes_and_add_value() {
     let mut pnp_speedups = Vec::new();
     let mut oracle_speedups = Vec::new();
     for (i, sweep) in ds.sweeps.iter().enumerate() {
-        for p in 0..ds.space.power_levels.len() {
-            let class = preds[i][p];
+        for (p, &class) in preds[i].iter().enumerate() {
             assert!(class < ds.space.configs_per_power());
             let default_t = sweep.default_samples[p].time_s;
             pnp_speedups.push(default_t / sweep.samples[p][class].time_s);
@@ -49,7 +48,10 @@ fn loocv_predictions_are_valid_classes_and_add_value() {
     let geo_oracle = pnp_core::eval::geomean(&oracle_speedups);
     // Even with tiny training budgets the predictions must not be worse than
     // ~25% below the default on geometric mean, and the oracle bounds them.
-    assert!(geo_pnp > 0.75, "geometric-mean speedup collapsed: {geo_pnp}");
+    assert!(
+        geo_pnp > 0.75,
+        "geometric-mean speedup collapsed: {geo_pnp}"
+    );
     assert!(geo_oracle >= geo_pnp * 0.999);
 }
 
@@ -112,5 +114,8 @@ fn edp_mode_predictions_reduce_edp_relative_to_default_at_tdp() {
         improvements.push(baseline.edp() / tuned.edp());
     }
     let geo = pnp_core::eval::geomean(&improvements);
-    assert!(geo > 1.0, "geometric-mean EDP improvement should exceed 1.0, got {geo}");
+    assert!(
+        geo > 1.0,
+        "geometric-mean EDP improvement should exceed 1.0, got {geo}"
+    );
 }

@@ -4,8 +4,8 @@
 use pnp_benchmarks::full_suite;
 use pnp_machine::haswell;
 use pnp_tuners::{
-    BlissTuner, DefaultBaseline, Objective, OpenTunerLike, OracleTuner, RandomTuner,
-    SearchSpace, SimEvaluator,
+    BlissTuner, DefaultBaseline, Objective, OpenTunerLike, OracleTuner, RandomTuner, SearchSpace,
+    SimEvaluator,
 };
 
 fn some_regions(n: usize) -> Vec<(String, pnp_openmp::RegionProfile)> {
@@ -27,14 +27,22 @@ fn oracle_dominates_every_other_tuner() {
     let space = SearchSpace::for_machine(&machine);
     for (name, profile) in some_regions(4) {
         for objective in [Objective::TimeAtPower { power_watts: 60.0 }, Objective::Edp] {
-            let oracle = OracleTuner::new(&space)
-                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
-            let bliss = BlissTuner::new(&space, 1)
-                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
-            let opentuner = OpenTunerLike::new(&space, 2)
-                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
-            let random = RandomTuner::new(&space, 20, 3)
-                .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+            let oracle = OracleTuner::new(&space).tune(
+                &SimEvaluator::new(machine.clone(), profile.clone()),
+                &objective,
+            );
+            let bliss = BlissTuner::new(&space, 1).tune(
+                &SimEvaluator::new(machine.clone(), profile.clone()),
+                &objective,
+            );
+            let opentuner = OpenTunerLike::new(&space, 2).tune(
+                &SimEvaluator::new(machine.clone(), profile.clone()),
+                &objective,
+            );
+            let random = RandomTuner::new(&space, 20, 3).tune(
+                &SimEvaluator::new(machine.clone(), profile.clone()),
+                &objective,
+            );
             let oracle_score = objective.score(&oracle.best_sample);
             for other in [&bliss, &opentuner, &random] {
                 assert!(
@@ -55,10 +63,14 @@ fn search_tuners_usually_beat_the_default_under_a_tight_cap() {
     let mut bliss_wins = 0usize;
     let mut total = 0usize;
     for (_, profile) in some_regions(6) {
-        let default = DefaultBaseline::new(&space, machine.tdp_watts)
-            .sample(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
-        let bliss = BlissTuner::new(&space, 11)
-            .tune(&SimEvaluator::new(machine.clone(), profile.clone()), &objective);
+        let default = DefaultBaseline::new(&space, machine.tdp_watts).sample(
+            &SimEvaluator::new(machine.clone(), profile.clone()),
+            &objective,
+        );
+        let bliss = BlissTuner::new(&space, 11).tune(
+            &SimEvaluator::new(machine.clone(), profile.clone()),
+            &objective,
+        );
         total += 1;
         if bliss.best_sample.time_s <= default.time_s * 1.001 {
             bliss_wins += 1;

@@ -1,0 +1,54 @@
+//! Workspace wiring smoke tests: the cheap invariants every future PR must
+//! keep intact — the full benchmark suite lowers and verifies, graphs encode
+//! against the standard vocabulary, and the facade crate re-exports the whole
+//! stack under its documented names.
+
+use pnp_benchmarks::{full_suite, suite_stats};
+use pnp_graph::{EncodedGraph, Vocabulary};
+use pnp_ir::verify::verify_module;
+
+/// The paper's suite: 30 applications, 68 parallel regions, and every region
+/// lowers to verifiable IR (the precondition for all experiments).
+#[test]
+fn full_suite_lowers_and_verifies_all_applications() {
+    let apps = full_suite();
+    let stats = suite_stats(&apps);
+    assert_eq!(stats.applications, 30, "application count drifted");
+    assert_eq!(stats.regions, 68, "region count drifted");
+
+    for app in &apps {
+        let module = app.lower();
+        assert!(
+            verify_module(&module).is_ok(),
+            "IR verification failed for {}: {:?}",
+            app.name,
+            verify_module(&module)
+        );
+    }
+}
+
+/// Every region graph encodes without out-of-vocabulary node text.
+#[test]
+fn every_region_encodes_against_the_standard_vocabulary() {
+    let vocab = Vocabulary::standard();
+    for app in full_suite() {
+        for (name, graph) in app.region_graphs() {
+            assert!(graph.is_well_formed(), "{name} graph malformed");
+            assert_eq!(vocab.oov_rate(&graph), 0.0, "{name} has OOV node text");
+            let encoded = EncodedGraph::encode(&graph, &vocab);
+            assert_eq!(encoded.num_nodes(), graph.num_nodes(), "{name}");
+        }
+    }
+}
+
+/// The `pnp` facade re-exports each layer under its documented module name.
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // Type-level check: these paths must keep resolving.
+    let _machine: pnp::machine::MachineSpec = pnp::machine::haswell();
+    let _config: pnp::openmp::OmpConfig = pnp::openmp::default_config(&_machine);
+    let _vocab: pnp::graph::Vocabulary = pnp::graph::Vocabulary::standard();
+    let _space = pnp::tuners::SearchSpace::for_machine(&_machine);
+    assert!(!pnp::graph::Vocabulary::standard().is_empty());
+    assert_eq!(pnp::benchmarks::full_suite().len(), 30);
+}

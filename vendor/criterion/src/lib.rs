@@ -1,0 +1,212 @@
+//! # criterion (offline stand-in)
+//!
+//! A tiny wall-clock micro-benchmark harness with the subset of the real
+//! criterion API used by this workspace's `benches/`: [`Criterion`],
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`], the
+//! [`Bencher`] `iter` / `iter_batched` methods, [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each routine is warmed up briefly, then timed in
+//! batches until ~200 ms of samples (or an iteration cap) is collected, and
+//! the mean ns/iteration is printed. There is no statistical analysis, HTML
+//! report, or baseline comparison — `cargo bench` here is a quick throughput
+//! probe, not a rigorous harness. Passing `--test` (as `cargo test` does for
+//! bench targets) runs every routine exactly once.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup per
+/// measured call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create the input on every iteration.
+    PerIteration,
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    /// Run each routine exactly once (set by the `--test` CLI flag).
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke_test: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            smoke_test: self.smoke_test,
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if self.smoke_test {
+            println!("test {id} ... ok (smoke)");
+        } else {
+            println!(
+                "{id:<50} {:>12.1} ns/iter ({} iterations)",
+                bencher.mean_ns, bencher.iterations
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a routine under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(id, f);
+    }
+
+    /// Sets the requested sample count. The stand-in's time-budgeted sampling
+    /// ignores it; kept so benches written for real criterion compile.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (printing nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    smoke_test: bool,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// Sampling budget: keep timing until this much wall-clock is spent.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(200);
+/// Upper bound on timed iterations per routine.
+const MAX_ITERATIONS: u64 = 10_000;
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        let started = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        while elapsed < TARGET_SAMPLE_TIME && iterations < MAX_ITERATIONS {
+            black_box(routine());
+            iterations += 1;
+            elapsed = started.elapsed();
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iterations.max(1) as f64;
+        self.iterations = iterations;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            self.iterations = 1;
+            return;
+        }
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < TARGET_SAMPLE_TIME && iterations < MAX_ITERATIONS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iterations += 1;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iterations.max(1) as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_mean() {
+        let mut c = Criterion { smoke_test: false };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 1);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_test: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_function("once", |b| {
+            b.iter_batched(|| 1u64, |x| ran += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! # proptest (offline stand-in)
+//!
+//! A minimal property-testing harness exposing the slice of the real
+//! proptest API this workspace uses: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]` and `pattern in strategy` arguments),
+//! [`prop_assert!`] / [`prop_assert_eq!`], range strategies, [`Strategy::prop_map`],
+//! and [`collection::vec`].
+//!
+//! Differences from the real crate: cases are generated from a seed derived
+//! from the test name (fully deterministic, no persisted failure files), and
+//! failing inputs are *not* shrunk — the failing case index and message are
+//! reported instead. For the algebraic-identity tests in this repository
+//! that trade-off is fine, and it keeps the harness dependency-free.
+
+use std::ops::Range;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Creates a generator whose seed is derived from the test name, so each
+    /// property gets its own reproducible stream.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+}
+
+/// Test-runner configuration (`cases` = number of generated inputs).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+/// Number-of-elements specification for [`collection::vec`]: either an exact
+/// length or a half-open range of lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            lo: len,
+            hi: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.inner.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests. Mirrors the real proptest surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop(x in 0usize..10, v in prop::collection::vec(-1.0f32..1.0, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run $cfg:expr; $(
+        $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("property {} failed on case {}/{}: {}",
+                           stringify!($name), case + 1, config.cases, message);
+                }
+            }
+        }
+    )* };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let x = (1.0f32..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&x));
+            let n = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::TestRng::deterministic("vec");
+        let strat = prop::collection::vec(0.0f64..1.0, 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = prop::collection::vec(0.0f64..1.0, 4);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let mut rng = crate::TestRng::deterministic("map");
+        let strat = (0usize..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_surface_works(x in 0usize..100, v in prop::collection::vec(-1.0f32..1.0, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            for element in &v {
+                prop_assert!((-1.0..1.0).contains(element), "element {} out of range", element);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

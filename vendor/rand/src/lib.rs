@@ -1,0 +1,231 @@
+//! # rand (offline stand-in)
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate re-implements the *tiny* slice of the real `rand` API that the
+//! workspace actually uses: the [`RngCore`] / [`Rng`] / [`SeedableRng`]
+//! traits, `gen::<u64>()` / `gen::<f32>()` sampling, and `gen_range` over
+//! `usize` ranges. The concrete generator lives in the sibling `rand_chacha`
+//! stand-in.
+//!
+//! The float conversions follow the same fixed-point construction as the real
+//! crate (`u32 >> 8` scaled by 2⁻²⁴ for `f32`, `u64 >> 11` scaled by 2⁻⁵³ for
+//! `f64`), so samples are uniform in `[0, 1)`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of raw random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits (two `next_u32` calls by default).
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// Types that can be sampled uniformly from raw bits (the `Standard`
+/// distribution of the real crate).
+pub trait Standard {
+    /// Draws one uniform sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 significant bits scaled into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significant bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased integer sampling in `[0, n)` by rejection of the biased tail.
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + below(rng, span) as usize
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform sample of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniform sample from `range`.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generators that can be created from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 the
+    /// same way the real crate does, so small seeds still fill the whole
+    /// seed array with well-mixed bits.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (self.0 >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn f32_samples_are_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(2..9usize);
+            assert!((2..9).contains(&v));
+            let w = rng.gen_range(0..=4usize);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn seed_expansion_fills_seed_bytes() {
+        struct Probe([u8; 32]);
+        impl RngCore for Probe {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+        }
+        impl SeedableRng for Probe {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Probe(seed)
+            }
+        }
+        let p = Probe::seed_from_u64(0);
+        // SplitMix64 of seed 0 must not leave the array all-zero.
+        assert!(p.0.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,481 @@
+//! # serde_derive (offline stand-in)
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the vendored
+//! value-tree `serde` stand-in. Because crates.io (and therefore `syn` /
+//! `quote`) is unreachable in this build environment, the item is parsed
+//! directly from the raw `proc_macro::TokenStream` and the generated impl is
+//! assembled as a string.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Unsupported (compile error): generic parameters, `where` clauses, and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed derive input.
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Parsed::Struct { name, fields } => gen_struct_serialize(&name, &fields),
+        Parsed::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Parsed::Struct { name, fields } => gen_struct_deserialize(&name, &fields),
+        Parsed::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected token after `struct {name}`: {other:?}"),
+            };
+            Parsed::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected token after `enum {name}`: {other:?}"),
+            };
+            Parsed::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("vendored serde derive supports structs and enums, got `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Advances past one type (or discriminant expression): everything up to and
+/// including the next comma that sits outside `<...>` generic brackets.
+/// Token groups (parens, brackets, braces) are single trees, so only angle
+/// brackets need explicit depth tracking; `->` is guarded so a function-type
+/// arrow never closes a generic bracket.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    let mut last_char = ' ';
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            let c = p.as_char();
+            if c == ',' && angle_depth == 0 {
+                *i += 1;
+                return;
+            }
+            match c {
+                '<' => angle_depth += 1,
+                '>' if last_char != '-' => angle_depth -= 1,
+                _ => {}
+            }
+            last_char = c;
+        } else {
+            last_char = ' ';
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_past_comma(&tokens, &mut i);
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_past_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// JSON object key for a field: raw identifiers serialize without `r#`.
+fn key(name: &str) -> &str {
+    name.trim_start_matches("r#")
+}
+
+fn serialize_impl_header(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_impl_header(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut pushes = String::new();
+            for field in names {
+                let _ = write!(
+                    pushes,
+                    "(::std::string::String::from(\"{}\"), \
+                     ::serde::Serialize::to_value(&self.{})),",
+                    key(field),
+                    field
+                );
+            }
+            format!("::serde::Value::Object(vec![{pushes}])")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(","))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    serialize_impl_header(name, &body)
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) if names.is_empty() => {
+            format!("let _ = value;\n::std::result::Result::Ok({name} {{}})")
+        }
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for field in names {
+                let _ = write!(
+                    inits,
+                    "{field}: ::serde::Deserialize::from_value(\
+                         ::serde::field(fields, \"{}\"))?,",
+                    key(field)
+                );
+            }
+            format!(
+                "let fields = value.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object (struct {name})\", value))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array (struct {name})\", value))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(format!(\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(",")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    deserialize_impl_header(name, &body)
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let tag = key(vname);
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{tag}\")),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                         (::std::string::String::from(\"{tag}\"), \
+                          ::serde::Serialize::to_value(f0))]),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|idx| format!("f{idx}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}({binders}) => ::serde::Value::Object(vec![\
+                         (::std::string::String::from(\"{tag}\"), \
+                          ::serde::Value::Array(vec![{items}]))]),",
+                    binders = binders.join(","),
+                    items = items.join(",")
+                );
+            }
+            Fields::Named(field_names) => {
+                let inner: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{}\"), \
+                             ::serde::Serialize::to_value({f}))",
+                            key(f)
+                        )
+                    })
+                    .collect();
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(vec![\
+                         (::std::string::String::from(\"{tag}\"), \
+                          ::serde::Value::Object(vec![{inner}]))]),",
+                    fields = field_names.join(","),
+                    inner = inner.join(",")
+                );
+            }
+        }
+    }
+    serialize_impl_header(name, &format!("match self {{ {arms} }}"))
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let tag = key(vname);
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    data_arms,
+                    "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{tag}\" => {{\n\
+                         let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array ({name}::{vname})\", inner))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::new(format!(\
+                                 \"expected {n} elements for {name}::{vname}, got {{}}\", \
+                                 items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                     }}",
+                    items = items.join(",")
+                );
+            }
+            Fields::Named(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(obj, \"{}\"))?",
+                            key(f)
+                        )
+                    })
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{tag}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object ({name}::{vname})\", inner))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}",
+                    inits = inits.join(",")
+                );
+            }
+        }
+    }
+    let body = format!(
+        "match value {{\n\
+             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(format!(\
+                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(format!(\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum {name}\", other)),\n\
+         }}"
+    );
+    deserialize_impl_header(name, &body)
+}
