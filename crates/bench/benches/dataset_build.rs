@@ -1,0 +1,31 @@
+//! Criterion bench: the exhaustive dataset sweep at different worker counts.
+//!
+//! Uses a small application subset so the bench converges quickly; the
+//! `bench_dataset_build` binary covers the full suite and emits the
+//! machine-readable perf-trajectory JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_benchmarks::full_suite;
+use pnp_core::dataset::Dataset;
+use pnp_graph::Vocabulary;
+use pnp_machine::haswell;
+use pnp_openmp::Threads;
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let machine = haswell();
+    let mut apps = full_suite();
+    apps.truncate(4);
+    let vocab = Vocabulary::standard();
+
+    let mut group = c.benchmark_group("dataset_build");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("subset_{workers}_threads"), |b| {
+            b.iter(|| Dataset::build_with_threads(&machine, &apps, &vocab, Threads::Fixed(workers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_build);
+criterion_main!(benches);

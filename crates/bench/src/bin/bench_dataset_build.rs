@@ -1,0 +1,251 @@
+//! Perf-tracking harness for the exhaustive dataset sweep.
+//!
+//! Builds the dataset at a list of worker counts, measures wall time, checks
+//! that every build is bit-identical to the 1-thread baseline (serialized
+//! with `serde_json` and compared as strings), and writes the timings as
+//! machine-readable JSON — the perf trajectory CI uploads per run and the
+//! repository seeds in `BENCH_dataset_build.json`.
+//!
+//! ```text
+//! bench_dataset_build [--threads 1,2,4,8] [--apps N] [--machine haswell|skylake]
+//!                     [--repeats N] [--min-speedup S:T] [--out PATH]
+//! ```
+//!
+//! Exits non-zero when any build differs from the baseline, so CI can use it
+//! directly as the sweep-smoke determinism gate. `--min-speedup S:T` adds a
+//! perf gate: the run at `T` threads must reach speedup ≥ `S` over the
+//! serial build — guarding against the fan-out silently degenerating to a
+//! serial sweep (which no byte comparison can catch). The gate is skipped
+//! with a warning when the host has fewer than `T` cores, where the speedup
+//! physically cannot materialize.
+
+use pnp_bench::banner;
+use pnp_benchmarks::full_suite;
+use pnp_core::dataset::Dataset;
+use pnp_graph::Vocabulary;
+use pnp_machine::{haswell, skylake, MachineSpec};
+use pnp_openmp::Threads;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured build.
+#[derive(Clone, Debug, Serialize)]
+struct Run {
+    /// Worker count the dataset was built with.
+    threads: usize,
+    /// Best-of-`repeats` wall time in seconds.
+    wall_s: f64,
+    /// `wall_s(1 thread) / wall_s(this)` — the headline speedup.
+    speedup_vs_1t: f64,
+    /// Whether the serialized dataset is byte-equal to the 1-thread build.
+    identical_to_1t: bool,
+}
+
+/// The `BENCH_dataset_build.json` schema.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    /// Benchmark identifier (always `"dataset_build"`).
+    bench: String,
+    /// Machine whose search space was swept.
+    machine: String,
+    /// Number of applications in the swept suite.
+    applications: usize,
+    /// Number of OpenMP regions (= parallel jobs).
+    regions: usize,
+    /// Simulations per region: `(configs + default) × power levels`.
+    simulations_per_region: usize,
+    /// `std::thread::available_parallelism` of the measuring host — without
+    /// spare cores the speedups cannot materialize, so record the context.
+    available_parallelism: usize,
+    /// Best-of-`repeats` timing per worker count.
+    runs: Vec<Run>,
+}
+
+struct Options {
+    threads: Vec<usize>,
+    apps: Option<usize>,
+    machine: MachineSpec,
+    repeats: usize,
+    /// `Some((s, t))`: require speedup ≥ `s` at `t` threads (skipped when
+    /// the host has fewer than `t` cores).
+    min_speedup: Option<(f64, usize)>,
+    out: String,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        threads: vec![1, 2, 4, 8],
+        apps: None,
+        machine: haswell(),
+        repeats: 1,
+        min_speedup: None,
+        out: "BENCH_dataset_build.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                let v = value(&args, i, "--threads");
+                opts.threads = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
+                    .collect();
+                i += 2;
+            }
+            "--apps" => {
+                opts.apps = Some(value(&args, i, "--apps").parse().expect("--apps N"));
+                i += 2;
+            }
+            "--machine" => {
+                opts.machine = match value(&args, i, "--machine").as_str() {
+                    "haswell" => haswell(),
+                    "skylake" => skylake(),
+                    other => panic!("unknown machine {other:?} (haswell|skylake)"),
+                };
+                i += 2;
+            }
+            "--repeats" => {
+                opts.repeats = value(&args, i, "--repeats").parse().expect("--repeats N");
+                i += 2;
+            }
+            "--min-speedup" => {
+                let v = value(&args, i, "--min-speedup");
+                let (s, t) = v.split_once(':').expect("--min-speedup S:T, e.g. 2.0:4");
+                opts.min_speedup = Some((
+                    s.parse().expect("--min-speedup: S must be a float"),
+                    t.parse().expect("--min-speedup: T must be a thread count"),
+                ));
+                i += 2;
+            }
+            "--out" => {
+                opts.out = value(&args, i, "--out");
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(!opts.threads.is_empty(), "--threads list must be non-empty");
+    assert!(opts.repeats >= 1, "--repeats must be at least 1");
+    opts
+}
+
+fn main() {
+    banner(
+        "dataset_build timing",
+        "exhaustive sweep wall time per worker count + determinism check",
+    );
+    let opts = parse_options();
+    let mut apps = full_suite();
+    if let Some(n) = opts.apps {
+        apps.truncate(n);
+    }
+    let vocab = Vocabulary::standard();
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // The 1-thread build is always the determinism anchor and the speedup
+    // denominator, measured best-of-`repeats` like every other entry. The
+    // serial build is the most expensive one in the run, so it is timed
+    // exactly once here and reused for both the "1" list entry (when
+    // present) and the comparison baseline.
+    let mut wall_1t = f64::INFINITY;
+    let mut baseline_json = String::new();
+    let mut regions = 0;
+    let mut simulations_per_region = 0;
+    for r in 0..opts.repeats {
+        let start = Instant::now();
+        let ds = Dataset::build_with_threads(&opts.machine, &apps, &vocab, Threads::Fixed(1));
+        wall_1t = wall_1t.min(start.elapsed().as_secs_f64());
+        if r == 0 {
+            regions = ds.len();
+            simulations_per_region =
+                (ds.space.configs_per_power() + 1) * ds.space.power_levels.len();
+            baseline_json = serde_json::to_string(&ds).expect("dataset serializes");
+        }
+    }
+
+    let mut runs = Vec::new();
+    let mut all_identical = true;
+    for &threads in &opts.threads {
+        let (best, identical) = if threads == 1 {
+            (wall_1t, true)
+        } else {
+            let mut best = f64::INFINITY;
+            let mut identical = true;
+            for _ in 0..opts.repeats {
+                let start = Instant::now();
+                let ds = Dataset::build_with_threads(
+                    &opts.machine,
+                    &apps,
+                    &vocab,
+                    Threads::Fixed(threads),
+                );
+                best = best.min(start.elapsed().as_secs_f64());
+                identical &=
+                    serde_json::to_string(&ds).expect("dataset serializes") == baseline_json;
+            }
+            (best, identical)
+        };
+        all_identical &= identical;
+        eprintln!("[bench_dataset_build] {threads:>2} threads: {best:.3} s  identical={identical}");
+        runs.push(Run {
+            threads,
+            wall_s: best,
+            speedup_vs_1t: wall_1t / best,
+            identical_to_1t: identical,
+        });
+    }
+    let report = Report {
+        bench: "dataset_build".into(),
+        machine: opts.machine.name.clone(),
+        applications: apps.len(),
+        regions,
+        simulations_per_region,
+        available_parallelism: available,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&opts.out, &json).expect("write timing JSON");
+    println!("{json}");
+    eprintln!("[bench_dataset_build] wrote {}", opts.out);
+
+    if !all_identical {
+        eprintln!("[bench_dataset_build] FAIL: some build differs from the 1-thread baseline");
+        std::process::exit(1);
+    }
+
+    if let Some((min, at_threads)) = opts.min_speedup {
+        let run = report
+            .runs
+            .iter()
+            .find(|r| r.threads == at_threads)
+            .unwrap_or_else(|| {
+                panic!("--min-speedup references {at_threads} threads, not in --threads list")
+            });
+        if available < at_threads {
+            eprintln!(
+                "[bench_dataset_build] skipping --min-speedup gate: host has {available} core(s), \
+                 {at_threads} are needed for the speedup to materialize"
+            );
+        } else if run.speedup_vs_1t < min {
+            eprintln!(
+                "[bench_dataset_build] FAIL: speedup at {at_threads} threads is {:.2}x, \
+                 required >= {min:.2}x — the parallel fan-out may have degenerated to serial",
+                run.speedup_vs_1t
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "[bench_dataset_build] speedup gate passed: {:.2}x >= {min:.2}x at {at_threads} threads",
+                run.speedup_vs_1t
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! (normalized speedups per application at 40/60/70/85 W for the default
 //! configuration, PnP static/dynamic, BLISS, and OpenTuner).
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
@@ -13,7 +13,8 @@ fn main() {
         "power-constrained tuning, Haswell (normalized by oracle)",
     );
     let settings = settings_from_env();
-    let results = power_constrained::run(&haswell(), &settings);
+    let sweep_threads = sweep_threads_from_env();
+    let results = power_constrained::run_with(&haswell(), &settings, sweep_threads);
     println!("{}", results.render());
     if let Ok(path) = write_json("fig2_haswell_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3: power-constrained tuning on the Skylake testbed
 //! (normalized speedups per application at 75/100/120/150 W).
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::skylake;
@@ -12,7 +12,8 @@ fn main() {
         "power-constrained tuning, Skylake (normalized by oracle)",
     );
     let settings = settings_from_env();
-    let results = power_constrained::run(&skylake(), &settings);
+    let sweep_threads = sweep_threads_from_env();
+    let results = power_constrained::run_with(&skylake(), &settings, sweep_threads);
     println!("{}", results.render());
     if let Ok(path) = write_json("fig3_skylake_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());

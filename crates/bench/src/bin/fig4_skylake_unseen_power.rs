@@ -1,7 +1,7 @@
 //! Regenerates Figure 4: generalization to unseen power constraints on
 //! Skylake (train without the 75 W / 150 W measurements, predict for them).
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::unseen_power;
 use pnp_core::report::write_json;
 use pnp_machine::skylake;
@@ -9,7 +9,8 @@ use pnp_machine::skylake;
 fn main() {
     banner("Figure 4", "unseen power constraints, Skylake");
     let settings = settings_from_env();
-    let results = unseen_power::run(&skylake(), &settings);
+    let sweep_threads = sweep_threads_from_env();
+    let results = unseen_power::run_with(&skylake(), &settings, sweep_threads);
     println!("{}", results.render());
     if let Ok(path) = write_json("fig4_skylake_unseen_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: normalized EDP improvement over the default OpenMP
 //! configuration at TDP, per application, on both testbeds.
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::edp;
 use pnp_core::report::write_json;
 use pnp_machine::{haswell, skylake};
@@ -12,8 +12,9 @@ fn main() {
         "EDP tuning — normalized EDP improvements (both machines)",
     );
     let settings = settings_from_env();
+    let sweep_threads = sweep_threads_from_env();
     for machine in [skylake(), haswell()] {
-        let results = edp::run(&machine, &settings);
+        let results = edp::run_with(&machine, &settings, sweep_threads);
         println!("{}", results.render());
         let name = format!("fig6_edp_{}", machine.name);
         if let Ok(path) = write_json(&name, &results) {

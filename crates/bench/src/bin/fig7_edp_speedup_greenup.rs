@@ -4,7 +4,7 @@
 //! Reads the JSON produced by `fig6_edp` when available (the two figures come
 //! from the same experiment); otherwise re-runs the experiment.
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::edp::{self, EdpResults};
 use pnp_core::report::{write_json, TextTable};
 use pnp_machine::{haswell, skylake};
@@ -24,13 +24,14 @@ fn main() {
         "EDP tuning — speedups and greenups over default @ TDP",
     );
     let settings = settings_from_env();
+    let sweep_threads = sweep_threads_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {
             eprintln!(
                 "[pnp-bench] no cached fig6 results for {}, re-running",
                 machine.name
             );
-            edp::run(&machine, &settings)
+            edp::run_with(&machine, &settings, sweep_threads)
         });
         println!("\n--- {} ---", machine.name);
         let hdr = [

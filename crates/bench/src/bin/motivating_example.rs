@@ -1,7 +1,7 @@
 //! Regenerates the Section I motivating example: exhaustive exploration of
 //! the LULESH boundary-condition region on Haswell.
 
-use pnp_bench::banner;
+use pnp_bench::{banner, sweep_threads_from_env};
 use pnp_core::experiments::motivating;
 use pnp_core::report::write_json;
 
@@ -10,7 +10,7 @@ fn main() {
         "Motivating example (Section I)",
         "LULESH ApplyAccelerationBoundaryConditionsForNodes on Haswell",
     );
-    let results = motivating::run();
+    let results = motivating::run_with(sweep_threads_from_env());
     println!("{}", results.render());
     if let Ok(path) = write_json("motivating_example", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());

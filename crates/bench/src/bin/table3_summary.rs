@@ -2,7 +2,7 @@
 //! per-power geometric-mean speedups and oracle-proximity statistics for both
 //! machines, reusing the JSON written by the Figure 2/3 binaries when present.
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::power_constrained::{self, PowerConstrainedResults};
 use pnp_core::report::TextTable;
 use pnp_machine::{haswell, skylake};
@@ -21,6 +21,7 @@ fn main() {
         "geomean speedups per power cap and oracle proximity",
     );
     let settings = settings_from_env();
+    let sweep_threads = sweep_threads_from_env();
     let runs = [
         ("fig2_haswell_power", haswell()),
         ("fig3_skylake_power", skylake()),
@@ -30,7 +31,7 @@ fn main() {
             eprintln!(
                 "[pnp-bench] no cached {cache}, re-running (use fig2/fig3 binaries to cache)"
             );
-            power_constrained::run(&machine, &settings)
+            power_constrained::run_with(&machine, &settings, sweep_threads)
         });
         println!("\n--- {} ---", results.machine);
         let mut t = TextTable::new(&[

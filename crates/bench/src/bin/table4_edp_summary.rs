@@ -2,7 +2,7 @@
 //! geometric-mean EDP improvement, speedup, and greenup over the default
 //! configuration at TDP for both machines.
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::edp::{self, EdpResults};
 use pnp_core::report::TextTable;
 use pnp_machine::{haswell, skylake};
@@ -18,13 +18,14 @@ fn load_cached(machine: &str) -> Option<EdpResults> {
 fn main() {
     banner("Section IV-C summary", "EDP tuning headline numbers");
     let settings = settings_from_env();
+    let sweep_threads = sweep_threads_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {
             eprintln!(
                 "[pnp-bench] no cached fig6 results for {}, re-running",
                 machine.name
             );
-            edp::run(&machine, &settings)
+            edp::run_with(&machine, &settings, sweep_threads)
         });
         println!("\n--- {} ---", results.machine);
         let mut t = TextTable::new(&["metric", "pnp_static", "pnp_dynamic", "bliss", "opentuner"]);

@@ -2,7 +2,7 @@
 //! Haswell-trained GNN layers on Skylake and retraining only the dense
 //! classifier (paper: ≈ 4.18× faster training / 76 % less training time).
 
-use pnp_bench::{banner, settings_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
 use pnp_core::experiments::transfer;
 use pnp_core::report::write_json;
 
@@ -12,7 +12,8 @@ fn main() {
         "Haswell GNN reused on Skylake",
     );
     let settings = settings_from_env();
-    let results = transfer::run(&settings);
+    let sweep_threads = sweep_threads_from_env();
+    let results = transfer::run_with(&settings, sweep_threads);
     println!("{}", results.render());
     if let Ok(path) = write_json("transfer_learning", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());

@@ -15,6 +15,8 @@
 //!
 //! This library crate only hosts small helpers shared by the binaries.
 
+use pnp_openmp::Threads;
+
 use pnp_core::training::TrainSettings;
 
 /// Resolves the training settings from the environment (`PNP_FULL=1` for the
@@ -33,6 +35,37 @@ pub fn settings_from_env() -> TrainSettings {
     settings
 }
 
+/// Resolves the exhaustive-sweep worker count shared by every experiment
+/// binary: a `--sweep-threads N` (or `--sweep-threads=N`) CLI argument wins,
+/// then the `PNP_SWEEP_THREADS` environment variable, then auto (one worker
+/// per available core). Prints the active setting so experiment logs record
+/// how the dataset was built. The dataset itself is bit-identical for every
+/// value — the knob only changes wall-clock time.
+pub fn sweep_threads_from_env() -> Threads {
+    let threads = sweep_threads_from(std::env::args().skip(1), Threads::from_env());
+    eprintln!("[pnp-bench] sweep workers: {threads}");
+    threads
+}
+
+/// Pure core of [`sweep_threads_from_env`]: picks the knob out of an
+/// argument list, falling back to `fallback` (unparseable values also fall
+/// back rather than aborting a long experiment).
+fn sweep_threads_from(args: impl Iterator<Item = String>, fallback: Threads) -> Threads {
+    let args: Vec<String> = args.collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--sweep-threads=") {
+            return Threads::parse(v).unwrap_or(fallback);
+        }
+        if arg == "--sweep-threads" {
+            return args
+                .get(i + 1)
+                .and_then(|v| Threads::parse(v))
+                .unwrap_or(fallback);
+        }
+    }
+    fallback
+}
+
 /// Prints a standard header naming the figure/table being regenerated.
 pub fn banner(artefact: &str, description: &str) {
     println!("==============================================================");
@@ -49,5 +82,37 @@ mod tests {
         std::env::remove_var("PNP_FULL");
         let s = settings_from_env();
         assert!(s.folds < 30);
+    }
+
+    #[test]
+    fn sweep_threads_cli_forms_are_accepted() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            sweep_threads_from(args(&["--sweep-threads", "4"]).into_iter(), Threads::Auto),
+            Threads::Fixed(4)
+        );
+        assert_eq!(
+            sweep_threads_from(args(&["--sweep-threads=2"]).into_iter(), Threads::Auto),
+            Threads::Fixed(2)
+        );
+        assert_eq!(
+            sweep_threads_from(
+                args(&["--sweep-threads=auto"]).into_iter(),
+                Threads::Fixed(3)
+            ),
+            Threads::Auto
+        );
+        // No flag, or an unparseable value: the fallback wins.
+        assert_eq!(
+            sweep_threads_from(args(&["--other"]).into_iter(), Threads::Fixed(8)),
+            Threads::Fixed(8)
+        );
+        assert_eq!(
+            sweep_threads_from(
+                args(&["--sweep-threads", "lots"]).into_iter(),
+                Threads::Auto
+            ),
+            Threads::Auto
+        );
     }
 }

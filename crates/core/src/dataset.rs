@@ -5,12 +5,12 @@ use pnp_benchmarks::Application;
 use pnp_graph::{EncodedGraph, Vocabulary};
 use pnp_machine::{CounterSet, EnergySample, MachineSpec, PowerModel};
 use pnp_openmp::sim::simulate_region_with_model;
-use pnp_openmp::{OmpConfig, RegionProfile};
+use pnp_openmp::{parallel_map_indexed, OmpConfig, RegionProfile, Threads};
 use pnp_tuners::{ConfigPoint, SearchSpace};
 use serde::Serialize;
 
 /// One region of the dataset: identification, static features, and profile.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct RegionRecord {
     /// Application the region belongs to (the LOOCV group).
     pub app: String,
@@ -82,7 +82,7 @@ fn argmin<I: Iterator<Item = f64>>(values: I) -> usize {
 }
 
 /// The full dataset for one machine.
-#[derive(Debug)]
+#[derive(Debug, Serialize)]
 pub struct Dataset {
     /// The machine the sweep was performed on.
     pub machine: MachineSpec,
@@ -94,60 +94,114 @@ pub struct Dataset {
     pub sweeps: Vec<Sweep>,
 }
 
+/// The serial (per-region) unit of work of [`Dataset::build`]: one region's
+/// full `(power level, OpenMP configuration)` grid plus its graph encoding.
+struct RegionJob {
+    app: String,
+    region: String,
+    graph: pnp_graph::CodeGraph,
+    profile: RegionProfile,
+}
+
+impl RegionJob {
+    fn run(
+        &self,
+        machine: &MachineSpec,
+        power_model: &PowerModel,
+        space: &SearchSpace,
+        omp_configs: &[OmpConfig],
+        vocab: &Vocabulary,
+    ) -> (RegionRecord, Sweep) {
+        let mut samples = Vec::with_capacity(space.power_levels.len());
+        let mut default_samples = Vec::with_capacity(space.power_levels.len());
+        let mut default_counters = Vec::with_capacity(space.power_levels.len());
+        for &power in &space.power_levels {
+            let row: Vec<EnergySample> = omp_configs
+                .iter()
+                .map(|omp| {
+                    simulate_region_with_model(machine, power_model, &self.profile, omp, power)
+                        .sample()
+                })
+                .collect();
+            let default_run = simulate_region_with_model(
+                machine,
+                power_model,
+                &self.profile,
+                &space.default_config,
+                power,
+            );
+            default_samples.push(default_run.sample());
+            default_counters.push(default_run.counters);
+            samples.push(row);
+        }
+        (
+            RegionRecord {
+                app: self.app.clone(),
+                region: self.region.clone(),
+                graph: EncodedGraph::encode(&self.graph, vocab),
+                profile: self.profile.clone(),
+            },
+            Sweep {
+                samples,
+                default_samples,
+                default_counters,
+            },
+        )
+    }
+}
+
 impl Dataset {
     /// Builds the dataset: encodes every region's code graph and sweeps every
     /// `(power level, OpenMP configuration)` point through the execution
     /// model.
+    ///
+    /// Worker count comes from the `PNP_SWEEP_THREADS` environment variable
+    /// (see [`Threads::from_env`]); use [`Dataset::build_with_threads`] to
+    /// set it explicitly. The result is bit-identical for every worker
+    /// count.
     pub fn build(machine: &MachineSpec, apps: &[Application], vocab: &Vocabulary) -> Dataset {
+        Dataset::build_with_threads(machine, apps, vocab, Threads::from_env())
+    }
+
+    /// Builds the dataset with an explicit worker count, fanning the
+    /// per-region sweeps out over [`pnp_openmp::parallel_map_indexed`].
+    ///
+    /// Each region's `(power level, OpenMP configuration)` grid is one
+    /// independent job; results are written back by region index, so
+    /// `regions`/`sweeps` keep suite order and the dataset is bit-identical
+    /// regardless of `threads` (DESIGN.md §9 explains why that determinism
+    /// is a hard requirement for LOOCV reproducibility).
+    pub fn build_with_threads(
+        machine: &MachineSpec,
+        apps: &[Application],
+        vocab: &Vocabulary,
+        threads: Threads,
+    ) -> Dataset {
         let space = SearchSpace::for_machine(machine);
         let power_model = PowerModel::for_machine(machine);
         let omp_configs = space.omp_configs();
-        let mut regions = Vec::new();
-        let mut sweeps = Vec::new();
 
+        // Serial, cheap prologue: lower every region to its code graph and
+        // collect the independent jobs in suite order.
+        let mut jobs = Vec::new();
         for app in apps {
             let graphs = app.region_graphs();
             for ((region_name, graph), bench) in graphs.into_iter().zip(&app.regions) {
-                let graph = EncodedGraph::encode(&graph, vocab);
-                let profile = bench.profile.clone();
-
-                let mut samples = Vec::with_capacity(space.power_levels.len());
-                let mut default_samples = Vec::with_capacity(space.power_levels.len());
-                let mut default_counters = Vec::with_capacity(space.power_levels.len());
-                for &power in &space.power_levels {
-                    let row: Vec<EnergySample> = omp_configs
-                        .iter()
-                        .map(|omp| {
-                            simulate_region_with_model(machine, &power_model, &profile, omp, power)
-                                .sample()
-                        })
-                        .collect();
-                    let default_run = simulate_region_with_model(
-                        machine,
-                        &power_model,
-                        &profile,
-                        &space.default_config,
-                        power,
-                    );
-                    default_samples.push(default_run.sample());
-                    default_counters.push(default_run.counters);
-                    samples.push(row);
-                }
-
-                regions.push(RegionRecord {
+                debug_assert_eq!(region_name, bench.source.name);
+                jobs.push(RegionJob {
                     app: app.name.clone(),
                     region: bench.source.name.clone(),
                     graph,
-                    profile,
-                });
-                debug_assert_eq!(region_name, regions.last().unwrap().region);
-                sweeps.push(Sweep {
-                    samples,
-                    default_samples,
-                    default_counters,
+                    profile: bench.profile.clone(),
                 });
             }
         }
+
+        // Parallel fan-out: job `i` produces exactly slot `i` of the output.
+        let results = parallel_map_indexed(jobs.len(), threads, |i| {
+            jobs[i].run(machine, &power_model, &space, &omp_configs, vocab)
+        });
+        let (regions, sweeps) = results.into_iter().unzip();
 
         Dataset {
             machine: machine.clone(),
@@ -227,6 +281,23 @@ mod tests {
                 ],
             ),
         ]
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_the_serial_build() {
+        let machine = haswell();
+        let apps = tiny_apps();
+        let vocab = Vocabulary::standard();
+        let serial = Dataset::build_with_threads(&machine, &apps, &vocab, Threads::Fixed(1));
+        let baseline = serde_json::to_string(&serial).expect("serializable");
+        for workers in [2usize, 4] {
+            let par = Dataset::build_with_threads(&machine, &apps, &vocab, Threads::Fixed(workers));
+            assert_eq!(
+                serde_json::to_string(&par).unwrap(),
+                baseline,
+                "dataset differs at {workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -98,9 +98,20 @@ fn train_variant(ds: &Dataset, settings: &TrainSettings, relational: bool, sum_p
     report.final_train_accuracy as f64
 }
 
-/// Runs all ablations on one machine's dataset.
+/// Runs all ablations on one machine's dataset (sweep worker count from the
+/// environment; see [`run_with`]).
 pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> AblationResults {
-    let ds = super::build_full_dataset(machine);
+    run_with(machine, settings, pnp_openmp::Threads::from_env())
+}
+
+/// Runs all ablations, building the dataset with an explicit sweep worker
+/// count.
+pub fn run_with(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+) -> AblationResults {
+    let ds = super::build_full_dataset_with(machine, sweep_threads);
     run_on_dataset(&ds, settings)
 }
 

@@ -25,12 +25,20 @@ pub mod unseen_power;
 use pnp_benchmarks::full_suite;
 use pnp_graph::Vocabulary;
 use pnp_machine::MachineSpec;
+use pnp_openmp::Threads;
 
 use crate::dataset::Dataset;
 
 /// Builds the full-suite dataset for a machine (the expensive exhaustive
-/// sweep shared by several experiments).
+/// sweep shared by several experiments), with the worker count resolved from
+/// the `PNP_SWEEP_THREADS` environment variable.
 pub fn build_full_dataset(machine: &MachineSpec) -> Dataset {
+    build_full_dataset_with(machine, Threads::from_env())
+}
+
+/// Builds the full-suite dataset with an explicit sweep worker count (the
+/// knob every `pnp-bench` binary threads through from its CLI/environment).
+pub fn build_full_dataset_with(machine: &MachineSpec, sweep_threads: Threads) -> Dataset {
     let apps = full_suite();
-    Dataset::build(machine, &apps, &Vocabulary::standard())
+    Dataset::build_with_threads(machine, &apps, &Vocabulary::standard(), sweep_threads)
 }

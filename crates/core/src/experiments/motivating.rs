@@ -67,8 +67,16 @@ impl MotivatingResults {
     }
 }
 
-/// Runs the motivating-example sweep.
+/// Runs the motivating-example sweep (sweep worker count from the
+/// environment; see [`run_with`]).
 pub fn run() -> MotivatingResults {
+    run_with(pnp_openmp::Threads::from_env())
+}
+
+/// Runs the motivating-example sweep with an explicit worker count. The
+/// dataset is a single region, so the fan-out is a formality — the knob is
+/// threaded through for uniformity with the other drivers.
+pub fn run_with(sweep_threads: pnp_openmp::Threads) -> MotivatingResults {
     let machine = haswell();
     let lulesh_app = lulesh::app();
     let region_idx = lulesh_app
@@ -77,7 +85,8 @@ pub fn run() -> MotivatingResults {
         .position(|r| r.name() == lulesh::MOTIVATING_REGION)
         .expect("motivating region exists");
     let single = Application::new("LULESH", vec![lulesh_app.regions[region_idx].clone()]);
-    let ds = Dataset::build(&machine, &[single], &Vocabulary::standard());
+    let ds =
+        Dataset::build_with_threads(&machine, &[single], &Vocabulary::standard(), sweep_threads);
     let sweep = &ds.sweeps[0];
     let tdp_idx = ds.space.power_levels.len() - 1;
     let baseline_tdp = sweep.default_samples[tdp_idx];

@@ -126,9 +126,20 @@ impl PowerConstrainedResults {
     }
 }
 
-/// Runs the experiment on a machine.
+/// Runs the experiment on a machine (sweep worker count from the
+/// environment; see [`run_with`]).
 pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> PowerConstrainedResults {
-    let ds = super::build_full_dataset(machine);
+    run_with(machine, settings, pnp_openmp::Threads::from_env())
+}
+
+/// Runs the experiment, building the dataset with an explicit sweep worker
+/// count.
+pub fn run_with(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+) -> PowerConstrainedResults {
+    let ds = super::build_full_dataset_with(machine, sweep_threads);
     run_on_dataset(&ds, settings)
 }
 

@@ -60,10 +60,17 @@ impl TransferResults {
 }
 
 /// Runs the transfer-learning experiment (Haswell → Skylake) at the highest
-/// power level.
+/// power level. Sweep worker count comes from the environment; see
+/// [`run_with`].
 pub fn run(settings: &TrainSettings) -> TransferResults {
-    let ds_haswell = super::build_full_dataset(&haswell());
-    let ds_skylake = super::build_full_dataset(&skylake());
+    run_with(settings, pnp_openmp::Threads::from_env())
+}
+
+/// Runs the transfer-learning experiment, building both datasets with an
+/// explicit sweep worker count.
+pub fn run_with(settings: &TrainSettings, sweep_threads: pnp_openmp::Threads) -> TransferResults {
+    let ds_haswell = super::build_full_dataset_with(&haswell(), sweep_threads);
+    let ds_skylake = super::build_full_dataset_with(&skylake(), sweep_threads);
     let power_idx = ds_haswell.space.power_levels.len() - 1;
     transfer_experiment(&ds_haswell, &ds_skylake, settings, power_idx).into()
 }

@@ -72,9 +72,20 @@ impl UnseenPowerResults {
 }
 
 /// Runs the unseen-power experiment for a machine (holds out the lowest and
-/// the highest cap, as in the paper).
+/// the highest cap, as in the paper). Sweep worker count comes from the
+/// environment; see [`run_with`].
 pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> UnseenPowerResults {
-    let ds = super::build_full_dataset(machine);
+    run_with(machine, settings, pnp_openmp::Threads::from_env())
+}
+
+/// Runs the unseen-power experiment, building the dataset with an explicit
+/// sweep worker count.
+pub fn run_with(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+) -> UnseenPowerResults {
+    let ds = super::build_full_dataset_with(machine, sweep_threads);
     run_on_dataset(&ds, settings)
 }
 

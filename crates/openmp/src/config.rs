@@ -33,6 +33,14 @@ impl fmt::Display for Schedule {
 }
 
 /// One OpenMP runtime configuration: the triple the tuner selects.
+///
+/// The fields are public, so degenerate values ([`OmpConfig::new`] would
+/// reject, e.g. `threads == 0`) can still be constructed via struct literal
+/// or deserialization. Every consumer therefore goes through the explicit
+/// clamping accessors — [`OmpConfig::effective_threads`] and
+/// [`OmpConfig::effective_chunk`] — rather than reading the raw fields:
+/// a degenerate configuration executes as the nearest meaningful one, it
+/// never panics and never under- or over-runs the iteration space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OmpConfig {
     /// `OMP_NUM_THREADS`.
@@ -58,10 +66,31 @@ impl OmpConfig {
         }
     }
 
+    /// The team size actually used for a loop with `iterations` iterations.
+    ///
+    /// Clamping rules (the executor and the analytic model share them):
+    ///
+    /// * never 0 — a degenerate `threads == 0` runs with one thread;
+    /// * never more than `iterations` — a team member without at least one
+    ///   iteration would only add fork/join cost;
+    /// * for an empty iteration space the answer is 1 by convention (callers
+    ///   skip launching a team entirely in that case).
+    pub fn effective_threads(&self, iterations: usize) -> usize {
+        self.threads.max(1).min(iterations.max(1))
+    }
+
     /// The effective chunk size for a loop with `iterations` iterations.
+    ///
+    /// Clamping rules:
+    ///
+    /// * never 0 — a degenerate `chunk == Some(0)` behaves as chunk 1;
+    /// * never larger than the iteration space — a request beyond the trip
+    ///   count degenerates to a single chunk covering the whole loop;
+    /// * `None` resolves to the implementation default: `iterations ÷
+    ///   threads` (rounded up) for static, 1 for dynamic/guided.
     pub fn effective_chunk(&self, iterations: usize) -> usize {
         match (self.chunk, self.schedule) {
-            (Some(c), _) => c.max(1),
+            (Some(c), _) => c.max(1).min(iterations.max(1)),
             (None, Schedule::Static) => iterations.div_ceil(self.threads.max(1)).max(1),
             (None, _) => 1,
         }
@@ -118,6 +147,42 @@ mod tests {
         assert_eq!(d.effective_chunk(800), 1);
         let g = OmpConfig::new(8, Schedule::Guided, Some(32));
         assert_eq!(g.effective_chunk(800), 32);
+    }
+
+    #[test]
+    fn oversized_chunk_clamps_to_the_iteration_space() {
+        let c = OmpConfig::new(4, Schedule::Dynamic, Some(5000));
+        assert_eq!(c.effective_chunk(100), 100);
+        assert_eq!(c.effective_chunk(5000), 5000);
+        // Empty loop: the conventional answer is 1, never 0.
+        assert_eq!(c.effective_chunk(0), 1);
+    }
+
+    #[test]
+    fn degenerate_configs_clamp_instead_of_misbehaving() {
+        // `OmpConfig::new` rejects these, but the public fields allow them.
+        let zero_threads = OmpConfig {
+            threads: 0,
+            schedule: Schedule::Static,
+            chunk: None,
+        };
+        assert_eq!(zero_threads.effective_threads(100), 1);
+        assert_eq!(zero_threads.effective_chunk(100), 100);
+        let zero_chunk = OmpConfig {
+            threads: 4,
+            schedule: Schedule::Dynamic,
+            chunk: Some(0),
+        };
+        assert_eq!(zero_chunk.effective_chunk(100), 1);
+    }
+
+    #[test]
+    fn effective_threads_never_exceeds_the_iteration_space() {
+        let c = OmpConfig::new(8, Schedule::Static, None);
+        assert_eq!(c.effective_threads(3), 3);
+        assert_eq!(c.effective_threads(8), 8);
+        assert_eq!(c.effective_threads(800), 8);
+        assert_eq!(c.effective_threads(0), 1);
     }
 
     #[test]

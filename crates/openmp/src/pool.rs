@@ -34,6 +34,13 @@ impl ThreadPool {
 
     /// Runs `body(i)` for every `i` in `0..iterations`, in parallel, using
     /// the configured schedule.
+    ///
+    /// Degenerate configurations are clamped, never rejected: the team size
+    /// follows [`OmpConfig::effective_threads`] (so `threads == 0` runs
+    /// serially and a team never outnumbers the iterations) and chunk sizes
+    /// beyond the iteration space collapse to a single chunk (see
+    /// [`OmpConfig::effective_chunk`]). Every iteration executes exactly once
+    /// regardless.
     pub fn parallel_for<F>(&self, iterations: usize, body: F)
     where
         F: Fn(usize) + Sync,
@@ -41,7 +48,7 @@ impl ThreadPool {
         if iterations == 0 {
             return;
         }
-        let threads = self.config.threads.min(iterations).max(1);
+        let threads = self.config.effective_threads(iterations);
         let chunks = chunks_for(iterations, &self.config);
 
         match self.config.schedule {
@@ -81,6 +88,9 @@ impl ThreadPool {
     }
 
     /// Parallel sum reduction: computes `Σ body(i)` over `0..iterations`.
+    ///
+    /// Applies the same degenerate-configuration clamping as
+    /// [`ThreadPool::parallel_for`].
     pub fn parallel_reduce_sum<F>(&self, iterations: usize, body: F) -> f64
     where
         F: Fn(usize) -> f64 + Sync,
@@ -88,7 +98,7 @@ impl ThreadPool {
         if iterations == 0 {
             return 0.0;
         }
-        let threads = self.config.threads.min(iterations).max(1);
+        let threads = self.config.effective_threads(iterations);
         let chunks = chunks_for(iterations, &self.config);
         let partials: Vec<f64> = match self.config.schedule {
             Schedule::Static => {
@@ -208,6 +218,54 @@ mod tests {
             ids.lock().unwrap().len() > 1,
             "expected more than one worker thread"
         );
+    }
+
+    #[test]
+    fn zero_thread_config_runs_serially_and_completely() {
+        // Constructible via struct literal even though `new` rejects it.
+        let config = OmpConfig {
+            threads: 0,
+            schedule: Schedule::Static,
+            chunk: None,
+        };
+        let n = 100;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let workers = Mutex::new(HashSet::new());
+        ThreadPool::new(config).parallel_for(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            workers.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(workers.lock().unwrap().len(), 1, "clamped to one worker");
+    }
+
+    #[test]
+    fn chunk_larger_than_iteration_space_still_covers_it_once() {
+        for schedule in Schedule::all() {
+            let config = OmpConfig::new(4, schedule, Some(1_000_000));
+            let n = 37;
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ThreadPool::new(config).parallel_for(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{schedule:?}"
+            );
+            let sum = ThreadPool::new(config).parallel_reduce_sum(n, |i| i as f64);
+            assert_eq!(sum, (0..n).sum::<usize>() as f64, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_iterations_clamps_to_the_iteration_count() {
+        let config = OmpConfig::new(64, Schedule::Dynamic, Some(1));
+        let n = 3;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        ThreadPool::new(config).parallel_for(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

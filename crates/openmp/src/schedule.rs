@@ -27,6 +27,12 @@ pub struct Chunk {
 
 /// Decomposes `iterations` into chunks according to the configuration, in the
 /// order the runtime would hand them out.
+///
+/// Degenerate configurations follow the clamping rules of
+/// [`OmpConfig::effective_chunk`]: a chunk size beyond the iteration space
+/// yields a single chunk covering the whole loop, and `threads == 0` is
+/// treated as one thread. The produced chunks always partition
+/// `0..iterations` exactly.
 pub fn chunks_for(iterations: usize, config: &OmpConfig) -> Vec<Chunk> {
     let mut chunks = Vec::new();
     if iterations == 0 {
@@ -61,6 +67,7 @@ pub fn chunks_for(iterations: usize, config: &OmpConfig) -> Vec<Chunk> {
 
 /// Static round-robin binding of chunks to threads: chunk `k` goes to thread
 /// `k mod threads` (this is what `schedule(static, chunk)` specifies).
+/// `threads == 0` is clamped to a single-thread team.
 pub fn static_assignment(chunks: &[Chunk], threads: usize) -> Vec<Vec<Chunk>> {
     let mut per_thread = vec![Vec::new(); threads.max(1)];
     for (k, c) in chunks.iter().enumerate() {
@@ -195,6 +202,24 @@ mod tests {
         assert_eq!(chunks.len(), 8);
         let assignment = static_assignment(&chunks, 8);
         assert!(assignment.iter().all(|cs| cs.len() == 1));
+    }
+
+    #[test]
+    fn oversized_chunk_degenerates_to_a_single_chunk() {
+        for schedule in Schedule::all() {
+            let config = cfg(4, schedule, Some(10_000));
+            let chunks = chunks_for(100, &config);
+            assert_eq!(chunks, vec![Chunk { start: 0, len: 100 }], "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_assignment_clamps_to_one_bucket() {
+        let chunks = chunks_for(100, &cfg(4, Schedule::Static, Some(10)));
+        let assignment = static_assignment(&chunks, 0);
+        assert_eq!(assignment.len(), 1);
+        let total: usize = assignment[0].iter().map(|c| c.len).sum();
+        assert_eq!(total, 100);
     }
 
     #[test]

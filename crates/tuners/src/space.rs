@@ -18,7 +18,7 @@ pub struct ConfigPoint {
 }
 
 /// The machine-specific search space (Table I).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SearchSpace {
     /// Power cap levels (4 per machine).
     pub power_levels: Vec<f64>,

@@ -6,7 +6,7 @@
 //! cargo run --release --example openmp_executor
 //! ```
 
-use pnp_openmp::{OmpConfig, Schedule, ThreadPool};
+use pnp_openmp::{parallel_map_indexed, OmpConfig, Schedule, ThreadPool, Threads};
 use std::time::Instant;
 
 /// A deliberately imbalanced workload: later iterations do more work, like
@@ -50,6 +50,14 @@ fn main() {
             );
         }
     }
+
+    // The same executor also powers the data-parallel layer used by the
+    // exhaustive dataset sweep: an order-preserving map whose output does not
+    // depend on the worker count.
+    let mapped = parallel_map_indexed(8, Threads::Auto, |i| work(i * 1000));
+    let expected: Vec<f64> = (0..8).map(|i| work(i * 1000)).collect();
+    assert_eq!(mapped, expected);
+    println!("\nparallel_map over 8 jobs matches the serial map, in order.");
 
     println!("\nNote: on an imbalanced loop like this, dynamic/guided schedules");
     println!("with a moderate chunk size usually beat the static default —");

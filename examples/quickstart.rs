@@ -15,7 +15,7 @@ use pnp_core::training::TrainSettings;
 use pnp_graph::{EncodedGraph, GraphFeatures, Vocabulary};
 use pnp_ir::lower_kernel;
 use pnp_machine::haswell;
-use pnp_openmp::simulate_region;
+use pnp_openmp::{simulate_region, Threads};
 
 fn main() {
     run();
@@ -43,11 +43,22 @@ fn run() {
     //    on the simulated Haswell testbed) and train the static PnP tuner for
     //    the 40 W power cap.
     let machine = haswell();
+    // The sweep fans out one job per region over the in-tree OpenMP executor.
+    // `Threads::from_env` reads `PNP_SWEEP_THREADS` (default: one worker per
+    // available core) — the same knob `Dataset::build` resolves internally.
+    // The dataset bytes are identical for any worker count.
+    let sweep_threads = Threads::from_env();
     println!(
-        "building dataset on {} (this sweeps 68 regions x 504 configs)...",
-        machine.name
+        "building dataset on {} (68 regions x 504 configs, {} sweep workers)...",
+        machine.name,
+        sweep_threads.resolve()
     );
-    let dataset = Dataset::build(&machine, &full_suite(), &Vocabulary::standard());
+    let dataset = Dataset::build_with_threads(
+        &machine,
+        &full_suite(),
+        &Vocabulary::standard(),
+        sweep_threads,
+    );
     let settings = TrainSettings::quick();
     println!("training the PnP tuner ({} epochs)...", settings.epochs);
     let mut tuner = PnPTuner::train(

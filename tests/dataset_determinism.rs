@@ -1,0 +1,73 @@
+//! Determinism suite for the parallel exhaustive sweep.
+//!
+//! `Dataset::build` fans the per-region `(power, OpenMP config)` grids out
+//! across worker threads (DESIGN.md §9); these tests pin down the property
+//! that makes that safe to rely on: the dataset is **bit-identical for every
+//! worker count**. LOOCV folds, class priors, and every paper figure are
+//! derived from the sweep, so even a one-ULP wobble between two runs would
+//! make experiments irreproducible across machines with different core
+//! counts.
+
+use pnp::benchmarks::full_suite;
+use pnp::core::dataset::Dataset;
+use pnp::graph::Vocabulary;
+use pnp::machine::{haswell, skylake};
+use pnp::openmp::Threads;
+
+/// The full default app list, serialized with the vendored `serde_json`,
+/// must be byte-equal across 1, 2, and 8 worker threads.
+#[test]
+fn full_suite_dataset_is_bit_equal_across_worker_counts() {
+    let machine = haswell();
+    let apps = full_suite();
+    let vocab = Vocabulary::standard();
+    let baseline = serde_json::to_string(&Dataset::build_with_threads(
+        &machine,
+        &apps,
+        &vocab,
+        Threads::Fixed(1),
+    ))
+    .expect("dataset serializes");
+    for workers in [2usize, 8] {
+        let ds = Dataset::build_with_threads(&machine, &apps, &vocab, Threads::Fixed(workers));
+        assert_eq!(
+            serde_json::to_string(&ds).unwrap(),
+            baseline,
+            "full-suite dataset differs between 1 and {workers} worker threads"
+        );
+    }
+}
+
+/// Region order is the suite order, independent of which worker finished
+/// first — the indexed write-back must preserve it.
+#[test]
+fn region_order_matches_suite_order() {
+    let apps = full_suite();
+    let expected: Vec<(String, String)> = apps
+        .iter()
+        .flat_map(|app| {
+            app.regions
+                .iter()
+                .map(|r| (app.name.clone(), r.name().to_string()))
+        })
+        .collect();
+    let ds = Dataset::build_with_threads(
+        &skylake(),
+        &apps,
+        &Vocabulary::standard(),
+        Threads::Fixed(8),
+    );
+    let got: Vec<(String, String)> = ds
+        .regions
+        .iter()
+        .map(|r| (r.app.clone(), r.region.clone()))
+        .collect();
+    assert_eq!(got, expected);
+}
+
+// The `PNP_SWEEP_THREADS` env knob (resolution, worker-count effect on the
+// underlying `parallel_map_indexed`, and the env-resolving `Dataset::build`
+// entry point) is exercised by `tests/sweep_env_knob.rs`, a single-test
+// binary: output bytes cannot distinguish worker counts here (that identity
+// is the point of this suite), and mutating the process environment from a
+// multi-test binary would race with the concurrent test harness threads.
