@@ -1,0 +1,37 @@
+//! Criterion bench: the LOOCV training fan-out at different worker counts.
+//!
+//! Uses a small application subset and a reduced epoch budget so the bench
+//! converges quickly; the `bench_loocv_train` binary covers the realistic
+//! configuration and emits the machine-readable perf-trajectory JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnp_benchmarks::full_suite;
+use pnp_core::dataset::Dataset;
+use pnp_core::training::{train_scenario1_models, TrainSettings};
+use pnp_graph::Vocabulary;
+use pnp_machine::haswell;
+use pnp_openmp::Threads;
+
+fn bench_loocv_train(c: &mut Criterion) {
+    let machine = haswell();
+    let mut apps = full_suite();
+    apps.truncate(3);
+    let ds = Dataset::build_with_threads(&machine, &apps, &Vocabulary::standard(), Threads::Auto);
+    let mut settings = TrainSettings::quick();
+    settings.epochs = 4;
+    settings.folds = 3;
+
+    let mut group = c.benchmark_group("loocv_train");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        settings.train_threads = Threads::Fixed(workers);
+        let settings = settings.clone();
+        group.bench_function(format!("scenario1_{workers}_workers"), |b| {
+            b.iter(|| train_scenario1_models(&ds, &settings, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loocv_train);
+criterion_main!(benches);

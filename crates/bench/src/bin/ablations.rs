@@ -1,7 +1,7 @@
 //! Runs the design-choice ablations listed in DESIGN.md §6: RGCN vs. plain
 //! GCN, mean vs. sum readout pooling, and BLISS budget sensitivity.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::ablations;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
@@ -11,7 +11,8 @@ fn main() {
         "Ablations",
         "RGCN vs GCN, readout pooling, BLISS budget sensitivity (Haswell)",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = ablations::run_with(&haswell(), &settings, sweep_threads);
     println!("{}", results.render());

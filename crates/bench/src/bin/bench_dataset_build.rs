@@ -19,11 +19,10 @@
 //! with a warning when the host has fewer than `T` cores, where the speedup
 //! physically cannot materialize.
 
-use pnp_bench::banner;
+use pnp_bench::{banner, enforce_min_speedup, PerfHarnessOptions};
 use pnp_benchmarks::full_suite;
 use pnp_core::dataset::Dataset;
 use pnp_graph::Vocabulary;
-use pnp_machine::{haswell, skylake, MachineSpec};
 use pnp_openmp::Threads;
 use serde::Serialize;
 use std::time::Instant;
@@ -61,86 +60,12 @@ struct Report {
     runs: Vec<Run>,
 }
 
-struct Options {
-    threads: Vec<usize>,
-    apps: Option<usize>,
-    machine: MachineSpec,
-    repeats: usize,
-    /// `Some((s, t))`: require speedup ≥ `s` at `t` threads (skipped when
-    /// the host has fewer than `t` cores).
-    min_speedup: Option<(f64, usize)>,
-    out: String,
-}
-
-fn parse_options() -> Options {
-    let mut opts = Options {
-        threads: vec![1, 2, 4, 8],
-        apps: None,
-        machine: haswell(),
-        repeats: 1,
-        min_speedup: None,
-        out: "BENCH_dataset_build.json".to_string(),
-    };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("{flag} needs a value"))
-            .clone()
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => {
-                let v = value(&args, i, "--threads");
-                opts.threads = v
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
-                    .collect();
-                i += 2;
-            }
-            "--apps" => {
-                opts.apps = Some(value(&args, i, "--apps").parse().expect("--apps N"));
-                i += 2;
-            }
-            "--machine" => {
-                opts.machine = match value(&args, i, "--machine").as_str() {
-                    "haswell" => haswell(),
-                    "skylake" => skylake(),
-                    other => panic!("unknown machine {other:?} (haswell|skylake)"),
-                };
-                i += 2;
-            }
-            "--repeats" => {
-                opts.repeats = value(&args, i, "--repeats").parse().expect("--repeats N");
-                i += 2;
-            }
-            "--min-speedup" => {
-                let v = value(&args, i, "--min-speedup");
-                let (s, t) = v.split_once(':').expect("--min-speedup S:T, e.g. 2.0:4");
-                opts.min_speedup = Some((
-                    s.parse().expect("--min-speedup: S must be a float"),
-                    t.parse().expect("--min-speedup: T must be a thread count"),
-                ));
-                i += 2;
-            }
-            "--out" => {
-                opts.out = value(&args, i, "--out");
-                i += 2;
-            }
-            other => panic!("unknown argument {other:?}"),
-        }
-    }
-    assert!(!opts.threads.is_empty(), "--threads list must be non-empty");
-    assert!(opts.repeats >= 1, "--repeats must be at least 1");
-    opts
-}
-
 fn main() {
     banner(
         "dataset_build timing",
         "exhaustive sweep wall time per worker count + determinism check",
     );
-    let opts = parse_options();
+    let opts = PerfHarnessOptions::parse("BENCH_dataset_build.json");
     let mut apps = full_suite();
     if let Some(n) = opts.apps {
         apps.truncate(n);
@@ -221,31 +146,15 @@ fn main() {
         std::process::exit(1);
     }
 
-    if let Some((min, at_threads)) = opts.min_speedup {
-        let run = report
-            .runs
-            .iter()
-            .find(|r| r.threads == at_threads)
-            .unwrap_or_else(|| {
-                panic!("--min-speedup references {at_threads} threads, not in --threads list")
-            });
-        if available < at_threads {
-            eprintln!(
-                "[bench_dataset_build] skipping --min-speedup gate: host has {available} core(s), \
-                 {at_threads} are needed for the speedup to materialize"
-            );
-        } else if run.speedup_vs_1t < min {
-            eprintln!(
-                "[bench_dataset_build] FAIL: speedup at {at_threads} threads is {:.2}x, \
-                 required >= {min:.2}x — the parallel fan-out may have degenerated to serial",
-                run.speedup_vs_1t
-            );
-            std::process::exit(1);
-        } else {
-            eprintln!(
-                "[bench_dataset_build] speedup gate passed: {:.2}x >= {min:.2}x at {at_threads} threads",
-                run.speedup_vs_1t
-            );
-        }
-    }
+    let speedups: Vec<(usize, f64)> = report
+        .runs
+        .iter()
+        .map(|r| (r.threads, r.speedup_vs_1t))
+        .collect();
+    enforce_min_speedup(
+        "bench_dataset_build",
+        opts.min_speedup,
+        &speedups,
+        available,
+    );
 }

@@ -2,7 +2,7 @@
 //! (normalized speedups per application at 40/60/70/85 W for the default
 //! configuration, PnP static/dynamic, BLISS, and OpenTuner).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
@@ -12,7 +12,8 @@ fn main() {
         "Figure 2",
         "power-constrained tuning, Haswell (normalized by oracle)",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = power_constrained::run_with(&haswell(), &settings, sweep_threads);
     println!("{}", results.render());

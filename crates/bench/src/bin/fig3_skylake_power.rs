@@ -1,7 +1,7 @@
 //! Regenerates Figure 3: power-constrained tuning on the Skylake testbed
 //! (normalized speedups per application at 75/100/120/150 W).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::skylake;
@@ -11,7 +11,8 @@ fn main() {
         "Figure 3",
         "power-constrained tuning, Skylake (normalized by oracle)",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = power_constrained::run_with(&skylake(), &settings, sweep_threads);
     println!("{}", results.render());

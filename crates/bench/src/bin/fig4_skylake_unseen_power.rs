@@ -1,14 +1,15 @@
 //! Regenerates Figure 4: generalization to unseen power constraints on
 //! Skylake (train without the 75 W / 150 W measurements, predict for them).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::unseen_power;
 use pnp_core::report::write_json;
 use pnp_machine::skylake;
 
 fn main() {
     banner("Figure 4", "unseen power constraints, Skylake");
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = unseen_power::run_with(&skylake(), &settings, sweep_threads);
     println!("{}", results.render());

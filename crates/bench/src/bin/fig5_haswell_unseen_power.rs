@@ -1,14 +1,15 @@
 //! Regenerates Figure 5: generalization to unseen power constraints on
 //! Haswell (train without the 40 W / 85 W measurements, predict for them).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::unseen_power;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
 
 fn main() {
     banner("Figure 5", "unseen power constraints, Haswell");
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = unseen_power::run_with(&haswell(), &settings, sweep_threads);
     println!("{}", results.render());

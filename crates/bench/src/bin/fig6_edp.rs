@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: normalized EDP improvement over the default OpenMP
 //! configuration at TDP, per application, on both testbeds.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::edp;
 use pnp_core::report::write_json;
 use pnp_machine::{haswell, skylake};
@@ -11,7 +11,8 @@ fn main() {
         "Figure 6",
         "EDP tuning — normalized EDP improvements (both machines)",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     for machine in [skylake(), haswell()] {
         let results = edp::run_with(&machine, &settings, sweep_threads);

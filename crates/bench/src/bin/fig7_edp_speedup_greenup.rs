@@ -4,7 +4,7 @@
 //! Reads the JSON produced by `fig6_edp` when available (the two figures come
 //! from the same experiment); otherwise re-runs the experiment.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::edp::{self, EdpResults};
 use pnp_core::report::{write_json, TextTable};
 use pnp_machine::{haswell, skylake};
@@ -23,7 +23,8 @@ fn main() {
         "Figure 7",
         "EDP tuning — speedups and greenups over default @ TDP",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {

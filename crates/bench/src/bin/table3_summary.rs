@@ -2,7 +2,7 @@
 //! per-power geometric-mean speedups and oracle-proximity statistics for both
 //! machines, reusing the JSON written by the Figure 2/3 binaries when present.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::power_constrained::{self, PowerConstrainedResults};
 use pnp_core::report::TextTable;
 use pnp_machine::{haswell, skylake};
@@ -20,7 +20,8 @@ fn main() {
         "Section IV-B summary",
         "geomean speedups per power cap and oracle proximity",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let runs = [
         ("fig2_haswell_power", haswell()),

@@ -2,7 +2,7 @@
 //! geometric-mean EDP improvement, speedup, and greenup over the default
 //! configuration at TDP for both machines.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::edp::{self, EdpResults};
 use pnp_core::report::TextTable;
 use pnp_machine::{haswell, skylake};
@@ -17,7 +17,8 @@ fn load_cached(machine: &str) -> Option<EdpResults> {
 
 fn main() {
     banner("Section IV-C summary", "EDP tuning headline numbers");
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {

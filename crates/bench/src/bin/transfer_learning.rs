@@ -2,7 +2,7 @@
 //! Haswell-trained GNN layers on Skylake and retraining only the dense
 //! classifier (paper: ≈ 4.18× faster training / 76 % less training time).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env};
+use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
 use pnp_core::experiments::transfer;
 use pnp_core::report::write_json;
 
@@ -11,7 +11,8 @@ fn main() {
         "Transfer learning (Section IV-B)",
         "Haswell GNN reused on Skylake",
     );
-    let settings = settings_from_env();
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
     let results = transfer::run_with(&settings, sweep_threads);
     println!("{}", results.render());

@@ -15,9 +15,147 @@
 //!
 //! This library crate only hosts small helpers shared by the binaries.
 
+use pnp_core::training::TrainSettings;
+use pnp_machine::{haswell, skylake, MachineSpec};
 use pnp_openmp::Threads;
 
-use pnp_core::training::TrainSettings;
+/// CLI options shared by the perf-tracking harnesses (`bench_dataset_build`,
+/// `bench_loocv_train`): which worker counts to measure, how much of the
+/// suite to use, and the optional speedup gate.
+///
+/// ```text
+/// [--threads 1,2,4,8] [--apps N] [--machine haswell|skylake]
+/// [--repeats N] [--min-speedup S:T] [--out PATH]
+/// ```
+pub struct PerfHarnessOptions {
+    /// Worker counts to measure (`--threads`, default `1,2,4,8`). The
+    /// 1-worker run is always the determinism anchor and speedup
+    /// denominator.
+    pub threads: Vec<usize>,
+    /// Truncate the application suite to the first `N` apps (`--apps`).
+    pub apps: Option<usize>,
+    /// Machine model to measure on (`--machine`, default haswell).
+    pub machine: MachineSpec,
+    /// Best-of-`N` timing repeats (`--repeats`, default 1).
+    pub repeats: usize,
+    /// `Some((s, t))` (`--min-speedup S:T`): require speedup ≥ `s` at `t`
+    /// workers; see [`enforce_min_speedup`].
+    pub min_speedup: Option<(f64, usize)>,
+    /// Output path of the timing JSON (`--out`).
+    pub out: String,
+}
+
+impl PerfHarnessOptions {
+    /// Parses the process arguments, with the harness-specific default
+    /// output path. Panics with a usage message on unknown or malformed
+    /// flags — a perf harness should refuse, not guess.
+    pub fn parse(default_out: &str) -> Self {
+        Self::parse_from(std::env::args().skip(1).collect(), default_out)
+    }
+
+    fn parse_from(args: Vec<String>, default_out: &str) -> Self {
+        let mut opts = PerfHarnessOptions {
+            threads: vec![1, 2, 4, 8],
+            apps: None,
+            machine: haswell(),
+            repeats: 1,
+            min_speedup: None,
+            out: default_out.to_string(),
+        };
+        let value = |args: &[String], i: usize, flag: &str| -> String {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    let v = value(&args, i, "--threads");
+                    opts.threads = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
+                        .collect();
+                    i += 2;
+                }
+                "--apps" => {
+                    opts.apps = Some(value(&args, i, "--apps").parse().expect("--apps N"));
+                    i += 2;
+                }
+                "--machine" => {
+                    opts.machine = match value(&args, i, "--machine").as_str() {
+                        "haswell" => haswell(),
+                        "skylake" => skylake(),
+                        other => panic!("unknown machine {other:?} (haswell|skylake)"),
+                    };
+                    i += 2;
+                }
+                "--repeats" => {
+                    opts.repeats = value(&args, i, "--repeats").parse().expect("--repeats N");
+                    i += 2;
+                }
+                "--min-speedup" => {
+                    let v = value(&args, i, "--min-speedup");
+                    let (s, t) = v.split_once(':').expect("--min-speedup S:T, e.g. 2.0:4");
+                    opts.min_speedup = Some((
+                        s.parse().expect("--min-speedup: S must be a float"),
+                        t.parse().expect("--min-speedup: T must be a thread count"),
+                    ));
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out = value(&args, i, "--out");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        assert!(!opts.threads.is_empty(), "--threads list must be non-empty");
+        assert!(opts.repeats >= 1, "--repeats must be at least 1");
+        opts
+    }
+}
+
+/// Applies the `--min-speedup S:T` perf gate shared by the harnesses: the
+/// measured run at `t` workers (from `runs`, a `(workers, speedup_vs_1t)`
+/// list) must reach speedup ≥ `s`, guarding against a fan-out silently
+/// degenerating to serial — which no output comparison can catch. Exits the
+/// process with status 1 on failure. The gate is skipped with a warning when
+/// the host has fewer than `t` cores (`available`), where the speedup
+/// physically cannot materialize. `tag` prefixes the log lines
+/// (e.g. `"bench_loocv_train"`).
+pub fn enforce_min_speedup(
+    tag: &str,
+    min_speedup: Option<(f64, usize)>,
+    runs: &[(usize, f64)],
+    available: usize,
+) {
+    let Some((min, at_threads)) = min_speedup else {
+        return;
+    };
+    let &(_, speedup) = runs
+        .iter()
+        .find(|(threads, _)| *threads == at_threads)
+        .unwrap_or_else(|| {
+            panic!("--min-speedup references {at_threads} threads, not in --threads list")
+        });
+    if available < at_threads {
+        eprintln!(
+            "[{tag}] skipping --min-speedup gate: host has {available} core(s), \
+             {at_threads} are needed for the speedup to materialize"
+        );
+    } else if speedup < min {
+        eprintln!(
+            "[{tag}] FAIL: speedup at {at_threads} threads is {speedup:.2}x, \
+             required >= {min:.2}x — the parallel fan-out may have degenerated to serial"
+        );
+        std::process::exit(1);
+    } else {
+        eprintln!(
+            "[{tag}] speedup gate passed: {speedup:.2}x >= {min:.2}x at {at_threads} threads"
+        );
+    }
+}
 
 /// Resolves the training settings from the environment (`PNP_FULL=1` for the
 /// paper-fidelity configuration) and prints which mode is active.
@@ -42,21 +180,44 @@ pub fn settings_from_env() -> TrainSettings {
 /// how the dataset was built. The dataset itself is bit-identical for every
 /// value — the knob only changes wall-clock time.
 pub fn sweep_threads_from_env() -> Threads {
-    let threads = sweep_threads_from(std::env::args().skip(1), Threads::from_env());
+    let threads = threads_flag_from(
+        std::env::args().skip(1),
+        "--sweep-threads",
+        Threads::from_env(),
+    );
     eprintln!("[pnp-bench] sweep workers: {threads}");
     threads
 }
 
-/// Pure core of [`sweep_threads_from_env`]: picks the knob out of an
-/// argument list, falling back to `fallback` (unparseable values also fall
-/// back rather than aborting a long experiment).
-fn sweep_threads_from(args: impl Iterator<Item = String>, fallback: Threads) -> Threads {
+/// Resolves the LOOCV training worker count the same way: a
+/// `--train-threads N` (or `--train-threads=N`) CLI argument wins, then the
+/// `PNP_TRAIN_THREADS` environment variable, then auto. Training outputs are
+/// bit-identical for every value (DESIGN.md §10) — the knob only changes
+/// wall-clock time. Binaries assign the result to
+/// `TrainSettings::train_threads`.
+pub fn train_threads_from_env() -> Threads {
+    let threads = threads_flag_from(
+        std::env::args().skip(1),
+        "--train-threads",
+        Threads::from_train_env(),
+    );
+    eprintln!("[pnp-bench] training workers: {threads}");
+    threads
+}
+
+/// Shared core of [`sweep_threads_from_env`] / [`train_threads_from_env`]:
+/// picks a `Threads` knob named `flag` out of an argument list (both
+/// `--flag N` and `--flag=N` forms), falling back to `fallback` when the
+/// flag is absent or unparseable (a long experiment should degrade, not
+/// abort, on a typo'd knob).
+fn threads_flag_from(args: impl Iterator<Item = String>, flag: &str, fallback: Threads) -> Threads {
     let args: Vec<String> = args.collect();
+    let inline = format!("{flag}=");
     for (i, arg) in args.iter().enumerate() {
-        if let Some(v) = arg.strip_prefix("--sweep-threads=") {
+        if let Some(v) = arg.strip_prefix(&inline) {
             return Threads::parse(v).unwrap_or(fallback);
         }
-        if arg == "--sweep-threads" {
+        if arg == flag {
             return args
                 .get(i + 1)
                 .and_then(|v| Threads::parse(v))
@@ -85,34 +246,89 @@ mod tests {
     }
 
     #[test]
-    fn sweep_threads_cli_forms_are_accepted() {
+    fn threads_flag_cli_forms_are_accepted() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        for flag in ["--sweep-threads", "--train-threads"] {
+            assert_eq!(
+                threads_flag_from(args(&[flag, "4"]).into_iter(), flag, Threads::Auto),
+                Threads::Fixed(4)
+            );
+            assert_eq!(
+                threads_flag_from(
+                    args(&[&format!("{flag}=2")]).into_iter(),
+                    flag,
+                    Threads::Auto
+                ),
+                Threads::Fixed(2)
+            );
+            assert_eq!(
+                threads_flag_from(
+                    args(&[&format!("{flag}=auto")]).into_iter(),
+                    flag,
+                    Threads::Fixed(3)
+                ),
+                Threads::Auto
+            );
+            // No flag, or an unparseable value: the fallback wins.
+            assert_eq!(
+                threads_flag_from(args(&["--other"]).into_iter(), flag, Threads::Fixed(8)),
+                Threads::Fixed(8)
+            );
+            assert_eq!(
+                threads_flag_from(args(&[flag, "lots"]).into_iter(), flag, Threads::Auto),
+                Threads::Auto
+            );
+        }
+        // The two knobs do not shadow each other.
         assert_eq!(
-            sweep_threads_from(args(&["--sweep-threads", "4"]).into_iter(), Threads::Auto),
-            Threads::Fixed(4)
-        );
-        assert_eq!(
-            sweep_threads_from(args(&["--sweep-threads=2"]).into_iter(), Threads::Auto),
+            threads_flag_from(
+                args(&["--sweep-threads", "4"]).into_iter(),
+                "--train-threads",
+                Threads::Fixed(2)
+            ),
             Threads::Fixed(2)
         );
-        assert_eq!(
-            sweep_threads_from(
-                args(&["--sweep-threads=auto"]).into_iter(),
-                Threads::Fixed(3)
-            ),
-            Threads::Auto
+    }
+
+    #[test]
+    fn perf_harness_options_parse_and_default() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let defaults = PerfHarnessOptions::parse_from(Vec::new(), "X.json");
+        assert_eq!(defaults.threads, vec![1, 2, 4, 8]);
+        assert_eq!(defaults.apps, None);
+        assert_eq!(defaults.machine.name, "haswell");
+        assert_eq!(defaults.repeats, 1);
+        assert_eq!(defaults.min_speedup, None);
+        assert_eq!(defaults.out, "X.json");
+
+        let opts = PerfHarnessOptions::parse_from(
+            args(&[
+                "--threads",
+                "1,4",
+                "--apps",
+                "6",
+                "--machine",
+                "skylake",
+                "--repeats",
+                "2",
+                "--min-speedup",
+                "1.3:4",
+                "--out",
+                "smoke.json",
+            ]),
+            "X.json",
         );
-        // No flag, or an unparseable value: the fallback wins.
-        assert_eq!(
-            sweep_threads_from(args(&["--other"]).into_iter(), Threads::Fixed(8)),
-            Threads::Fixed(8)
-        );
-        assert_eq!(
-            sweep_threads_from(
-                args(&["--sweep-threads", "lots"]).into_iter(),
-                Threads::Auto
-            ),
-            Threads::Auto
-        );
+        assert_eq!(opts.threads, vec![1, 4]);
+        assert_eq!(opts.apps, Some(6));
+        assert_eq!(opts.machine.name, "skylake");
+        assert_eq!(opts.repeats, 2);
+        assert_eq!(opts.min_speedup, Some((1.3, 4)));
+        assert_eq!(opts.out, "smoke.json");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn perf_harness_options_reject_unknown_flags() {
+        PerfHarnessOptions::parse_from(vec!["--what".into()], "X.json");
     }
 }

@@ -105,7 +105,9 @@ pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> AblationResults {
 }
 
 /// Runs all ablations, building the dataset with an explicit sweep worker
-/// count.
+/// count. (The model-variant ablations train one model each on the full
+/// training set — there is no fold grid to fan out, so
+/// `settings.train_threads` is not consulted here.)
 pub fn run_with(
     machine: &MachineSpec,
     settings: &TrainSettings,

@@ -134,7 +134,9 @@ pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> EdpResults {
 }
 
 /// Runs the EDP experiment, building the dataset with an explicit sweep
-/// worker count.
+/// worker count. The per-fold training fan-out is governed separately by
+/// `settings.train_threads` (`PNP_TRAIN_THREADS` / `--train-threads`);
+/// results are bit-identical for every value of either knob.
 pub fn run_with(
     machine: &MachineSpec,
     settings: &TrainSettings,

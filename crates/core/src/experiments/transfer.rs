@@ -67,7 +67,10 @@ pub fn run(settings: &TrainSettings) -> TransferResults {
 }
 
 /// Runs the transfer-learning experiment, building both datasets with an
-/// explicit sweep worker count.
+/// explicit sweep worker count. (Unlike the cross-validated pipelines this
+/// experiment trains single models and *measures their wall time*, so it
+/// does not consult `settings.train_threads` — the scratch/transfer timing
+/// comparison must not depend on an unrelated fan-out knob.)
 pub fn run_with(settings: &TrainSettings, sweep_threads: pnp_openmp::Threads) -> TransferResults {
     let ds_haswell = super::build_full_dataset_with(&haswell(), sweep_threads);
     let ds_skylake = super::build_full_dataset_with(&skylake(), sweep_threads);

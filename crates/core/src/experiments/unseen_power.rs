@@ -79,7 +79,9 @@ pub fn run(machine: &MachineSpec, settings: &TrainSettings) -> UnseenPowerResult
 }
 
 /// Runs the unseen-power experiment, building the dataset with an explicit
-/// sweep worker count.
+/// sweep worker count. The per-fold training fan-out is governed separately
+/// by `settings.train_threads` (`PNP_TRAIN_THREADS` / `--train-threads`);
+/// results are bit-identical for every value of either knob.
 pub fn run_with(
     machine: &MachineSpec,
     settings: &TrainSettings,

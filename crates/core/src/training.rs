@@ -1,11 +1,28 @@
 //! Training pipelines: grouped leave-applications-out cross-validation for
 //! both tuning scenarios, the dynamic-feature variants, the
 //! unseen-power-constraint generalization, and transfer learning.
+//!
+//! ## Parallel LOOCV (DESIGN.md §10)
+//!
+//! Every cross-validated pipeline here is a grid of *independent* training
+//! jobs — one model per `(fold, power level)` pair for scenario 1, one per
+//! fold for scenario 2 and the unseen-power variant. Since PR 3 these jobs
+//! fan out over the in-tree OpenMP executor (`pnp_openmp::par`): each job
+//! carries its own deterministic seed (derived from its grid coordinates,
+//! e.g. `fold_idx * 16 + power_idx`), trains in isolation, and returns its
+//! held-out predictions, which are written back into the prediction matrix
+//! by `(region, power)` index. Because no float ever crosses a job boundary
+//! and the seeds do not depend on the worker count, the trained models and
+//! all downstream metrics are **bit-identical for every worker count** —
+//! `tests/training_determinism.rs` and the CI train-perf smoke enforce it.
+//! The knob is [`TrainSettings::train_threads`] (`PNP_TRAIN_THREADS` /
+//! `--train-threads` in the experiment binaries).
 
 use crate::dataset::Dataset;
 use pnp_gnn::train::OptimizerKind;
 use pnp_gnn::{ModelConfig, PnPModel, TrainConfig, Trainer, TrainingSample};
 use pnp_graph::Vocabulary;
+use pnp_openmp::{parallel_map, Threads};
 use pnp_tensor::ParameterBundle;
 use std::time::Instant;
 
@@ -29,6 +46,12 @@ pub struct TrainSettings {
     pub folds: usize,
     /// Base random seed.
     pub seed: u64,
+    /// Worker count for the cross-validation training fan-out (one job per
+    /// `(fold, power level)` pair in scenario 1, one per fold elsewhere).
+    /// Training outputs are bit-identical for every value — the knob only
+    /// changes wall-clock time. Resolved from `PNP_TRAIN_THREADS` by
+    /// [`TrainSettings::from_env`]; defaults to one worker per core.
+    pub train_threads: Threads,
 }
 
 impl TrainSettings {
@@ -42,6 +65,7 @@ impl TrainSettings {
             batch_size: 16,
             folds: 5,
             seed: 0x5EED,
+            train_threads: Threads::Auto,
         }
     }
 
@@ -55,16 +79,21 @@ impl TrainSettings {
             batch_size: 16,
             folds: 30,
             seed: 0x5EED,
+            train_threads: Threads::Auto,
         }
     }
 
-    /// `quick()` unless the environment variable `PNP_FULL=1` is set.
+    /// `quick()` unless the environment variable `PNP_FULL=1` is set; the
+    /// training worker count is resolved from `PNP_TRAIN_THREADS` (unset
+    /// means one worker per core).
     pub fn from_env() -> Self {
-        if std::env::var("PNP_FULL").map(|v| v == "1").unwrap_or(false) {
+        let mut settings = if std::env::var("PNP_FULL").map(|v| v == "1").unwrap_or(false) {
             Self::full()
         } else {
             Self::quick()
-        }
+        };
+        settings.train_threads = Threads::from_train_env();
+        settings
     }
 
     fn model_config(
@@ -110,8 +139,19 @@ pub struct FoldPlan {
 impl FoldPlan {
     /// Splits the applications into `folds` groups round-robin. With
     /// `folds >= apps.len()` this degenerates to exact LOOCV.
+    ///
+    /// An empty `apps` list yields an **empty plan** (no folds): there is
+    /// nothing to hold out, so every training pipeline driven by the plan
+    /// trains zero models and returns its all-zero prediction default.
+    /// (Before PR 3 this case silently clamped to one empty fold, which the
+    /// pipelines then had to skip as degenerate.)
     pub fn new(apps: &[String], folds: usize) -> Self {
-        let folds = folds.clamp(1, apps.len().max(1));
+        if apps.is_empty() {
+            return FoldPlan {
+                held_out: Vec::new(),
+            };
+        }
+        let folds = folds.clamp(1, apps.len());
         let mut held_out = vec![Vec::new(); folds];
         for (i, app) in apps.iter().enumerate() {
             held_out[i % folds].push(app.clone());
@@ -213,12 +253,48 @@ fn scenario1_samples(
         .collect()
 }
 
+/// One scenario-1 training job: `(fold_idx, power_idx, train_idx, val_idx)`.
+/// The index vectors are shared (`Arc`) across a fold's per-power jobs
+/// rather than cloned into each.
+type Scenario1Job = (
+    usize,
+    usize,
+    std::sync::Arc<Vec<usize>>,
+    std::sync::Arc<Vec<usize>>,
+);
+
+/// Per-fold `(fold_idx, train_idx, val_idx)` region splits, dropping folds
+/// that are degenerate (nothing to train on or nothing to validate on) so
+/// the training fan-outs only dispatch real jobs.
+fn fold_region_splits(ds: &Dataset, folds: &FoldPlan) -> Vec<(usize, Vec<usize>, Vec<usize>)> {
+    folds
+        .held_out
+        .iter()
+        .enumerate()
+        .filter_map(|(fold_idx, held_out)| {
+            let train_idx: Vec<usize> = (0..ds.len())
+                .filter(|&i| !held_out.contains(&ds.regions[i].app))
+                .collect();
+            let val_idx: Vec<usize> = (0..ds.len())
+                .filter(|&i| held_out.contains(&ds.regions[i].app))
+                .collect();
+            (!train_idx.is_empty() && !val_idx.is_empty()).then_some((fold_idx, train_idx, val_idx))
+        })
+        .collect()
+}
+
 /// Scenario 1 (power-constrained tuning): trains one model per fold per power
 /// level and returns `predictions[region][power]` = predicted OpenMP class.
 ///
 /// `use_dynamic` adds the five PAPI-style counters (collected from the
 /// default-configuration run at that power level) to the classifier input —
 /// the paper's "PnP Tuner (Dynamic)" variant.
+///
+/// The `fold × power` grid of independent jobs fans out over
+/// [`TrainSettings::train_threads`] workers; each job keeps its serial seed
+/// (`fold_idx * 16 + power_idx`) and predictions are written back by
+/// `(region, power)` index, so the output is bit-identical for every worker
+/// count (DESIGN.md §10).
 pub fn train_scenario1_models(
     ds: &Dataset,
     settings: &TrainSettings,
@@ -231,24 +307,27 @@ pub fn train_scenario1_models(
     let num_dynamic = if use_dynamic { 5 } else { 0 };
     let mut predictions = vec![vec![0usize; num_powers]; ds.len()];
 
-    for (fold_idx, held_out) in folds.held_out.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| !held_out.contains(&ds.regions[i].app))
-            .collect();
-        let val_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| held_out.contains(&ds.regions[i].app))
-            .collect();
-        if train_idx.is_empty() || val_idx.is_empty() {
-            continue;
-        }
-        for (power_idx, _power) in ds.space.power_levels.iter().enumerate() {
+    let jobs: Vec<Scenario1Job> = fold_region_splits(ds, &folds)
+        .into_iter()
+        .flat_map(|(fold_idx, train_idx, val_idx)| {
+            let train_idx = std::sync::Arc::new(train_idx);
+            let val_idx = std::sync::Arc::new(val_idx);
+            (0..num_powers)
+                .map(move |power_idx| (fold_idx, power_idx, train_idx.clone(), val_idx.clone()))
+        })
+        .collect();
+
+    let job_predictions = parallel_map(
+        &jobs,
+        settings.train_threads,
+        |(fold_idx, power_idx, train_idx, val_idx)| {
             let samples = scenario1_samples(
                 ds,
-                power_idx,
-                &train_idx,
+                *power_idx,
+                train_idx,
                 if use_dynamic { Some(false) } else { None },
             );
-            let prior = class_prior_scenario1(ds, power_idx, &train_idx);
+            let prior = class_prior_scenario1(ds, *power_idx, train_idx);
             let mut model = PnPModel::new(settings.model_config(
                 num_classes,
                 num_dynamic,
@@ -256,19 +335,23 @@ pub fn train_scenario1_models(
             ));
             let trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, false));
             trainer.train(&mut model, &samples);
-            for &i in &val_idx {
-                let dynamic = if use_dynamic {
-                    Some(ds.dynamic_features(i, power_idx, false))
-                } else {
-                    None
-                };
-                predictions[i][power_idx] = predict_with_prior(
-                    &mut model,
-                    &ds.regions[i].graph,
-                    dynamic.as_deref(),
-                    &prior,
-                );
-            }
+            val_idx
+                .iter()
+                .map(|&i| {
+                    let dynamic = if use_dynamic {
+                        Some(ds.dynamic_features(i, *power_idx, false))
+                    } else {
+                        None
+                    };
+                    predict_with_prior(&mut model, &ds.regions[i].graph, dynamic.as_deref(), &prior)
+                })
+                .collect::<Vec<usize>>()
+        },
+    );
+
+    for ((_, power_idx, _, val_idx), preds) in jobs.iter().zip(job_predictions) {
+        for (&i, class) in val_idx.iter().zip(preds) {
+            predictions[i][*power_idx] = class;
         }
     }
     predictions
@@ -277,6 +360,11 @@ pub fn train_scenario1_models(
 /// Scenario 2 (EDP tuning): trains one model per fold over the joint
 /// (power × configuration) class space and returns `predictions[region]` =
 /// predicted joint class.
+///
+/// Folds are independent jobs and fan out over
+/// [`TrainSettings::train_threads`] workers with per-fold seeds
+/// (`0x2000 + fold_idx`) and indexed write-back — output is bit-identical
+/// for every worker count (DESIGN.md §10).
 pub fn train_scenario2_model(
     ds: &Dataset,
     settings: &TrainSettings,
@@ -291,41 +379,45 @@ pub fn train_scenario2_model(
     let tdp_idx = ds.space.power_levels.len() - 1;
     let mut predictions = vec![0usize; ds.len()];
 
-    for (fold_idx, held_out) in folds.held_out.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| !held_out.contains(&ds.regions[i].app))
-            .collect();
-        let val_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| held_out.contains(&ds.regions[i].app))
-            .collect();
-        if train_idx.is_empty() || val_idx.is_empty() {
-            continue;
-        }
-        let samples: Vec<TrainingSample> = train_idx
-            .iter()
-            .map(|&i| {
-                let (p, c) = ds.sweeps[i].best_edp_point();
-                TrainingSample {
-                    graph: ds.regions[i].graph.clone(),
-                    dynamic: use_dynamic.then(|| ds.dynamic_features(i, tdp_idx, false)),
-                    label: ds.space.joint_index(p, c),
-                    group: ds.regions[i].app.clone(),
-                }
-            })
-            .collect();
-        let prior = class_prior_scenario2(ds, &train_idx);
-        let mut model = PnPModel::new(settings.model_config(
-            num_classes,
-            num_dynamic,
-            0x2000 + fold_idx as u64,
-        ));
-        // Table II: the EDP experiments use plain Adam.
-        let trainer = Trainer::new(settings.train_config(OptimizerKind::Adam, false));
-        trainer.train(&mut model, &samples);
-        for &i in &val_idx {
-            let dynamic = use_dynamic.then(|| ds.dynamic_features(i, tdp_idx, false));
-            predictions[i] =
-                predict_with_prior(&mut model, &ds.regions[i].graph, dynamic.as_deref(), &prior);
+    let jobs = fold_region_splits(ds, &folds);
+    let job_predictions = parallel_map(
+        &jobs,
+        settings.train_threads,
+        |(fold_idx, train_idx, val_idx)| {
+            let samples: Vec<TrainingSample> = train_idx
+                .iter()
+                .map(|&i| {
+                    let (p, c) = ds.sweeps[i].best_edp_point();
+                    TrainingSample {
+                        graph: ds.regions[i].graph.clone(),
+                        dynamic: use_dynamic.then(|| ds.dynamic_features(i, tdp_idx, false)),
+                        label: ds.space.joint_index(p, c),
+                        group: ds.regions[i].app.clone(),
+                    }
+                })
+                .collect();
+            let prior = class_prior_scenario2(ds, train_idx);
+            let mut model = PnPModel::new(settings.model_config(
+                num_classes,
+                num_dynamic,
+                0x2000 + *fold_idx as u64,
+            ));
+            // Table II: the EDP experiments use plain Adam.
+            let trainer = Trainer::new(settings.train_config(OptimizerKind::Adam, false));
+            trainer.train(&mut model, &samples);
+            val_idx
+                .iter()
+                .map(|&i| {
+                    let dynamic = use_dynamic.then(|| ds.dynamic_features(i, tdp_idx, false));
+                    predict_with_prior(&mut model, &ds.regions[i].graph, dynamic.as_deref(), &prior)
+                })
+                .collect::<Vec<usize>>()
+        },
+    );
+
+    for ((_, _, val_idx), preds) in jobs.iter().zip(job_predictions) {
+        for (&i, class) in val_idx.iter().zip(preds) {
+            predictions[i] = class;
         }
     }
     predictions
@@ -336,6 +428,11 @@ pub fn train_scenario2_model(
 /// with counters *and the normalized power cap* as dynamic features, then
 /// asked to predict configurations for the held-out cap. Cross-validation
 /// over applications is applied simultaneously, as in the paper.
+///
+/// Folds fan out over [`TrainSettings::train_threads`] workers exactly like
+/// the scenario pipelines, with the serial per-fold seeds
+/// (`0x4000 + fold_idx * 8 + held_out_power`) — output is bit-identical for
+/// every worker count.
 pub fn train_unseen_power(
     ds: &Dataset,
     settings: &TrainSettings,
@@ -349,50 +446,54 @@ pub fn train_unseen_power(
         .collect();
     let mut predictions = vec![0usize; ds.len()];
 
-    for (fold_idx, held_out) in folds.held_out.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| !held_out.contains(&ds.regions[i].app))
-            .collect();
-        let val_idx: Vec<usize> = (0..ds.len())
-            .filter(|&i| held_out.contains(&ds.regions[i].app))
-            .collect();
-        if train_idx.is_empty() || val_idx.is_empty() {
-            continue;
-        }
-        let mut samples = Vec::new();
-        for &i in &train_idx {
+    let jobs = fold_region_splits(ds, &folds);
+    let job_predictions = parallel_map(
+        &jobs,
+        settings.train_threads,
+        |(fold_idx, train_idx, val_idx)| {
+            let mut samples = Vec::new();
+            for &i in train_idx {
+                for &p in &train_powers {
+                    samples.push(TrainingSample {
+                        graph: ds.regions[i].graph.clone(),
+                        dynamic: Some(ds.dynamic_features(i, p, true)),
+                        label: ds.sweeps[i].best_time_config(p),
+                        group: ds.regions[i].app.clone(),
+                    });
+                }
+            }
+            // The prior for the unseen cap is averaged over the caps that
+            // were observed during training (measurements at the held-out
+            // cap are, by construction, unavailable).
+            let mut prior = vec![0.0f64; num_classes];
             for &p in &train_powers {
-                samples.push(TrainingSample {
-                    graph: ds.regions[i].graph.clone(),
-                    dynamic: Some(ds.dynamic_features(i, p, true)),
-                    label: ds.sweeps[i].best_time_config(p),
-                    group: ds.regions[i].app.clone(),
-                });
+                for (c, v) in class_prior_scenario1(ds, p, train_idx)
+                    .into_iter()
+                    .enumerate()
+                {
+                    prior[c] += v / train_powers.len() as f64;
+                }
             }
-        }
-        // The prior for the unseen cap is averaged over the caps that were
-        // observed during training (measurements at the held-out cap are,
-        // by construction, unavailable).
-        let mut prior = vec![0.0f64; num_classes];
-        for &p in &train_powers {
-            for (c, v) in class_prior_scenario1(ds, p, &train_idx)
-                .into_iter()
-                .enumerate()
-            {
-                prior[c] += v / train_powers.len() as f64;
-            }
-        }
-        let mut model = PnPModel::new(settings.model_config(
-            num_classes,
-            6,
-            0x4000 + (fold_idx * 8 + held_out_power) as u64,
-        ));
-        let trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, false));
-        trainer.train(&mut model, &samples);
-        for &i in &val_idx {
-            let dynamic = ds.dynamic_features(i, held_out_power, true);
-            predictions[i] =
-                predict_with_prior(&mut model, &ds.regions[i].graph, Some(&dynamic), &prior);
+            let mut model = PnPModel::new(settings.model_config(
+                num_classes,
+                6,
+                0x4000 + (fold_idx * 8 + held_out_power) as u64,
+            ));
+            let trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, false));
+            trainer.train(&mut model, &samples);
+            val_idx
+                .iter()
+                .map(|&i| {
+                    let dynamic = ds.dynamic_features(i, held_out_power, true);
+                    predict_with_prior(&mut model, &ds.regions[i].graph, Some(&dynamic), &prior)
+                })
+                .collect::<Vec<usize>>()
+        },
+    );
+
+    for ((_, _, val_idx), preds) in jobs.iter().zip(job_predictions) {
+        for (&i, class) in val_idx.iter().zip(preds) {
+            predictions[i] = class;
         }
     }
     predictions
@@ -484,6 +585,20 @@ mod tests {
         let loocv = FoldPlan::new(&apps, 100);
         assert_eq!(loocv.len(), 7);
         assert!(loocv.held_out.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn fold_plan_for_empty_dataset_is_empty() {
+        // No applications means no folds — not one empty fold (which every
+        // consumer would then have to special-case as untrainable).
+        for folds in [0usize, 1, 5] {
+            let plan = FoldPlan::new(&[], folds);
+            assert!(plan.is_empty(), "folds={folds}");
+            assert_eq!(plan.len(), 0, "folds={folds}");
+        }
+        // A zero-fold request over a non-empty list still clamps to 1.
+        let apps = vec!["a".to_string()];
+        assert_eq!(FoldPlan::new(&apps, 0).len(), 1);
     }
 
     #[test]

@@ -18,6 +18,19 @@
 //! `num_dynamic_features > 0` it additionally concatenates normalized
 //! hardware counters (and, for the unseen-power-constraint experiment, the
 //! normalized power cap) to the readout vector before the dense layers.
+//!
+//! ## Threading
+//!
+//! Training is deterministic for a fixed seed, and that determinism is
+//! load-bearing: `pnp-core` fans whole LOOCV training jobs out across
+//! threads (DESIGN.md §10) and relies on each job reproducing the serial
+//! result bit-for-bit. The dense products that dominate the RGCN forward and
+//! backward passes (`node_features · W` over hundreds of graph-node rows)
+//! additionally support opt-in intra-op row parallelism via
+//! `pnp_tensor::set_matmul_threads` / `PNP_MATMUL_THREADS`, which is also
+//! bit-identical to the serial kernel at every worker count — enabling it
+//! never changes a trained model, only the wall clock. It pays off when few
+//! concurrent training jobs must fill many cores (fold-count < core-count).
 
 pub mod batch;
 pub mod metrics;

@@ -26,6 +26,12 @@ use std::sync::OnceLock;
 /// Environment variable consulted by [`Threads::from_env`].
 pub const THREADS_ENV_VAR: &str = "PNP_SWEEP_THREADS";
 
+/// Environment variable consulted by [`Threads::from_train_env`] — the
+/// worker count of the LOOCV training fan-out in `pnp-core` (one job per
+/// `(fold, power level)` pair), kept separate from the sweep knob so the two
+/// phases can be sized independently.
+pub const TRAIN_THREADS_ENV_VAR: &str = "PNP_TRAIN_THREADS";
+
 /// How many worker threads a data-parallel operation should use.
 ///
 /// The knob is resolved *late* (at [`Threads::resolve`] time) so a single
@@ -48,7 +54,22 @@ impl Threads {
     /// integer means [`Threads::Fixed`]. Unparseable values fall back to
     /// `Auto` rather than aborting an hours-long experiment.
     pub fn from_env() -> Threads {
-        match std::env::var(THREADS_ENV_VAR) {
+        Threads::from_env_var(THREADS_ENV_VAR)
+    }
+
+    /// Resolves the knob from the `PNP_TRAIN_THREADS` environment variable,
+    /// with the same semantics as [`Threads::from_env`].
+    pub fn from_train_env() -> Threads {
+        Threads::from_env_var(TRAIN_THREADS_ENV_VAR)
+    }
+
+    /// Resolves the knob from an arbitrary environment variable (the shared
+    /// core of [`Threads::from_env`] / [`Threads::from_train_env`]): unset
+    /// means `Auto`, anything set goes through [`Threads::parse`], and
+    /// unparseable values fall back to `Auto` rather than aborting an
+    /// hours-long experiment.
+    pub fn from_env_var(var: &str) -> Threads {
+        match std::env::var(var) {
             Ok(v) => Threads::parse(&v).unwrap_or(Threads::Auto),
             Err(_) => Threads::Auto,
         }

@@ -24,6 +24,7 @@ fn fast_settings() -> TrainSettings {
         batch_size: 16,
         folds: 3,
         seed: 0xFEED,
+        train_threads: pnp::openmp::Threads::Fixed(2),
     }
 }
 

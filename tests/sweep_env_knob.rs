@@ -1,4 +1,5 @@
-//! End-to-end checks of the `PNP_SWEEP_THREADS` environment knob.
+//! End-to-end checks of the `PNP_SWEEP_THREADS` and `PNP_TRAIN_THREADS`
+//! environment knobs.
 //!
 //! Dataset bytes cannot tell worker counts apart (bit-identical output is
 //! the determinism suite's guarantee), so the worker-count effect is
@@ -79,6 +80,26 @@ fn env_knob_controls_the_worker_count() {
     assert_eq!(Threads::from_env(), Threads::Auto);
     std::env::set_var("PNP_SWEEP_THREADS", "not-a-number");
     assert_eq!(Threads::from_env(), Threads::Auto);
+
+    // The training knob reads its own variable with the same semantics and
+    // flows into `TrainSettings::from_env` — and the two knobs must not
+    // shadow each other.
+    let saved_train = std::env::var("PNP_TRAIN_THREADS").ok();
+    std::env::set_var("PNP_TRAIN_THREADS", "3");
+    assert_eq!(Threads::from_train_env(), Threads::Fixed(3));
+    assert_eq!(
+        pnp::core::training::TrainSettings::from_env().train_threads,
+        Threads::Fixed(3)
+    );
+    std::env::set_var("PNP_SWEEP_THREADS", "7");
+    assert_eq!(Threads::from_train_env(), Threads::Fixed(3));
+    assert_eq!(Threads::from_env(), Threads::Fixed(7));
+    std::env::remove_var("PNP_TRAIN_THREADS");
+    assert_eq!(Threads::from_train_env(), Threads::Auto);
+    match saved_train {
+        Some(v) => std::env::set_var("PNP_TRAIN_THREADS", v),
+        None => std::env::remove_var("PNP_TRAIN_THREADS"),
+    }
 
     // Restore whatever the invoking shell had exported.
     match saved {
