@@ -2,9 +2,19 @@
 
 use std::collections::BTreeMap;
 
-/// Geometric mean of positive values (1.0 for an empty slice).
+/// Geometric mean of positive values (1.0 for an empty slice; non-positive
+/// or non-finite entries are floored instead of panicking — see
+/// [`pnp_tensor::ops::geometric_mean`]).
 pub fn geomean(values: &[f64]) -> f64 {
     pnp_tensor::ops::geometric_mean(values)
+}
+
+/// Strict geometric mean: `None` for an empty slice or any non-positive /
+/// non-finite entry. The paper-fidelity validator uses this to *detect*
+/// degenerate aggregates (e.g. a zero-energy region) instead of silently
+/// absorbing them.
+pub fn checked_geomean(values: &[f64]) -> Option<f64> {
+    pnp_tensor::ops::checked_geometric_mean(values)
 }
 
 /// Fraction of values that are at least `threshold` (e.g. the paper's
@@ -14,6 +24,17 @@ pub fn fraction_within(values: &[f64], threshold: f64) -> f64 {
         return 0.0;
     }
     values.iter().filter(|&&v| v >= threshold).count() as f64 / values.len() as f64
+}
+
+/// Fraction of values *strictly above* `threshold` — "faster than the
+/// default" means strictly faster, so a default-equivalent prediction
+/// (ratio exactly 1.0) must not count as an improvement. The paper-fidelity
+/// validator's majority claims rely on this strictness.
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
 }
 
 /// Fraction of pairwise comparisons where `a` is at least as good as `b`
@@ -101,5 +122,37 @@ mod tests {
     fn normalized_speedups_clamp_at_one() {
         let n = normalized_speedups(&[1.2, 0.5], &[1.0, 1.0]);
         assert_eq!(n, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalized_speedups_handle_zero_oracle() {
+        // A zero-time oracle (degenerate region) maps to 0.0, not inf/NaN.
+        let n = normalized_speedups(&[1.0, 1.0], &[0.0, 2.0]);
+        assert_eq!(n[0], 0.0);
+        assert!((n[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_geomean_flags_degenerate_aggregates() {
+        assert!((checked_geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(checked_geomean(&[]), None);
+        assert_eq!(checked_geomean(&[1.0, 0.0]), None);
+        // The non-strict variant stays finite on the same inputs.
+        assert!(geomean(&[1.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn fraction_metrics_handle_exact_ties() {
+        // Identical values across the board: everything ties, nothing panics.
+        let tied = [1.0, 1.0, 1.0];
+        assert_eq!(fraction_within(&tied, 1.0), 1.0);
+        assert_eq!(fraction_no_worse(&tied, &tied), 1.0);
+        // A tie at exactly the threshold counts as "within"...
+        assert_eq!(fraction_within(&[0.95], 0.95), 1.0);
+        // ...but not as "above": a default-equivalent prediction (ratio
+        // exactly 1.0) is not an improvement.
+        assert_eq!(fraction_above(&tied, 1.0), 0.0);
+        assert!((fraction_above(&[1.0, 1.2, 0.9], 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fraction_above(&[], 1.0), 0.0);
     }
 }

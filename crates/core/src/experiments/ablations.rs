@@ -21,7 +21,7 @@ use pnp_tuners::{BlissTuner, Objective, SimEvaluator};
 use serde::Serialize;
 
 /// Result of one ablation row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct AblationRow {
     /// Name of the variant.
     pub variant: String,
@@ -30,7 +30,7 @@ pub struct AblationRow {
 }
 
 /// All ablation results.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct AblationResults {
     /// Model-variant rows (training accuracy).
     pub model_variants: Vec<AblationRow>,
@@ -39,6 +39,24 @@ pub struct AblationResults {
 }
 
 impl AblationResults {
+    /// Training accuracy of the model variant whose name contains `needle`
+    /// (structured accessor for the paper-fidelity validator).
+    pub fn model_accuracy(&self, needle: &str) -> Option<f64> {
+        self.model_variants
+            .iter()
+            .find(|r| r.variant.contains(needle))
+            .map(|r| r.value)
+    }
+
+    /// Oracle-normalized speedup of the BLISS run with `budget` samples.
+    pub fn bliss_at_budget(&self, budget: usize) -> Option<f64> {
+        let label = format!("{budget} samples");
+        self.bliss_budgets
+            .iter()
+            .find(|r| r.variant == label)
+            .map(|r| r.value)
+    }
+
     /// Renders both ablation tables.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -118,7 +136,21 @@ pub fn run_with(
 }
 
 /// Runs all ablations on a pre-built dataset.
+///
+/// Panics on degenerate datasets; use [`try_run_on_dataset`] when the input
+/// is not known to be well-formed.
 pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> AblationResults {
+    try_run_on_dataset(ds, settings).expect("ablations on degenerate dataset")
+}
+
+/// Fallible twin of [`run_on_dataset`]: training a variant on zero regions
+/// (or indexing a TDP that does not exist) yields a typed error instead of
+/// a panic.
+pub fn try_run_on_dataset(
+    ds: &Dataset,
+    settings: &TrainSettings,
+) -> Result<AblationResults, super::ExperimentError> {
+    super::check_dataset(ds, 1)?;
     let model_variants = vec![
         AblationRow {
             variant: "RGCN + mean pooling (paper)".into(),
@@ -158,8 +190,8 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> AblationResults
         });
     }
 
-    AblationResults {
+    Ok(AblationResults {
         model_variants,
         bliss_budgets,
-    }
+    })
 }

@@ -4,7 +4,7 @@
 //! configuration at TDP.
 
 use crate::dataset::Dataset;
-use crate::eval::{fraction_within, geomean};
+use crate::eval::{fraction_above, fraction_within, geomean};
 use crate::report::TextTable;
 use crate::training::{train_scenario2_model, TrainSettings};
 use pnp_machine::MachineSpec;
@@ -67,6 +67,51 @@ pub struct EdpResults {
 }
 
 impl EdpResults {
+    /// Index of a tuner name within [`TUNERS`].
+    pub fn tuner_index(name: &str) -> Option<usize> {
+        TUNERS.iter().position(|t| *t == name)
+    }
+
+    /// Geometric-mean EDP improvement over default-at-TDP for a tuner
+    /// (structured accessor for the paper-fidelity validator).
+    pub fn geomean_edp_improvement(&self, tuner: &str) -> Option<f64> {
+        self.summary_entry(&self.summary.geomean_edp_improvement, tuner)
+    }
+
+    /// Geometric-mean speedup over default-at-TDP for a tuner.
+    pub fn geomean_speedup(&self, tuner: &str) -> Option<f64> {
+        self.summary_entry(&self.summary.geomean_speedup, tuner)
+    }
+
+    /// Geometric-mean greenup over default-at-TDP for a tuner.
+    pub fn geomean_greenup(&self, tuner: &str) -> Option<f64> {
+        self.summary_entry(&self.summary.geomean_greenup, tuner)
+    }
+
+    /// Fraction of applications whose per-app geomean greenup for `tuner`
+    /// exceeds 1.0 (the paper's "less energy than the default" bars).
+    pub fn greenup_majority(&self, tuner: &str) -> Option<f64> {
+        let t = Self::tuner_index(tuner)?;
+        if self.rows.is_empty() {
+            return None;
+        }
+        let over_one = self
+            .rows
+            .iter()
+            .filter(|r| r.greenup.get(t).is_some_and(|&g| g > 1.0))
+            .count();
+        Some(over_one as f64 / self.rows.len() as f64)
+    }
+
+    fn summary_entry(&self, values: &[f64], tuner: &str) -> Option<f64> {
+        if tuner == "default" {
+            return Some(1.0);
+        }
+        values
+            .get(Self::tuner_index(tuner)?.checked_sub(1)?)
+            .copied()
+    }
+
     /// Renders Figure 6 (normalized EDP improvement) and Figure 7 (speedup /
     /// greenup) as tables.
     pub fn render(&self) -> String {
@@ -147,7 +192,20 @@ pub fn run_with(
 }
 
 /// Runs the EDP experiment on a pre-built dataset.
+///
+/// Panics on degenerate datasets; use [`try_run_on_dataset`] when the input
+/// is not known to be well-formed.
 pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> EdpResults {
+    try_run_on_dataset(ds, settings).expect("EDP experiment on degenerate dataset")
+}
+
+/// Fallible twin of [`run_on_dataset`]: a typed error instead of an index
+/// underflow (`power_levels.len() - 1`) or an empty-training-set panic.
+pub fn try_run_on_dataset(
+    ds: &Dataset,
+    settings: &TrainSettings,
+) -> Result<EdpResults, super::ExperimentError> {
+    super::check_dataset(ds, 1)?;
     let preds_static = train_scenario2_model(ds, settings, false);
     let preds_dynamic = train_scenario2_model(ds, settings, true);
     let tdp_idx = ds.space.power_levels.len() - 1;
@@ -225,13 +283,17 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> EdpResults {
         pnp_static_within_80: fraction_within(&edp_norm[1], 0.80),
         pnp_dynamic_within_95: fraction_within(&edp_norm[2], 0.95),
         pnp_dynamic_within_80: fraction_within(&edp_norm[2], 0.80),
-        pnp_speedup_cases: fraction_within(&speedups[1], 1.0),
-        pnp_greenup_cases: fraction_within(&greenups[1], 1.0),
+        // Strictly faster / strictly greener: a default-equivalent
+        // prediction (ratio exactly 1.0) is not an improvement, and the
+        // paper-fidelity `majority_regions_improve` invariant must not be
+        // satisfiable by a model that always picks the default.
+        pnp_speedup_cases: fraction_above(&speedups[1], 1.0),
+        pnp_greenup_cases: fraction_above(&greenups[1], 1.0),
     };
 
-    EdpResults {
+    Ok(EdpResults {
         machine: ds.machine.name.clone(),
         rows,
         summary,
-    }
+    })
 }

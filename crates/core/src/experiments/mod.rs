@@ -29,6 +29,58 @@ use pnp_openmp::Threads;
 
 use crate::dataset::Dataset;
 
+/// Why an experiment driver cannot run on a dataset.
+///
+/// The `try_run_on_dataset` entry points return these instead of panicking
+/// deep inside a pipeline (empty prediction sets, `len - 1` underflow on an
+/// empty power-level list, training on zero samples) — the degenerate inputs
+/// the paper-fidelity validator's edge sweeps probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The dataset holds no regions: nothing to sweep, train on, or tune.
+    EmptyDataset,
+    /// The search space has fewer power levels than the experiment needs
+    /// (`needed`): 1 for the cap-indexed pipelines, 2 for the unseen-power
+    /// hold-out.
+    NotEnoughPowerLevels {
+        /// Minimum number of power levels the driver requires.
+        needed: usize,
+        /// Number of power levels the dataset's search space actually has.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::EmptyDataset => {
+                write!(f, "dataset holds no regions — nothing to train or tune")
+            }
+            ExperimentError::NotEnoughPowerLevels { needed, have } => write!(
+                f,
+                "search space has {have} power level(s), the experiment needs at least {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Shared guard for the `try_run_on_dataset` entry points.
+pub(crate) fn check_dataset(ds: &Dataset, min_power_levels: usize) -> Result<(), ExperimentError> {
+    if ds.is_empty() {
+        return Err(ExperimentError::EmptyDataset);
+    }
+    let have = ds.space.power_levels.len();
+    if have < min_power_levels {
+        return Err(ExperimentError::NotEnoughPowerLevels {
+            needed: min_power_levels,
+            have,
+        });
+    }
+    Ok(())
+}
+
 /// Builds the full-suite dataset for a machine (the expensive exhaustive
 /// sweep shared by several experiments), with the worker count resolved from
 /// the `PNP_SWEEP_THREADS` environment variable.

@@ -20,7 +20,7 @@ use serde::Serialize;
 use crate::dataset::Dataset;
 
 /// Results of the motivating-example sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct MotivatingResults {
     /// `(power cap, best speedup over the default config at that cap)`.
     pub best_speedup_per_cap: Vec<(f64, f64)>,
@@ -36,6 +36,15 @@ pub struct MotivatingResults {
 }
 
 impl MotivatingResults {
+    /// Best-over-default speedup at one power cap (structured accessor for
+    /// the paper-fidelity validator).
+    pub fn speedup_at(&self, cap: f64) -> Option<f64> {
+        self.best_speedup_per_cap
+            .iter()
+            .find(|(c, _)| *c == cap)
+            .map(|(_, s)| *s)
+    }
+
     /// Renders the example as a small table.
     pub fn render(&self) -> String {
         let mut out = String::new();

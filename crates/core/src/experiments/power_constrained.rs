@@ -64,6 +64,56 @@ pub struct PowerConstrainedResults {
 }
 
 impl PowerConstrainedResults {
+    /// Index of a tuner name within [`TUNERS`] (the order of every
+    /// per-tuner vector in the rows).
+    pub fn tuner_index(name: &str) -> Option<usize> {
+        TUNERS.iter().position(|t| *t == name)
+    }
+
+    /// The distinct power caps, in row (ascending) order.
+    pub fn power_caps(&self) -> Vec<f64> {
+        let mut caps: Vec<f64> = self.rows.iter().map(|r| r.power_watts).collect();
+        caps.sort_by(f64::total_cmp);
+        caps.dedup();
+        caps
+    }
+
+    /// Geometric-mean *raw* speedup over the default configuration for a
+    /// tuner at a power cap (`None` for unknown tuners/caps; "default" is
+    /// 1.0 by construction). This is the structured accessor the
+    /// paper-fidelity validator consumes — no stdout scraping.
+    pub fn geomean_speedup(&self, tuner: &str, power_watts: f64) -> Option<f64> {
+        if tuner == "default" {
+            return self.cap_entry(power_watts).map(|_| 1.0);
+        }
+        let t = Self::tuner_index(tuner)?.checked_sub(1)?;
+        self.cap_entry(power_watts)?.1.get(t).copied()
+    }
+
+    /// Oracle geometric-mean speedup at a power cap.
+    pub fn oracle_geomean(&self, power_watts: f64) -> Option<f64> {
+        self.summary
+            .oracle_geomean_per_power
+            .iter()
+            .find(|(p, _)| *p == power_watts)
+            .map(|(_, g)| *g)
+    }
+
+    /// The per-application figure rows at one power cap.
+    pub fn rows_at(&self, power_watts: f64) -> Vec<&FigureRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.power_watts == power_watts)
+            .collect()
+    }
+
+    fn cap_entry(&self, power_watts: f64) -> Option<&(f64, Vec<f64>)> {
+        self.summary
+            .geomean_speedup_per_power
+            .iter()
+            .find(|(p, _)| *p == power_watts)
+    }
+
     /// Renders the figure as one table per power cap (the paper's four
     /// stacked charts).
     pub fn render(&self) -> String {
@@ -146,7 +196,21 @@ pub fn run_with(
 }
 
 /// Runs the experiment on a pre-built dataset (lets callers share the sweep).
+///
+/// Panics on degenerate datasets; use [`try_run_on_dataset`] when the input
+/// is not known to be well-formed.
 pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstrainedResults {
+    try_run_on_dataset(ds, settings).expect("power-constrained experiment on degenerate dataset")
+}
+
+/// Fallible twin of [`run_on_dataset`]: returns a typed error for datasets
+/// the pipeline cannot process (no regions, no power levels) instead of
+/// panicking mid-training.
+pub fn try_run_on_dataset(
+    ds: &Dataset,
+    settings: &TrainSettings,
+) -> Result<PowerConstrainedResults, super::ExperimentError> {
+    super::check_dataset(ds, 1)?;
     let preds_static = train_scenario1_models(ds, settings, false);
     let preds_dynamic = train_scenario1_models(ds, settings, true);
     let num_powers = ds.space.power_levels.len();
@@ -155,7 +219,6 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstraine
     let mut normalized: Vec<Vec<Vec<f64>>> = vec![Vec::new(); TUNERS.len()];
     let mut raw_speedup: Vec<Vec<Vec<f64>>> = vec![Vec::new(); TUNERS.len()];
     let mut oracle_speedups: Vec<Vec<f64>> = Vec::new();
-    let mut app_of_case: Vec<(String, usize)> = Vec::new();
     let mut bliss_execs = 0.0;
     let mut opentuner_execs = 0.0;
 
@@ -172,7 +235,6 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstraine
             let best_t = sweep.best_time(p);
             let oracle_speedup = default_t / best_t;
             oracle_row.push(oracle_speedup);
-            app_of_case.push((ds.regions[i].app.clone(), p));
 
             // Tuner times at this power.
             let pnp_static_t = sweep.samples[p][preds_static[i][p]].time_s;
@@ -225,8 +287,9 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstraine
             });
         }
     }
-    // Keep figure ordering: power-major (one chart per power), matching render().
-    rows.sort_by(|a, b| a.power_watts.partial_cmp(&b.power_watts).unwrap());
+    // Keep figure ordering: power-major (one chart per power), matching
+    // render(). `total_cmp` so a degenerate (NaN) cap cannot panic the sort.
+    rows.sort_by(|a, b| a.power_watts.total_cmp(&b.power_watts));
 
     // Summary.
     let flat = |t: usize| -> Vec<f64> {
@@ -271,9 +334,9 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> PowerConstraine
         ],
     };
 
-    PowerConstrainedResults {
+    Ok(PowerConstrainedResults {
         machine: ds.machine.name.clone(),
         rows,
         summary,
-    }
+    })
 }

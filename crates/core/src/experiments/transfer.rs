@@ -10,7 +10,7 @@ use pnp_machine::{haswell, skylake};
 use serde::Serialize;
 
 /// Serializable wrapper of the transfer-learning outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct TransferResults {
     /// Seconds to train the Skylake model from scratch.
     pub scratch_seconds: f64,

@@ -11,7 +11,7 @@ use pnp_machine::MachineSpec;
 use serde::Serialize;
 
 /// One application bar of Figure 4/5 at one held-out power cap.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct UnseenPowerRow {
     /// Application name.
     pub app: String,
@@ -24,7 +24,7 @@ pub struct UnseenPowerRow {
 }
 
 /// Results for one machine (two held-out caps).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
 pub struct UnseenPowerResults {
     /// Machine name ("skylake" → Figure 4, "haswell" → Figure 5).
     pub machine: String,
@@ -40,6 +40,20 @@ pub struct UnseenPowerResults {
 }
 
 impl UnseenPowerResults {
+    /// The held-out power caps, in evaluation order.
+    pub fn held_out_caps(&self) -> Vec<f64> {
+        self.geomean_speedups.iter().map(|(c, _, _)| *c).collect()
+    }
+
+    /// `(pnp, oracle)` geometric-mean speedups at one held-out cap — the
+    /// structured accessor the paper-fidelity validator consumes.
+    pub fn geomean_at(&self, cap: f64) -> Option<(f64, f64)> {
+        self.geomean_speedups
+            .iter()
+            .find(|(c, _, _)| *c == cap)
+            .map(|(_, p, o)| (*p, *o))
+    }
+
     /// Renders the figure's series as a table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -92,7 +106,21 @@ pub fn run_with(
 }
 
 /// Runs the experiment on a pre-built dataset.
+///
+/// Panics on degenerate datasets; use [`try_run_on_dataset`] when the input
+/// is not known to be well-formed.
 pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> UnseenPowerResults {
+    try_run_on_dataset(ds, settings).expect("unseen-power experiment on degenerate dataset")
+}
+
+/// Fallible twin of [`run_on_dataset`]: holding a cap out requires at least
+/// two power levels and a non-empty region list — degenerate datasets yield
+/// a typed error instead of an underflow or an empty-training-set panic.
+pub fn try_run_on_dataset(
+    ds: &Dataset,
+    settings: &TrainSettings,
+) -> Result<UnseenPowerResults, super::ExperimentError> {
+    super::check_dataset(ds, 2)?;
     let held_out = [ds.space.power_levels.len() - 1, 0];
     let mut rows = Vec::new();
     let mut geomean_speedups = Vec::new();
@@ -142,11 +170,11 @@ pub fn run_on_dataset(ds: &Dataset, settings: &TrainSettings) -> UnseenPowerResu
         }
     }
 
-    UnseenPowerResults {
+    Ok(UnseenPowerResults {
         machine: ds.machine.name.clone(),
         rows,
         geomean_speedups,
         within_95: fraction_within(&all_norm, 0.95),
         within_80: fraction_within(&all_norm, 0.80),
-    }
+    })
 }

@@ -19,6 +19,9 @@
 //!   these.
 //! * [`report`] — plain-text table rendering and JSON export of experiment
 //!   results.
+//! * [`validate`] — the paper-fidelity harness: every figure/table claim
+//!   encoded as a machine-checkable invariant (DESIGN.md §11), driven by the
+//!   `validate_paper` binary and the `validate` CI job.
 
 pub mod dataset;
 pub mod eval;
@@ -26,8 +29,10 @@ pub mod experiments;
 pub mod pnp;
 pub mod report;
 pub mod training;
+pub mod validate;
 
 pub use dataset::{Dataset, RegionRecord, Sweep};
-pub use eval::{fraction_within, geomean, normalized_speedups};
+pub use eval::{checked_geomean, fraction_within, geomean, normalized_speedups};
 pub use pnp::PnPTuner;
 pub use training::{train_scenario1_models, train_scenario2_model, FoldPlan, TrainSettings};
+pub use validate::{run_full_validation, ValidationOptions, ValidationReport};

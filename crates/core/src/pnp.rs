@@ -133,10 +133,13 @@ impl PnPTuner {
     pub fn predict_ranked(&mut self, graph: &EncodedGraph, top_k: usize) -> Vec<ConfigPoint> {
         let probs = self.model.predict_proba(graph, None);
         let mut classes: Vec<usize> = (0..probs.len()).collect();
+        // `total_cmp` keeps the ranking total even if a score degenerates to
+        // NaN (e.g. a NaN model probability) — a panic here would take the
+        // whole tuner down on one bad prediction.
         classes.sort_by(|&a, &b| {
             let score =
                 |c: usize| (probs[c].max(1e-9) as f64).ln() + self.class_prior[c].max(1e-9).ln();
-            score(b).partial_cmp(&score(a)).unwrap()
+            score(b).total_cmp(&score(a))
         });
         classes
             .into_iter()

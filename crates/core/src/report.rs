@@ -69,11 +69,17 @@ impl TextTable {
 /// Writes any serializable experiment result as JSON under
 /// `target/experiments/<name>.json` (creating the directory if needed) and
 /// returns the path written to.
+///
+/// Serialization failures surface as `io::Error` (kind `InvalidData`) rather
+/// than panicking — experiment binaries treat a missing JSON copy as a
+/// warning, not a crash.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("target").join("experiments");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).unwrap())?;
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, body)?;
     Ok(path)
 }
 

@@ -171,15 +171,16 @@ impl FoldPlan {
 }
 
 /// Per-class "prior quality" scores computed from the training sweeps: for
-/// scenario 1, `score[c]` is the geometric mean over training regions of
-/// `best_time / time(c)`; for scenario 2 the same with EDP. Predictions blend
-/// the classifier's probabilities with this prior (`ln p + ln prior`), which
-/// keeps the tuner sensible when the model is uncertain — the GNN sharpens
-/// the choice where it has signal and the prior prevents catastrophic picks
-/// (e.g. one thread for a huge region) where it does not. The paper's models
-/// are trained far longer on real hardware; this blending compensates for the
-/// reduced training budget of the reproduction and is documented in
-/// DESIGN.md.
+/// scenario 1, `score[c]` combines the geometric mean over training regions
+/// of `best_time / time(c)` with a [`RISK_WEIGHT`]-weighted worst-case term;
+/// for scenario 2 the same with EDP. Predictions blend the classifier's
+/// probabilities with this prior (`ln p + ln prior`), which keeps the tuner
+/// sensible when the model is uncertain — the GNN sharpens the choice where
+/// it has signal and the prior prevents catastrophic picks (e.g. a
+/// huge-chunk static schedule for a short loop) where it does not. The
+/// paper's models are trained far longer on real hardware; this blending
+/// compensates for the reduced training budget of the reproduction and is
+/// documented in DESIGN.md §11.
 pub(crate) fn class_prior_scenario1(
     ds: &Dataset,
     power_idx: usize,
@@ -188,15 +189,45 @@ pub(crate) fn class_prior_scenario1(
     let num_classes = ds.space.configs_per_power();
     let mut scores = vec![0.0f64; num_classes];
     for (c, score) in scores.iter_mut().enumerate() {
-        let mut log_sum = 0.0;
-        for &i in train_idx {
-            let best = ds.sweeps[i].best_time(power_idx);
-            let t = ds.sweeps[i].samples[power_idx][c].time_s;
-            log_sum += (best / t).max(1e-6).ln();
-        }
-        *score = (log_sum / train_idx.len().max(1) as f64).exp();
+        let ratios: Vec<f64> = train_idx
+            .iter()
+            .map(|&i| {
+                let best = ds.sweeps[i].best_time(power_idx);
+                let t = ds.sweeps[i].samples[power_idx][c].time_s;
+                (best / t).max(1e-6)
+            })
+            .collect();
+        *score = risk_adjusted_score(&ratios);
     }
     scores
+}
+
+/// Weight of the worst-case (minimum over training regions) ratio inside the
+/// class priors: a configuration that is catastrophic for even one training
+/// region is strongly penalized, while uniformly-decent configurations are
+/// unaffected.
+pub(crate) const RISK_WEIGHT: f64 = 0.5;
+
+/// Risk-adjusted prior score for one class from its per-training-region
+/// `best / observed` ratios (each in `(0, 1]`): the geometric mean times the
+/// worst case raised to [`RISK_WEIGHT`].
+///
+/// A pure geometric mean endorses configurations that are fine on average
+/// but disastrous for a minority of regions — the paper-fidelity harness
+/// caught held-out regions being handed a 512-element static chunk that
+/// starves most threads on short loops (0.05–0.09x "speedups"). The
+/// worst-case term vetoes such picks while leaving uniformly-decent
+/// configurations untouched.
+pub(crate) fn risk_adjusted_score(ratios: &[f64]) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut log_min = 0.0f64;
+    for &r in ratios {
+        let l = r.ln();
+        log_sum += l;
+        log_min = log_min.min(l);
+    }
+    let mean = log_sum / ratios.len().max(1) as f64;
+    (mean + RISK_WEIGHT * log_min).exp()
 }
 
 pub(crate) fn class_prior_scenario2(ds: &Dataset, train_idx: &[usize]) -> Vec<f64> {
@@ -205,18 +236,24 @@ pub(crate) fn class_prior_scenario2(ds: &Dataset, train_idx: &[usize]) -> Vec<f6
     let mut scores = vec![0.0f64; num_classes];
     for (class, score) in scores.iter_mut().enumerate() {
         let (p, c) = (class / per, class % per);
-        let mut log_sum = 0.0;
-        for &i in train_idx {
-            let best = ds.sweeps[i].best_edp();
-            let e = ds.sweeps[i].samples[p][c].edp();
-            log_sum += (best / e).max(1e-9).ln();
-        }
-        *score = (log_sum / train_idx.len().max(1) as f64).exp();
+        let ratios: Vec<f64> = train_idx
+            .iter()
+            .map(|&i| {
+                let best = ds.sweeps[i].best_edp();
+                let e = ds.sweeps[i].samples[p][c].edp();
+                (best / e).max(1e-9)
+            })
+            .collect();
+        *score = risk_adjusted_score(&ratios);
     }
     scores
 }
 
-/// Picks the class maximizing `ln p_model + ln prior`.
+/// Picks the class maximizing `ln p_model + ln prior`. (A 2x prior
+/// upweighting for the extrapolating unseen-power pipeline was measured and
+/// rejected: it nudged the full-suite fig. 4 geomean up by ~2 % but clearly
+/// hurt the reduced validation suite — one shared weight keeps the blend
+/// predictable.)
 pub(crate) fn predict_with_prior(
     model: &mut PnPModel,
     graph: &pnp_graph::EncodedGraph,
@@ -462,17 +499,31 @@ pub fn train_unseen_power(
                     });
                 }
             }
-            // The prior for the unseen cap is averaged over the caps that
-            // were observed during training (measurements at the held-out
-            // cap are, by construction, unavailable).
+            // The prior for the unseen cap is a proximity-weighted average
+            // over the caps observed during training (measurements at the
+            // held-out cap are, by construction, unavailable). Inverse-
+            // distance weights matter: a uniform average biases the prior
+            // toward the behaviour of far-away caps — e.g. toward
+            // few-thread configurations when TDP is held out — which the
+            // `fig4.pnp_beats_default_at_unseen_caps` paper-fidelity
+            // invariant caught as a sub-1.0 geomean speedup.
+            let held_cap = ds.space.power_levels[held_out_power];
+            let scale = ds.machine.tdp_watts.max(1e-9);
             let mut prior = vec![0.0f64; num_classes];
+            let mut total_w = 0.0f64;
             for &p in &train_powers {
+                let dist = (ds.space.power_levels[p] - held_cap).abs() / scale;
+                let w = 1.0 / (dist + 0.05);
+                total_w += w;
                 for (c, v) in class_prior_scenario1(ds, p, train_idx)
                     .into_iter()
                     .enumerate()
                 {
-                    prior[c] += v / train_powers.len() as f64;
+                    prior[c] += w * v;
                 }
+            }
+            for v in &mut prior {
+                *v /= total_w.max(1e-9);
             }
             let mut model = PnPModel::new(settings.model_config(
                 num_classes,
@@ -549,15 +600,17 @@ pub fn transfer_experiment(
     let scratch_report = trainer.train(&mut scratch_model, &target_samples);
     let scratch_seconds = t0.elapsed().as_secs_f64();
 
-    // Transfer: restore GNN weights, freeze them, train only the dense head,
-    // for proportionally fewer epochs (the frozen graph layers converge the
-    // dense head much faster — this is the 76 % training-time saving).
+    // Transfer: restore GNN weights, freeze them, and re-train only the
+    // dense head — with the *full* epoch budget. The time saving comes from
+    // the trainer's frozen-GNN fast path (graph layers run once per sample
+    // instead of once per sample per epoch), matching the paper's mechanism:
+    // comparable accuracy at ~76 % less training time. (An earlier revision
+    // instead cut the epoch budget to a quarter, which faked the speedup and
+    // collapsed the transfer accuracy to chance — caught by the
+    // `transfer.accuracy` paper-fidelity invariant, DESIGN.md §11.)
     let mut transfer_model = PnPModel::new(settings.model_config(num_classes, 0, 0x7200));
     transfer_model.load_gnn_weights(&bundle);
-    let mut frozen_settings = settings.clone();
-    frozen_settings.epochs = (settings.epochs / 4).max(1);
-    let frozen_trainer =
-        Trainer::new(frozen_settings.train_config(OptimizerKind::AdamWAmsgrad, true));
+    let frozen_trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, true));
     let t1 = Instant::now();
     let transfer_report = frozen_trainer.train(&mut transfer_model, &target_samples);
     let transfer_seconds = t1.elapsed().as_secs_f64();
@@ -599,6 +652,31 @@ mod tests {
         // A zero-fold request over a non-empty list still clamps to 1.
         let apps = vec!["a".to_string()];
         assert_eq!(FoldPlan::new(&apps, 0).len(), 1);
+    }
+
+    #[test]
+    fn risk_adjusted_prior_vetoes_catastrophic_minority_configs() {
+        // Two hypothetical configs over four training regions: A is
+        // uniformly decent, B is slightly better on average but disastrous
+        // for one region. The risk-adjusted score must rank A above B,
+        // where a pure geometric mean would rank B above A.
+        let a = [0.8, 0.8, 0.8, 0.8];
+        let b = [1.0, 1.0, 1.0, 0.5];
+        assert!(
+            crate::eval::geomean(&b) > crate::eval::geomean(&a),
+            "the pure geomean should prefer B, or this test checks nothing"
+        );
+        assert!(
+            risk_adjusted_score(&a) > risk_adjusted_score(&b),
+            "A={} B={}",
+            risk_adjusted_score(&a),
+            risk_adjusted_score(&b)
+        );
+        // Uniform ratios: the worst case equals the mean, so the adjustment
+        // only sharpens the score monotonically (ordering is preserved).
+        assert!(risk_adjusted_score(&[1.0; 3]) >= risk_adjusted_score(&[0.9; 3]));
+        // Degenerate empty input stays finite (no training regions).
+        assert!(risk_adjusted_score(&[]).is_finite());
     }
 
     #[test]

@@ -185,6 +185,84 @@ impl PnPModel {
         x
     }
 
+    /// Runs only the GNN half of the model (embeddings → RGCN stack →
+    /// readout) in inference mode and returns the pooled `(1 x hidden_dim)`
+    /// graph representation.
+    ///
+    /// With a frozen GNN this output is constant per graph, so the trainer
+    /// caches it once and drives every epoch through
+    /// [`PnPModel::head_forward`] / [`PnPModel::head_backward`] — the
+    /// mechanism behind the paper's transfer-learning speedup (§IV-B): only
+    /// the dense classifier is re-trained, and the expensive graph layers run
+    /// once per sample instead of once per sample per epoch.
+    pub fn pooled_features(&mut self, graph: &EncodedGraph) -> Tensor {
+        assert!(
+            graph.num_nodes() > 0,
+            "cannot run the model on an empty graph"
+        );
+        let tok = self.token_embedding.lookup(&graph.tokens, false);
+        let kind = self.kind_embedding.lookup(&graph.kinds, false);
+        let mut h = tok.add(&kind);
+        for (layer, act) in self
+            .rgcn_layers
+            .iter_mut()
+            .zip(self.rgcn_activations.iter_mut())
+        {
+            let z = layer.forward(&h, &graph.relations, false);
+            h = act.forward(&z, false);
+        }
+        self.readout.forward(&h, false)
+    }
+
+    /// Forward pass of the classifier head only (dropout → dynamic-feature
+    /// concat → dense stack) over a pooled graph representation from
+    /// [`PnPModel::pooled_features`]. Mirrors the tail of
+    /// [`PnPModel::forward`] exactly.
+    pub fn head_forward(
+        &mut self,
+        pooled: &Tensor,
+        dynamic_features: Option<&[f32]>,
+        train: bool,
+    ) -> Tensor {
+        let dyn_feats = dynamic_features.unwrap_or(&[]);
+        assert_eq!(
+            dyn_feats.len(),
+            self.config.num_dynamic_features,
+            "expected {} dynamic features, got {}",
+            self.config.num_dynamic_features,
+            dyn_feats.len()
+        );
+        let pooled = self.dropout.forward(pooled, train);
+        self.cached_dyn_len = dyn_feats.len();
+        let mut x = if dyn_feats.is_empty() {
+            pooled
+        } else {
+            let dyn_row = Tensor::from_vec(dyn_feats.to_vec(), &[1, dyn_feats.len()]);
+            pooled.concat_cols(&dyn_row)
+        };
+        for i in 0..self.fc_layers.len() {
+            x = self.fc_layers[i].forward(&x, train);
+            if i < self.fc_activations.len() {
+                x = self.fc_activations[i].forward(&x, train);
+            }
+        }
+        x
+    }
+
+    /// Backward pass of the classifier head only: accumulates dense-layer
+    /// gradients and stops at the (frozen) readout boundary.
+    pub fn head_backward(&mut self, grad_logits: &Tensor) {
+        let mut d = grad_logits.clone();
+        for i in (0..self.fc_layers.len()).rev() {
+            if i < self.fc_activations.len() {
+                d = self.fc_activations[i].backward(&d);
+            }
+            d = self.fc_layers[i].backward(&d);
+        }
+        // The gradient would continue into the dropout mask and the GNN; both
+        // are frozen in head-only training, so it stops here.
+    }
+
     /// Backward pass from the logits gradient; accumulates all parameter
     /// gradients.
     pub fn backward(&mut self, grad_logits: &Tensor) {

@@ -195,18 +195,37 @@ impl Tensor {
 ///
 /// Used throughout the evaluation: the paper reports geometric-mean speedups,
 /// greenups, and EDP improvements.
+///
+/// Total on all inputs (the paper-fidelity validator sweeps degenerate
+/// cases through every aggregate): an empty slice yields the multiplicative
+/// neutral element `1.0`, a single element yields itself, and non-positive
+/// or non-finite entries are floored at a tiny positive value instead of
+/// panicking (a zero-time/zero-energy region then drags the mean toward
+/// zero, which is the honest qualitative signal). Use
+/// [`checked_geometric_mean`] when the caller needs to *detect* degenerate
+/// input rather than absorb it.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 1.0;
+    checked_geometric_mean(values).unwrap_or_else(|| {
+        if values.is_empty() {
+            return 1.0;
+        }
+        let floor = f64::MIN_POSITIVE;
+        let log_sum: f64 = values
+            .iter()
+            .map(|&v| if v > 0.0 && v.is_finite() { v } else { floor }.ln())
+            .sum();
+        (log_sum / values.len() as f64).exp()
+    })
+}
+
+/// Strict geometric mean: `None` when the slice is empty or any value is
+/// non-positive or non-finite (the cases [`geometric_mean`] papers over).
+pub fn checked_geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
     }
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+    let log_sum: f64 = values.iter().map(|&v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -265,6 +284,30 @@ mod tests {
         let g = geometric_mean(&[2.0, 2.0, 2.0]);
         assert!((g - 2.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_total_on_degenerate_input() {
+        // Single element: identity (up to rounding through exp∘ln).
+        assert!((geometric_mean(&[3.25]) - 3.25).abs() < 1e-12);
+        // Zero / negative / non-finite entries no longer panic; they are
+        // floored and drag the mean toward zero.
+        let with_zero = geometric_mean(&[0.0, 4.0]);
+        assert!(with_zero.is_finite() && (0.0..1e-6).contains(&with_zero));
+        assert!(geometric_mean(&[-1.0, 2.0]).is_finite());
+        assert!(geometric_mean(&[f64::NAN, 2.0]).is_finite());
+        assert!(geometric_mean(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn checked_geometric_mean_detects_degenerate_input() {
+        assert!((checked_geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((checked_geometric_mean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(checked_geometric_mean(&[]), None);
+        assert_eq!(checked_geometric_mean(&[0.0, 4.0]), None);
+        assert_eq!(checked_geometric_mean(&[-1.0]), None);
+        assert_eq!(checked_geometric_mean(&[f64::NAN]), None);
+        assert_eq!(checked_geometric_mean(&[f64::INFINITY]), None);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Integration suite for the paper-fidelity validation harness
+//! (`pnp_core::validate`, DESIGN.md §11).
+//!
+//! The heavyweight test drives the full harness — every figure/table
+//! experiment through the shared `run_on_dataset` entry points — on the
+//! reduced 6-application suite (the same configuration the `validate` CI job
+//! gates on) and asserts that no invariant fails without a documented
+//! DESIGN.md §11 `expected_fail` entry. The lightweight tests pin down the
+//! metric edge cases the harness's edge sweeps probe: ties in top-1
+//! configuration selection, identical EDP values, zero-energy regions, and
+//! the typed errors the experiment drivers return on degenerate datasets.
+
+use pnp::core::dataset::{Dataset, Sweep};
+use pnp::core::experiments::{self, ExperimentError};
+use pnp::core::training::TrainSettings;
+use pnp::core::validate::{
+    is_expected_fail, run_validation_on_suite, InvariantStatus, ValidationReport,
+};
+use pnp::core::{checked_geomean, geomean};
+use pnp::graph::Vocabulary;
+use pnp::machine::{haswell, CounterSet, EnergySample};
+use pnp::openmp::Threads;
+
+fn quick_settings() -> TrainSettings {
+    // The exact configuration the CI smoke uses: quick budgets, explicit
+    // worker count so the test is independent of the host's cores.
+    TrainSettings {
+        train_threads: Threads::Fixed(1),
+        ..TrainSettings::quick()
+    }
+}
+
+/// A hand-built sweep with deliberate ties: configs 0 and 1 share the best
+/// time, configs 1 and 2 share the best EDP (via different time/energy
+/// splits).
+fn tied_sweep() -> Sweep {
+    let samples = vec![
+        vec![
+            EnergySample::new(2.0, 10.0), // config 0: time 2.0, edp 20
+            EnergySample::new(2.0, 8.0),  // config 1: time 2.0 (tie), edp 16 (best, tied below)
+            EnergySample::new(4.0, 4.0),  // config 2: edp 16 (tie with config 1)
+            EnergySample::new(3.0, 9.0),  // config 3: edp 27
+        ];
+        2
+    ];
+    Sweep {
+        samples,
+        default_samples: vec![EnergySample::new(5.0, 20.0); 2],
+        default_counters: vec![CounterSet::default(); 2],
+    }
+}
+
+#[test]
+fn top1_selection_breaks_time_ties_deterministically() {
+    let sweep = tied_sweep();
+    // Configs 0 and 1 tie on time: the first index must win at every power
+    // level (prediction write-back relies on this being deterministic).
+    for p in 0..2 {
+        assert_eq!(sweep.best_time_config(p), 0);
+        assert_eq!(sweep.best_time(p), 2.0);
+    }
+}
+
+#[test]
+fn best_edp_breaks_ties_on_first_point_in_scan_order() {
+    let sweep = tied_sweep();
+    // Configs 1 and 2 tie on EDP (16.0): the scan-order winner is (power 0,
+    // config 1) and must be stable.
+    assert_eq!(sweep.best_edp_point(), (0, 1));
+    assert!((sweep.best_edp() - 16.0).abs() < 1e-12);
+}
+
+#[test]
+fn zero_energy_regions_do_not_poison_aggregates() {
+    // A zero-energy sample makes greenup ratios degenerate; the strict
+    // aggregate flags it while the total aggregate stays finite.
+    let zero = EnergySample::new(1.0, 0.0);
+    let baseline = EnergySample::new(1.0, 5.0);
+    let greenup = baseline.energy_j / zero.energy_j; // inf
+    assert_eq!(checked_geomean(&[greenup]), None);
+    assert!(geomean(&[greenup]).is_finite());
+    assert_eq!(checked_geomean(&[1.2, 0.0]), None);
+    assert!(geomean(&[1.2, 0.0]).is_finite());
+}
+
+#[test]
+fn degenerate_datasets_yield_typed_errors_not_panics() {
+    let settings = quick_settings();
+    let empty =
+        Dataset::build_with_threads(&haswell(), &[], &Vocabulary::standard(), Threads::Fixed(1));
+    assert_eq!(
+        experiments::power_constrained::try_run_on_dataset(&empty, &settings).unwrap_err(),
+        ExperimentError::EmptyDataset
+    );
+    assert_eq!(
+        experiments::edp::try_run_on_dataset(&empty, &settings).unwrap_err(),
+        ExperimentError::EmptyDataset
+    );
+    assert_eq!(
+        experiments::unseen_power::try_run_on_dataset(&empty, &settings).unwrap_err(),
+        ExperimentError::EmptyDataset
+    );
+    assert_eq!(
+        experiments::ablations::try_run_on_dataset(&empty, &settings).unwrap_err(),
+        ExperimentError::EmptyDataset
+    );
+
+    // A dataset whose search space lost its power levels trips the
+    // second guard instead of underflowing `len - 1`.
+    let apps: Vec<_> = pnp::benchmarks::full_suite().into_iter().take(1).collect();
+    let mut ds = Dataset::build_with_threads(
+        &haswell(),
+        &apps,
+        &Vocabulary::standard(),
+        Threads::Fixed(1),
+    );
+    ds.space.power_levels.truncate(1);
+    assert_eq!(
+        experiments::unseen_power::try_run_on_dataset(&ds, &settings).unwrap_err(),
+        ExperimentError::NotEnoughPowerLevels { needed: 2, have: 1 }
+    );
+}
+
+/// The heavyweight end-to-end check: the full harness on the CI-gated
+/// 6-application suite. One run shared by every assertion.
+#[test]
+fn reduced_suite_validation_has_no_undocumented_divergence() {
+    let apps: Vec<_> = pnp::benchmarks::full_suite().into_iter().take(6).collect();
+    let report = run_validation_on_suite(&apps, &quick_settings(), Threads::Fixed(1));
+
+    // Nothing may fail without a DESIGN.md §11 entry.
+    let hard: Vec<String> = report
+        .hard_failures()
+        .iter()
+        .map(|i| format!("{} ({}): observed {}", i.id, i.citation, i.observed))
+        .collect();
+    assert!(hard.is_empty(), "undocumented divergences: {hard:#?}");
+
+    // Every expected-fail the report downgraded really is documented for
+    // this suite size.
+    for inv in &report.invariants {
+        if inv.status == InvariantStatus::ExpectedFail {
+            assert!(
+                is_expected_fail(&inv.id, report.context.suite_apps),
+                "{} downgraded without a matching EXPECTED_FAIL entry",
+                inv.id
+            );
+        }
+    }
+
+    // The divergences this PR fixed must stay fixed (regression net).
+    for id in [
+        "motivating.headroom",          // frequency-scaled runtime overheads
+        "motivating.headroom_monotone", // (sim.rs fix)
+        "transfer.accuracy",            // cached-head frozen training fix
+        "transfer.speedup",
+        "edge.zero_cap_stays_finite", // power-cap floor fix
+        "edge.geomean_total",         // total aggregates fix
+        "edge.empty_dataset_is_typed_error",
+        "dataset.haswell.oracle_monotone_in_cap",
+        "dataset.skylake.oracle_monotone_in_cap",
+    ] {
+        let inv = report
+            .invariant(id)
+            .unwrap_or_else(|| panic!("invariant {id} missing from the report"));
+        assert_eq!(inv.status, InvariantStatus::Pass, "{id}: {}", inv.observed);
+    }
+
+    // Context stamps the measurement environment for trajectory consumers.
+    assert!(report.context.available_parallelism >= 1);
+    assert_eq!(report.context.suite_apps, 6);
+    assert_eq!(report.context.suite_regions.len(), 2);
+    assert_eq!(report.context.settings_mode, "quick");
+
+    // The report round-trips through the VALIDATION.json wire format.
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: ValidationReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back.invariants.len(), report.invariants.len());
+    assert_eq!(back.failed, 0);
+}
