@@ -19,8 +19,9 @@
 //! with a warning when the host has fewer than `T` cores, where the speedup
 //! physically cannot materialize.
 
-use pnp_bench::{banner, enforce_min_speedup, PerfHarnessOptions};
+use pnp_bench::{banner, enforce_min_speedup, report_store_stats, PerfHarnessOptions, Provenance};
 use pnp_benchmarks::full_suite;
+use pnp_core::artifact::ArtifactStore;
 use pnp_core::dataset::Dataset;
 use pnp_graph::Vocabulary;
 use pnp_openmp::Threads;
@@ -53,9 +54,11 @@ struct Report {
     regions: usize,
     /// Simulations per region: `(configs + default) × power levels`.
     simulations_per_region: usize,
-    /// `std::thread::available_parallelism` of the measuring host — without
-    /// spare cores the speedups cannot materialize, so record the context.
-    available_parallelism: usize,
+    /// Measurement provenance: git SHA, store-key schema version, and
+    /// `available_parallelism` of the measuring host (without spare cores
+    /// the speedups cannot materialize) — the same attribution contract as
+    /// `VALIDATION.json`'s context header.
+    context: Provenance,
     /// Best-of-`repeats` timing per worker count.
     runs: Vec<Run>,
 }
@@ -71,9 +74,8 @@ fn main() {
         apps.truncate(n);
     }
     let vocab = Vocabulary::standard();
-    let available = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let context = Provenance::capture();
+    let available = context.available_parallelism;
 
     // The 1-thread build is always the determinism anchor and the speedup
     // denominator, measured best-of-`repeats` like every other entry. The
@@ -133,13 +135,33 @@ fn main() {
         applications: apps.len(),
         regions,
         simulations_per_region,
-        available_parallelism: available,
+        context,
         runs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, &json).expect("write timing JSON");
     println!("{json}");
     eprintln!("[bench_dataset_build] wrote {}", opts.out);
+
+    // This harness *measures* cold builds, so it never reads the store —
+    // but the serial baseline it just built is byte-identical to what any
+    // warm consumer would compute, so warm the store with it on the way out.
+    if let Some(store) = opts.open_store() {
+        let key = ArtifactStore::dataset_key(&opts.machine, &apps, &vocab);
+        match store.store().save_bytes(&key, baseline_json.as_bytes()) {
+            Ok(path) => eprintln!(
+                "[bench_dataset_build] warmed store with the measured dataset: {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[bench_dataset_build] could not warm store: {e}"),
+        }
+        // This harness only ever writes, so verify mismatches cannot occur
+        // today — but keep the gate wired like every other binary so a
+        // future read path cannot silently drop it.
+        if report_store_stats("bench_dataset_build", &store) {
+            std::process::exit(1);
+        }
+    }
 
     if !all_identical {
         eprintln!("[bench_dataset_build] FAIL: some build differs from the 1-thread baseline");

@@ -20,7 +20,7 @@
 //! skipped with a warning when the host has fewer than `T` cores, where the
 //! speedup physically cannot materialize.
 
-use pnp_bench::{banner, enforce_min_speedup, PerfHarnessOptions};
+use pnp_bench::{banner, enforce_min_speedup, report_store_stats, PerfHarnessOptions, Provenance};
 use pnp_benchmarks::full_suite;
 use pnp_core::training::{train_scenario1_models, train_scenario2_model, TrainSettings};
 use pnp_openmp::Threads;
@@ -61,9 +61,11 @@ struct Report {
     scenario1_jobs: usize,
     /// Training epochs per model.
     epochs: usize,
-    /// `std::thread::available_parallelism` of the measuring host — without
-    /// spare cores the speedups cannot materialize, so record the context.
-    available_parallelism: usize,
+    /// Measurement provenance: git SHA, store-key schema version, and
+    /// `available_parallelism` of the measuring host (without spare cores
+    /// the speedups cannot materialize) — the same attribution contract as
+    /// `VALIDATION.json`'s context header.
+    context: Provenance,
     /// Best-of-`repeats` timing per worker count.
     runs: Vec<Run>,
 }
@@ -92,19 +94,23 @@ fn main() {
     if let Some(n) = opts.apps {
         apps.truncate(n);
     }
-    let available = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let context = Provenance::capture();
+    let available = context.available_parallelism;
 
     // The dataset build is not what this harness measures; build it once up
-    // front (parallel sweep, auto workers) and share it across every run.
+    // front (parallel sweep, auto workers) and share it across every run —
+    // or serve it straight from the artifact store when one is warm (the CI
+    // train-perf job reuses the warm-store artifact exactly here). The
+    // *training* below never touches the store: it is the measured quantity.
     let machine = opts.machine.clone();
-    let ds = pnp_core::dataset::Dataset::build_with_threads(
-        &machine,
-        &apps,
-        &pnp_graph::Vocabulary::standard(),
-        Threads::Auto,
-    );
+    let store = opts.open_store();
+    let vocab = pnp_graph::Vocabulary::standard();
+    let ds = match &store {
+        Some(store) => store.load_or_build_dataset(&machine, &apps, &vocab, Threads::Auto),
+        None => {
+            pnp_core::dataset::Dataset::build_with_threads(&machine, &apps, &vocab, Threads::Auto)
+        }
+    };
     let settings = TrainSettings::from_env();
     let folds = pnp_core::training::FoldPlan::new(&ds.applications(), settings.folds).len();
     let power_levels = ds.space.power_levels.len();
@@ -162,13 +168,22 @@ fn main() {
         power_levels,
         scenario1_jobs: folds * power_levels,
         epochs: settings.epochs,
-        available_parallelism: available,
+        context,
         runs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, &json).expect("write timing JSON");
     println!("{json}");
     eprintln!("[bench_loocv_train] wrote {}", opts.out);
+    if let Some(store) = &store {
+        if report_store_stats("bench_loocv_train", store) {
+            eprintln!(
+                "[bench_loocv_train] FAIL: --verify-store found cached bytes differing from \
+                 fresh computations (broken cache-key contract, DESIGN.md §12)"
+            );
+            std::process::exit(1);
+        }
+    }
 
     if !all_identical {
         eprintln!("[bench_loocv_train] FAIL: some training run differs from the 1-worker baseline");

@@ -2,7 +2,10 @@
 //! (normalized speedups per application at 40/60/70/85 W for the default
 //! configuration, PnP static/dynamic, BLISS, and OpenTuner).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
@@ -15,9 +18,16 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
-    let results = power_constrained::run_with(&haswell(), &settings, sweep_threads);
+    let store = store_from_env();
+    let results =
+        power_constrained::run_with_store(&haswell(), &settings, sweep_threads, store.as_ref());
     println!("{}", results.render());
     if let Ok(path) = write_json("fig2_haswell_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+    if let Some(store) = &store {
+        if report_store_stats("fig2", store) {
+            std::process::exit(1);
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Regenerates Figure 3: power-constrained tuning on the Skylake testbed
 //! (normalized speedups per application at 75/100/120/150 W).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::power_constrained;
 use pnp_core::report::write_json;
 use pnp_machine::skylake;
@@ -14,9 +17,16 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
-    let results = power_constrained::run_with(&skylake(), &settings, sweep_threads);
+    let store = store_from_env();
+    let results =
+        power_constrained::run_with_store(&skylake(), &settings, sweep_threads, store.as_ref());
     println!("{}", results.render());
     if let Ok(path) = write_json("fig3_skylake_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+    if let Some(store) = &store {
+        if report_store_stats("fig3", store) {
+            std::process::exit(1);
+        }
     }
 }

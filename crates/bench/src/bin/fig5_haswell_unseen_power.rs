@@ -1,7 +1,10 @@
 //! Regenerates Figure 5: generalization to unseen power constraints on
 //! Haswell (train without the 40 W / 85 W measurements, predict for them).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::unseen_power;
 use pnp_core::report::write_json;
 use pnp_machine::haswell;
@@ -11,9 +14,16 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
-    let results = unseen_power::run_with(&haswell(), &settings, sweep_threads);
+    let store = store_from_env();
+    let results =
+        unseen_power::run_with_store(&haswell(), &settings, sweep_threads, store.as_ref());
     println!("{}", results.render());
     if let Ok(path) = write_json("fig5_haswell_unseen_power", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+    if let Some(store) = &store {
+        if report_store_stats("fig5", store) {
+            std::process::exit(1);
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Regenerates Figure 6: normalized EDP improvement over the default OpenMP
 //! configuration at TDP, per application, on both testbeds.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::edp;
 use pnp_core::report::write_json;
 use pnp_machine::{haswell, skylake};
@@ -14,12 +17,18 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
+    let store = store_from_env();
     for machine in [skylake(), haswell()] {
-        let results = edp::run_with(&machine, &settings, sweep_threads);
+        let results = edp::run_with_store(&machine, &settings, sweep_threads, store.as_ref());
         println!("{}", results.render());
         let name = format!("fig6_edp_{}", machine.name);
         if let Ok(path) = write_json(&name, &results) {
             eprintln!("[pnp-bench] wrote {}", path.display());
+        }
+    }
+    if let Some(store) = &store {
+        if report_store_stats("fig6", store) {
+            std::process::exit(1);
         }
     }
 }

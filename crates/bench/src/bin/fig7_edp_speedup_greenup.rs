@@ -4,7 +4,10 @@
 //! Reads the JSON produced by `fig6_edp` when available (the two figures come
 //! from the same experiment); otherwise re-runs the experiment.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::edp::{self, EdpResults};
 use pnp_core::report::{write_json, TextTable};
 use pnp_machine::{haswell, skylake};
@@ -26,13 +29,14 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
+    let store = store_from_env();
     for machine in [haswell(), skylake()] {
         let results = load_cached(&machine.name).unwrap_or_else(|| {
             eprintln!(
                 "[pnp-bench] no cached fig6 results for {}, re-running",
                 machine.name
             );
-            edp::run_with(&machine, &settings, sweep_threads)
+            edp::run_with_store(&machine, &settings, sweep_threads, store.as_ref())
         });
         println!("\n--- {} ---", machine.name);
         let hdr = [
@@ -58,6 +62,11 @@ fn main() {
         let name = format!("fig7_edp_speedup_greenup_{}", machine.name);
         if let Ok(path) = write_json(&name, &results) {
             eprintln!("[pnp-bench] wrote {}", path.display());
+        }
+    }
+    if let Some(store) = &store {
+        if report_store_stats("fig7", store) {
+            std::process::exit(1);
         }
     }
 }

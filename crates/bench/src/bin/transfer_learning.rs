@@ -2,7 +2,10 @@
 //! Haswell-trained GNN layers on Skylake and retraining only the dense
 //! classifier (paper: ≈ 4.18× faster training / 76 % less training time).
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::experiments::transfer;
 use pnp_core::report::write_json;
 
@@ -14,9 +17,15 @@ fn main() {
     let mut settings = settings_from_env();
     settings.train_threads = train_threads_from_env();
     let sweep_threads = sweep_threads_from_env();
-    let results = transfer::run_with(&settings, sweep_threads);
+    let store = store_from_env();
+    let results = transfer::run_with_store(&settings, sweep_threads, store.as_ref());
     println!("{}", results.render());
     if let Ok(path) = write_json("transfer_learning", &results) {
         eprintln!("[pnp-bench] wrote {}", path.display());
+    }
+    if let Some(store) = &store {
+        if report_store_stats("transfer_learning", store) {
+            std::process::exit(1);
+        }
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! validate_paper [--apps N] [--out PATH] [--sweep-threads N] [--train-threads N]
+//!                [--store DIR] [--force-rebuild] [--verify-store]
 //! ```
 //!
 //! Exits non-zero when any invariant fails that is not a documented
@@ -12,14 +13,32 @@
 //! gate; the full 30-application suite is the default locally. The report
 //! header stamps `available_parallelism` so trajectory consumers can see the
 //! measurement context (the dev containers here are 1-core).
+//!
+//! With `--store DIR` (or `PNP_STORE`), datasets and trained-model grids
+//! come from the content-addressed artifact store when warm — a second run
+//! is load-and-evaluate with a byte-identical verdict list (DESIGN.md §12).
+//! `--verify-store` additionally recomputes on every hit and byte-compares;
+//! a mismatch (broken key contract) also exits non-zero.
 
-use pnp_bench::{banner, settings_from_env, sweep_threads_from_env, train_threads_from_env};
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
 use pnp_core::validate::{run_full_validation, ValidationOptions};
 
-/// The flags this binary understands, all taking one value (`--flag V` or
-/// `--flag=V`): its own `--apps`/`--out`, plus the worker-count knobs the
-/// shared `pnp_bench` helpers scan the argument list for.
-const KNOWN_FLAGS: [&str; 4] = ["--apps", "--out", "--sweep-threads", "--train-threads"];
+/// The flags this binary understands that take one value (`--flag V` or
+/// `--flag=V`): its own `--apps`/`--out`, plus the worker-count and store
+/// knobs the shared `pnp_bench` helpers scan the argument list for.
+const KNOWN_FLAGS: [&str; 5] = [
+    "--apps",
+    "--out",
+    "--sweep-threads",
+    "--train-threads",
+    "--store",
+];
+
+/// Valueless boolean flags (also consumed by the `pnp_bench` store helper).
+const KNOWN_BOOL_FLAGS: [&str; 2] = ["--force-rebuild", "--verify-store"];
 
 /// Extracts the known flags and rejects everything else — a fidelity gate
 /// should refuse, not guess: a typo'd `--app 6` silently validating the
@@ -29,6 +48,11 @@ fn parse_args(args: &[String]) -> std::collections::BTreeMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
+        if KNOWN_BOOL_FLAGS.contains(&arg.as_str()) {
+            values.insert(arg.clone(), "1".to_string());
+            i += 1;
+            continue;
+        }
         let known = KNOWN_FLAGS.iter().find(|f| {
             arg == **f
                 || arg
@@ -36,7 +60,9 @@ fn parse_args(args: &[String]) -> std::collections::BTreeMap<String, String> {
                     .is_some_and(|rest| rest.starts_with('='))
         });
         let Some(flag) = known else {
-            panic!("unknown argument {arg:?} (expected one of {KNOWN_FLAGS:?})");
+            panic!(
+                "unknown argument {arg:?} (expected one of {KNOWN_FLAGS:?} or {KNOWN_BOOL_FLAGS:?})"
+            );
         };
         if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
             values.insert(flag.to_string(), v.to_string());
@@ -71,6 +97,7 @@ fn main() {
         settings,
         sweep_threads: sweep_threads_from_env(),
         apps,
+        store: store_from_env(),
     };
 
     let report = run_full_validation(&opts);
@@ -79,6 +106,16 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write VALIDATION.json");
     eprintln!("[validate_paper] wrote {out}");
+
+    if let Some(store) = &opts.store {
+        if report_store_stats("validate_paper", store) {
+            eprintln!(
+                "[validate_paper] FAIL: --verify-store found cached artifacts whose bytes \
+                 differ from fresh computations (broken cache-key contract, DESIGN.md §12)"
+            );
+            std::process::exit(1);
+        }
+    }
 
     let hard = report.hard_failures();
     if !hard.is_empty() {

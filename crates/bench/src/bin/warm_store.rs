@@ -1,0 +1,163 @@
+//! Populates the content-addressed artifact store with everything the
+//! figure/table drivers and the paper-fidelity harness consume: one dataset
+//! per machine, every LOOCV trained-model grid (scenario 1 static+dynamic,
+//! scenario 2 static+dynamic, unseen-power for both held-out caps), the
+//! transfer-learning report, the ablation grid, and the motivating-example
+//! sweep — so a subsequent `validate_paper --store …` (or any experiment
+//! binary) is pure load-and-evaluate.
+//!
+//! ```text
+//! warm_store --store DIR [--apps N] [--sweep-threads N] [--train-threads N]
+//!            [--force-rebuild] [--verify-store]
+//! ```
+//!
+//! The CI `warm-store` job runs this once per workflow (`--apps 6`), uploads
+//! the store directory as an artifact, and the `validate` / `train-perf`
+//! jobs download and reuse it instead of recomputing per job.
+
+use pnp_bench::{
+    banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
+    train_threads_from_env,
+};
+use pnp_core::artifact::DatasetCache;
+use pnp_core::experiments::{self, motivating, transfer};
+use pnp_core::training::{
+    train_scenario1_models_cached, train_scenario2_model_cached, train_unseen_power_cached,
+};
+use pnp_graph::Vocabulary;
+use pnp_machine::{haswell, skylake};
+use std::time::Instant;
+
+/// Flags taking a value; `--apps` is warm_store's own, the rest are scanned
+/// by the shared `pnp_bench` helpers.
+const KNOWN_FLAGS: [&str; 4] = ["--apps", "--store", "--sweep-threads", "--train-threads"];
+/// Valueless flags (consumed by the shared store helper).
+const KNOWN_BOOL_FLAGS: [&str; 2] = ["--force-rebuild", "--verify-store"];
+
+/// Minimal strict parse: reject unknown flags (a typo'd `--app 6` would
+/// silently warm the wrong suite) and extract `--apps`.
+fn apps_from_args(args: &[String]) -> Option<usize> {
+    let mut apps = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if KNOWN_BOOL_FLAGS.contains(&arg.as_str()) {
+            i += 1;
+            continue;
+        }
+        let known = KNOWN_FLAGS.iter().find(|f| {
+            arg == **f
+                || arg
+                    .strip_prefix(**f)
+                    .is_some_and(|rest| rest.starts_with('='))
+        });
+        let Some(flag) = known else {
+            panic!(
+                "unknown argument {arg:?} (expected one of {KNOWN_FLAGS:?} or {KNOWN_BOOL_FLAGS:?})"
+            );
+        };
+        let value = if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            i += 1;
+            v.to_string()
+        } else {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone();
+            i += 2;
+            v
+        };
+        if *flag == "--apps" {
+            apps = Some(value.parse().expect("--apps N"));
+        }
+    }
+    apps
+}
+
+fn main() {
+    banner(
+        "Artifact-store warm-up",
+        "builds datasets + trains every model grid once, for reuse by every driver",
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps_limit = apps_from_args(&args);
+
+    let Some(store) = store_from_env() else {
+        eprintln!("[warm_store] no store configured — pass --store DIR or set PNP_STORE");
+        std::process::exit(2);
+    };
+
+    let mut settings = settings_from_env();
+    settings.train_threads = train_threads_from_env();
+    let sweep_threads = sweep_threads_from_env();
+
+    let mut apps = pnp_benchmarks::full_suite();
+    if let Some(n) = apps_limit {
+        apps.truncate(n);
+    }
+    let vocab = Vocabulary::standard();
+    let t0 = Instant::now();
+
+    // Datasets and their content-hash cache handles, kept for the
+    // cross-machine block below (one fingerprint per dataset, total).
+    let mut datasets = Vec::new();
+    let mut caches: Vec<Option<DatasetCache>> = Vec::new();
+    for machine in [haswell(), skylake()] {
+        let ds = store.load_or_build_dataset(&machine, &apps, &vocab, sweep_threads);
+        eprintln!(
+            "[warm_store] {}: dataset ready ({} regions)",
+            machine.name,
+            ds.len()
+        );
+        if ds.is_empty() {
+            eprintln!(
+                "[warm_store] {}: empty suite, nothing to train",
+                machine.name
+            );
+            datasets.push(ds);
+            caches.push(None);
+            continue;
+        }
+        let cache = store.for_dataset(&ds);
+        for dynamic in [false, true] {
+            train_scenario1_models_cached(&ds, &settings, dynamic, Some(&cache));
+            train_scenario2_model_cached(&ds, &settings, dynamic, Some(&cache));
+        }
+        let held_out = [ds.space.power_levels.len() - 1, 0];
+        for p in held_out {
+            train_unseen_power_cached(&ds, &settings, p, Some(&cache));
+        }
+        eprintln!("[warm_store] {}: model grids ready", machine.name);
+        datasets.push(ds);
+        caches.push(Some(cache));
+    }
+
+    // Cross-machine artifacts: the transfer report (needs both datasets)
+    // and the single-region motivating sweep.
+    let (ds_haswell, ds_skylake) = (&datasets[0], &datasets[1]);
+    if let (Some(cache_haswell), Some(cache_skylake)) = (&caches[0], &caches[1]) {
+        let power_idx = ds_haswell.space.power_levels.len() - 1;
+        transfer::run_on_datasets_cached(
+            ds_haswell,
+            ds_skylake,
+            &settings,
+            power_idx,
+            Some((cache_haswell, cache_skylake)),
+        );
+        let _ = experiments::ablations::try_run_on_dataset_cached(
+            ds_haswell,
+            &settings,
+            Some(cache_haswell),
+        );
+    }
+    motivating::run_with_store(sweep_threads, Some(&store));
+
+    eprintln!(
+        "[warm_store] done in {:.2}s ({} applications per machine)",
+        t0.elapsed().as_secs_f64(),
+        apps.len()
+    );
+    if report_store_stats("warm_store", &store) {
+        std::process::exit(1);
+    }
+}

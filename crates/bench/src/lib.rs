@@ -15,9 +15,12 @@
 //!
 //! This library crate only hosts small helpers shared by the binaries.
 
+use pnp_core::artifact::ArtifactStore;
 use pnp_core::training::TrainSettings;
 use pnp_machine::{haswell, skylake, MachineSpec};
 use pnp_openmp::Threads;
+use pnp_store::Store;
+use serde::Serialize;
 
 /// CLI options shared by the perf-tracking harnesses (`bench_dataset_build`,
 /// `bench_loocv_train`): which worker counts to measure, how much of the
@@ -26,6 +29,7 @@ use pnp_openmp::Threads;
 /// ```text
 /// [--threads 1,2,4,8] [--apps N] [--machine haswell|skylake]
 /// [--repeats N] [--min-speedup S:T] [--out PATH]
+/// [--store DIR] [--force-rebuild] [--verify-store]
 /// ```
 pub struct PerfHarnessOptions {
     /// Worker counts to measure (`--threads`, default `1,2,4,8`). The
@@ -43,6 +47,16 @@ pub struct PerfHarnessOptions {
     pub min_speedup: Option<(f64, usize)>,
     /// Output path of the timing JSON (`--out`).
     pub out: String,
+    /// Artifact-store directory (`--store`; `PNP_STORE` is the fallback,
+    /// applied by [`PerfHarnessOptions::open_store`]). How a harness uses
+    /// the store is harness-specific: a harness never serves the quantity
+    /// it *measures* from the cache.
+    pub store: Option<String>,
+    /// `--force-rebuild`: ignore and overwrite cached artifacts.
+    pub force_rebuild: bool,
+    /// `--verify-store`: byte-compare cached artifacts against fresh
+    /// computations on every hit.
+    pub verify_store: bool,
 }
 
 impl PerfHarnessOptions {
@@ -61,6 +75,9 @@ impl PerfHarnessOptions {
             repeats: 1,
             min_speedup: None,
             out: default_out.to_string(),
+            store: None,
+            force_rebuild: false,
+            verify_store: false,
         };
         let value = |args: &[String], i: usize, flag: &str| -> String {
             args.get(i + 1)
@@ -107,12 +124,30 @@ impl PerfHarnessOptions {
                     opts.out = value(&args, i, "--out");
                     i += 2;
                 }
+                "--store" => {
+                    opts.store = Some(value(&args, i, "--store"));
+                    i += 2;
+                }
+                "--force-rebuild" => {
+                    opts.force_rebuild = true;
+                    i += 1;
+                }
+                "--verify-store" => {
+                    opts.verify_store = true;
+                    i += 1;
+                }
                 other => panic!("unknown argument {other:?}"),
             }
         }
         assert!(!opts.threads.is_empty(), "--threads list must be non-empty");
         assert!(opts.repeats >= 1, "--repeats must be at least 1");
         opts
+    }
+
+    /// Opens the artifact store these options name (or the `PNP_STORE`
+    /// fallback); `None` when no store is configured.
+    pub fn open_store(&self) -> Option<ArtifactStore> {
+        open_store(self.store.clone(), self.force_rebuild, self.verify_store)
     }
 }
 
@@ -227,6 +262,138 @@ fn threads_flag_from(args: impl Iterator<Item = String>, flag: &str, fallback: T
     fallback
 }
 
+/// Scans an argument list for a `--flag V` / `--flag=V` string value.
+fn string_flag_from(args: &[String], flag: &str) -> Option<String> {
+    let inline = format!("{flag}=");
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix(&inline) {
+            return Some(v.to_string());
+        }
+        if arg == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// True when a boolean `--flag` is present in the argument list.
+fn bool_flag_from(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Resolves the content-addressed artifact store shared by every experiment
+/// binary (DESIGN.md §12): `--store DIR` wins, then the `PNP_STORE`
+/// environment variable; unset means no store (every pipeline recomputes).
+/// `--force-rebuild` / `PNP_STORE_FORCE=1` ignores and overwrites cached
+/// artifacts; `--verify-store` / `PNP_STORE_VERIFY=1` recomputes on every
+/// hit and byte-compares against the cached payload. Prints the active
+/// configuration so experiment logs record where artifacts came from.
+pub fn store_from_env() -> Option<ArtifactStore> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    store_from(&args)
+}
+
+fn store_from(args: &[String]) -> Option<ArtifactStore> {
+    open_store(
+        string_flag_from(args, "--store"),
+        bool_flag_from(args, "--force-rebuild"),
+        bool_flag_from(args, "--verify-store"),
+    )
+}
+
+/// Shared store opener: an explicit `--store` directory wins, then
+/// `PNP_STORE`; the CLI mode flags are OR-ed on top of the environment
+/// modes, whose semantics live in one place — [`Store::with_env_modes`] /
+/// [`Store::from_env`] — so the CLI and library paths cannot drift.
+fn open_store(dir: Option<String>, force_flag: bool, verify_flag: bool) -> Option<ArtifactStore> {
+    let base = match dir {
+        Some(d) => Store::open(d).with_env_modes(),
+        None => Store::from_env()?,
+    };
+    let force = base.force_rebuild() || force_flag;
+    let verify = base.verify() || verify_flag;
+    let store = base.with_force_rebuild(force).with_verify(verify);
+    eprintln!(
+        "[pnp-bench] artifact store: {} (force_rebuild={force}, verify={verify})",
+        store.root().display()
+    );
+    Some(ArtifactStore::new(store))
+}
+
+/// Prints a store's end-of-run hit/miss tally. Returns `true` when verify
+/// mode found cached bytes differing from fresh computations — a broken
+/// cache-key contract the calling binary should turn into a non-zero exit.
+pub fn report_store_stats(tag: &str, store: &ArtifactStore) -> bool {
+    let s = store.stats();
+    eprintln!(
+        "[{tag}] store: {} hit(s), {} miss(es), {} write(s), {} corrupt, \
+         {} verified, {} verify mismatch(es)",
+        s.hits, s.misses, s.writes, s.corrupt, s.verified, s.verify_mismatches
+    );
+    s.verify_mismatches > 0
+}
+
+/// Measurement provenance stamped into the perf-trajectory JSONs
+/// (`BENCH_dataset_build.json` / `BENCH_loocv_train.json`), mirroring the
+/// context header of `VALIDATION.json`: which commit produced the numbers,
+/// under which store-key schema, on how many cores — so trajectory points
+/// are attributable long after the run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Provenance {
+    /// `git rev-parse HEAD` of the measured tree (falls back to the
+    /// `GITHUB_SHA` environment variable, then `"unknown"`).
+    pub git_sha: String,
+    /// [`pnp_store::SCHEMA_VERSION`] the binary was built with.
+    pub store_schema_version: u32,
+    /// `std::thread::available_parallelism` of the measuring host — without
+    /// spare cores the speedups cannot materialize (the ROADMAP's 1-core
+    /// container caveat travels with the data).
+    pub available_parallelism: usize,
+}
+
+impl Provenance {
+    /// Captures the current process's provenance.
+    pub fn capture() -> Self {
+        Provenance {
+            git_sha: git_sha(),
+            store_schema_version: pnp_store::SCHEMA_VERSION,
+            available_parallelism: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// The commit the working tree is at: `git rev-parse HEAD` (suffixed with
+/// `-dirty` when the tree has uncommitted changes — numbers measured on a
+/// dirty tree are not reproducible from the stamped commit), then the
+/// `GITHUB_SHA` environment variable (detached CI checkouts), then
+/// `"unknown"` — a perf harness must not fail because git is absent.
+pub fn git_sha() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+    };
+    git(&["rev-parse", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(|sha| {
+            let dirty =
+                git(&["status", "--porcelain"]).is_some_and(|status| !status.trim().is_empty());
+            if dirty {
+                format!("{sha}-dirty")
+            } else {
+                sha
+            }
+        })
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Prints a standard header naming the figure/table being regenerated.
 pub fn banner(artefact: &str, description: &str) {
     println!("==============================================================");
@@ -324,6 +491,44 @@ mod tests {
         assert_eq!(opts.repeats, 2);
         assert_eq!(opts.min_speedup, Some((1.3, 4)));
         assert_eq!(opts.out, "smoke.json");
+        assert_eq!(opts.store, None);
+        assert!(!opts.force_rebuild && !opts.verify_store);
+
+        let opts = PerfHarnessOptions::parse_from(
+            args(&["--store", "pnp-store", "--force-rebuild", "--verify-store"]),
+            "X.json",
+        );
+        assert_eq!(opts.store.as_deref(), Some("pnp-store"));
+        assert!(opts.force_rebuild && opts.verify_store);
+    }
+
+    #[test]
+    fn store_flags_are_scanned_from_arbitrary_argument_lists() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            string_flag_from(&args(&["--apps", "6", "--store", "dir"]), "--store").as_deref(),
+            Some("dir")
+        );
+        assert_eq!(
+            string_flag_from(&args(&["--store=dir"]), "--store").as_deref(),
+            Some("dir")
+        );
+        assert_eq!(string_flag_from(&args(&["--apps", "6"]), "--store"), None);
+        assert!(bool_flag_from(&args(&["--verify-store"]), "--verify-store"));
+        assert!(!bool_flag_from(&args(&[]), "--verify-store"));
+        // An explicit directory opens a store without consulting PNP_STORE.
+        let store = open_store(Some("/tmp/pnp-bench-flag-test".into()), true, false)
+            .expect("explicit dir opens");
+        assert!(store.store().force_rebuild());
+        assert!(!store.store().verify());
+    }
+
+    #[test]
+    fn provenance_capture_is_well_formed() {
+        let p = Provenance::capture();
+        assert!(!p.git_sha.is_empty());
+        assert_eq!(p.store_schema_version, pnp_store::SCHEMA_VERSION);
+        assert!(p.available_parallelism >= 1);
     }
 
     #[test]

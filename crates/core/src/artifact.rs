@@ -1,0 +1,321 @@
+//! Domain glue between the generic content-addressed store (`pnp-store`) and
+//! the PnP pipeline: fingerprints and cache keys for built [`Dataset`]s and
+//! trained model grids, plus the [`ArtifactStore`] wrapper every driver and
+//! binary threads through.
+//!
+//! ## What goes into a key (DESIGN.md §12)
+//!
+//! A cache key must cover *everything that determines the artifact's bytes*:
+//!
+//! * **dataset** — machine fingerprint (the serialized [`MachineSpec`], which
+//!   also determines the Table I search space), suite fingerprint
+//!   (application names, region names, serialized workload profiles),
+//!   vocabulary fingerprint, and the store schema version.
+//! * **model grids** (`models/scenario1|scenario2|unseen_power`) — the
+//!   *content hash of the serialized dataset* the models were trained on
+//!   (so any dataset change invalidates every downstream model), every
+//!   training hyperparameter of [`TrainSettings`], the dynamic-feature flag
+//!   or held-out cap, and the seed-scheme tag [`SEED_SCHEME`].
+//! * **experiment results** (`experiments/*`) — the dataset hash(es) plus
+//!   the hyperparameters, for results that are cheap to re-derive from
+//!   models but expensive to recompute from scratch (ablation grids,
+//!   transfer reports, the motivating-example sweep).
+//!
+//! Worker-count knobs are deliberately excluded: PRs 2–3 made every pipeline
+//! bit-identical across worker counts, which is the property that makes this
+//! cache sound. What a key *cannot* capture is the code itself — a simulator
+//! or training change that alters bytes under an unchanged key must bump
+//! [`pnp_store::SCHEMA_VERSION`]; the `--verify-store` mode exists to catch
+//! exactly that drift (it recomputes on every hit and byte-compares).
+
+use crate::dataset::Dataset;
+use crate::training::TrainSettings;
+use pnp_benchmarks::Application;
+use pnp_graph::Vocabulary;
+use pnp_machine::MachineSpec;
+use pnp_openmp::Threads;
+use pnp_store::sha256_hex;
+pub use pnp_store::{ArtifactKey, Store, StoreStats};
+
+/// Tag naming the deterministic per-job seeding scheme of the LOOCV training
+/// grids (DESIGN.md §10: `fold*16+power`, `0x2000+fold`,
+/// `0x4000+fold*8+cap`). Changing how jobs derive their seeds changes every
+/// trained weight, so the tag is part of every model key.
+pub const SEED_SCHEME: &str = "grid-v1";
+
+/// SHA-256 of a value's compact JSON serialization.
+fn json_sha256<T: serde::Serialize>(value: &T) -> String {
+    sha256_hex(
+        serde_json::to_string(value)
+            .expect("fingerprinted values serialize")
+            .as_bytes(),
+    )
+}
+
+/// Content fingerprint of a machine model (covers the derived Table I search
+/// space, the power model, and the simulator inputs).
+pub fn machine_fingerprint(machine: &MachineSpec) -> String {
+    json_sha256(machine)
+}
+
+/// Content fingerprint of an application suite: application names, region
+/// names, and each region's serialized workload profile — the inputs from
+/// which the sweep and the code graphs are derived.
+pub fn suite_fingerprint(apps: &[Application]) -> String {
+    let digest: Vec<(String, Vec<(String, &pnp_openmp::RegionProfile)>)> = apps
+        .iter()
+        .map(|app| {
+            (
+                app.name.clone(),
+                app.regions
+                    .iter()
+                    .map(|r| (r.name().to_string(), &r.profile))
+                    .collect(),
+            )
+        })
+        .collect();
+    json_sha256(&digest)
+}
+
+/// Content fingerprint of a built dataset: SHA-256 of its full JSON
+/// serialization. Every model key embeds this, so models can never be
+/// replayed against a dataset other than the one they were trained on.
+pub fn dataset_fingerprint(ds: &Dataset) -> String {
+    json_sha256(ds)
+}
+
+/// Adds every [`TrainSettings`] hyperparameter that shapes trained weights
+/// to a key. (`train_threads` is excluded: training is bit-identical for
+/// every worker count, DESIGN.md §10.)
+fn with_settings(key: ArtifactKey, s: &TrainSettings) -> ArtifactKey {
+    key.field("hidden_dim", s.hidden_dim)
+        .field("rgcn_layers", s.rgcn_layers)
+        .field("fc_hidden", s.fc_hidden)
+        .field("epochs", s.epochs)
+        .field("batch_size", s.batch_size)
+        .field("folds", s.folds)
+        .field("seed", s.seed)
+        .field("seed_scheme", SEED_SCHEME)
+}
+
+/// A [`Store`] plus the domain key builders — the handle the experiment
+/// drivers, the validation harness, and every `pnp-bench` binary thread
+/// through (always as `Option<&ArtifactStore>`: `None` means "no cache",
+/// and every path must work identically without one).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    store: Store,
+}
+
+impl ArtifactStore {
+    /// Wraps an opened store.
+    pub fn new(store: Store) -> Self {
+        ArtifactStore { store }
+    }
+
+    /// Opens a store rooted at `dir`.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Self {
+        ArtifactStore::new(Store::open(dir))
+    }
+
+    /// Opens the store named by `PNP_STORE` (honouring `PNP_STORE_FORCE` /
+    /// `PNP_STORE_VERIFY`), or `None` when unset.
+    pub fn from_env() -> Option<Self> {
+        Store::from_env().map(ArtifactStore::new)
+    }
+
+    /// The underlying generic store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The cache key of a built dataset.
+    pub fn dataset_key(
+        machine: &MachineSpec,
+        apps: &[Application],
+        vocab: &Vocabulary,
+    ) -> ArtifactKey {
+        ArtifactKey::new("dataset")
+            .field("machine", &machine.name)
+            .field("machine_sha256", machine_fingerprint(machine))
+            .field("suite_sha256", suite_fingerprint(apps))
+            .field("apps", apps.len())
+            // Content hash, not just the length: two equally-sized
+            // vocabularies would otherwise collide on one key while encoding
+            // graphs differently.
+            .field("vocab_sha256", json_sha256(vocab))
+    }
+
+    /// Returns the cached dataset for `(machine, apps, vocab)`, or builds it
+    /// with `threads` workers and caches it. The cached and freshly built
+    /// datasets are byte-identical (enforced by `--verify-store` and the
+    /// `store_roundtrip` integration tests), so callers cannot observe which
+    /// path ran.
+    pub fn load_or_build_dataset(
+        &self,
+        machine: &MachineSpec,
+        apps: &[Application],
+        vocab: &Vocabulary,
+        threads: Threads,
+    ) -> Dataset {
+        let key = Self::dataset_key(machine, apps, vocab);
+        self.store.load_or_build(&key, || {
+            Dataset::build_with_threads(machine, apps, vocab, threads)
+        })
+    }
+
+    /// Binds this store to a dataset's content hash, yielding the handle the
+    /// training pipelines key their model grids under.
+    pub fn for_dataset<'a>(&'a self, ds: &Dataset) -> DatasetCache<'a> {
+        DatasetCache {
+            store: self,
+            dataset_sha256: dataset_fingerprint(ds),
+        }
+    }
+}
+
+/// An [`ArtifactStore`] bound to one dataset's content hash. Computing the
+/// hash serializes the full dataset once, so drivers create this once per
+/// dataset and reuse it across their training calls.
+#[derive(Debug)]
+pub struct DatasetCache<'a> {
+    store: &'a ArtifactStore,
+    dataset_sha256: String,
+}
+
+impl DatasetCache<'_> {
+    /// The underlying generic store.
+    pub fn store(&self) -> &Store {
+        self.store.store()
+    }
+
+    /// The bound dataset's content hash.
+    pub fn dataset_sha256(&self) -> &str {
+        &self.dataset_sha256
+    }
+
+    /// Key of the scenario-1 trained-model grid (one model per
+    /// `(fold, power level)`).
+    pub fn scenario1_key(&self, settings: &TrainSettings, use_dynamic: bool) -> ArtifactKey {
+        with_settings(
+            ArtifactKey::new("models/scenario1")
+                .field("dataset_sha256", &self.dataset_sha256)
+                .field("dynamic", use_dynamic),
+            settings,
+        )
+    }
+
+    /// Key of the scenario-2 (EDP) trained-model grid (one model per fold).
+    pub fn scenario2_key(&self, settings: &TrainSettings, use_dynamic: bool) -> ArtifactKey {
+        with_settings(
+            ArtifactKey::new("models/scenario2")
+                .field("dataset_sha256", &self.dataset_sha256)
+                .field("dynamic", use_dynamic),
+            settings,
+        )
+    }
+
+    /// Key of the unseen-power trained-model grid for one held-out cap.
+    pub fn unseen_power_key(&self, settings: &TrainSettings, held_out_power: usize) -> ArtifactKey {
+        with_settings(
+            ArtifactKey::new("models/unseen_power")
+                .field("dataset_sha256", &self.dataset_sha256)
+                .field("held_out_power", held_out_power),
+            settings,
+        )
+    }
+
+    /// Key of the cached ablation results.
+    pub fn ablations_key(&self, settings: &TrainSettings) -> ArtifactKey {
+        with_settings(
+            ArtifactKey::new("experiments/ablations").field("dataset_sha256", &self.dataset_sha256),
+            settings,
+        )
+    }
+}
+
+/// Key of the cached transfer-learning report (spans two datasets). Unlike
+/// every other artifact this one carries *wall-clock measurements*, so it is
+/// cached with [`Store::load_or_build_nondeterministic`] — re-measured
+/// timings legitimately differ, and the bit-identity contract does not
+/// apply to it.
+pub fn transfer_key(
+    source_sha256: &str,
+    target_sha256: &str,
+    settings: &TrainSettings,
+    power_idx: usize,
+) -> ArtifactKey {
+    with_settings(
+        ArtifactKey::new("experiments/transfer")
+            .field("source_sha256", source_sha256)
+            .field("target_sha256", target_sha256)
+            .field("power_idx", power_idx),
+        settings,
+    )
+}
+
+/// Key of the cached motivating-example results (a single-region sweep plus
+/// argmin scans — fully deterministic).
+pub fn motivating_key(machine: &MachineSpec, apps: &[Application]) -> ArtifactKey {
+    ArtifactKey::new("experiments/motivating")
+        .field("machine", &machine.name)
+        .field("machine_sha256", machine_fingerprint(machine))
+        .field("suite_sha256", suite_fingerprint(apps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_machine::{haswell, skylake};
+
+    #[test]
+    fn machine_fingerprints_differ_between_presets() {
+        assert_ne!(
+            machine_fingerprint(&haswell()),
+            machine_fingerprint(&skylake())
+        );
+        // Stable across calls.
+        assert_eq!(
+            machine_fingerprint(&haswell()),
+            machine_fingerprint(&haswell())
+        );
+    }
+
+    #[test]
+    fn suite_fingerprint_tracks_apps_and_regions() {
+        let apps = pnp_benchmarks::full_suite();
+        let full = suite_fingerprint(&apps);
+        let mut six = apps.clone();
+        six.truncate(6);
+        assert_ne!(full, suite_fingerprint(&six));
+        assert_eq!(suite_fingerprint(&six), suite_fingerprint(&six));
+    }
+
+    #[test]
+    fn model_keys_separate_pipelines_and_hyperparameters() {
+        let store = ArtifactStore::open("/tmp/unused");
+        let ds = Dataset::build_with_threads(
+            &haswell(),
+            &[],
+            &Vocabulary::standard(),
+            Threads::Fixed(1),
+        );
+        let cache = store.for_dataset(&ds);
+        let quick = TrainSettings::quick();
+        let mut longer = TrainSettings::quick();
+        longer.epochs += 1;
+        let base = cache.scenario1_key(&quick, false).address();
+        assert_ne!(base, cache.scenario1_key(&quick, true).address());
+        assert_ne!(base, cache.scenario2_key(&quick, false).address());
+        assert_ne!(base, cache.scenario1_key(&longer, false).address());
+        assert_ne!(
+            cache.unseen_power_key(&quick, 0).address(),
+            cache.unseen_power_key(&quick, 3).address()
+        );
+    }
+}

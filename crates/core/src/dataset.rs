@@ -7,10 +7,10 @@ use pnp_machine::{CounterSet, EnergySample, MachineSpec, PowerModel};
 use pnp_openmp::sim::simulate_region_with_model;
 use pnp_openmp::{parallel_map_indexed, OmpConfig, RegionProfile, Threads};
 use pnp_tuners::{ConfigPoint, SearchSpace};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One region of the dataset: identification, static features, and profile.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RegionRecord {
     /// Application the region belongs to (the LOOCV group).
     pub app: String,
@@ -23,7 +23,7 @@ pub struct RegionRecord {
 }
 
 /// The exhaustive sweep of one region on one machine.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Sweep {
     /// `samples[p][c]` = sample of OpenMP config `c` (space order) at power
     /// level `p`.
@@ -82,7 +82,11 @@ fn argmin<I: Iterator<Item = f64>>(values: I) -> usize {
 }
 
 /// The full dataset for one machine.
-#[derive(Debug, Serialize)]
+///
+/// Serializes losslessly (floats use shortest-round-trip formatting), which
+/// the artifact store relies on: a dataset cached by `pnp_core::artifact`
+/// and loaded back re-serializes to byte-identical JSON.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Dataset {
     /// The machine the sweep was performed on.
     pub machine: MachineSpec,

@@ -9,6 +9,7 @@
 //! (tuner budgets). These are intentionally lightweight — they answer "does
 //! the design choice matter", not "what is the final benchmark number".
 
+use crate::artifact::{ArtifactStore, DatasetCache};
 use crate::dataset::Dataset;
 use crate::eval::geomean;
 use crate::report::TextTable;
@@ -131,8 +132,20 @@ pub fn run_with(
     settings: &TrainSettings,
     sweep_threads: pnp_openmp::Threads,
 ) -> AblationResults {
-    let ds = super::build_full_dataset_with(machine, sweep_threads);
-    run_on_dataset(&ds, settings)
+    run_with_store(machine, settings, sweep_threads, None)
+}
+
+/// [`run_with`] with an optional artifact store (DESIGN.md §12).
+pub fn run_with_store(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+    store: Option<&ArtifactStore>,
+) -> AblationResults {
+    let ds = super::build_full_dataset_cached(machine, sweep_threads, store);
+    let cache = store.map(|s| s.for_dataset(&ds));
+    try_run_on_dataset_cached(&ds, settings, cache.as_ref())
+        .expect("ablations on degenerate dataset")
 }
 
 /// Runs all ablations on a pre-built dataset.
@@ -150,7 +163,33 @@ pub fn try_run_on_dataset(
     ds: &Dataset,
     settings: &TrainSettings,
 ) -> Result<AblationResults, super::ExperimentError> {
+    try_run_on_dataset_cached(ds, settings, None)
+}
+
+/// [`try_run_on_dataset`] with an optional artifact cache bound to `ds`.
+///
+/// Ablations train one model per variant on the full training set (no fold
+/// grid), so the cached artifact is the whole [`AblationResults`] — every
+/// number in it is deterministic (fixed seeds for both the model variants
+/// and the BLISS budget sweeps), which keeps it inside the bit-identity
+/// contract.
+pub fn try_run_on_dataset_cached(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    cache: Option<&DatasetCache>,
+) -> Result<AblationResults, super::ExperimentError> {
     super::check_dataset(ds, 1)?;
+    if let Some(cache) = cache {
+        let key = cache.ablations_key(settings);
+        return Ok(cache
+            .store()
+            .load_or_build(&key, || compute_ablations(ds, settings)));
+    }
+    Ok(compute_ablations(ds, settings))
+}
+
+/// The uncached ablation computation shared by both paths.
+fn compute_ablations(ds: &Dataset, settings: &TrainSettings) -> AblationResults {
     let model_variants = vec![
         AblationRow {
             variant: "RGCN + mean pooling (paper)".into(),
@@ -190,8 +229,8 @@ pub fn try_run_on_dataset(
         });
     }
 
-    Ok(AblationResults {
+    AblationResults {
         model_variants,
         bliss_budgets,
-    })
+    }
 }

@@ -3,10 +3,11 @@
 //! energy-delay product; results are compared against the default OpenMP
 //! configuration at TDP.
 
+use crate::artifact::{ArtifactStore, DatasetCache};
 use crate::dataset::Dataset;
 use crate::eval::{fraction_above, fraction_within, geomean};
 use crate::report::TextTable;
-use crate::training::{train_scenario2_model, TrainSettings};
+use crate::training::{train_scenario2_model_cached, TrainSettings};
 use pnp_machine::MachineSpec;
 use pnp_tuners::{BlissTuner, Objective, OpenTunerLike, SimEvaluator};
 use serde::Serialize;
@@ -187,8 +188,21 @@ pub fn run_with(
     settings: &TrainSettings,
     sweep_threads: pnp_openmp::Threads,
 ) -> EdpResults {
-    let ds = super::build_full_dataset_with(machine, sweep_threads);
-    run_on_dataset(&ds, settings)
+    run_with_store(machine, settings, sweep_threads, None)
+}
+
+/// [`run_with`] with an optional artifact store: the dataset and both
+/// trained-model grids are served from the store when warm (DESIGN.md §12).
+pub fn run_with_store(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+    store: Option<&ArtifactStore>,
+) -> EdpResults {
+    let ds = super::build_full_dataset_cached(machine, sweep_threads, store);
+    let cache = store.map(|s| s.for_dataset(&ds));
+    try_run_on_dataset_cached(&ds, settings, cache.as_ref())
+        .expect("EDP experiment on degenerate dataset")
 }
 
 /// Runs the EDP experiment on a pre-built dataset.
@@ -205,9 +219,20 @@ pub fn try_run_on_dataset(
     ds: &Dataset,
     settings: &TrainSettings,
 ) -> Result<EdpResults, super::ExperimentError> {
+    try_run_on_dataset_cached(ds, settings, None)
+}
+
+/// [`try_run_on_dataset`] with an optional artifact cache bound to `ds`:
+/// the scenario-2 static and dynamic model grids are loaded and replayed
+/// when warm, trained and saved when cold — bit-identical either way.
+pub fn try_run_on_dataset_cached(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    cache: Option<&DatasetCache>,
+) -> Result<EdpResults, super::ExperimentError> {
     super::check_dataset(ds, 1)?;
-    let preds_static = train_scenario2_model(ds, settings, false);
-    let preds_dynamic = train_scenario2_model(ds, settings, true);
+    let preds_static = train_scenario2_model_cached(ds, settings, false, cache);
+    let preds_dynamic = train_scenario2_model_cached(ds, settings, true, cache);
     let tdp_idx = ds.space.power_levels.len() - 1;
     let per = ds.space.configs_per_power();
 

@@ -27,6 +27,7 @@ use pnp_graph::Vocabulary;
 use pnp_machine::MachineSpec;
 use pnp_openmp::Threads;
 
+use crate::artifact::ArtifactStore;
 use crate::dataset::Dataset;
 
 /// Why an experiment driver cannot run on a dataset.
@@ -91,6 +92,22 @@ pub fn build_full_dataset(machine: &MachineSpec) -> Dataset {
 /// Builds the full-suite dataset with an explicit sweep worker count (the
 /// knob every `pnp-bench` binary threads through from its CLI/environment).
 pub fn build_full_dataset_with(machine: &MachineSpec, sweep_threads: Threads) -> Dataset {
+    build_full_dataset_cached(machine, sweep_threads, None)
+}
+
+/// [`build_full_dataset_with`] with an optional artifact store: a warm store
+/// serves the dataset instead of re-running the exhaustive sweep; a cold one
+/// builds and caches it. Cached and fresh datasets are byte-identical
+/// (DESIGN.md §12), so callers cannot observe which path ran.
+pub fn build_full_dataset_cached(
+    machine: &MachineSpec,
+    sweep_threads: Threads,
+    store: Option<&ArtifactStore>,
+) -> Dataset {
     let apps = full_suite();
-    Dataset::build_with_threads(machine, &apps, &Vocabulary::standard(), sweep_threads)
+    let vocab = Vocabulary::standard();
+    match store {
+        Some(store) => store.load_or_build_dataset(machine, &apps, &vocab, sweep_threads),
+        None => Dataset::build_with_threads(machine, &apps, &vocab, sweep_threads),
+    }
 }

@@ -8,6 +8,7 @@
 //! race-to-halt), and that the best-EDP point gives a 1.64× speedup and a
 //! 2.7× greenup over the default configuration at TDP.
 
+use crate::artifact::{self, ArtifactStore};
 use crate::eval::geomean;
 use crate::report::TextTable;
 use pnp_benchmarks::proxy::lulesh;
@@ -86,6 +87,16 @@ pub fn run() -> MotivatingResults {
 /// dataset is a single region, so the fan-out is a formality — the knob is
 /// threaded through for uniformity with the other drivers.
 pub fn run_with(sweep_threads: pnp_openmp::Threads) -> MotivatingResults {
+    run_with_store(sweep_threads, None)
+}
+
+/// [`run_with`] with an optional artifact store: the whole result (a
+/// single-region sweep plus deterministic argmin scans) is cached under the
+/// machine and suite fingerprints (DESIGN.md §12).
+pub fn run_with_store(
+    sweep_threads: pnp_openmp::Threads,
+    store: Option<&ArtifactStore>,
+) -> MotivatingResults {
     let machine = haswell();
     let lulesh_app = lulesh::app();
     let region_idx = lulesh_app
@@ -94,8 +105,25 @@ pub fn run_with(sweep_threads: pnp_openmp::Threads) -> MotivatingResults {
         .position(|r| r.name() == lulesh::MOTIVATING_REGION)
         .expect("motivating region exists");
     let single = Application::new("LULESH", vec![lulesh_app.regions[region_idx].clone()]);
+    match store {
+        Some(store) => {
+            let key = artifact::motivating_key(&machine, std::slice::from_ref(&single));
+            store.store().load_or_build(&key, || {
+                compute_motivating(&machine, single.clone(), sweep_threads)
+            })
+        }
+        None => compute_motivating(&machine, single, sweep_threads),
+    }
+}
+
+/// The uncached motivating-example computation shared by both paths.
+fn compute_motivating(
+    machine: &pnp_machine::MachineSpec,
+    single: Application,
+    sweep_threads: pnp_openmp::Threads,
+) -> MotivatingResults {
     let ds =
-        Dataset::build_with_threads(&machine, &[single], &Vocabulary::standard(), sweep_threads);
+        Dataset::build_with_threads(machine, &[single], &Vocabulary::standard(), sweep_threads);
     let sweep = &ds.sweeps[0];
     let tdp_idx = ds.space.power_levels.len() - 1;
     let baseline_tdp = sweep.default_samples[tdp_idx];

@@ -4,10 +4,11 @@
 //! geometric-mean speedups over the default configuration, normalized by the
 //! oracle's speedup.
 
+use crate::artifact::{ArtifactStore, DatasetCache};
 use crate::dataset::Dataset;
 use crate::eval::{fraction_no_worse, fraction_within, geomean};
 use crate::report::TextTable;
-use crate::training::{train_scenario1_models, TrainSettings};
+use crate::training::{train_scenario1_models_cached, TrainSettings};
 use pnp_machine::MachineSpec;
 use pnp_tuners::{BlissTuner, Objective, OpenTunerLike, RegionEvaluator, SimEvaluator};
 use serde::Serialize;
@@ -191,8 +192,21 @@ pub fn run_with(
     settings: &TrainSettings,
     sweep_threads: pnp_openmp::Threads,
 ) -> PowerConstrainedResults {
-    let ds = super::build_full_dataset_with(machine, sweep_threads);
-    run_on_dataset(&ds, settings)
+    run_with_store(machine, settings, sweep_threads, None)
+}
+
+/// [`run_with`] with an optional artifact store: the dataset and both
+/// trained-model grids are served from the store when warm (DESIGN.md §12).
+pub fn run_with_store(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+    store: Option<&ArtifactStore>,
+) -> PowerConstrainedResults {
+    let ds = super::build_full_dataset_cached(machine, sweep_threads, store);
+    let cache = store.map(|s| s.for_dataset(&ds));
+    try_run_on_dataset_cached(&ds, settings, cache.as_ref())
+        .expect("power-constrained experiment on degenerate dataset")
 }
 
 /// Runs the experiment on a pre-built dataset (lets callers share the sweep).
@@ -210,9 +224,21 @@ pub fn try_run_on_dataset(
     ds: &Dataset,
     settings: &TrainSettings,
 ) -> Result<PowerConstrainedResults, super::ExperimentError> {
+    try_run_on_dataset_cached(ds, settings, None)
+}
+
+/// [`try_run_on_dataset`] with an optional artifact cache bound to `ds`:
+/// the scenario-1 static and dynamic model grids are loaded and replayed
+/// when warm, trained and saved when cold — with bit-identical results
+/// either way.
+pub fn try_run_on_dataset_cached(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    cache: Option<&DatasetCache>,
+) -> Result<PowerConstrainedResults, super::ExperimentError> {
     super::check_dataset(ds, 1)?;
-    let preds_static = train_scenario1_models(ds, settings, false);
-    let preds_dynamic = train_scenario1_models(ds, settings, true);
+    let preds_static = train_scenario1_models_cached(ds, settings, false, cache);
+    let preds_dynamic = train_scenario1_models_cached(ds, settings, true, cache);
     let num_powers = ds.space.power_levels.len();
 
     // Per (region, power) normalized speedups per tuner.

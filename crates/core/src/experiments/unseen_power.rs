@@ -3,10 +3,11 @@
 //! counters plus the normalized power cap as dynamic features, and evaluated
 //! on the held-out cap (lowest and highest per machine).
 
+use crate::artifact::{ArtifactStore, DatasetCache};
 use crate::dataset::Dataset;
 use crate::eval::{fraction_within, geomean};
 use crate::report::TextTable;
-use crate::training::{train_unseen_power, TrainSettings};
+use crate::training::{train_unseen_power_cached, TrainSettings};
 use pnp_machine::MachineSpec;
 use serde::Serialize;
 
@@ -101,8 +102,22 @@ pub fn run_with(
     settings: &TrainSettings,
     sweep_threads: pnp_openmp::Threads,
 ) -> UnseenPowerResults {
-    let ds = super::build_full_dataset_with(machine, sweep_threads);
-    run_on_dataset(&ds, settings)
+    run_with_store(machine, settings, sweep_threads, None)
+}
+
+/// [`run_with`] with an optional artifact store: the dataset and the
+/// per-held-out-cap model grids are served from the store when warm
+/// (DESIGN.md §12).
+pub fn run_with_store(
+    machine: &MachineSpec,
+    settings: &TrainSettings,
+    sweep_threads: pnp_openmp::Threads,
+    store: Option<&ArtifactStore>,
+) -> UnseenPowerResults {
+    let ds = super::build_full_dataset_cached(machine, sweep_threads, store);
+    let cache = store.map(|s| s.for_dataset(&ds));
+    try_run_on_dataset_cached(&ds, settings, cache.as_ref())
+        .expect("unseen-power experiment on degenerate dataset")
 }
 
 /// Runs the experiment on a pre-built dataset.
@@ -120,6 +135,17 @@ pub fn try_run_on_dataset(
     ds: &Dataset,
     settings: &TrainSettings,
 ) -> Result<UnseenPowerResults, super::ExperimentError> {
+    try_run_on_dataset_cached(ds, settings, None)
+}
+
+/// [`try_run_on_dataset`] with an optional artifact cache bound to `ds`:
+/// one trained-model grid per held-out cap is loaded and replayed when
+/// warm, trained and saved when cold — bit-identical either way.
+pub fn try_run_on_dataset_cached(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    cache: Option<&DatasetCache>,
+) -> Result<UnseenPowerResults, super::ExperimentError> {
     super::check_dataset(ds, 2)?;
     let held_out = [ds.space.power_levels.len() - 1, 0];
     let mut rows = Vec::new();
@@ -127,7 +153,7 @@ pub fn try_run_on_dataset(
     let mut all_norm = Vec::new();
 
     for &p in &held_out {
-        let preds = train_unseen_power(ds, settings, p);
+        let preds = train_unseen_power_cached(ds, settings, p, cache);
         let mut pnp_speedups = Vec::new();
         let mut oracle_speedups = Vec::new();
         let mut norm_per_region = Vec::new();

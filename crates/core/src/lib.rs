@@ -22,7 +22,11 @@
 //! * [`validate`] — the paper-fidelity harness: every figure/table claim
 //!   encoded as a machine-checkable invariant (DESIGN.md §11), driven by the
 //!   `validate_paper` binary and the `validate` CI job.
+//! * [`artifact`] — the content-addressed artifact cache (DESIGN.md §12):
+//!   fingerprints and keys for built datasets and trained model grids on top
+//!   of `pnp-store`, so drivers and CI jobs reuse instead of recompute.
 
+pub mod artifact;
 pub mod dataset;
 pub mod eval;
 pub mod experiments;
@@ -31,6 +35,7 @@ pub mod report;
 pub mod training;
 pub mod validate;
 
+pub use artifact::{dataset_fingerprint, ArtifactStore, DatasetCache};
 pub use dataset::{Dataset, RegionRecord, Sweep};
 pub use eval::{checked_geomean, fraction_within, geomean, normalized_speedups};
 pub use pnp::PnPTuner;

@@ -15,6 +15,7 @@
 //! the build on any non-expected failure. `tests/validation_invariants.rs`
 //! runs the same pipeline on a reduced 6-application suite.
 
+use crate::artifact::ArtifactStore;
 use crate::dataset::Dataset;
 use crate::experiments::ablations::AblationResults;
 use crate::experiments::edp::EdpResults;
@@ -24,7 +25,7 @@ use crate::experiments::transfer::TransferResults;
 use crate::experiments::unseen_power::UnseenPowerResults;
 use crate::experiments::{self, ExperimentError};
 use crate::report::TextTable;
-use crate::training::{transfer_experiment, FoldPlan, TrainSettings};
+use crate::training::{FoldPlan, TrainSettings};
 use pnp_benchmarks::Application;
 use pnp_graph::Vocabulary;
 use pnp_machine::{haswell, skylake, MachineSpec};
@@ -928,6 +929,12 @@ pub struct ValidationOptions {
     /// Truncate the application suite to the first `n` apps (`None` = full
     /// 30-application suite).
     pub apps: Option<usize>,
+    /// Optional content-addressed artifact store (DESIGN.md §12): when warm
+    /// it serves both datasets and every trained-model grid, turning the
+    /// harness into load-and-evaluate — with a byte-identical verdict list,
+    /// since every cached artifact is bit-identical to a fresh computation
+    /// (the transfer report is cached as-measured).
+    pub store: Option<ArtifactStore>,
 }
 
 /// Runs every figure/table experiment through the shared `run_on_dataset`
@@ -937,7 +944,12 @@ pub fn run_full_validation(opts: &ValidationOptions) -> ValidationReport {
     if let Some(n) = opts.apps {
         apps.truncate(n);
     }
-    run_validation_on_suite(&apps, &opts.settings, opts.sweep_threads)
+    run_validation_on_suite_with_store(
+        &apps,
+        &opts.settings,
+        opts.sweep_threads,
+        opts.store.as_ref(),
+    )
 }
 
 /// [`run_full_validation`] over an explicit application list (the reduced
@@ -947,23 +959,44 @@ pub fn run_validation_on_suite(
     settings: &TrainSettings,
     sweep_threads: Threads,
 ) -> ValidationReport {
+    run_validation_on_suite_with_store(apps, settings, sweep_threads, None)
+}
+
+/// [`run_validation_on_suite`] with an optional artifact store.
+pub fn run_validation_on_suite_with_store(
+    apps: &[Application],
+    settings: &TrainSettings,
+    sweep_threads: Threads,
+    store: Option<&ArtifactStore>,
+) -> ValidationReport {
     let mut v = Validator::for_suite(apps.len());
     let vocab = Vocabulary::standard();
 
     check_hyperparameters(&mut v);
     check_edge_cases(&mut v, settings);
 
-    // One dataset per machine, shared by every per-machine experiment.
+    // One dataset per machine, shared by every per-machine experiment (and
+    // served from the artifact store when one is warm).
     let machines = [haswell(), skylake()];
     let mut datasets = Vec::new();
     for machine in &machines {
         let space = SearchSpace::for_machine(machine);
         check_search_space(&mut v, machine, &space);
-        let ds = Dataset::build_with_threads(machine, apps, &vocab, sweep_threads);
+        let ds = match store {
+            Some(store) => store.load_or_build_dataset(machine, apps, &vocab, sweep_threads),
+            None => Dataset::build_with_threads(machine, apps, &vocab, sweep_threads),
+        };
         check_dataset_invariants(&mut v, &ds);
         datasets.push(ds);
     }
     let (ds_haswell, ds_skylake) = (&datasets[0], &datasets[1]);
+    // One cache handle per dataset (each binds the dataset's content hash,
+    // computed once here and reused by every training pipeline below).
+    let caches: Vec<_> = datasets
+        .iter()
+        .map(|ds| store.map(|s| s.for_dataset(ds)))
+        .collect();
+    let (cache_haswell, cache_skylake) = (caches[0].as_ref(), caches[1].as_ref());
 
     // One failing meta-invariant per driver that cannot run at all — the
     // harness itself must survive degenerate suites (e.g. `--apps 0`) and
@@ -980,11 +1013,14 @@ pub fn run_validation_on_suite(
     };
 
     // Fig. 2/3 (+ §IV-B) and Fig. 4/5 — power-constrained and unseen-cap.
-    for (ds, pc_tag, up_tag) in [(ds_haswell, "fig2", "fig5"), (ds_skylake, "fig3", "fig4")] {
-        match experiments::power_constrained::try_run_on_dataset(ds, settings) {
+    for (ds, cache, pc_tag, up_tag) in [
+        (ds_haswell, cache_haswell, "fig2", "fig5"),
+        (ds_skylake, cache_skylake, "fig3", "fig4"),
+    ] {
+        match experiments::power_constrained::try_run_on_dataset_cached(ds, settings, cache) {
             Ok(pc) => {
                 check_power_constrained(&mut v, pc_tag, &pc);
-                match experiments::unseen_power::try_run_on_dataset(ds, settings) {
+                match experiments::unseen_power::try_run_on_dataset_cached(ds, settings, cache) {
                     Ok(up) => check_unseen_power(&mut v, up_tag, &up, &pc),
                     Err(e) => driver_failed(&mut v, up_tag, "Fig. 4/5", &e),
                 }
@@ -997,8 +1033,11 @@ pub fn run_validation_on_suite(
     }
 
     // Fig. 6/7 (+ §IV-C) on both machines.
-    for (ds, tag) in [(ds_haswell, "edp.haswell"), (ds_skylake, "edp.skylake")] {
-        match experiments::edp::try_run_on_dataset(ds, settings) {
+    for (ds, cache, tag) in [
+        (ds_haswell, cache_haswell, "edp.haswell"),
+        (ds_skylake, cache_skylake, "edp.skylake"),
+    ] {
+        match experiments::edp::try_run_on_dataset_cached(ds, settings, cache) {
             Ok(edp) => check_edp(&mut v, tag, &edp),
             Err(e) => driver_failed(&mut v, tag, "Fig. 6/7 / §IV-C", &e),
         }
@@ -1006,7 +1045,7 @@ pub fn run_validation_on_suite(
 
     // §I motivating example (its own single-region sweep, independent of
     // the validation suite).
-    let motivating = experiments::motivating::run_with(sweep_threads);
+    let motivating = experiments::motivating::run_with_store(sweep_threads, store);
     check_motivating(&mut v, &motivating);
 
     // §IV-B transfer learning and the DESIGN.md §6 ablations need regions
@@ -1020,11 +1059,16 @@ pub fn run_validation_on_suite(
         );
     } else {
         let power_idx = ds_haswell.space.power_levels.len() - 1;
-        let transfer: TransferResults =
-            transfer_experiment(ds_haswell, ds_skylake, settings, power_idx).into();
+        let transfer: TransferResults = experiments::transfer::run_on_datasets_cached(
+            ds_haswell,
+            ds_skylake,
+            settings,
+            power_idx,
+            cache_haswell.zip(cache_skylake),
+        );
         check_transfer(&mut v, &transfer);
     }
-    match experiments::ablations::try_run_on_dataset(ds_haswell, settings) {
+    match experiments::ablations::try_run_on_dataset_cached(ds_haswell, settings, cache_haswell) {
         Ok(ablations) => check_ablations(&mut v, &ablations),
         Err(e) => driver_failed(&mut v, "ablations", "DESIGN.md §6 (ablations)", &e),
     }

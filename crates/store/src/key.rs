@@ -1,0 +1,130 @@
+//! Artifact keys: everything that determines an artifact's bytes, folded
+//! into one canonical string and content-addressed with SHA-256.
+
+use crate::hash::sha256_hex;
+use crate::SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The identity of one cached artifact.
+///
+/// A key is a `kind` (the artifact family, e.g. `"dataset"` or
+/// `"models/scenario1"`) plus a set of named fields covering *everything that
+/// determines the artifact's bytes*: suite and application list, machine
+/// fingerprint, search-space fingerprint, training hyperparameters, seed
+/// scheme, and the store schema version (DESIGN.md §12 defines the contract
+/// per artifact kind). Fields are kept sorted, so the canonical form — and
+/// therefore the address — does not depend on insertion order.
+///
+/// Worker-count knobs (`PNP_SWEEP_THREADS`, `PNP_TRAIN_THREADS`,
+/// `PNP_MATMUL_THREADS`) are deliberately *not* key fields: PRs 2–3 made
+/// every pipeline bit-identical across worker counts, which is exactly what
+/// makes their outputs cacheable at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactKey {
+    kind: String,
+    fields: BTreeMap<String, String>,
+}
+
+impl ArtifactKey {
+    /// Starts a key for an artifact family. `kind` may use `/` to group
+    /// related families (it becomes a directory level in the store layout).
+    pub fn new(kind: &str) -> Self {
+        ArtifactKey {
+            kind: kind.to_string(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one key field (builder style). Re-adding a name overwrites it.
+    pub fn field(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.fields.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// The artifact family.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The canonical string form the address is hashed from:
+    /// `kind|schema=N|name=value|...` with fields in sorted order. Field
+    /// names and values have the structural characters (`|`, `=`, newlines,
+    /// the escape character itself) escaped, so distinct field sets cannot
+    /// collide on the same canonical string.
+    pub fn canonical(&self) -> String {
+        let esc = |s: &str| {
+            s.replace('\\', "\\\\")
+                .replace('|', "\\p")
+                .replace('=', "\\q")
+                .replace('\n', "\\n")
+        };
+        let mut out = format!("{}|schema={}", esc(&self.kind), SCHEMA_VERSION);
+        for (name, value) in &self.fields {
+            out.push('|');
+            out.push_str(&esc(name));
+            out.push('=');
+            out.push_str(&esc(value));
+        }
+        out
+    }
+
+    /// The content address: SHA-256 of the canonical form, as lowercase hex.
+    pub fn address(&self) -> String {
+        sha256_hex(self.canonical().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_order_does_not_change_the_address() {
+        let a = ArtifactKey::new("dataset").field("x", 1).field("y", "b");
+        let b = ArtifactKey::new("dataset").field("y", "b").field("x", 1);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.address(), b.address());
+    }
+
+    #[test]
+    fn any_field_change_changes_the_address() {
+        let base = ArtifactKey::new("models/scenario1")
+            .field("epochs", 14)
+            .field("hidden", 16);
+        let epochs = ArtifactKey::new("models/scenario1")
+            .field("epochs", 15)
+            .field("hidden", 16);
+        let kind = ArtifactKey::new("models/scenario2")
+            .field("epochs", 14)
+            .field("hidden", 16);
+        assert_ne!(base.address(), epochs.address());
+        assert_ne!(base.address(), kind.address());
+    }
+
+    #[test]
+    fn canonical_escaping_prevents_field_collisions() {
+        // Without escaping these two would render identically.
+        let a = ArtifactKey::new("k").field("a", "1|b=2");
+        let b = ArtifactKey::new("k").field("a", "1").field("b", "2");
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.address(), b.address());
+        // `=` must be escaped too: a name containing it cannot alias a
+        // value containing it.
+        let c = ArtifactKey::new("k").field("a=b", "c");
+        let d = ArtifactKey::new("k").field("a", "b=c");
+        assert_ne!(c.canonical(), d.canonical());
+        assert_ne!(c.address(), d.address());
+        // And the escape character itself round-trips unambiguously.
+        let e = ArtifactKey::new("k").field("a", "\\q");
+        let f = ArtifactKey::new("k").field("a", "=");
+        assert_ne!(e.canonical(), f.canonical());
+    }
+
+    #[test]
+    fn address_is_hex_sha256() {
+        let addr = ArtifactKey::new("dataset").address();
+        assert_eq!(addr.len(), 64);
+        assert!(addr.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

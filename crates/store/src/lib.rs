@@ -1,0 +1,47 @@
+//! # pnp-store
+//!
+//! A content-addressed, versioned artifact store for the expensive, *bit-
+//! deterministic* products of the PnP pipeline: built `Dataset`s (the
+//! exhaustive sweep) and trained model weights (the LOOCV grids). PRs 2–3
+//! made both bit-identical across worker counts, which is what makes them
+//! cacheable at all; this crate turns that determinism into reuse — a warm
+//! store turns a full `validate_paper` run into load-and-evaluate, and CI
+//! jobs share one warm store instead of recomputing per job.
+//!
+//! Three pieces:
+//!
+//! * [`ArtifactKey`] — everything that determines an artifact's bytes,
+//!   folded into a canonical string and SHA-256 content address
+//!   (DESIGN.md §12 defines the per-kind key contract).
+//! * [`Store`] — the on-disk store: atomic temp-file+rename writes,
+//!   header+hash corruption detection (truncation, bit flips, key or schema
+//!   mismatches all degrade to a rebuild, never a panic), a force-rebuild
+//!   escape hatch, and a verify mode that re-computes on every hit and
+//!   byte-compares against the cached payload.
+//! * [`hash`] — a self-contained SHA-256 (the build environment has no
+//!   registry access).
+//!
+//! Knobs (all also available as CLI flags on the `pnp-bench` binaries):
+//! `PNP_STORE=<dir>` enables the store, `PNP_STORE_FORCE=1` ignores and
+//! overwrites cached artifacts, `PNP_STORE_VERIFY=1` checks the bit-identity
+//! contract on every hit.
+//!
+//! The domain-specific key builders (what exactly goes into a dataset or
+//! model key) live in `pnp_core::artifact`, next to the types they cache.
+
+pub mod hash;
+mod key;
+mod store;
+
+pub use hash::sha256_hex;
+pub use key::ArtifactKey;
+pub use store::{Store, StoreStats, FORCE_ENV_VAR, STORE_ENV_VAR, VERIFY_ENV_VAR};
+
+/// Version of the on-disk artifact format *and* of the cache-key contract.
+///
+/// Bump this whenever the serialized form of a cached artifact changes, or
+/// whenever code changes alter the bytes an existing key would produce (new
+/// simulator physics, different seeding, ...). Old artifacts live under the
+/// old `v<N>` directory and simply stop being found — no migration, no
+/// corruption.
+pub const SCHEMA_VERSION: u32 = 1;

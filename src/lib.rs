@@ -18,6 +18,8 @@
 //! * [`benchmarks`] — the 30-application / 68-region evaluation suite.
 //! * [`tuners`] — the search space, objectives, and baseline tuners
 //!   (oracle, default, random, BLISS-style, OpenTuner-like).
+//! * [`store`] — the content-addressed artifact store that persists built
+//!   datasets and trained model weights across runs and CI jobs.
 //! * [`core`] — datasets, training pipelines, the PnP tuner itself, and one
 //!   driver per paper experiment.
 //!
@@ -34,5 +36,6 @@ pub use pnp_graph as graph;
 pub use pnp_ir as ir;
 pub use pnp_machine as machine;
 pub use pnp_openmp as openmp;
+pub use pnp_store as store;
 pub use pnp_tensor as tensor;
 pub use pnp_tuners as tuners;

@@ -175,29 +175,38 @@ macro_rules! impl_int {
     )*};
 }
 
-impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32);
 
-impl Serialize for u64 {
-    fn to_value(&self) -> Value {
-        match i64::try_from(*self) {
-            Ok(i) => Value::Int(i),
-            // Counters beyond i64::MAX do not occur in practice; degrade to
-            // the nearest representable float rather than failing.
-            Err(_) => Value::Float(*self as f64),
+macro_rules! impl_big_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    // Values beyond i64::MAX (e.g. `usize::MAX` used as an
+                    // "unbounded" sentinel) degrade to the nearest
+                    // representable float rather than wrapping negative; the
+                    // saturating float→int cast on the way back restores the
+                    // sentinel exactly, so the round-trip stays lossless.
+                    Err(_) => Value::Float(*self as f64),
+                }
+            }
         }
-    }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| Error::new(format!(
+                            "integer {i} out of range for {}", stringify!($ty)))),
+                    Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Ok(*f as $ty),
+                    _ => Err(Error::expected("unsigned integer", value)),
+                }
+            }
+        }
+    )*};
 }
 
-impl Deserialize for u64 {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        match value {
-            Value::Int(i) => u64::try_from(*i)
-                .map_err(|_| Error::new(format!("integer {i} out of range for u64"))),
-            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Ok(*f as u64),
-            _ => Err(Error::expected("unsigned integer", value)),
-        }
-    }
-}
+impl_big_uint!(u64, usize);
 
 macro_rules! impl_float {
     ($($ty:ty),*) => {$(
@@ -467,6 +476,20 @@ mod tests {
     fn int_range_checks() {
         assert!(u8::from_value(&Value::Int(300)).is_err());
         assert_eq!(u8::from_value(&Value::Int(200)).unwrap(), 200);
+    }
+
+    #[test]
+    fn usize_max_round_trips_through_the_float_fallback() {
+        // `usize::MAX` is used as an "unbounded" sentinel (e.g.
+        // `RegionProfile::scalability_limit`); `as i64` would wrap it to -1
+        // and break every store round-trip of a serialized dataset.
+        let v = usize::MAX.to_value();
+        assert!(matches!(v, Value::Float(_)), "must not wrap negative");
+        assert_eq!(usize::from_value(&v).unwrap(), usize::MAX);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        // Ordinary values keep the integer representation.
+        assert_eq!(7usize.to_value(), Value::Int(7));
+        assert!(usize::from_value(&Value::Int(-1)).is_err());
     }
 
     #[test]
