@@ -6,6 +6,7 @@
 //! ```text
 //! validate_paper [--apps N] [--out PATH] [--sweep-threads N] [--train-threads N]
 //!                [--store DIR] [--force-rebuild] [--verify-store]
+//!                [--ood-seed S] [--ood-kernels N]
 //! ```
 //!
 //! Exits non-zero when any invariant fails that is not a documented
@@ -19,22 +20,30 @@
 //! is load-and-evaluate with a byte-identical verdict list (DESIGN.md §12).
 //! `--verify-store` additionally recomputes on every hit and byte-compares;
 //! a mismatch (broken key contract) also exits non-zero.
+//!
+//! `--ood-seed` / `--ood-kernels` choose the generated out-of-distribution
+//! corpus the `ood.*` invariants gate (DESIGN.md §13); the defaults pin the
+//! byte-identical corpus CI scores.
 
 use pnp_bench::{
     banner, report_store_stats, settings_from_env, store_from_env, sweep_threads_from_env,
     train_threads_from_env,
 };
-use pnp_core::validate::{run_full_validation, ValidationOptions};
+use pnp_core::validate::{
+    run_full_validation, ValidationOptions, DEFAULT_OOD_KERNELS, DEFAULT_OOD_SEED,
+};
 
 /// The flags this binary understands that take one value (`--flag V` or
 /// `--flag=V`): its own `--apps`/`--out`, plus the worker-count and store
 /// knobs the shared `pnp_bench` helpers scan the argument list for.
-const KNOWN_FLAGS: [&str; 5] = [
+const KNOWN_FLAGS: [&str; 7] = [
     "--apps",
     "--out",
     "--sweep-threads",
     "--train-threads",
     "--store",
+    "--ood-seed",
+    "--ood-kernels",
 ];
 
 /// Valueless boolean flags (also consumed by the `pnp_bench` store helper).
@@ -98,10 +107,21 @@ fn main() {
         sweep_threads: sweep_threads_from_env(),
         apps,
         store: store_from_env(),
+        ood_seed: values
+            .get("--ood-seed")
+            .map(|v| v.parse().expect("--ood-seed S"))
+            .unwrap_or(DEFAULT_OOD_SEED),
+        ood_kernels: values
+            .get("--ood-kernels")
+            .map(|v| v.parse().expect("--ood-kernels N"))
+            .unwrap_or(DEFAULT_OOD_KERNELS),
     };
 
     let report = run_full_validation(&opts);
     println!("{}", report.render());
+    if let Some(ood) = &report.ood {
+        println!("{}", ood.render());
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write VALIDATION.json");

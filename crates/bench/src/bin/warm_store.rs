@@ -2,9 +2,10 @@
 //! figure/table drivers and the paper-fidelity harness consume: one dataset
 //! per machine, every LOOCV trained-model grid (scenario 1 static+dynamic,
 //! scenario 2 static+dynamic, unseen-power for both held-out caps), the
-//! transfer-learning report, the ablation grid, and the motivating-example
-//! sweep — so a subsequent `validate_paper --store …` (or any experiment
-//! binary) is pure load-and-evaluate.
+//! transfer-learning report, the ablation grid, the motivating-example
+//! sweep, and the out-of-distribution artifacts (synthetic dataset + cached
+//! OOD report, DESIGN.md §13) — so a subsequent `validate_paper --store …`
+//! (or any experiment binary) is pure load-and-evaluate.
 //!
 //! ```text
 //! warm_store --store DIR [--apps N] [--sweep-threads N] [--train-threads N]
@@ -20,10 +21,11 @@ use pnp_bench::{
     train_threads_from_env,
 };
 use pnp_core::artifact::DatasetCache;
-use pnp_core::experiments::{self, motivating, transfer};
+use pnp_core::experiments::{self, motivating, ood, transfer};
 use pnp_core::training::{
     train_scenario1_models_cached, train_scenario2_model_cached, train_unseen_power_cached,
 };
+use pnp_core::validate::{DEFAULT_OOD_KERNELS, DEFAULT_OOD_SEED};
 use pnp_graph::Vocabulary;
 use pnp_machine::{haswell, skylake};
 use std::time::Instant;
@@ -148,6 +150,30 @@ fn main() {
             ds_haswell,
             &settings,
             Some(cache_haswell),
+        );
+
+        // Out-of-distribution artifacts (DESIGN.md §13): the synthetic
+        // evaluation dataset and the cached OOD report, under the same
+        // default corpus the `validate` job gates.
+        let eval = ood::build_synthetic_dataset(
+            &haswell(),
+            DEFAULT_OOD_SEED,
+            DEFAULT_OOD_KERNELS,
+            sweep_threads,
+            Some(&store),
+        );
+        let cache_eval = store.for_dataset(&eval);
+        let _ = ood::try_run_on_datasets_cached(
+            ds_haswell,
+            &eval,
+            &settings,
+            DEFAULT_OOD_SEED,
+            DEFAULT_OOD_KERNELS,
+            Some((cache_haswell, &cache_eval)),
+        );
+        eprintln!(
+            "[warm_store] haswell: OOD artifacts ready ({} generated kernels)",
+            DEFAULT_OOD_KERNELS
         );
     }
     motivating::run_with_store(sweep_threads, Some(&store));

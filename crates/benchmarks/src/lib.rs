@@ -27,7 +27,9 @@ pub mod polybench;
 pub mod proxy;
 pub mod region;
 pub mod suite;
+pub mod synthetic;
 
 pub use analysis::{derive_profile, KernelTraits, ProblemSizes};
 pub use region::{Application, BenchRegion};
 pub use suite::{full_suite, suite_stats, SuiteStats};
+pub use synthetic::synthetic_suite;

@@ -1,0 +1,117 @@
+//! The synthetic benchmark suite: generated kernels as first-class
+//! applications (ISSUE 6 tentpole).
+//!
+//! [`synthetic_suite`] maps each [`pnp_ir::gen::corpus`] kernel onto a
+//! single-region [`Application`], deriving its workload profile through the
+//! same static analyzer every paper region uses — so generated kernels get
+//! exhaustive sweep ground truth from the analytic machine models exactly
+//! like the frozen 30-app suite, while remaining *out of distribution* for a
+//! model trained on that suite. The synthetic suite is deliberately never
+//! appended to [`crate::full_suite`]: the paper suite stays frozen.
+
+use crate::analysis::{derive_profile, KernelTraits, ProblemSizes};
+use crate::region::{Application, BenchRegion};
+use pnp_ir::gen::{corpus, GeneratedKernel};
+
+/// Builds one application from one generated kernel. The generator's
+/// workload knobs (problem sizes, scalability ceiling, serial fraction) feed
+/// the analyzer the same way hand-written benchmark traits do; everything
+/// else — operation counts, footprints, imbalance shape — is derived from
+/// the generated DSL source.
+pub fn application_from(kernel: &GeneratedKernel) -> Application {
+    let mut sizes = ProblemSizes::new();
+    for (name, value) in &kernel.sizes {
+        sizes = sizes.with(name, *value);
+    }
+    let traits = KernelTraits {
+        serial_fraction: kernel.serial_fraction,
+        scalability_limit: kernel.scalability_limit,
+        ..KernelTraits::default()
+    };
+    let profile = derive_profile(&kernel.source, &sizes, &traits);
+    // App name = region name minus the `_r0` suffix every generated region
+    // carries, keeping app/region naming parallel to the paper suite.
+    let app_name = kernel
+        .source
+        .name
+        .strip_suffix("_r0")
+        .unwrap_or(&kernel.source.name)
+        .to_string();
+    Application::new(
+        app_name,
+        vec![BenchRegion {
+            source: kernel.source.clone(),
+            profile,
+        }],
+    )
+}
+
+/// The deterministic synthetic suite: `count` generated single-region
+/// applications for `seed`. Same seed → byte-identical suite (see
+/// `pnp_ir::gen` for the per-kernel stream scheme); prefix-stable in
+/// `count`.
+pub fn synthetic_suite(seed: u64, count: usize) -> Vec<Application> {
+    corpus(seed, count).iter().map(application_from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_suite_is_deterministic_and_sized() {
+        let a = synthetic_suite(9, 6);
+        let b = synthetic_suite(9, 6);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.regions[0].source, y.regions[0].source);
+            assert_eq!(x.regions[0].profile, y.regions[0].profile);
+        }
+    }
+
+    #[test]
+    fn generated_profiles_are_physical() {
+        for app in synthetic_suite(3, 12) {
+            let p = &app.regions[0].profile;
+            assert!(p.iterations > 0, "{}", app.name);
+            assert!(p.instructions_per_iter > 0.0, "{}", app.name);
+            assert!(p.bytes_per_iter >= 0.0, "{}", app.name);
+            assert!(p.working_set_bytes > 0.0, "{}", app.name);
+            assert!(
+                p.serial_fraction >= 0.0 && p.serial_fraction < 1.0,
+                "{}",
+                app.name
+            );
+            assert!(p.scalability_limit >= 2, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn synthetic_apps_lower_and_graph() {
+        for app in synthetic_suite(11, 6) {
+            let graphs = app.region_graphs();
+            assert_eq!(graphs.len(), 1, "{}", app.name);
+            assert!(graphs[0].1.num_nodes() > 0, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn scalability_knob_reaches_the_profile() {
+        // At least one corpus kernel draws a finite scalability limit, and it
+        // must land in the derived profile unchanged.
+        let kernels = corpus(3, 12);
+        let limited: Vec<_> = kernels
+            .iter()
+            .filter(|k| k.scalability_limit != usize::MAX)
+            .collect();
+        assert!(!limited.is_empty());
+        for k in limited {
+            let app = application_from(k);
+            assert_eq!(
+                app.regions[0].profile.scalability_limit,
+                k.scalability_limit
+            );
+        }
+    }
+}

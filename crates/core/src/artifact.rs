@@ -259,6 +259,31 @@ pub fn transfer_key(
     )
 }
 
+/// Key of the cached out-of-distribution generalization results: train on
+/// one dataset, evaluate on a generated synthetic dataset. Fingerprinted by
+/// both dataset hashes *and* the generator seed scheme (`gen_seed`,
+/// `gen_kernels`), so changing the generated corpus — even to one with an
+/// identical region count — can never replay stale results. Fully
+/// deterministic (predictions + analytic sweeps), so it is cached under the
+/// bit-identity contract.
+pub fn ood_key(
+    train_sha256: &str,
+    eval_sha256: &str,
+    settings: &TrainSettings,
+    gen_seed: u64,
+    gen_kernels: usize,
+) -> ArtifactKey {
+    with_settings(
+        ArtifactKey::new("experiments/ood")
+            .field("train_sha256", train_sha256)
+            .field("eval_sha256", eval_sha256)
+            .field("gen_seed", gen_seed)
+            .field("gen_kernels", gen_kernels)
+            .field("gen_scheme", "pnp-gen-v1"),
+        settings,
+    )
+}
+
 /// Key of the cached motivating-example results (a single-region sweep plus
 /// argmin scans — fully deterministic).
 pub fn motivating_key(machine: &MachineSpec, apps: &[Application]) -> ArtifactKey {

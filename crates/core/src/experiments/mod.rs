@@ -18,6 +18,7 @@
 pub mod ablations;
 pub mod edp;
 pub mod motivating;
+pub mod ood;
 pub mod power_constrained;
 pub mod transfer;
 pub mod unseen_power;
@@ -49,6 +50,10 @@ pub enum ExperimentError {
         /// Number of power levels the dataset's search space actually has.
         have: usize,
     },
+    /// Two datasets that must share a Table I search space (train vs.
+    /// evaluate in the out-of-distribution experiment) do not: a class
+    /// predicted on one would name a different configuration on the other.
+    MismatchedSearchSpaces,
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -60,6 +65,10 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::NotEnoughPowerLevels { needed, have } => write!(
                 f,
                 "search space has {have} power level(s), the experiment needs at least {needed}"
+            ),
+            ExperimentError::MismatchedSearchSpaces => write!(
+                f,
+                "train and evaluation datasets have different search spaces"
             ),
         }
     }

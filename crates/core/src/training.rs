@@ -859,6 +859,25 @@ pub fn transfer_experiment(
     }
 }
 
+/// Trains one static-feature model on the *whole* source dataset (no folds)
+/// for the out-of-distribution experiment: train on every paper region,
+/// evaluate on generated kernels the suite has never seen. Seed offsets
+/// `0x8000 + power_idx` keep the OOD family's weights disjoint from every
+/// other pipeline under the `grid-v1` seed scheme (DESIGN.md §10).
+pub(crate) fn train_ood_model(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    power_idx: usize,
+) -> PnPModel {
+    let num_classes = ds.space.configs_per_power();
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let samples = scenario1_samples(ds, power_idx, &all, None);
+    let mut model = PnPModel::new(settings.model_config(num_classes, 0, 0x8000 + power_idx as u64));
+    let trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, false));
+    trainer.train(&mut model, &samples);
+    model
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,7 @@ use crate::dataset::Dataset;
 use crate::experiments::ablations::AblationResults;
 use crate::experiments::edp::EdpResults;
 use crate::experiments::motivating::MotivatingResults;
+use crate::experiments::ood::OodResults;
 use crate::experiments::power_constrained::PowerConstrainedResults;
 use crate::experiments::transfer::TransferResults;
 use crate::experiments::unseen_power::UnseenPowerResults;
@@ -41,6 +42,15 @@ pub const PAPER: &str = "conf_ipps_DuttaCJ23";
 /// the [`SuiteScope::ReducedOnly`] expected-fail entries in addition to the
 /// [`SuiteScope::Any`] ones.
 pub const FULL_SUITE_APPS: usize = 30;
+
+/// Default generator seed for the out-of-distribution corpus (DESIGN.md
+/// §13). Fixed so that every `validate_paper` run — and the CI gate — scores
+/// the same byte-identical generated suite unless `--ood-seed` overrides it.
+pub const DEFAULT_OOD_SEED: u64 = 0xD17A;
+
+/// Default out-of-distribution corpus size: the ≥ 24-kernel acceptance
+/// floor of ROADMAP item 4.
+pub const DEFAULT_OOD_KERNELS: usize = 24;
 
 /// Which suite sizes an [`EXPECTED_FAIL`] entry applies to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +122,15 @@ pub const EXPECTED_FAIL: &[ExpectedFailEntry] = &[
         id: "fig2.pnp_beats_default_every_cap",
         scope: SuiteScope::ReducedOnly,
     },
+    // Out of distribution the suite-trained model reliably beats the default
+    // (observed ~1.3x geomean, with >= 88 % of generated regions no-regret
+    // at every cap), but it captures well under half of the oracle's
+    // headroom (~28 % on the 6-app quick-budget run). The >= 50 % floor is
+    // kept as the target; the gap is documented in DESIGN.md §13.
+    ExpectedFailEntry {
+        id: "ood.pnp_captures_oracle_headroom",
+        scope: SuiteScope::Any,
+    },
 ];
 
 /// True when `id` is expected to fail on a suite of the given size.
@@ -174,6 +193,10 @@ pub struct ValidationContext {
     pub epochs: usize,
     /// Cross-validation folds requested.
     pub folds: usize,
+    /// Generator seed of the out-of-distribution corpus.
+    pub ood_seed: u64,
+    /// Number of generated kernels in the out-of-distribution corpus.
+    pub ood_kernels: usize,
 }
 
 /// The full validation report (serialized as `VALIDATION.json`).
@@ -193,6 +216,10 @@ pub struct ValidationReport {
     pub expected_failed: usize,
     /// Number of stale [`EXPECTED_FAIL`] entries that now pass.
     pub unexpected_passed: usize,
+    /// The out-of-distribution experiment results backing the `ood.*`
+    /// verdicts (absent when the driver could not run, e.g. `--apps 0`).
+    /// CI publishes this table to the step summary.
+    pub ood: Option<OodResults>,
 }
 
 impl ValidationReport {
@@ -299,6 +326,7 @@ impl Validator {
             unexpected_passed: count(InvariantStatus::UnexpectedPass),
             invariants: self.results,
             context,
+            ood: None,
         }
     }
 }
@@ -395,6 +423,13 @@ pub fn check_hyperparameters(v: &mut Validator) {
 /// figure).
 pub fn check_dataset_invariants(v: &mut Validator, ds: &Dataset) {
     let tag = format!("dataset.{}", ds.machine.name);
+    check_dataset_invariants_tagged(v, &tag, ds);
+}
+
+/// [`check_dataset_invariants`] under an explicit invariant-id prefix, so
+/// the same physical checks can gate a second dataset of the *same* machine
+/// (the synthetic OOD sweep) without colliding with the paper suite's ids.
+pub fn check_dataset_invariants_tagged(v: &mut Validator, tag: &str, ds: &Dataset) {
     let cite = "§III (measurement methodology)";
     let num_powers = ds.space.power_levels.len();
 
@@ -861,6 +896,152 @@ pub fn check_ablations(v: &mut Validator, r: &AblationResults) {
     );
 }
 
+/// Generated-corpus checks (ROADMAP item 4 / DESIGN.md §13): the seed-driven
+/// kernel generator must be deterministic and prefix-stable, and every
+/// kernel it emits must flow panic-free through
+/// lower → verify → region graph → encode with zero out-of-vocabulary nodes
+/// — the encode-path hardening half of the OOD gate, checked before any
+/// model ever sees the corpus.
+pub fn check_generated_corpus(v: &mut Validator, seed: u64, count: usize) {
+    let cite = "DESIGN.md §13 (synthetic kernels)";
+    let corpus = pnp_ir::gen::corpus(seed, count);
+    let again = pnp_ir::gen::corpus(seed, count);
+    let prefix = pnp_ir::gen::corpus(seed, count / 2);
+    v.check(
+        "ood.corpus_deterministic",
+        cite,
+        "the same generator seed yields a byte-identical corpus, prefix-stable in the count",
+        corpus == again && corpus[..count / 2] == prefix[..],
+        format!("seed={seed:#x} kernels={count}"),
+    );
+    let names: std::collections::BTreeSet<&str> =
+        corpus.iter().map(|k| k.source.name.as_str()).collect();
+    v.check(
+        "ood.corpus_size",
+        cite,
+        "the corpus meets the >= 24-kernel acceptance floor with unique region names",
+        corpus.len() == count && count >= DEFAULT_OOD_KERNELS && names.len() == corpus.len(),
+        format!("kernels={} unique_names={}", corpus.len(), names.len()),
+    );
+
+    let vocab = Vocabulary::standard();
+    let mut encoded = 0usize;
+    let mut first_err = String::new();
+    for (i, k) in corpus.iter().enumerate() {
+        let fail = |msg: String| format!("kernel {i} ({}): {msg}", k.source.name);
+        let module = match pnp_ir::lower::try_lower_kernel("ood", std::slice::from_ref(&k.source)) {
+            Ok(m) => m,
+            Err(e) => {
+                if first_err.is_empty() {
+                    first_err = fail(e.to_string());
+                }
+                continue;
+            }
+        };
+        if let Err(e) = pnp_ir::verify::verify_module(&module) {
+            if first_err.is_empty() {
+                first_err = fail(format!("{e:?}"));
+            }
+            continue;
+        }
+        let Some(graph) = pnp_graph::builder::build_region_graph(&module, &k.source.name) else {
+            if first_err.is_empty() {
+                first_err = fail("no region graph".to_string());
+            }
+            continue;
+        };
+        if vocab.oov_rate(&graph) != 0.0 {
+            if first_err.is_empty() {
+                first_err = fail("out-of-vocabulary node texts".to_string());
+            }
+            continue;
+        }
+        let enc = pnp_graph::vocab::EncodedGraph::encode(&graph, &vocab);
+        if let Err(e) = enc.validate(vocab.len()) {
+            if first_err.is_empty() {
+                first_err = fail(e);
+            }
+            continue;
+        }
+        encoded += 1;
+    }
+    v.check(
+        "ood.corpus_encodes_in_vocabulary",
+        cite,
+        "every generated kernel lowers, verifies, graphs, and encodes fully in-vocabulary",
+        encoded == corpus.len(),
+        if first_err.is_empty() {
+            format!("{encoded}/{} kernels", corpus.len())
+        } else {
+            first_err
+        },
+    );
+}
+
+/// Out-of-distribution accuracy checks (ROADMAP item 4 / DESIGN.md §13):
+/// the suite-trained model scored on kernels it has never seen.
+pub fn check_ood(v: &mut Validator, r: &OodResults) {
+    let cite = "DESIGN.md §13 (OOD generalization)";
+    let pnp: Vec<f64> = r.rows.iter().map(|x| x.pnp_geomean_speedup).collect();
+    let oracle: Vec<f64> = r.rows.iter().map(|x| x.oracle_geomean_speedup).collect();
+
+    v.check(
+        "ood.results_complete",
+        cite,
+        "the driver scored every generated region at every cap with valid fractions",
+        !r.rows.is_empty()
+            && r.regions.len() == r.kernels
+            && r.rows.iter().all(|x| {
+                x.pnp_geomean_speedup.is_finite()
+                    && x.pnp_geomean_speedup > 0.0
+                    && x.oracle_geomean_speedup.is_finite()
+                    && (0.0..=1.0).contains(&x.frac_within_10pct_of_oracle)
+                    && (0.0..=1.0).contains(&x.frac_no_worse_than_default)
+            }),
+        format!("kernels={} caps={}", r.kernels, r.rows.len()),
+    );
+    v.check(
+        "ood.oracle_bounds_pnp",
+        cite,
+        "the predicted configuration never beats the exhaustive-sweep oracle at any cap",
+        r.rows
+            .iter()
+            .all(|x| x.pnp_geomean_speedup <= x.oracle_geomean_speedup * (1.0 + 1e-9)),
+        format!("pnp={} oracle={}", fmt_vec(&pnp), fmt_vec(&oracle)),
+    );
+    v.check(
+        "ood.oracle_has_headroom",
+        cite,
+        "the tuned oracle materially beats the default on the generated corpus too",
+        r.rows.iter().all(|x| x.oracle_geomean_speedup >= 0.95),
+        fmt_vec(&oracle),
+    );
+    v.check(
+        "ood.pnp_beats_default",
+        cite,
+        "out of distribution, the suite-trained model still beats the default overall (geomean over caps)",
+        r.overall_pnp_speedup() >= 1.0,
+        format!("overall pnp={:.3}x oracle={:.3}x", r.overall_pnp_speedup(), r.overall_oracle_speedup()),
+    );
+    v.check(
+        "ood.pnp_captures_oracle_headroom",
+        cite,
+        "the model captures a substantial fraction of the oracle's OOD headroom, not just parity with default",
+        r.oracle_fraction() >= 0.5,
+        format!("{:.0}% of oracle headroom", 100.0 * r.oracle_fraction()),
+    );
+    v.check(
+        "ood.majority_no_worse_than_default",
+        cite,
+        "at every cap, most generated regions run no slower than the default configuration",
+        r.min_no_worse_than_default() >= 0.5,
+        format!(
+            "weakest cap: {:.0}% of regions",
+            100.0 * r.min_no_worse_than_default()
+        ),
+    );
+}
+
 /// Edge sweeps: degenerate inputs must produce typed errors or documented
 /// neutral values, never panics (the satellite audit of this PR).
 pub fn check_edge_cases(v: &mut Validator, settings: &TrainSettings) {
@@ -935,6 +1116,12 @@ pub struct ValidationOptions {
     /// since every cached artifact is bit-identical to a fresh computation
     /// (the transfer report is cached as-measured).
     pub store: Option<ArtifactStore>,
+    /// Generator seed for the out-of-distribution corpus
+    /// ([`DEFAULT_OOD_SEED`] unless overridden via `--ood-seed`).
+    pub ood_seed: u64,
+    /// Out-of-distribution corpus size ([`DEFAULT_OOD_KERNELS`] unless
+    /// overridden via `--ood-kernels`).
+    pub ood_kernels: usize,
 }
 
 /// Runs every figure/table experiment through the shared `run_on_dataset`
@@ -949,25 +1136,38 @@ pub fn run_full_validation(opts: &ValidationOptions) -> ValidationReport {
         &opts.settings,
         opts.sweep_threads,
         opts.store.as_ref(),
+        opts.ood_seed,
+        opts.ood_kernels,
     )
 }
 
 /// [`run_full_validation`] over an explicit application list (the reduced
-/// 6-app suite of the integration tests enters here).
+/// 6-app suite of the integration tests enters here), with the default
+/// out-of-distribution corpus.
 pub fn run_validation_on_suite(
     apps: &[Application],
     settings: &TrainSettings,
     sweep_threads: Threads,
 ) -> ValidationReport {
-    run_validation_on_suite_with_store(apps, settings, sweep_threads, None)
+    run_validation_on_suite_with_store(
+        apps,
+        settings,
+        sweep_threads,
+        None,
+        DEFAULT_OOD_SEED,
+        DEFAULT_OOD_KERNELS,
+    )
 }
 
-/// [`run_validation_on_suite`] with an optional artifact store.
+/// [`run_validation_on_suite`] with an optional artifact store and an
+/// explicit out-of-distribution corpus (`ood_seed`, `ood_kernels`).
 pub fn run_validation_on_suite_with_store(
     apps: &[Application],
     settings: &TrainSettings,
     sweep_threads: Threads,
     store: Option<&ArtifactStore>,
+    ood_seed: u64,
+    ood_kernels: usize,
 ) -> ValidationReport {
     let mut v = Validator::for_suite(apps.len());
     let vocab = Vocabulary::standard();
@@ -1073,6 +1273,37 @@ pub fn run_validation_on_suite_with_store(
         Err(e) => driver_failed(&mut v, "ablations", "DESIGN.md §6 (ablations)", &e),
     }
 
+    // ROADMAP item 4: out-of-distribution generalization on generated
+    // kernels (DESIGN.md §13). The corpus-level checks run unconditionally;
+    // the accuracy gate needs a non-degenerate training suite.
+    check_generated_corpus(&mut v, ood_seed, ood_kernels);
+    let eval = experiments::ood::build_synthetic_dataset(
+        &haswell(),
+        ood_seed,
+        ood_kernels,
+        sweep_threads,
+        store,
+    );
+    check_dataset_invariants_tagged(&mut v, "ood.dataset", &eval);
+    let cache_eval = store.map(|s| s.for_dataset(&eval));
+    let ood = match experiments::ood::try_run_on_datasets_cached(
+        ds_haswell,
+        &eval,
+        settings,
+        ood_seed,
+        ood_kernels,
+        cache_haswell.zip(cache_eval.as_ref()),
+    ) {
+        Ok(r) => {
+            check_ood(&mut v, &r);
+            Some(r)
+        }
+        Err(e) => {
+            driver_failed(&mut v, "ood", "DESIGN.md §13 (OOD generalization)", &e);
+            None
+        }
+    };
+
     let context = ValidationContext {
         available_parallelism: std::thread::available_parallelism()
             .map(|p| p.get())
@@ -1090,8 +1321,12 @@ pub fn run_validation_on_suite_with_store(
         .to_string(),
         epochs: settings.epochs,
         folds: settings.folds,
+        ood_seed,
+        ood_kernels,
     };
-    v.into_report(context)
+    let mut report = v.into_report(context);
+    report.ood = ood;
+    report
 }
 
 #[cfg(test)]
@@ -1112,6 +1347,8 @@ mod tests {
             settings_mode: "quick".into(),
             epochs: 1,
             folds: 1,
+            ood_seed: 0,
+            ood_kernels: 0,
         });
         assert_eq!(report.passed, 1);
         assert_eq!(report.failed, 1);
@@ -1151,6 +1388,8 @@ mod tests {
             settings_mode: "quick".into(),
             epochs: 14,
             folds: 5,
+            ood_seed: 0,
+            ood_kernels: 0,
         });
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("available_parallelism"));
@@ -1177,6 +1416,8 @@ mod tests {
             settings_mode: "quick".into(),
             epochs: 1,
             folds: 1,
+            ood_seed: 0,
+            ood_kernels: 0,
         });
         assert_eq!(report.failed, 0, "failures: {:?}", report.hard_failures());
     }

@@ -1,0 +1,119 @@
+//! Serde round-trip property tests for the dataset types (ISSUE 6
+//! satellite): `Dataset` / `Sweep` / `RegionRecord` must survive
+//! JSON serialization byte-identically — including the `usize::MAX`
+//! "unlimited" sentinel in `RegionProfile::scalability_limit`, which the
+//! vendored serde silently wrapped through `i64` before PR 5 fixed it.
+//!
+//! The artifact store persists these exact types (DESIGN.md §12's
+//! bit-identity contract hashes their serialized form), so any lossy field
+//! would corrupt cache keys and cached datasets alike.
+
+use proptest::prelude::*;
+
+use pnp_core::{Dataset, RegionRecord, Sweep};
+use pnp_graph::Vocabulary;
+use pnp_openmp::Threads;
+
+/// One small real dataset (two generated single-region apps) as the
+/// structural template the properties mutate. Built once: the sweep is
+/// deterministic, and the tests only care about serialization.
+fn base_dataset() -> Dataset {
+    let apps = pnp_benchmarks::synthetic_suite(0xA5, 2);
+    Dataset::build_with_threads(
+        &pnp_machine::haswell(),
+        &apps,
+        &Vocabulary::standard(),
+        Threads::Fixed(1),
+    )
+}
+
+fn roundtrip_json<T: serde::Serialize + serde::Deserialize>(value: &T) -> (String, T) {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    (json, back)
+}
+
+/// `scalability_limit` values including every boundary that has bitten:
+/// 0/1 (degenerate), a mid value, `i64::MAX as usize + 1` (the first value
+/// the old i64 path wrapped negative), and the `usize::MAX` sentinel.
+fn arb_scalability_limit() -> impl Strategy<Value = usize> {
+    (0usize..5).prop_map(|i| match i {
+        0 => 0,
+        1 => 1,
+        2 => 48,
+        3 => i64::MAX as usize + 1,
+        _ => usize::MAX,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn region_record_roundtrips_with_any_scalability_limit(
+        limit in arb_scalability_limit(),
+        iterations in 1usize..1_000_000,
+    ) {
+        let ds = base_dataset();
+        let mut record: RegionRecord = ds.regions[0].clone();
+        record.profile.scalability_limit = limit;
+        record.profile.iterations = iterations;
+        let (json, back) = roundtrip_json(&record);
+        prop_assert_eq!(back.profile.scalability_limit, limit);
+        prop_assert_eq!(back.profile.iterations, iterations);
+        // Byte-identical re-serialization: the store's content hash of a
+        // loaded record must equal the hash of the stored one.
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serializes"), json);
+    }
+
+    #[test]
+    fn sweep_roundtrips_bit_identically(
+        time_s in 1e-6f64..1e3,
+        energy_j in 1e-6f64..1e6,
+    ) {
+        let ds = base_dataset();
+        let mut sweep: Sweep = ds.sweeps[0].clone();
+        // Plant generated floats at both sample surfaces; Rust's shortest
+        // round-trip float formatting must bring them back exactly.
+        sweep.samples[0][0].time_s = time_s;
+        sweep.samples[0][0].energy_j = energy_j;
+        sweep.default_samples[0].time_s = time_s / 2.0;
+        let (json, back) = roundtrip_json(&sweep);
+        prop_assert_eq!(back.samples[0][0].time_s, time_s);
+        prop_assert_eq!(back.samples[0][0].energy_j, energy_j);
+        prop_assert_eq!(back.default_samples[0].time_s, time_s / 2.0);
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serializes"), json);
+    }
+
+    #[test]
+    fn dataset_roundtrips_bit_identically(limit in arb_scalability_limit()) {
+        let mut ds = base_dataset();
+        ds.regions[1].profile.scalability_limit = limit;
+        let (json, back) = roundtrip_json(&ds);
+        prop_assert_eq!(back.regions[1].profile.scalability_limit, limit);
+        prop_assert_eq!(back.regions.len(), ds.regions.len());
+        prop_assert_eq!(back.sweeps.len(), ds.sweeps.len());
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serializes"), json);
+    }
+}
+
+/// The PR 5 regression, pinned explicitly: the `usize::MAX` sentinel must
+/// never wrap negative in the JSON (the original bug serialized it through
+/// `as i64` as `-1`) and must deserialize back to exactly `usize::MAX`. The
+/// vendored serde's documented wire form for values beyond `i64::MAX` is a
+/// float whose saturating cast restores the sentinel losslessly.
+#[test]
+fn usize_max_sentinel_survives_json() {
+    let ds = base_dataset();
+    let mut record = ds.regions[0].clone();
+    record.profile.scalability_limit = usize::MAX;
+    let json = serde_json::to_string(&record).expect("serializes");
+    assert!(
+        !json.contains("\"scalability_limit\":-"),
+        "sentinel must not wrap negative"
+    );
+    let back: RegionRecord = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.profile.scalability_limit, usize::MAX);
+    // And the restored record re-serializes byte-identically (store hashes).
+    assert_eq!(serde_json::to_string(&back).expect("re-serializes"), json);
+}

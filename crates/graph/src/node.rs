@@ -14,6 +14,9 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
+    /// Number of distinct node kinds (valid indices are `0..COUNT`).
+    pub const COUNT: usize = 3;
+
     /// Small integer encoding fed to the model alongside the text token.
     pub fn index(self) -> usize {
         match self {

@@ -166,6 +166,44 @@ impl EncodedGraph {
             .filter(|&&k| k == NodeKind::Instruction.index())
             .count()
     }
+
+    /// Structural self-check, used to harden the encode path against unseen
+    /// graph shapes (e.g. generated kernels): token/kind lists must be
+    /// parallel, kind indices must name a real [`NodeKind`], token ids must
+    /// fit `vocab_len`, and every edge endpoint must be a real node.
+    pub fn validate(&self, vocab_len: usize) -> Result<(), String> {
+        if self.tokens.len() != self.kinds.len() {
+            return Err(format!(
+                "{}: {} tokens but {} kinds",
+                self.name,
+                self.tokens.len(),
+                self.kinds.len()
+            ));
+        }
+        if let Some(&t) = self.tokens.iter().find(|&&t| t >= vocab_len) {
+            return Err(format!(
+                "{}: token id {t} out of range for vocabulary of {vocab_len}",
+                self.name
+            ));
+        }
+        if let Some(&k) = self.kinds.iter().find(|&&k| k >= NodeKind::COUNT) {
+            return Err(format!(
+                "{}: node kind index {k} out of range (max {})",
+                self.name,
+                NodeKind::COUNT - 1
+            ));
+        }
+        let n = self.num_nodes();
+        for (rel, edges) in self.relations.iter().enumerate() {
+            if let Some(&(s, d)) = edges.iter().find(|&&(s, d)| s >= n || d >= n) {
+                return Err(format!(
+                    "{}: relation {rel} edge ({s}, {d}) out of range for {n} nodes",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

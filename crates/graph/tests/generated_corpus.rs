@@ -1,0 +1,68 @@
+//! Encode-path hardening over the generated kernel corpus (ISSUE 6): every
+//! kernel the `pnp_ir::gen` generator can emit must flow through
+//! lower → region graph → vocabulary encode with zero out-of-vocabulary
+//! nodes and a structurally valid [`EncodedGraph`]. The closed-over-the-IR
+//! vocabulary is only sound if *novel* shapes — not just the frozen paper
+//! suite — stay fully in-vocabulary.
+
+use pnp_graph::builder::build_region_graph;
+use pnp_graph::vocab::{EncodedGraph, Vocabulary};
+use pnp_ir::gen::corpus;
+use pnp_ir::lower::try_lower_kernel;
+use pnp_ir::verify::verify_module;
+
+#[test]
+fn generated_corpus_encodes_with_zero_oov() {
+    let vocab = Vocabulary::standard();
+    for (i, k) in corpus(0xC0FFEE, 32).iter().enumerate() {
+        let m = try_lower_kernel("gen_app", std::slice::from_ref(&k.source))
+            .unwrap_or_else(|e| panic!("kernel {i}: {e}"));
+        verify_module(&m).unwrap_or_else(|e| panic!("kernel {i}: {e:?}"));
+        let g = build_region_graph(&m, &k.source.name)
+            .unwrap_or_else(|| panic!("kernel {i}: no region graph for {}", k.source.name));
+        assert_eq!(
+            vocab.oov_rate(&g),
+            0.0,
+            "kernel {i} ({}) produced out-of-vocabulary node texts",
+            k.source.name
+        );
+        let enc = EncodedGraph::encode(&g, &vocab);
+        enc.validate(vocab.len())
+            .unwrap_or_else(|e| panic!("kernel {i}: {e}"));
+        assert!(enc.num_instruction_nodes() > 0, "kernel {i}");
+    }
+}
+
+#[test]
+fn encoded_graph_validate_catches_corruption() {
+    let vocab = Vocabulary::standard();
+    let k = &corpus(1, 1)[0];
+    let m = try_lower_kernel("gen_app", std::slice::from_ref(&k.source)).unwrap();
+    let g = build_region_graph(&m, &k.source.name).unwrap();
+    let enc = EncodedGraph::encode(&g, &vocab);
+    assert!(enc.validate(vocab.len()).is_ok());
+
+    // Token id past the vocabulary.
+    let mut bad = enc.clone();
+    bad.tokens[0] = vocab.len();
+    assert!(bad.validate(vocab.len()).unwrap_err().contains("token id"));
+
+    // Kind index past the kind count.
+    let mut bad = enc.clone();
+    bad.kinds[0] = 3;
+    assert!(bad
+        .validate(vocab.len())
+        .unwrap_err()
+        .contains("kind index"));
+
+    // Dangling edge endpoint.
+    let mut bad = enc.clone();
+    let n = bad.num_nodes();
+    bad.relations[0].push((0, n));
+    assert!(bad.validate(vocab.len()).unwrap_err().contains("edge"));
+
+    // Length mismatch between tokens and kinds.
+    let mut bad = enc.clone();
+    bad.kinds.pop();
+    assert!(bad.validate(vocab.len()).unwrap_err().contains("kinds"));
+}

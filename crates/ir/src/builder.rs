@@ -6,6 +6,59 @@ use crate::inst::{Instruction, Opcode};
 use crate::types::Type;
 use crate::value::{BlockId, InstId, Operand};
 
+/// A misuse of [`FunctionBuilder`], reported by the `try_*` methods instead
+/// of panicking. The panicking methods remain for internal lowering code
+/// whose inputs are pre-validated (`pnp_ir::lower::check_region`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The target of a `switch_to` was never created with `new_block`.
+    UnknownBlock {
+        /// The missing block id.
+        block: crate::value::BlockId,
+    },
+    /// An instruction was appended to a block that already ends in a
+    /// terminator.
+    TerminatedBlock {
+        /// Label of the already-terminated block.
+        block: String,
+        /// Function under construction.
+        function: String,
+    },
+    /// `set_operands` named an instruction id that does not exist.
+    UnknownInstruction {
+        /// The missing instruction id.
+        inst: InstId,
+    },
+    /// `try_finish` found blocks with no terminator (they would fail module
+    /// verification).
+    UnterminatedBlocks {
+        /// Labels of the offending blocks.
+        labels: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownBlock { block } => write!(f, "switch_to unknown block {block}"),
+            BuildError::TerminatedBlock { block, function } => {
+                write!(
+                    f,
+                    "appending to already-terminated block {block} in {function}"
+                )
+            }
+            BuildError::UnknownInstruction { inst } => {
+                write!(f, "set_operands: unknown instruction {inst}")
+            }
+            BuildError::UnterminatedBlocks { labels } => {
+                write!(f, "unterminated blocks: {}", labels.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Builds a [`Function`] by appending instructions to a "current" block, in
 /// the style of LLVM's `IRBuilder`.
 pub struct FunctionBuilder {
@@ -43,12 +96,23 @@ impl FunctionBuilder {
     }
 
     /// Moves the insertion point to `block`.
+    ///
+    /// # Panics
+    /// If `block` was never created; see [`FunctionBuilder::try_switch_to`].
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(
-            self.func.blocks.iter().any(|b| b.id == block),
-            "switch_to unknown block {block}"
-        );
-        self.current = block;
+        if let Err(e) = self.try_switch_to(block) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`FunctionBuilder::switch_to`].
+    pub fn try_switch_to(&mut self, block: BlockId) -> Result<(), BuildError> {
+        if self.func.blocks.iter().any(|b| b.id == block) {
+            self.current = block;
+            Ok(())
+        } else {
+            Err(BuildError::UnknownBlock { block })
+        }
     }
 
     /// The block currently being appended to.
@@ -62,23 +126,40 @@ impl FunctionBuilder {
     }
 
     /// Appends an instruction and returns its id (= the SSA value it defines).
+    ///
+    /// # Panics
+    /// If the current block is already terminated; see
+    /// [`FunctionBuilder::try_push`].
     pub fn push(&mut self, opcode: Opcode, ty: Type, operands: Vec<Operand>) -> InstId {
-        let id = self.next_inst;
-        self.next_inst += 1;
+        match self.try_push(opcode, ty, operands) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`FunctionBuilder::push`].
+    pub fn try_push(
+        &mut self,
+        opcode: Opcode,
+        ty: Type,
+        operands: Vec<Operand>,
+    ) -> Result<InstId, BuildError> {
         let block = self
             .func
             .blocks
             .iter_mut()
             .find(|b| b.id == self.current)
             .expect("current block exists");
-        assert!(
-            !block.is_terminated(),
-            "appending to already-terminated block {} in {}",
-            block.label,
-            self.func.name
-        );
+        if block.is_terminated() {
+            return Err(BuildError::TerminatedBlock {
+                block: block.label.clone(),
+                function: self.func.name.clone(),
+            });
+        }
+        let id = self.next_inst;
+        self.next_inst += 1;
         block.insts.push(Instruction::new(id, opcode, ty, operands));
-        id
+        Ok(id)
     }
 
     /// Appends an unconditional branch.
@@ -106,21 +187,53 @@ impl FunctionBuilder {
 
     /// Replaces the operands of an existing instruction (used to patch phi
     /// nodes once latch values are known).
+    ///
+    /// # Panics
+    /// If `inst` does not exist; see [`FunctionBuilder::try_set_operands`].
     pub fn set_operands(&mut self, inst: InstId, operands: Vec<Operand>) {
+        if let Err(e) = self.try_set_operands(inst, operands) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`FunctionBuilder::set_operands`].
+    pub fn try_set_operands(
+        &mut self,
+        inst: InstId,
+        operands: Vec<Operand>,
+    ) -> Result<(), BuildError> {
         for block in &mut self.func.blocks {
             for i in &mut block.insts {
                 if i.id == inst {
                     i.operands = operands;
-                    return;
+                    return Ok(());
                 }
             }
         }
-        panic!("set_operands: unknown instruction {inst}");
+        Err(BuildError::UnknownInstruction { inst })
     }
 
     /// Finishes the function.
     pub fn finish(self) -> Function {
         self.func
+    }
+
+    /// Finishes the function, but first rejects blocks with no terminator —
+    /// the one malformation `finish` lets through and `verify_module` would
+    /// only catch later.
+    pub fn try_finish(self) -> Result<Function, BuildError> {
+        let labels: Vec<String> = self
+            .func
+            .blocks
+            .iter()
+            .filter(|b| !b.is_terminated())
+            .map(|b| b.label.clone())
+            .collect();
+        if labels.is_empty() {
+            Ok(self.func)
+        } else {
+            Err(BuildError::UnterminatedBlocks { labels })
+        }
     }
 
     /// Read-only access to the function under construction (for assertions in

@@ -1,0 +1,898 @@
+//! Property-based kernel generation and a builder-chain authoring API.
+//!
+//! Two complementary front-ends over the same [`crate::dsl`] (DESIGN.md §13):
+//!
+//! 1. **Seed-driven strategies** on the vendored `proptest` that emit *valid*
+//!    [`RegionSource`] programs — varied loop nests, arithmetic mixes, memory
+//!    footprints, and scalability limits — for the out-of-distribution
+//!    generalization gate. Every kernel drawn from [`corpus`] lowers,
+//!    verifies, and graph-encodes without panicking; the generator never
+//!    references an undeclared array, size parameter, or loop variable.
+//! 2. **Builder chains** ([`kernel`], [`for_param`]) for hand-written cases:
+//!    fluent factory functions in the husako style (no `new`, each call
+//!    returns the builder), finishing with a plain [`RegionSource`].
+//!
+//! # Seed scheme
+//!
+//! `corpus(seed, n)` derives one independent random stream per kernel from
+//! the string `pnp-gen-v1/<seed>/<index>` (FNV-1a → ChaCha8, the vendored
+//! proptest's [`TestRng::deterministic`]). Consequences:
+//!
+//! * the same `(seed, index)` always yields the byte-identical kernel, on
+//!   every host and worker count — the corpus is cacheable under a
+//!   seed-fingerprinted `pnp-store` key;
+//! * the corpus is *prefix-stable*: `corpus(s, 8)` begins with exactly
+//!   `corpus(s, 4)` — growing the evaluation set never changes existing
+//!   kernels.
+
+use crate::dsl::{
+    ArrayDecl, ArrayRef, BinOp, CmpOp, Expr, HelperFn, IndexExpr, LoopBound, LoopNest, MathFn,
+    OmpPragma, OmpSchedule, RegionSource, Stmt,
+};
+use proptest::{Strategy, TestRng};
+use serde::{Deserialize, Serialize};
+
+/// One generated kernel plus the workload knobs a benchmark provider needs to
+/// derive its analytic profile (problem sizes, scalability ceiling, serial
+/// fraction). The `ir` crate knows nothing about machines, so these are plain
+/// data; `pnp-benchmarks::synthetic` maps them onto `ProblemSizes` /
+/// `KernelTraits`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedKernel {
+    /// The kernel's DSL source (one OpenMP region).
+    pub source: RegionSource,
+    /// Concrete value per size parameter, in `source.size_params` order.
+    pub sizes: Vec<(String, i64)>,
+    /// Maximum useful parallelism (`usize::MAX` = unlimited) — exercises the
+    /// sentinel that broke vendored-serde in PR 5.
+    pub scalability_limit: usize,
+    /// Fraction of inherently serial work.
+    pub serial_fraction: f64,
+}
+
+/// A proptest [`Strategy`] emitting whole [`GeneratedKernel`]s. All emitted
+/// kernels use `tag` as their name stem, so corpus-level name uniqueness is
+/// the caller's concern (per-index tags in [`corpus`]).
+pub struct KernelStrategy {
+    tag: String,
+}
+
+impl Strategy for KernelStrategy {
+    type Value = GeneratedKernel;
+
+    fn generate(&self, rng: &mut TestRng) -> GeneratedKernel {
+        generate_kernel(&self.tag, rng)
+    }
+}
+
+/// Strategy producing valid generated kernels named after `tag`.
+pub fn arb_kernel(tag: &str) -> KernelStrategy {
+    KernelStrategy {
+        tag: tag.to_string(),
+    }
+}
+
+/// Strategy producing only the [`RegionSource`] of a generated kernel.
+pub fn arb_region_source(tag: &str) -> impl Strategy<Value = RegionSource> {
+    arb_kernel(tag).prop_map(|k| k.source)
+}
+
+/// The deterministic generated corpus: `count` kernels for `seed`, each drawn
+/// from its own `pnp-gen-v1/<seed>/<index>` stream (see the module docs for
+/// the determinism and prefix-stability contract).
+pub fn corpus(seed: u64, count: usize) -> Vec<GeneratedKernel> {
+    (0..count)
+        .map(|i| {
+            let mut rng = TestRng::deterministic(&format!("pnp-gen-v1/{seed}/{i}"));
+            generate_kernel(&format!("gen{seed:08x}_{i:03}"), &mut rng)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Random draws (thin wrappers over the vendored proptest range strategies).
+// ---------------------------------------------------------------------------
+
+fn draw(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
+    if lo + 1 >= hi {
+        lo
+    } else {
+        (lo..hi).generate(rng)
+    }
+}
+
+fn draw_f(rng: &mut TestRng, lo: f64, hi: f64) -> f64 {
+    (lo..hi).generate(rng)
+}
+
+fn chance(rng: &mut TestRng, p: f64) -> bool {
+    (0.0f64..1.0).generate(rng) < p
+}
+
+fn pick<'a, T>(rng: &mut TestRng, options: &'a [T]) -> &'a T {
+    &options[draw(rng, 0, options.len())]
+}
+
+fn pick_arith(rng: &mut TestRng) -> BinOp {
+    *pick(rng, &[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div])
+}
+
+fn pick_binop(rng: &mut TestRng) -> BinOp {
+    *pick(
+        rng,
+        &[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Min,
+            BinOp::Max,
+        ],
+    )
+}
+
+fn pick_math(rng: &mut TestRng) -> MathFn {
+    *pick(
+        rng,
+        &[
+            MathFn::Sqrt,
+            MathFn::Exp,
+            MathFn::Log,
+            MathFn::Fabs,
+            MathFn::Sin,
+            MathFn::Cos,
+        ],
+    )
+}
+
+/// Problem sizes are drawn from a ladder so footprints span KBs to tens of
+/// MBs without the generator stumbling into degenerate 1-element arrays.
+const SIZE_LADDER: [i64; 10] = [96, 160, 256, 384, 512, 768, 1024, 1536, 2048, 4096];
+
+fn pick_size(rng: &mut TestRng) -> i64 {
+    *pick(rng, &SIZE_LADDER)
+}
+
+/// Folds `terms` into one expression with random operators, then chains
+/// `0..=3` extra unary/scalar operations on top (the "arithmetic mix").
+/// Every scalar referenced comes from `scalars` (all declared by the caller).
+fn mix_expr(rng: &mut TestRng, mut terms: Vec<Expr>, scalars: &[&str]) -> Expr {
+    let mut value = terms.remove(0);
+    for t in terms {
+        value = Expr::Binary(pick_binop(rng), Box::new(value), Box::new(t));
+    }
+    for _ in 0..draw(rng, 0, 4) {
+        value = match draw(rng, 0, 6) {
+            0 => Expr::Math(pick_math(rng), vec![value]),
+            1 => Expr::Math(MathFn::Pow, vec![value, Expr::Const(2.0)]),
+            2 => Expr::Neg(Box::new(value)),
+            3 => Expr::Binary(
+                pick_arith(rng),
+                Box::new(value),
+                Box::new(Expr::Const(draw_f(rng, 0.25, 4.0))),
+            ),
+            _ => {
+                let s = *pick(rng, scalars);
+                Expr::Binary(
+                    pick_arith(rng),
+                    Box::new(value),
+                    Box::new(Expr::Scalar(s.into())),
+                )
+            }
+        };
+    }
+    value
+}
+
+fn random_pragma(rng: &mut TestRng) -> OmpPragma {
+    OmpPragma {
+        schedule: if chance(rng, 0.3) {
+            Some(*pick(
+                rng,
+                &[
+                    OmpSchedule::Static,
+                    OmpSchedule::Dynamic,
+                    OmpSchedule::Guided,
+                ],
+            ))
+        } else {
+            None
+        },
+        reduction: None,
+        collapse: 1,
+        nowait: chance(rng, 0.15),
+    }
+}
+
+/// Scalability/serial-fraction knobs shared by every shape class.
+fn workload_knobs(rng: &mut TestRng) -> (usize, f64) {
+    let limit = if chance(rng, 0.3) {
+        draw(rng, 2, 48)
+    } else {
+        usize::MAX
+    };
+    let serial = if chance(rng, 0.25) {
+        draw_f(rng, 0.01, 0.12)
+    } else {
+        0.0
+    };
+    (limit, serial)
+}
+
+// ---------------------------------------------------------------------------
+// Shape classes. Each emits a structurally different — but always valid —
+// kernel family; the class index is the first draw so corpora cover all of
+// them.
+// ---------------------------------------------------------------------------
+
+fn generate_kernel(tag: &str, rng: &mut TestRng) -> GeneratedKernel {
+    let class = draw(rng, 0, 8);
+    let (source, sizes) = match class {
+        0 => gen_streaming(tag, rng),
+        1 => gen_stencil1d(tag, rng),
+        2 => gen_reduction(tag, rng),
+        3 => gen_elementwise2d(tag, rng),
+        4 => gen_contraction(tag, rng),
+        5 => gen_triangular(tag, rng),
+        6 => gen_helper_call(tag, rng),
+        _ => gen_conditional(tag, rng),
+    };
+    let (scalability_limit, serial_fraction) = workload_knobs(rng);
+    GeneratedKernel {
+        source,
+        sizes,
+        scalability_limit,
+        serial_fraction,
+    }
+}
+
+fn source(
+    tag: &str,
+    pragma: OmpPragma,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<&str>,
+    size_params: Vec<&str>,
+    helpers: Vec<HelperFn>,
+    parallel_loop: LoopNest,
+) -> RegionSource {
+    RegionSource {
+        name: format!("{tag}_r0"),
+        pragma,
+        arrays,
+        scalars: scalars.into_iter().map(String::from).collect(),
+        size_params: size_params.into_iter().map(String::from).collect(),
+        helpers,
+        parallel_loop,
+    }
+}
+
+/// `OUT[i] = mix(IN0[i], …, INk[i])` — memory-bandwidth-bound streaming.
+fn gen_streaming(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let inputs = draw(rng, 1, 4);
+    let mut arrays = vec![ArrayDecl::d1("OUT", "N")];
+    let mut terms = Vec::new();
+    for k in 0..inputs {
+        let name = format!("IN{k}");
+        arrays.push(ArrayDecl::d1(&name, "N"));
+        terms.push(Expr::load1(&name, IndexExpr::var("i")));
+    }
+    let value = mix_expr(rng, terms, &["alpha", "beta"]);
+    let stmt = if chance(rng, 0.3) {
+        Stmt::Accumulate {
+            target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+            op: pick_arith(rng),
+            value,
+        }
+    } else {
+        Stmt::Assign {
+            target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+            value,
+        }
+    };
+    let src = source(
+        tag,
+        random_pragma(rng),
+        arrays,
+        vec!["alpha", "beta"],
+        vec!["N"],
+        vec![],
+        LoopNest::new("i", LoopBound::Param("N".into()), vec![stmt]),
+    );
+    let n = pick_size(rng) * 4; // streaming kernels get the largest footprints
+    (src, vec![("N".into(), n)])
+}
+
+/// `OUT[i] = mix(IN[i-r], …, IN[i+r])` — a 1-D stencil with radius 1..=2.
+fn gen_stencil1d(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let radius = draw(rng, 1, 3) as i64;
+    let mut terms = Vec::new();
+    for off in -radius..=radius {
+        terms.push(Expr::load1("IN", IndexExpr::var_plus("i", off)));
+    }
+    let value = mix_expr(rng, terms, &["alpha"]);
+    let src = source(
+        tag,
+        random_pragma(rng),
+        vec![ArrayDecl::d1("OUT", "N"), ArrayDecl::d1("IN", "N")],
+        vec!["alpha"],
+        vec!["N"],
+        vec![],
+        LoopNest::new(
+            "i",
+            LoopBound::Param("N".into()),
+            vec![Stmt::Assign {
+                target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+                value,
+            }],
+        ),
+    );
+    (src, vec![("N".into(), pick_size(rng) * 2)])
+}
+
+/// `sum += mix(IN*[i])` under a `reduction(+:sum)` pragma.
+fn gen_reduction(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let inputs = draw(rng, 1, 3);
+    let mut arrays = Vec::new();
+    let mut terms = Vec::new();
+    for k in 0..inputs {
+        let name = format!("IN{k}");
+        arrays.push(ArrayDecl::d1(&name, "N"));
+        terms.push(Expr::load1(&name, IndexExpr::var("i")));
+    }
+    let value = mix_expr(rng, terms, &["alpha"]);
+    let pragma = OmpPragma {
+        reduction: Some((BinOp::Add, "sum".into())),
+        ..random_pragma(rng)
+    };
+    let src = source(
+        tag,
+        pragma,
+        arrays,
+        vec!["alpha"],
+        vec!["N"],
+        vec![],
+        LoopNest::new(
+            "i",
+            LoopBound::Param("N".into()),
+            vec![Stmt::ScalarAccumulate {
+                name: "sum".into(),
+                op: BinOp::Add,
+                value,
+            }],
+        ),
+    );
+    (src, vec![("N".into(), pick_size(rng) * 4)])
+}
+
+/// `OUT[i][j] = mix(IN*[i][j])` — a dense 2-D elementwise nest.
+fn gen_elementwise2d(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let inputs = draw(rng, 1, 3);
+    let mut arrays = vec![ArrayDecl::d2("OUT", "N", "M")];
+    let mut terms = Vec::new();
+    for k in 0..inputs {
+        let name = format!("IN{k}");
+        arrays.push(ArrayDecl::d2(&name, "N", "M"));
+        terms.push(Expr::load2(&name, IndexExpr::var("i"), IndexExpr::var("j")));
+    }
+    let value = mix_expr(rng, terms, &["alpha", "beta"]);
+    let inner = LoopNest::new(
+        "j",
+        LoopBound::Param("M".into()),
+        vec![Stmt::Assign {
+            target: ArrayRef::d2("OUT", IndexExpr::var("i"), IndexExpr::var("j")),
+            value,
+        }],
+    );
+    let src = source(
+        tag,
+        random_pragma(rng),
+        arrays,
+        vec!["alpha", "beta"],
+        vec!["N", "M"],
+        vec![],
+        LoopNest::new("i", LoopBound::Param("N".into()), vec![Stmt::Loop(inner)]),
+    );
+    let sizes = vec![("N".into(), pick_size(rng)), ("M".into(), pick_size(rng))];
+    (src, sizes)
+}
+
+/// `OUT[i][j] += A[i][k] ⊗ B[k][j]` — a matmul-like 3-deep contraction with
+/// a randomized inner combine.
+fn gen_contraction(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let mut value = Expr::Binary(
+        if chance(rng, 0.8) {
+            BinOp::Mul
+        } else {
+            BinOp::Add
+        },
+        Box::new(Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("k"))),
+        Box::new(Expr::load2("B", IndexExpr::var("k"), IndexExpr::var("j"))),
+    );
+    if chance(rng, 0.4) {
+        value = Expr::mul(Expr::Scalar("alpha".into()), value);
+    }
+    let inner_k = LoopNest::new(
+        "k",
+        LoopBound::Param("K".into()),
+        vec![Stmt::Accumulate {
+            target: ArrayRef::d2("OUT", IndexExpr::var("i"), IndexExpr::var("j")),
+            op: BinOp::Add,
+            value,
+        }],
+    );
+    let loop_j = LoopNest::new("j", LoopBound::Param("M".into()), vec![Stmt::Loop(inner_k)]);
+    let src = source(
+        tag,
+        random_pragma(rng),
+        vec![
+            ArrayDecl::d2("OUT", "N", "M"),
+            ArrayDecl::d2("A", "N", "K"),
+            ArrayDecl::d2("B", "K", "M"),
+        ],
+        vec!["alpha"],
+        vec!["N", "M", "K"],
+        vec![],
+        LoopNest::new("i", LoopBound::Param("N".into()), vec![Stmt::Loop(loop_j)]),
+    );
+    let sizes = vec![
+        ("N".into(), pick_size(rng) / 2),
+        ("M".into(), pick_size(rng) / 2),
+        ("K".into(), pick_size(rng) / 2),
+    ];
+    (src, sizes)
+}
+
+/// Triangular nest `for i in 0..N { for j in 0..i(+1) { … } }` over square
+/// arrays — the ramp-imbalanced family.
+fn gen_triangular(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let inner_bound = if chance(rng, 0.5) {
+        LoopBound::Var("i".into())
+    } else {
+        LoopBound::VarPlus("i".into(), 1)
+    };
+    let load = if chance(rng, 0.5) {
+        Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("j"))
+    } else {
+        Expr::load2("A", IndexExpr::var("j"), IndexExpr::var("i"))
+    };
+    let value = mix_expr(rng, vec![load], &["alpha"]);
+    let inner = LoopNest::new(
+        "j",
+        inner_bound,
+        vec![Stmt::Assign {
+            target: ArrayRef::d2("OUT", IndexExpr::var("i"), IndexExpr::var("j")),
+            value,
+        }],
+    );
+    let src = source(
+        tag,
+        random_pragma(rng),
+        vec![ArrayDecl::d2("OUT", "N", "N"), ArrayDecl::d2("A", "N", "N")],
+        vec!["alpha"],
+        vec!["N"],
+        vec![],
+        LoopNest::new("i", LoopBound::Param("N".into()), vec![Stmt::Loop(inner)]),
+    );
+    (src, vec![("N".into(), pick_size(rng))])
+}
+
+/// `OUT[i] = helper(IN[i], …)` — a call-heavy kernel whose footprint hides
+/// behind an opaque callee (the irregular/Monte-Carlo family).
+fn gen_helper_call(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let num_params = draw(rng, 1, 4);
+    let body_ops = draw(rng, 2, 12);
+    let helper_name = format!("{tag}_helper");
+    let mut args = vec![Expr::load1("IN", IndexExpr::var("i"))];
+    for p in 1..num_params {
+        args.push(if p == 1 {
+            Expr::Scalar("alpha".into())
+        } else {
+            Expr::Const(draw_f(rng, 0.5, 2.0))
+        });
+    }
+    let src = source(
+        tag,
+        random_pragma(rng),
+        vec![ArrayDecl::d1("OUT", "N"), ArrayDecl::d1("IN", "N")],
+        vec!["alpha"],
+        vec!["N"],
+        vec![HelperFn {
+            name: helper_name.clone(),
+            num_params,
+            body_ops,
+        }],
+        LoopNest::new(
+            "i",
+            LoopBound::Param("N".into()),
+            vec![Stmt::Assign {
+                target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+                value: Expr::CallHelper(helper_name, args),
+            }],
+        ),
+    );
+    (src, vec![("N".into(), pick_size(rng) * 2)])
+}
+
+/// A branchy kernel: `if IN[i] ⋈ thresh { OUT[i] = … } else { OUT[i] = … }`.
+fn gen_conditional(tag: &str, rng: &mut TestRng) -> (RegionSource, Vec<(String, i64)>) {
+    let cmp = *pick(
+        rng,
+        &[
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ],
+    );
+    let then_value = mix_expr(
+        rng,
+        vec![Expr::load1("IN", IndexExpr::var("i"))],
+        &["thresh"],
+    );
+    let else_body = if chance(rng, 0.7) {
+        vec![Stmt::Assign {
+            target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+            value: Expr::Const(draw_f(rng, -1.0, 1.0)),
+        }]
+    } else {
+        Vec::new() // empty else arms must lower cleanly too
+    };
+    let src = source(
+        tag,
+        random_pragma(rng),
+        vec![ArrayDecl::d1("OUT", "N"), ArrayDecl::d1("IN", "N")],
+        vec!["thresh"],
+        vec!["N"],
+        vec![],
+        LoopNest::new(
+            "i",
+            LoopBound::Param("N".into()),
+            vec![Stmt::If {
+                lhs: Expr::load1("IN", IndexExpr::var("i")),
+                cmp,
+                rhs: Expr::Scalar("thresh".into()),
+                then_body: vec![Stmt::Assign {
+                    target: ArrayRef::d1("OUT", IndexExpr::var("i")),
+                    value: then_value,
+                }],
+                else_body,
+            }],
+        ),
+    );
+    (src, vec![("N".into(), pick_size(rng) * 2)])
+}
+
+// ---------------------------------------------------------------------------
+// Builder-chain authoring API (the husako idiom: factory functions, fluent
+// chains, no `new`).
+// ---------------------------------------------------------------------------
+
+/// Starts a kernel description:
+///
+/// ```
+/// use pnp_ir::dsl::{ArrayRef, Expr, IndexExpr};
+/// use pnp_ir::gen::{for_param, kernel};
+///
+/// let region = kernel("saxpy")
+///     .size("N")
+///     .scalar("a")
+///     .array1("X", "N")
+///     .array1("Y", "N")
+///     .body(for_param("i", "N").assign(
+///         ArrayRef::d1("Y", IndexExpr::var("i")),
+///         Expr::add(
+///             Expr::mul(Expr::Scalar("a".into()), Expr::load1("X", IndexExpr::var("i"))),
+///             Expr::load1("Y", IndexExpr::var("i")),
+///         ),
+///     ));
+/// assert_eq!(region.name, "saxpy");
+/// assert!(pnp_ir::lower::try_lower_kernel("app", &[region]).is_ok());
+/// ```
+pub fn kernel(name: &str) -> KernelBuilder {
+    KernelBuilder {
+        name: name.to_string(),
+        pragma: OmpPragma::default(),
+        arrays: Vec::new(),
+        scalars: Vec::new(),
+        size_params: Vec::new(),
+        helpers: Vec::new(),
+    }
+}
+
+/// Fluent builder returned by [`kernel`]; finish with [`KernelBuilder::body`].
+pub struct KernelBuilder {
+    name: String,
+    pragma: OmpPragma,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<String>,
+    size_params: Vec<String>,
+    helpers: Vec<HelperFn>,
+}
+
+impl KernelBuilder {
+    /// Sets the schedule clause.
+    pub fn schedule(mut self, s: OmpSchedule) -> Self {
+        self.pragma.schedule = Some(s);
+        self
+    }
+
+    /// Adds a `reduction(op:name)` clause.
+    pub fn reduction(mut self, op: BinOp, name: &str) -> Self {
+        self.pragma.reduction = Some((op, name.to_string()));
+        self
+    }
+
+    /// Adds the `nowait` clause.
+    pub fn nowait(mut self) -> Self {
+        self.pragma.nowait = true;
+        self
+    }
+
+    /// Declares a size parameter.
+    pub fn size(mut self, name: &str) -> Self {
+        self.size_params.push(name.to_string());
+        self
+    }
+
+    /// Declares a scalar parameter.
+    pub fn scalar(mut self, name: &str) -> Self {
+        self.scalars.push(name.to_string());
+        self
+    }
+
+    /// Declares a 1-D double array.
+    pub fn array1(mut self, name: &str, dim: &str) -> Self {
+        self.arrays.push(ArrayDecl::d1(name, dim));
+        self
+    }
+
+    /// Declares a 2-D double array.
+    pub fn array2(mut self, name: &str, d0: &str, d1: &str) -> Self {
+        self.arrays.push(ArrayDecl::d2(name, d0, d1));
+        self
+    }
+
+    /// Declares an arbitrary array.
+    pub fn array(mut self, decl: ArrayDecl) -> Self {
+        self.arrays.push(decl);
+        self
+    }
+
+    /// Declares a helper callee.
+    pub fn helper(mut self, name: &str, num_params: usize, body_ops: usize) -> Self {
+        self.helpers.push(HelperFn {
+            name: name.to_string(),
+            num_params,
+            body_ops,
+        });
+        self
+    }
+
+    /// Finishes the kernel with its parallel loop.
+    pub fn body(self, parallel_loop: LoopNestBuilder) -> RegionSource {
+        RegionSource {
+            name: self.name,
+            pragma: self.pragma,
+            arrays: self.arrays,
+            scalars: self.scalars,
+            size_params: self.size_params,
+            helpers: self.helpers,
+            parallel_loop: parallel_loop.done(),
+        }
+    }
+}
+
+/// Starts a loop over `0..param` (the common case).
+pub fn for_param(var: &str, param: &str) -> LoopNestBuilder {
+    for_bound(var, LoopBound::Param(param.to_string()))
+}
+
+/// Starts a loop over a constant trip count.
+pub fn for_const(var: &str, trip: i64) -> LoopNestBuilder {
+    for_bound(var, LoopBound::Const(trip))
+}
+
+/// Starts a triangular loop over `0..outer_var`.
+pub fn for_var(var: &str, outer_var: &str) -> LoopNestBuilder {
+    for_bound(var, LoopBound::Var(outer_var.to_string()))
+}
+
+/// Starts a loop with an explicit bound.
+pub fn for_bound(var: &str, bound: LoopBound) -> LoopNestBuilder {
+    LoopNestBuilder {
+        var: var.to_string(),
+        bound,
+        body: Vec::new(),
+    }
+}
+
+/// Fluent loop builder returned by [`for_param`] / [`for_const`] /
+/// [`for_var`] / [`for_bound`].
+pub struct LoopNestBuilder {
+    var: String,
+    bound: LoopBound,
+    body: Vec<Stmt>,
+}
+
+impl LoopNestBuilder {
+    /// Appends an arbitrary statement.
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Appends `target = value`.
+    pub fn assign(self, target: ArrayRef, value: Expr) -> Self {
+        self.stmt(Stmt::Assign { target, value })
+    }
+
+    /// Appends `target op= value`.
+    pub fn accumulate(self, target: ArrayRef, op: BinOp, value: Expr) -> Self {
+        self.stmt(Stmt::Accumulate { target, op, value })
+    }
+
+    /// Appends `name op= value` on a scalar temporary.
+    pub fn scalar_accumulate(self, name: &str, op: BinOp, value: Expr) -> Self {
+        self.stmt(Stmt::ScalarAccumulate {
+            name: name.to_string(),
+            op,
+            value,
+        })
+    }
+
+    /// Nests an inner loop.
+    pub fn nested(self, inner: LoopNestBuilder) -> Self {
+        let nest = inner.done();
+        self.stmt(Stmt::Loop(nest))
+    }
+
+    /// Finishes the nest.
+    pub fn done(self) -> LoopNest {
+        LoopNest {
+            var: self.var,
+            bound: self.bound,
+            body: self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_kernel, try_lower_kernel};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus(42, 8);
+        let b = corpus(42, 8);
+        assert_eq!(a, b);
+        // Different seeds differ somewhere.
+        let c = corpus(43, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_is_prefix_stable() {
+        let long = corpus(7, 10);
+        let short = corpus(7, 4);
+        assert_eq!(&long[..4], &short[..]);
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let kernels = corpus(5, 24);
+        let mut names: Vec<&str> = kernels.iter().map(|k| k.source.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn every_generated_kernel_lowers_and_verifies() {
+        for (i, k) in corpus(0xD15EA5E, 32).iter().enumerate() {
+            let m = try_lower_kernel("gen_app", std::slice::from_ref(&k.source))
+                .unwrap_or_else(|e| panic!("kernel {i} failed static checks: {e}"));
+            assert!(
+                verify_module(&m).is_ok(),
+                "kernel {i} ({}) fails IR verification: {:?}",
+                k.source.name,
+                verify_module(&m).unwrap_err()
+            );
+            // Each size parameter got a concrete, positive size.
+            assert_eq!(k.sizes.len(), k.source.size_params.len(), "kernel {i}");
+            assert!(k.sizes.iter().all(|(_, v)| *v > 0), "kernel {i}");
+            assert!(
+                (0.0..1.0).contains(&k.serial_fraction),
+                "kernel {i}: serial fraction {}",
+                k.serial_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_covers_varied_shapes() {
+        let kernels = corpus(1, 24);
+        let depths: std::collections::HashSet<usize> =
+            kernels.iter().map(|k| k.source.depth()).collect();
+        assert!(depths.len() >= 2, "loop-nest depths seen: {depths:?}");
+        assert!(
+            kernels.iter().any(|k| !k.source.helpers.is_empty()),
+            "no helper-calling kernel in 24 draws"
+        );
+        assert!(
+            kernels.iter().any(|k| k.source.pragma.reduction.is_some()),
+            "no reduction kernel in 24 draws"
+        );
+        assert!(
+            kernels.iter().any(|k| k.scalability_limit != usize::MAX),
+            "no scalability-limited kernel in 24 draws"
+        );
+        // Memory footprints actually vary.
+        let ns: std::collections::HashSet<i64> = kernels
+            .iter()
+            .flat_map(|k| k.sizes.iter().map(|s| s.1))
+            .collect();
+        assert!(ns.len() >= 4, "problem sizes seen: {ns:?}");
+    }
+
+    #[test]
+    fn strategy_front_end_matches_direct_generation() {
+        let mut rng1 = TestRng::deterministic("gen-strategy-test");
+        let mut rng2 = TestRng::deterministic("gen-strategy-test");
+        let via_strategy = arb_kernel("t").generate(&mut rng1);
+        let direct = generate_kernel("t", &mut rng2);
+        assert_eq!(via_strategy, direct);
+    }
+
+    #[test]
+    fn builder_chain_authors_a_verifiable_kernel() {
+        let region = kernel("gemv")
+            .schedule(OmpSchedule::Static)
+            .size("N")
+            .size("M")
+            .scalar("alpha")
+            .array2("A", "N", "M")
+            .array1("x", "M")
+            .array1("y", "N")
+            .body(for_param("i", "N").nested(for_param("j", "M").accumulate(
+                ArrayRef::d1("y", IndexExpr::var("i")),
+                BinOp::Add,
+                Expr::mul(
+                    Expr::mul(
+                        Expr::Scalar("alpha".into()),
+                        Expr::load2("A", IndexExpr::var("i"), IndexExpr::var("j")),
+                    ),
+                    Expr::load1("x", IndexExpr::var("j")),
+                ),
+            )));
+        assert_eq!(region.depth(), 2);
+        let m = lower_kernel("app", &[region]);
+        assert!(verify_module(&m).is_ok(), "{:?}", verify_module(&m));
+    }
+
+    #[test]
+    fn builder_chain_supports_reductions_and_helpers() {
+        let region = kernel("energy")
+            .reduction(BinOp::Add, "sum")
+            .nowait()
+            .size("N")
+            .array1("P", "N")
+            .helper("potential", 2, 5)
+            .body(for_param("i", "N").scalar_accumulate(
+                "sum",
+                BinOp::Add,
+                Expr::CallHelper(
+                    "potential".into(),
+                    vec![Expr::load1("P", IndexExpr::var("i")), Expr::Const(0.5)],
+                ),
+            ));
+        assert!(region.pragma.nowait);
+        assert!(region.pragma.reduction.is_some());
+        let m = try_lower_kernel("app", &[region]).expect("valid kernel");
+        assert!(m.function("potential").is_some());
+        assert!(verify_module(&m).is_ok());
+    }
+}

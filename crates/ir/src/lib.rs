@@ -23,6 +23,7 @@ pub mod block;
 pub mod builder;
 pub mod dsl;
 pub mod function;
+pub mod gen;
 pub mod inst;
 pub mod lower;
 pub mod module;
@@ -33,11 +34,12 @@ pub mod value;
 pub mod verify;
 
 pub use block::BasicBlock;
-pub use builder::FunctionBuilder;
+pub use builder::{BuildError, FunctionBuilder};
 pub use dsl::{ArrayRef, Expr, LoopNest, OmpPragma, OmpSchedule, RegionSource, Stmt};
 pub use function::Function;
+pub use gen::GeneratedKernel;
 pub use inst::{Instruction, Opcode};
-pub use lower::lower_kernel;
+pub use lower::{check_region, lower_kernel, try_lower_kernel, LowerError};
 pub use module::Module;
 pub use outline::extract_region;
 pub use types::Type;

@@ -76,6 +76,344 @@ pub fn outlined_name(region_name: &str) -> String {
     format!(".omp_outlined.{region_name}")
 }
 
+/// A static-validity defect in a [`RegionSource`]: every way `lower_kernel`
+/// can panic on malformed input, as a checkable diagnostic instead. Produced
+/// by [`check_region`] / [`try_lower_kernel`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// Two regions in one application share a name (their outlined functions
+    /// would collide).
+    DuplicateRegionName {
+        /// The repeated region name.
+        name: String,
+    },
+    /// A loop bound references a size parameter that was never declared.
+    UnknownSizeParam {
+        /// Region containing the defect.
+        region: String,
+        /// The undeclared parameter.
+        param: String,
+    },
+    /// A loop bound or expression references a loop variable not in scope.
+    UnknownLoopVar {
+        /// Region containing the defect.
+        region: String,
+        /// The out-of-scope variable.
+        var: String,
+    },
+    /// An array access names an array that was never declared.
+    UnknownArray {
+        /// Region containing the defect.
+        region: String,
+        /// The undeclared array.
+        array: String,
+    },
+    /// An array access has the wrong number of indices for its declaration.
+    IndexArityMismatch {
+        /// Region containing the defect.
+        region: String,
+        /// The array accessed.
+        array: String,
+        /// Indices written at the access site.
+        got: usize,
+        /// Dimensions in the declaration.
+        want: usize,
+    },
+    /// A non-leading array dimension is not a declared size parameter, so
+    /// row-major flattening has no extent to multiply by.
+    UnknownDimParam {
+        /// Region containing the defect.
+        region: String,
+        /// The array whose declaration is defective.
+        array: String,
+        /// The unknown dimension name.
+        param: String,
+    },
+    /// An index expression references a name that is neither a loop variable
+    /// in scope nor a size parameter.
+    UnknownIndexVar {
+        /// Region containing the defect.
+        region: String,
+        /// The unknown name.
+        var: String,
+    },
+    /// A call names a helper that was never declared (the module would fail
+    /// IR verification with an unknown call target).
+    UnknownHelper {
+        /// Region containing the defect.
+        region: String,
+        /// The undeclared helper.
+        helper: String,
+    },
+    /// A call passes the wrong number of arguments to a declared helper.
+    HelperArityMismatch {
+        /// Region containing the defect.
+        region: String,
+        /// The helper called.
+        helper: String,
+        /// Arguments at the call site.
+        got: usize,
+        /// Parameters in the declaration.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::DuplicateRegionName { name } => {
+                write!(f, "duplicate region name {name}")
+            }
+            LowerError::UnknownSizeParam { region, param } => {
+                write!(f, "[{region}] unknown size parameter {param}")
+            }
+            LowerError::UnknownLoopVar { region, var } => {
+                write!(f, "[{region}] unknown loop variable {var}")
+            }
+            LowerError::UnknownArray { region, array } => {
+                write!(f, "[{region}] unknown array {array}")
+            }
+            LowerError::IndexArityMismatch {
+                region,
+                array,
+                got,
+                want,
+            } => write!(
+                f,
+                "[{region}] array {array} accessed with {got} indices but declared with {want} dims"
+            ),
+            LowerError::UnknownDimParam {
+                region,
+                array,
+                param,
+            } => write!(
+                f,
+                "[{region}] array {array} declares non-leading dimension {param} which is not a size parameter"
+            ),
+            LowerError::UnknownIndexVar { region, var } => {
+                write!(f, "[{region}] index expression references unknown variable {var}")
+            }
+            LowerError::UnknownHelper { region, helper } => {
+                write!(f, "[{region}] call to undeclared helper {helper}")
+            }
+            LowerError::HelperArityMismatch {
+                region,
+                helper,
+                got,
+                want,
+            } => write!(
+                f,
+                "[{region}] helper {helper} called with {got} arguments but declared with {want} parameters"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Scope carried by [`check_region`]'s walk: declared names plus the loop
+/// variables currently in scope (a stack, so shadowing behaves exactly as in
+/// the lowering context).
+struct CheckScope<'a> {
+    region: &'a str,
+    size_params: &'a [String],
+    arrays: HashMap<&'a str, &'a [String]>,
+    helpers: HashMap<&'a str, usize>,
+    loop_vars: Vec<&'a str>,
+}
+
+impl CheckScope<'_> {
+    fn has_size_param(&self, name: &str) -> bool {
+        self.size_params.iter().any(|p| p == name)
+    }
+
+    fn has_loop_var(&self, name: &str) -> bool {
+        self.loop_vars.contains(&name)
+    }
+
+    fn err_region(&self) -> String {
+        self.region.to_string()
+    }
+}
+
+/// Statically checks one region for every defect that would make
+/// [`lower_kernel`] panic (plus undeclared-helper calls, which lower but then
+/// fail module verification). Returns the first defect found in source order.
+pub fn check_region(region: &RegionSource) -> Result<(), LowerError> {
+    let mut scope = CheckScope {
+        region: &region.name,
+        size_params: &region.size_params,
+        arrays: region
+            .arrays
+            .iter()
+            .map(|a| (a.name.as_str(), a.dims.as_slice()))
+            .collect(),
+        helpers: region
+            .helpers
+            .iter()
+            .map(|h| (h.name.as_str(), h.num_params))
+            .collect(),
+        loop_vars: Vec::new(),
+    };
+    // Non-leading dims must be size parameters for row-major flattening.
+    for a in &region.arrays {
+        for dim in a.dims.iter().skip(1) {
+            if !scope.has_size_param(dim) {
+                return Err(LowerError::UnknownDimParam {
+                    region: scope.err_region(),
+                    array: a.name.clone(),
+                    param: dim.clone(),
+                });
+            }
+        }
+    }
+    check_loop(&region.parallel_loop, &mut scope)
+}
+
+fn check_loop<'a>(l: &'a LoopNest, scope: &mut CheckScope<'a>) -> Result<(), LowerError> {
+    match &l.bound {
+        LoopBound::Const(_) => {} // zero- and negative-trip loops lower fine
+        LoopBound::Param(p) => {
+            if !scope.has_size_param(p) {
+                return Err(LowerError::UnknownSizeParam {
+                    region: scope.err_region(),
+                    param: p.clone(),
+                });
+            }
+        }
+        LoopBound::Var(v) | LoopBound::VarPlus(v, _) => {
+            if !scope.has_loop_var(v) {
+                return Err(LowerError::UnknownLoopVar {
+                    region: scope.err_region(),
+                    var: v.clone(),
+                });
+            }
+        }
+    }
+    scope.loop_vars.push(&l.var);
+    let result = l.body.iter().try_for_each(|s| check_stmt(s, scope));
+    scope.loop_vars.pop();
+    result
+}
+
+fn check_stmt<'a>(stmt: &'a Stmt, scope: &mut CheckScope<'a>) -> Result<(), LowerError> {
+    match stmt {
+        Stmt::Assign { target, value } | Stmt::Accumulate { target, value, .. } => {
+            check_aref(target, scope)?;
+            check_expr(value, scope)
+        }
+        Stmt::ScalarAssign { value, .. } | Stmt::ScalarAccumulate { value, .. } => {
+            check_expr(value, scope)
+        }
+        Stmt::If {
+            lhs,
+            rhs,
+            then_body,
+            else_body,
+            ..
+        } => {
+            check_expr(lhs, scope)?;
+            check_expr(rhs, scope)?;
+            then_body.iter().try_for_each(|s| check_stmt(s, scope))?;
+            else_body.iter().try_for_each(|s| check_stmt(s, scope))
+        }
+        Stmt::Loop(inner) => check_loop(inner, scope),
+        Stmt::CallStmt { name, args } => {
+            check_call(name, args, scope)?;
+            args.iter().try_for_each(|a| check_expr(a, scope))
+        }
+    }
+}
+
+fn check_expr<'a>(expr: &'a Expr, scope: &mut CheckScope<'a>) -> Result<(), LowerError> {
+    match expr {
+        Expr::Const(_) | Expr::IntConst(_) | Expr::Scalar(_) => Ok(()),
+        Expr::LoopVar(v) => {
+            if scope.has_loop_var(v) {
+                Ok(())
+            } else {
+                Err(LowerError::UnknownLoopVar {
+                    region: scope.err_region(),
+                    var: v.clone(),
+                })
+            }
+        }
+        Expr::Load(aref) => check_aref(aref, scope),
+        Expr::Binary(_, lhs, rhs) => {
+            check_expr(lhs, scope)?;
+            check_expr(rhs, scope)
+        }
+        Expr::Neg(inner) => check_expr(inner, scope),
+        Expr::Math(_, args) => args.iter().try_for_each(|a| check_expr(a, scope)),
+        Expr::CallHelper(name, args) => {
+            check_call(name, args, scope)?;
+            args.iter().try_for_each(|a| check_expr(a, scope))
+        }
+    }
+}
+
+fn check_call(name: &str, args: &[Expr], scope: &CheckScope<'_>) -> Result<(), LowerError> {
+    match scope.helpers.get(name) {
+        None => Err(LowerError::UnknownHelper {
+            region: scope.err_region(),
+            helper: name.to_string(),
+        }),
+        Some(&want) if args.len() != want => Err(LowerError::HelperArityMismatch {
+            region: scope.err_region(),
+            helper: name.to_string(),
+            got: args.len(),
+            want,
+        }),
+        Some(_) => Ok(()),
+    }
+}
+
+fn check_aref(aref: &ArrayRef, scope: &CheckScope<'_>) -> Result<(), LowerError> {
+    let dims = match scope.arrays.get(aref.array.as_str()) {
+        Some(dims) => *dims,
+        None => {
+            return Err(LowerError::UnknownArray {
+                region: scope.err_region(),
+                array: aref.array.clone(),
+            })
+        }
+    };
+    if aref.indices.len() != dims.len() {
+        return Err(LowerError::IndexArityMismatch {
+            region: scope.err_region(),
+            array: aref.array.clone(),
+            got: aref.indices.len(),
+            want: dims.len(),
+        });
+    }
+    for idx in &aref.indices {
+        for (var, _) in &idx.terms {
+            if !scope.has_loop_var(var) && !scope.has_size_param(var) {
+                return Err(LowerError::UnknownIndexVar {
+                    region: scope.err_region(),
+                    var: var.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checked lowering: validates every region with [`check_region`] (plus
+/// cross-region name uniqueness) and only then runs [`lower_kernel`], so
+/// malformed input surfaces as a typed [`LowerError`] instead of a panic.
+pub fn try_lower_kernel(app_name: &str, regions: &[RegionSource]) -> Result<Module, LowerError> {
+    for (i, region) in regions.iter().enumerate() {
+        if regions[..i].iter().any(|r| r.name == region.name) {
+            return Err(LowerError::DuplicateRegionName {
+                name: region.name.clone(),
+            });
+        }
+        check_region(region)?;
+    }
+    Ok(lower_kernel(app_name, regions))
+}
+
 /// Synthesizes a helper function body: a chain of `body_ops` floating-point
 /// operations over its parameters, returning a double.
 fn synthesize_helper(helper: &HelperFn) -> Function {

@@ -1,0 +1,173 @@
+//! Property-based tests for [`ArtifactKey`]'s canonical escaping (ISSUE 6
+//! satellite): over generated kinds/names/values stuffed with the structural
+//! characters (`|`, `=`, `\`, newlines) the canonical form must
+//!
+//! 1. **round-trip** — a test-side parser can split it on the literal
+//!    separators and unescape back to exactly the original `(kind, fields)`
+//!    identity, and
+//! 2. be **injective** — two keys share a canonical string (and address) iff
+//!    they have the same normalized identity.
+//!
+//! Both properties together are what make SHA-256 addressing sound: a
+//! collision below the hash (two identities, one canonical string) would
+//! silently alias unrelated artifacts.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use pnp_store::{ArtifactKey, SCHEMA_VERSION};
+
+/// Alphabet biased toward the structural/escape characters, including the
+/// escape targets `p`/`q`/`n` themselves (so sequences like `\` + `p` in the
+/// *input* must stay distinguishable from an escaped `|`).
+const ALPHABET: [char; 12] = ['a', 'b', 'p', 'q', 'n', '0', '/', '_', '|', '=', '\\', '\n'];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..ALPHABET.len(), 0..12)
+        .prop_map(|idx| idx.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn arb_fields() -> impl Strategy<Value = Vec<(String, String)>> {
+    // The vendored proptest has no tuple strategy: draw a flat run of
+    // strings and pair them up.
+    prop::collection::vec(arb_string(), 0..10).prop_map(|strings| {
+        strings
+            .chunks_exact(2)
+            .map(|pair| (pair[0].clone(), pair[1].clone()))
+            .collect()
+    })
+}
+
+/// The normalized identity of a key: later duplicates of a field name win,
+/// exactly like `ArtifactKey::field`'s overwrite semantics.
+fn normalize(kind: &str, fields: &[(String, String)]) -> (String, BTreeMap<String, String>) {
+    let mut map = BTreeMap::new();
+    for (name, value) in fields {
+        map.insert(name.clone(), value.clone());
+    }
+    (kind.to_string(), map)
+}
+
+fn build(kind: &str, fields: &[(String, String)]) -> ArtifactKey {
+    let mut key = ArtifactKey::new(kind);
+    for (name, value) in fields {
+        key = key.field(name, value);
+    }
+    key
+}
+
+/// Inverts the canonical escaping: `\\` → `\`, `\p` → `|`, `\q` → `=`,
+/// `\n` → newline. Any other escape (or a trailing `\`) is a parse error —
+/// the canonical form must never produce one.
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('q') => out.push('='),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape {other:?} in {s:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a canonical string back into `(kind, fields)`. Escaping guarantees
+/// every literal `|` separates fields and every literal `=` separates a name
+/// from its value, so plain `split` is sound here.
+fn parse_canonical(canonical: &str) -> Result<(String, BTreeMap<String, String>), String> {
+    let mut segments = canonical.split('|');
+    let kind = unescape(segments.next().ok_or("empty canonical")?)?;
+    let schema = segments.next().ok_or("missing schema segment")?;
+    if schema != format!("schema={SCHEMA_VERSION}") {
+        return Err(format!("unexpected schema segment {schema:?}"));
+    }
+    let mut fields = BTreeMap::new();
+    for segment in segments {
+        let (name, value) = segment
+            .split_once('=')
+            .ok_or_else(|| format!("field segment {segment:?} has no `=`"))?;
+        // Exactly one literal `=` per segment: the value must not contain
+        // another (it would mean an unescaped `=` leaked through).
+        if value.contains('=') {
+            return Err(format!("field segment {segment:?} has multiple `=`"));
+        }
+        fields.insert(unescape(name)?, unescape(value)?);
+    }
+    Ok((kind, fields))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_round_trips_through_a_parser(
+        kind in arb_string(),
+        fields in arb_fields(),
+    ) {
+        let key = build(&kind, &fields);
+        let parsed = parse_canonical(&key.canonical());
+        prop_assert!(parsed.is_ok(), "unparseable canonical: {:?}", parsed);
+        prop_assert_eq!(parsed.unwrap(), normalize(&kind, &fields));
+    }
+
+    #[test]
+    fn canonical_and_address_are_injective_on_identity(
+        kind_a in arb_string(),
+        fields_a in arb_fields(),
+        kind_b in arb_string(),
+        fields_b in arb_fields(),
+    ) {
+        let a = build(&kind_a, &fields_a);
+        let b = build(&kind_b, &fields_b);
+        let same_identity = normalize(&kind_a, &fields_a) == normalize(&kind_b, &fields_b);
+        prop_assert_eq!(same_identity, a.canonical() == b.canonical());
+        prop_assert_eq!(same_identity, a.address() == b.address());
+    }
+
+    #[test]
+    fn address_shape_is_stable(kind in arb_string(), fields in arb_fields()) {
+        let addr = build(&kind, &fields).address();
+        prop_assert_eq!(addr.len(), 64);
+        prop_assert!(addr.chars().all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+    }
+}
+
+/// Deterministic aliasing probes the random sweep may not hit: every pair
+/// renders identically under *unescaped* concatenation and must still get
+/// distinct canonical strings.
+#[test]
+fn known_aliasing_pairs_stay_distinct() {
+    let pairs = [
+        (
+            ArtifactKey::new("k").field("a", "1|b=2"),
+            ArtifactKey::new("k").field("a", "1").field("b", "2"),
+        ),
+        (
+            ArtifactKey::new("k").field("a=b", "c"),
+            ArtifactKey::new("k").field("a", "b=c"),
+        ),
+        (
+            ArtifactKey::new("k").field("a", "\\p"),
+            ArtifactKey::new("k").field("a", "|"),
+        ),
+        (
+            ArtifactKey::new("k").field("a", "\\n"),
+            ArtifactKey::new("k").field("a", "\n"),
+        ),
+        (
+            ArtifactKey::new("k|x").field("a", "1"),
+            ArtifactKey::new("k").field("x\\pa", "1"),
+        ),
+    ];
+    for (a, b) in pairs {
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.address(), b.address());
+    }
+}
