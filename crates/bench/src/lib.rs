@@ -263,7 +263,8 @@ fn threads_flag_from(args: impl Iterator<Item = String>, flag: &str, fallback: T
 }
 
 /// Scans an argument list for a `--flag V` / `--flag=V` string value.
-fn string_flag_from(args: &[String], flag: &str) -> Option<String> {
+/// Public because the `pnp-serve` binaries reuse the experiment CLI idiom.
+pub fn string_flag_from(args: &[String], flag: &str) -> Option<String> {
     let inline = format!("{flag}=");
     for (i, arg) in args.iter().enumerate() {
         if let Some(v) = arg.strip_prefix(&inline) {
@@ -277,8 +278,25 @@ fn string_flag_from(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// True when a boolean `--flag` is present in the argument list.
-fn bool_flag_from(args: &[String], flag: &str) -> bool {
+/// Public because the `pnp-serve` binaries reuse the experiment CLI idiom.
+pub fn bool_flag_from(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// The `q`-th percentile (0–100) of a sample set by nearest-rank on a sorted
+/// copy — the definition the serve-path latency report (`BENCH_serve.json`
+/// p50/p99) uses. NaNs are rejected by assertion (a NaN latency means the
+/// harness itself is broken); an empty sample set returns 0.0 so a
+/// zero-request smoke run still renders a report.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile q={q} out of range");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 /// Resolves the content-addressed artifact store shared by every experiment
@@ -521,6 +539,17 @@ mod tests {
             .expect("explicit dir opens");
         assert!(store.store().force_rebuild());
         assert!(!store.store().verify());
+    }
+
+    #[test]
+    fn percentile_follows_nearest_rank() {
+        let samples = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 50.0), 3.0);
+        assert_eq!(percentile(&samples, 99.0), 5.0);
+        assert_eq!(percentile(&samples, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
     }
 
     #[test]

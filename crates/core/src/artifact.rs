@@ -102,6 +102,26 @@ fn with_settings(key: ArtifactKey, s: &TrainSettings) -> ArtifactKey {
 /// drivers, the validation harness, and every `pnp-bench` binary thread
 /// through (always as `Option<&ArtifactStore>`: `None` means "no cache",
 /// and every path must work identically without one).
+///
+/// ```
+/// use pnp_core::artifact::ArtifactStore;
+/// use pnp_graph::Vocabulary;
+/// use pnp_machine::haswell;
+/// use pnp_openmp::Threads;
+///
+/// let root = std::env::temp_dir().join(format!("pnp-artifact-doc-{}", std::process::id()));
+/// # std::fs::remove_dir_all(&root).ok();
+/// let store = ArtifactStore::open(&root);
+/// // The first call builds and caches the (here: empty-suite) dataset;
+/// // the second is a pure load of byte-identical content.
+/// let vocab = Vocabulary::standard();
+/// let ds = store.load_or_build_dataset(&haswell(), &[], &vocab, Threads::Fixed(1));
+/// let again = store.load_or_build_dataset(&haswell(), &[], &vocab, Threads::Fixed(1));
+/// assert!(ds.is_empty() && again.is_empty());
+/// assert_eq!(store.stats().writes, 1);
+/// assert_eq!(store.stats().hits, 1);
+/// # std::fs::remove_dir_all(&root).ok();
+/// ```
 #[derive(Debug)]
 pub struct ArtifactStore {
     store: Store,
@@ -182,6 +202,27 @@ impl ArtifactStore {
 /// An [`ArtifactStore`] bound to one dataset's content hash. Computing the
 /// hash serializes the full dataset once, so drivers create this once per
 /// dataset and reuse it across their training calls.
+///
+/// Every model key embeds the bound hash, which is also exactly the stored
+/// dataset artifact's header `payload_sha256` — the join the model registry
+/// (DESIGN.md §14) is built on:
+///
+/// ```
+/// use pnp_core::artifact::{dataset_fingerprint, ArtifactStore};
+/// use pnp_core::{Dataset, TrainSettings};
+/// use pnp_graph::Vocabulary;
+/// use pnp_machine::haswell;
+/// use pnp_openmp::Threads;
+///
+/// let store = ArtifactStore::open("/tmp/pnp-artifact-doc-keys");
+/// let ds = Dataset::build_with_threads(
+///     &haswell(), &[], &Vocabulary::standard(), Threads::Fixed(1));
+/// let cache = store.for_dataset(&ds);
+/// assert_eq!(cache.dataset_sha256(), dataset_fingerprint(&ds));
+/// let key = cache.scenario1_key(&TrainSettings::quick(), false);
+/// assert_eq!(key.get("dataset_sha256"), Some(cache.dataset_sha256()));
+/// assert_eq!(key.get("seed_scheme"), Some("grid-v1"));
+/// ```
 #[derive(Debug)]
 pub struct DatasetCache<'a> {
     store: &'a ArtifactStore,

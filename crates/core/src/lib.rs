@@ -25,13 +25,22 @@
 //! * [`artifact`] — the content-addressed artifact cache (DESIGN.md §12):
 //!   fingerprints and keys for built datasets and trained model grids on top
 //!   of `pnp-store`, so drivers and CI jobs reuse instead of recompute.
+//! * [`registry`] — the model registry (DESIGN.md §14): a typed
+//!   `machine × suite × hyperparameters → TrainedGrid` view assembled from
+//!   the persisted store index, with O(1) lookup and `list`/`describe`.
+//! * [`serving`] — the serve path shared by the `pnp-serve` daemon and the
+//!   offline tests: wire request/response types, checkpoint restoration
+//!   with fit checks, and the committee predictor that is bit-identical to
+//!   the offline predict path (ARCHITECTURE.md §9).
 
 pub mod artifact;
 pub mod dataset;
 pub mod eval;
 pub mod experiments;
 pub mod pnp;
+pub mod registry;
 pub mod report;
+pub mod serving;
 pub mod training;
 pub mod validate;
 
@@ -39,5 +48,10 @@ pub use artifact::{dataset_fingerprint, ArtifactStore, DatasetCache};
 pub use dataset::{Dataset, RegionRecord, Sweep};
 pub use eval::{checked_geomean, fraction_within, geomean, normalized_speedups};
 pub use pnp::PnPTuner;
+pub use registry::{DatasetDescriptor, ModelDescriptor, ModelRegistry, ModelSummary};
+pub use serving::{
+    resolve_graph, serving_tables, GridPipeline, KernelInput, ServingTables, TuneObjective,
+    TunePrediction, TuneRequest, TuneResponse, TuneService,
+};
 pub use training::{train_scenario1_models, train_scenario2_model, FoldPlan, TrainSettings};
 pub use validate::{run_full_validation, ValidationOptions, ValidationReport};

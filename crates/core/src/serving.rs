@@ -1,0 +1,679 @@
+//! The serve path (ISSUE 7): request/response wire types, sweep-derived
+//! serving tables, checkpoint restoration for cached [`TrainedGrid`]s, and
+//! the committee predictor — everything the `pnp-serve` daemon needs that
+//! must live *next to the training pipelines* so served predictions are
+//! bit-identical to offline ones (DESIGN.md §14).
+//!
+//! The split mirrors ARCHITECTURE.md §9: this module is the inference
+//! engine (pure, deterministic, no I/O beyond what callers hand it); the
+//! `pnp-serve` crate adds the registry-driven startup, the socket protocol,
+//! and request batching around it. The offline path and the daemon both
+//! call [`TuneService::tune`], so the bit-identity guarantee is structural —
+//! there is exactly one prediction function to disagree with.
+
+use crate::dataset::Dataset;
+use crate::training::{TrainSettings, TrainedGrid};
+use pnp_gnn::PnPModel;
+use pnp_graph::{build_region_graph, EncodedGraph, Vocabulary};
+use pnp_ir::{try_lower_kernel, RegionSource};
+use pnp_openmp::OmpConfig;
+use pnp_tuners::{ConfigPoint, SearchSpace};
+use serde::{Deserialize, Serialize};
+
+/// What one tune request optimizes for.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TuneObjective {
+    /// Best execution time at power level `power_idx` of the machine's
+    /// search space (scenario 1).
+    Time {
+        /// Index into `SearchSpace::power_levels`.
+        power_idx: usize,
+    },
+    /// Best energy-delay product over the joint power × configuration space
+    /// (scenario 2).
+    Edp,
+}
+
+/// The kernel a client wants tuned: either DSL source (the server lowers,
+/// graphs, and encodes it — the zero-setup path) or a pre-encoded graph
+/// (the client already ran the compiler side; the server only validates).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum KernelInput {
+    /// Serialized region sources of one application; `region` names which
+    /// one to tune.
+    Source {
+        /// Application name (module name in the lowered IR).
+        app: String,
+        /// All of the application's regions (helpers may be shared).
+        regions: Vec<RegionSource>,
+        /// The region to tune.
+        region: String,
+    },
+    /// A pre-encoded code graph (validated against the server vocabulary).
+    Graph(EncodedGraph),
+}
+
+/// One tune request, as carried by the wire protocol.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuneRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Machine to tune for (a registry machine name, e.g. `"haswell"`).
+    pub machine: String,
+    /// Objective.
+    pub objective: TuneObjective,
+    /// The kernel.
+    pub kernel: KernelInput,
+}
+
+/// A successful prediction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TunePrediction {
+    /// Predicted class index (per-power OpenMP class for the time
+    /// objective, joint class for EDP).
+    pub class: usize,
+    /// The concrete configuration point: power cap plus OpenMP config.
+    pub point: ConfigPoint,
+    /// Expected gain over the default configuration, from the training
+    /// sweeps: geomean `default time / predicted time` at the request's
+    /// power level (time objective) or geomean EDP improvement over
+    /// default-at-TDP (EDP objective). A *population* expectation, not a
+    /// per-kernel measurement — serving never executes anything.
+    pub expected_gain: f64,
+    /// Registry id of the model that produced the prediction.
+    pub model: String,
+}
+
+/// One tune response. Exactly one of `prediction`/`error` is set; `error`
+/// carries a human-readable reason (unknown machine, malformed kernel,
+/// out-of-range power index, ...).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuneResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The prediction, on success.
+    pub prediction: Option<TunePrediction>,
+    /// The failure reason, otherwise.
+    pub error: Option<String>,
+}
+
+impl TuneResponse {
+    /// A success response.
+    pub fn ok(id: u64, prediction: TunePrediction) -> TuneResponse {
+        TuneResponse {
+            id,
+            prediction: Some(prediction),
+            error: None,
+        }
+    }
+
+    /// An error response.
+    pub fn err(id: u64, error: impl Into<String>) -> TuneResponse {
+        TuneResponse {
+            id,
+            prediction: None,
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// Resolves a [`KernelInput`] to an encoded graph: lowers + graphs + encodes
+/// the source form, or validates the pre-encoded form against `vocab`. Both
+/// forms of the same kernel yield the same graph (tested below), so clients
+/// can switch freely.
+pub fn resolve_graph(kernel: &KernelInput, vocab: &Vocabulary) -> Result<EncodedGraph, String> {
+    match kernel {
+        KernelInput::Graph(graph) => {
+            graph.validate(vocab.len())?;
+            Ok(graph.clone())
+        }
+        KernelInput::Source {
+            app,
+            regions,
+            region,
+        } => {
+            let module =
+                try_lower_kernel(app, regions).map_err(|e| format!("lowering failed: {e:?}"))?;
+            let graph = build_region_graph(&module, region)
+                .ok_or_else(|| format!("region {region:?} not found in application {app:?}"))?;
+            Ok(EncodedGraph::encode(&graph, vocab))
+        }
+    }
+}
+
+/// Sweep-derived tables computed once at startup: the all-regions class
+/// priors (the deployment-path blend, exactly as [`crate::PnPTuner`] uses)
+/// and the expected-gain tables reported alongside predictions.
+#[derive(Clone, Debug)]
+pub struct ServingTables {
+    /// `time_priors[p][c]`: scenario-1 prior of OpenMP class `c` at power
+    /// level `p`, computed over every region.
+    pub time_priors: Vec<Vec<f64>>,
+    /// Scenario-2 prior per joint class, computed over every region.
+    pub edp_prior: Vec<f64>,
+    /// `expected_speedup[p][c]`: geomean over regions of
+    /// `default time / time(c)` at power level `p`.
+    pub expected_speedup: Vec<Vec<f64>>,
+    /// Expected EDP improvement over default-at-TDP per joint class.
+    pub expected_edp_gain: Vec<f64>,
+}
+
+/// Computes the serving tables from a dataset's sweeps.
+pub fn serving_tables(ds: &Dataset) -> ServingTables {
+    let all_idx: Vec<usize> = (0..ds.len()).collect();
+    let num_powers = ds.space.power_levels.len();
+    let per = ds.space.configs_per_power();
+    let tdp_idx = num_powers - 1;
+
+    let time_priors: Vec<Vec<f64>> = (0..num_powers)
+        .map(|p| crate::training::class_prior_scenario1(ds, p, &all_idx))
+        .collect();
+    let edp_prior = crate::training::class_prior_scenario2(ds, &all_idx);
+
+    let expected_speedup: Vec<Vec<f64>> = (0..num_powers)
+        .map(|p| {
+            (0..per)
+                .map(|c| {
+                    let ratios: Vec<f64> = ds
+                        .sweeps
+                        .iter()
+                        .map(|s| s.default_samples[p].time_s / s.samples[p][c].time_s)
+                        .collect();
+                    crate::eval::geomean(&ratios)
+                })
+                .collect()
+        })
+        .collect();
+    let expected_edp_gain: Vec<f64> = (0..ds.space.num_tuned_points())
+        .map(|class| {
+            let (p, c) = (class / per, class % per);
+            let ratios: Vec<f64> = ds
+                .sweeps
+                .iter()
+                .map(|s| s.default_samples[tdp_idx].edp() / s.samples[p][c].edp())
+                .collect();
+            crate::eval::geomean(&ratios)
+        })
+        .collect();
+
+    ServingTables {
+        time_priors,
+        edp_prior,
+        expected_speedup,
+        expected_edp_gain,
+    }
+}
+
+/// Which cached training grid a checkpoint set belongs to — determines the
+/// per-job model shape and the `grid-v1` seed offsets (DESIGN.md §10), so a
+/// checkpoint can be restored into an identically seeded model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GridPipeline {
+    /// `models/scenario1`: one model per `(fold, power)`.
+    Scenario1 {
+        /// Counter-features variant.
+        dynamic: bool,
+    },
+    /// `models/scenario2`: one model per fold over the joint class space.
+    Scenario2 {
+        /// Counter-features variant.
+        dynamic: bool,
+    },
+    /// `models/unseen_power`: one model per fold, trained without one cap.
+    UnseenPower {
+        /// The held-out power index.
+        held_out_power: usize,
+    },
+}
+
+impl GridPipeline {
+    fn num_classes(&self, ds: &Dataset) -> usize {
+        match self {
+            GridPipeline::Scenario2 { .. } => ds.space.num_tuned_points(),
+            _ => ds.space.configs_per_power(),
+        }
+    }
+
+    fn num_dynamic(&self) -> usize {
+        match self {
+            GridPipeline::Scenario1 { dynamic } | GridPipeline::Scenario2 { dynamic } => {
+                if *dynamic {
+                    5
+                } else {
+                    0
+                }
+            }
+            GridPipeline::UnseenPower { .. } => 6,
+        }
+    }
+
+    fn seed_offset(&self, fold_idx: usize, power_idx: usize) -> u64 {
+        match self {
+            GridPipeline::Scenario1 { .. } => (fold_idx * 16 + power_idx) as u64,
+            GridPipeline::Scenario2 { .. } => 0x2000 + fold_idx as u64,
+            GridPipeline::UnseenPower { held_out_power } => {
+                0x4000 + (fold_idx * 8 + held_out_power) as u64
+            }
+        }
+    }
+}
+
+/// A restored grid: `(grid coordinates, model)` per job, in grid order.
+pub type RestoredGrid = Vec<((usize, usize), PnPModel)>;
+
+/// Restores every checkpoint of a cached grid into a freshly seeded model of
+/// the pipeline's shape, returning `(grid coordinates, model)` per job in
+/// grid order. Errors (rather than silently misapplying weights) when a
+/// checkpoint does not fit — wrong tensor count, names, or shapes, the
+/// "unfit checkpoint" failure mode SERVING.md documents: the caller skips
+/// that grid and keeps serving from the ones that load.
+pub fn restore_grid(
+    ds: &Dataset,
+    settings: &TrainSettings,
+    pipeline: GridPipeline,
+    grid: &TrainedGrid,
+) -> Result<RestoredGrid, String> {
+    if grid.jobs.len() != grid.weights.len() {
+        return Err(format!(
+            "grid has {} job coordinates but {} checkpoints",
+            grid.jobs.len(),
+            grid.weights.len()
+        ));
+    }
+    let num_classes = pipeline.num_classes(ds);
+    let num_dynamic = pipeline.num_dynamic();
+    let mut models = Vec::with_capacity(grid.jobs.len());
+    for (&(fold_idx, power_idx), checkpoint) in grid.jobs.iter().zip(&grid.weights) {
+        let mut model = PnPModel::new(settings.model_config(
+            num_classes,
+            num_dynamic,
+            pipeline.seed_offset(fold_idx, power_idx),
+        ));
+        let restored = model.load_all_weights(checkpoint);
+        if restored != model.num_parameters() || checkpoint.len() != restored {
+            return Err(format!(
+                "checkpoint for job (fold {fold_idx}, power {power_idx}) does not fit: \
+                 {restored}/{} tensors restored, {} stored",
+                model.num_parameters(),
+                checkpoint.len()
+            ));
+        }
+        models.push(((fold_idx, power_idx), model));
+    }
+    Ok(models)
+}
+
+/// Committee prediction: the mean of `predict_proba` over the fold models
+/// (f64 accumulation in model order — deterministic), blended with the
+/// class prior by `ln p + ln prior` argmax exactly like the offline
+/// pipelines' `predict_with_prior`.
+pub fn committee_predict(models: &mut [PnPModel], graph: &EncodedGraph, prior: &[f64]) -> usize {
+    let mut sum = vec![0.0f64; prior.len()];
+    for model in models.iter_mut() {
+        let probs = model.predict_proba(graph, None);
+        for (s, &p) in sum.iter_mut().zip(&probs) {
+            *s += p as f64;
+        }
+    }
+    let n = models.len().max(1) as f64;
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (c, (&s, &q)) in sum.iter().zip(prior).enumerate() {
+        let score = (s / n).max(1e-9).ln() + q.max(1e-9).ln();
+        if score > best_score {
+            best_score = score;
+            best = c;
+        }
+    }
+    best
+}
+
+/// One machine's ready-to-serve inference state: the static scenario-1 and
+/// scenario-2 fold committees restored from their cached grids, the serving
+/// tables, and the search space. This is the *single* prediction path —
+/// the daemon wraps it in replicas and a socket; the bit-identity tests
+/// call it directly.
+pub struct TuneService {
+    machine: String,
+    space: SearchSpace,
+    vocab: Vocabulary,
+    tables: ServingTables,
+    omp_configs: Vec<OmpConfig>,
+    /// `time[p]` = scenario-1 fold committee for power level `p`.
+    time: Vec<Vec<PnPModel>>,
+    /// Scenario-2 fold committee over the joint class space.
+    edp: Vec<PnPModel>,
+    time_model_id: String,
+    edp_model_id: String,
+}
+
+impl TuneService {
+    /// Restores a service from the two static grids of one machine's
+    /// dataset. `time_model_id`/`edp_model_id` are the registry ids echoed
+    /// in predictions.
+    pub fn restore(
+        ds: &Dataset,
+        settings: &TrainSettings,
+        scenario1: &TrainedGrid,
+        scenario2: &TrainedGrid,
+        time_model_id: impl Into<String>,
+        edp_model_id: impl Into<String>,
+    ) -> Result<TuneService, String> {
+        let num_powers = ds.space.power_levels.len();
+        let mut time: Vec<Vec<PnPModel>> = (0..num_powers).map(|_| Vec::new()).collect();
+        for ((_, power_idx), model) in restore_grid(
+            ds,
+            settings,
+            GridPipeline::Scenario1 { dynamic: false },
+            scenario1,
+        )? {
+            time.get_mut(power_idx)
+                .ok_or_else(|| format!("scenario1 job has power index {power_idx} out of range"))?
+                .push(model);
+        }
+        for (p, committee) in time.iter().enumerate() {
+            if committee.is_empty() {
+                return Err(format!("scenario1 grid has no model for power level {p}"));
+            }
+        }
+        let edp: Vec<PnPModel> = restore_grid(
+            ds,
+            settings,
+            GridPipeline::Scenario2 { dynamic: false },
+            scenario2,
+        )?
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+        if edp.is_empty() {
+            return Err("scenario2 grid holds no models".into());
+        }
+        Ok(TuneService {
+            machine: ds.machine.name.clone(),
+            omp_configs: ds.space.omp_configs(),
+            space: ds.space.clone(),
+            vocab: Vocabulary::standard(),
+            tables: serving_tables(ds),
+            time,
+            edp,
+            time_model_id: time_model_id.into(),
+            edp_model_id: edp_model_id.into(),
+        })
+    }
+
+    /// The machine this service predicts for.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// The machine's power levels (watts), lowest cap first.
+    pub fn power_levels(&self) -> &[f64] {
+        &self.space.power_levels
+    }
+
+    /// Number of fold models per committee, `(scenario1 per power,
+    /// scenario2)` — what `describe` reports.
+    pub fn committee_sizes(&self) -> (usize, usize) {
+        (self.time.first().map_or(0, Vec::len), self.edp.len())
+    }
+
+    /// Predicts for an already-encoded graph.
+    pub fn tune_graph(
+        &mut self,
+        graph: &EncodedGraph,
+        objective: TuneObjective,
+    ) -> Result<TunePrediction, String> {
+        match objective {
+            TuneObjective::Time { power_idx } => {
+                if power_idx >= self.space.power_levels.len() {
+                    return Err(format!(
+                        "power_idx {power_idx} out of range ({} levels)",
+                        self.space.power_levels.len()
+                    ));
+                }
+                let class = committee_predict(
+                    &mut self.time[power_idx],
+                    graph,
+                    &self.tables.time_priors[power_idx],
+                );
+                Ok(TunePrediction {
+                    class,
+                    point: ConfigPoint {
+                        power_watts: self.space.power_levels[power_idx],
+                        omp: self.omp_configs[class],
+                    },
+                    expected_gain: self.tables.expected_speedup[power_idx][class],
+                    model: self.time_model_id.clone(),
+                })
+            }
+            TuneObjective::Edp => {
+                let class = committee_predict(&mut self.edp, graph, &self.tables.edp_prior);
+                Ok(TunePrediction {
+                    class,
+                    point: self.space.decode_joint(class),
+                    expected_gain: self.tables.expected_edp_gain[class],
+                    model: self.edp_model_id.clone(),
+                })
+            }
+        }
+    }
+
+    /// The full serve path for one request body: resolve the kernel to a
+    /// graph, then predict.
+    pub fn tune(
+        &mut self,
+        kernel: &KernelInput,
+        objective: TuneObjective,
+    ) -> Result<TunePrediction, String> {
+        let graph = resolve_graph(kernel, &self.vocab)?;
+        self.tune_graph(&graph, objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactStore;
+    use crate::training::{train_scenario1_models_cached, train_scenario2_model_cached};
+    use pnp_benchmarks::builders::{matmul_kernel, small_boundary_kernel, streaming_kernel};
+    use pnp_benchmarks::Application;
+    use pnp_machine::haswell;
+    use pnp_openmp::Threads;
+
+    fn tiny_apps() -> Vec<Application> {
+        vec![
+            Application::new("a1", vec![matmul_kernel("a1_r0", 120, 120, 120)]),
+            Application::new("a2", vec![streaming_kernel("a2_r0", 80_000, 2, 1.0)]),
+            Application::new("a3", vec![small_boundary_kernel("a3_r0", 700, 2)]),
+        ]
+    }
+
+    fn tiny_settings() -> TrainSettings {
+        TrainSettings {
+            epochs: 4,
+            hidden_dim: 8,
+            rgcn_layers: 1,
+            fc_hidden: 16,
+            folds: 3,
+            train_threads: Threads::Fixed(1),
+            ..TrainSettings::quick()
+        }
+    }
+
+    /// Builds a tiny dataset, trains both static grids through the cached
+    /// pipelines into a temp store, and returns everything a service needs.
+    fn trained_fixture(
+        tag: &str,
+    ) -> (
+        Dataset,
+        TrainSettings,
+        TrainedGrid,
+        TrainedGrid,
+        ArtifactStore,
+    ) {
+        let dir =
+            std::env::temp_dir().join(format!("pnp_serving_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir);
+        let ds = Dataset::build_with_threads(
+            &haswell(),
+            &tiny_apps(),
+            &Vocabulary::standard(),
+            Threads::Fixed(1),
+        );
+        let settings = tiny_settings();
+        let cache = store.for_dataset(&ds);
+        train_scenario1_models_cached(&ds, &settings, false, Some(&cache));
+        train_scenario2_model_cached(&ds, &settings, false, Some(&cache));
+        let s1: TrainedGrid = cache
+            .store()
+            .load(&cache.scenario1_key(&settings, false))
+            .expect("scenario1 grid cached");
+        let s2: TrainedGrid = cache
+            .store()
+            .load(&cache.scenario2_key(&settings, false))
+            .expect("scenario2 grid cached");
+        (ds, settings, s1, s2, store)
+    }
+
+    #[test]
+    fn serving_tables_are_shaped_and_positive() {
+        let ds = Dataset::build_with_threads(
+            &haswell(),
+            &tiny_apps(),
+            &Vocabulary::standard(),
+            Threads::Fixed(1),
+        );
+        let tables = serving_tables(&ds);
+        let num_powers = ds.space.power_levels.len();
+        assert_eq!(tables.time_priors.len(), num_powers);
+        assert_eq!(tables.expected_speedup.len(), num_powers);
+        assert_eq!(tables.edp_prior.len(), ds.space.num_tuned_points());
+        assert_eq!(tables.expected_edp_gain.len(), ds.space.num_tuned_points());
+        for row in tables.time_priors.iter().chain(&tables.expected_speedup) {
+            assert_eq!(row.len(), ds.space.configs_per_power());
+            assert!(row.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+        assert!(tables.edp_prior.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn restored_service_predicts_deterministically_and_in_range() {
+        let (ds, settings, s1, s2, store) = trained_fixture("restore");
+        let mut service =
+            TuneService::restore(&ds, &settings, &s1, &s2, "time-model", "edp-model").unwrap();
+        assert_eq!(service.machine(), "haswell");
+        let graph = &ds.regions[0].graph;
+        for p in 0..ds.space.power_levels.len() {
+            let a = service
+                .tune_graph(graph, TuneObjective::Time { power_idx: p })
+                .unwrap();
+            let b = service
+                .tune_graph(graph, TuneObjective::Time { power_idx: p })
+                .unwrap();
+            assert_eq!(a, b, "prediction must be deterministic");
+            assert!(a.class < ds.space.configs_per_power());
+            assert_eq!(a.point.power_watts, ds.space.power_levels[p]);
+            assert_eq!(a.model, "time-model");
+            assert!(a.expected_gain.is_finite() && a.expected_gain > 0.0);
+        }
+        let e = service.tune_graph(graph, TuneObjective::Edp).unwrap();
+        assert!(e.class < ds.space.num_tuned_points());
+        assert!(ds.space.power_levels.contains(&e.point.power_watts));
+        assert_eq!(e.model, "edp-model");
+        // Out-of-range power index is an error, not a panic.
+        assert!(service
+            .tune_graph(graph, TuneObjective::Time { power_idx: 99 })
+            .is_err());
+        std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn source_and_graph_inputs_agree() {
+        let (ds, settings, s1, s2, store) = trained_fixture("source");
+        let mut service =
+            TuneService::restore(&ds, &settings, &s1, &s2, "time-model", "edp-model").unwrap();
+        let apps = tiny_apps();
+        let source = KernelInput::Source {
+            app: apps[0].name.clone(),
+            regions: apps[0].regions.iter().map(|r| r.source.clone()).collect(),
+            region: "a1_r0".into(),
+        };
+        let graph = KernelInput::Graph(ds.regions[0].graph.clone());
+        let objective = TuneObjective::Time { power_idx: 0 };
+        assert_eq!(
+            service.tune(&source, objective).unwrap(),
+            service.tune(&graph, objective).unwrap(),
+            "the source path must resolve to the same graph the dataset encoded"
+        );
+        // Unknown regions and invalid graphs are errors, not panics.
+        let missing = KernelInput::Source {
+            app: "a1".into(),
+            regions: apps[0].regions.iter().map(|r| r.source.clone()).collect(),
+            region: "nope".into(),
+        };
+        assert!(service.tune(&missing, objective).is_err());
+        let mut bad = ds.regions[0].graph.clone();
+        bad.tokens.push(usize::MAX);
+        assert!(service.tune(&KernelInput::Graph(bad), objective).is_err());
+        std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn unfit_checkpoints_are_rejected_not_misapplied() {
+        let (ds, settings, s1, _s2, store) = trained_fixture("unfit");
+        // Empty bundle: wrong tensor count.
+        let mut broken = s1.clone();
+        broken.weights[0] = pnp_tensor::ParameterBundle::default();
+        assert!(restore_grid(
+            &ds,
+            &settings,
+            GridPipeline::Scenario1 { dynamic: false },
+            &broken
+        )
+        .is_err());
+        // Mismatched jobs/weights lengths.
+        let mut truncated = s1.clone();
+        truncated.weights.pop();
+        assert!(restore_grid(
+            &ds,
+            &settings,
+            GridPipeline::Scenario1 { dynamic: false },
+            &truncated
+        )
+        .is_err());
+        // A wider model shape (different hyperparameters) cannot absorb the
+        // same checkpoints.
+        let mut wider = settings.clone();
+        wider.hidden_dim *= 2;
+        assert!(
+            restore_grid(&ds, &wider, GridPipeline::Scenario1 { dynamic: false }, &s1).is_err()
+        );
+        std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn wire_types_round_trip_through_json() {
+        let request = TuneRequest {
+            id: 7,
+            machine: "haswell".into(),
+            objective: TuneObjective::Time { power_idx: 2 },
+            kernel: KernelInput::Graph(EncodedGraph {
+                name: "k".into(),
+                tokens: vec![1, 2],
+                kinds: vec![0, 1],
+                relations: vec![vec![(0, 1)], vec![], vec![]],
+            }),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        let back: TuneRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.objective, request.objective);
+        let response = TuneResponse::err(7, "unknown machine \"riscv\"");
+        let json = serde_json::to_string(&response).unwrap();
+        let back: TuneResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        assert!(back.prediction.is_none());
+        assert_eq!(back.error.as_deref(), Some("unknown machine \"riscv\""));
+    }
+}

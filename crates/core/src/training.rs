@@ -112,7 +112,7 @@ impl TrainSettings {
         settings
     }
 
-    fn model_config(
+    pub(crate) fn model_config(
         &self,
         num_classes: usize,
         num_dynamic: usize,

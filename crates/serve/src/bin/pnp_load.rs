@@ -1,0 +1,309 @@
+//! The serve-path load generator behind `BENCH_serve.json` (SERVING.md
+//! "Measuring"): replays paper-suite regions plus `pnp_ir::gen` synthetic
+//! kernels against a running `pnp_serve` daemon, sweeping the daemon's
+//! batch worker count and reporting sustained throughput and p50/p99
+//! latency per phase — the same trajectory idiom as the other two perf
+//! harnesses (`BENCH_dataset_build.json`, `BENCH_loocv_train.json`).
+//!
+//! ```text
+//! pnp_load (--addr HOST:PORT | --port-file PATH) [--machine haswell]
+//!          [--workers 1,2,4,8] [--requests N] [--inflight N] [--rate R]
+//!          [--gen-kernels N] [--out BENCH_serve.json]
+//!          [--min-speedup S:T] [--min-throughput R] [--shutdown]
+//! ```
+//!
+//! By default the loop is closed with `--inflight` requests outstanding;
+//! `--rate R` switches to an open loop offering `R` requests/s (still
+//! capped at `--inflight` outstanding so an overloaded daemon applies
+//! backpressure instead of unbounded queueing). The `--min-speedup S:T`
+//! gate requires batched throughput at `T` workers to reach `S×` the
+//! 1-worker anchor, with the usual fewer-cores auto-skip; `--min-throughput`
+//! is an absolute floor on the best phase.
+
+use pnp_bench::{
+    banner, bool_flag_from, enforce_min_speedup, percentile, string_flag_from, Provenance,
+};
+use pnp_core::serving::{KernelInput, TuneObjective, TuneRequest};
+use pnp_serve::{read_message, write_message, Client, Request, Response};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Run {
+    workers: usize,
+    requests: usize,
+    errors: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    speedup_vs_1w: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    machine: String,
+    suite_kernels: usize,
+    generated_kernels: usize,
+    requests_per_phase: usize,
+    inflight: usize,
+    rate_rps: f64,
+    grids_loaded: usize,
+    grids_skipped: usize,
+    max_batch_seen: u64,
+    context: Provenance,
+    runs: Vec<Run>,
+}
+
+/// The request mix: every region of the paper suite as a `Source` input
+/// plus `gen_kernels` generated kernels, round-robined. Returns
+/// `(templates, suite count, generated count)`.
+fn workload(machine: &str, gen_kernels: usize) -> (Vec<TuneRequest>, usize, usize) {
+    let mut kernels: Vec<KernelInput> = Vec::new();
+    let mut suite_kernels = 0;
+    for app in pnp_benchmarks::full_suite() {
+        let regions: Vec<_> = app.regions.iter().map(|r| r.source.clone()).collect();
+        for region in &app.regions {
+            kernels.push(KernelInput::Source {
+                app: app.name.clone(),
+                regions: regions.clone(),
+                region: region.name().to_string(),
+            });
+            suite_kernels += 1;
+        }
+    }
+    for (i, kernel) in pnp_ir::gen::corpus(pnp_core::validate::DEFAULT_OOD_SEED, gen_kernels)
+        .into_iter()
+        .enumerate()
+    {
+        kernels.push(KernelInput::Source {
+            app: format!("gen{i}"),
+            region: kernel.source.name.clone(),
+            regions: vec![kernel.source],
+        });
+    }
+    let templates = kernels
+        .into_iter()
+        .enumerate()
+        .map(|(i, kernel)| TuneRequest {
+            id: i as u64,
+            machine: machine.to_string(),
+            objective: if i % 2 == 0 {
+                TuneObjective::Time { power_idx: 0 }
+            } else {
+                TuneObjective::Edp
+            },
+            kernel,
+        })
+        .collect();
+    (templates, suite_kernels, gen_kernels)
+}
+
+/// One measured phase: `requests` tune requests pipelined over the
+/// connection, `inflight` outstanding (closed loop), or paced at `rate`/s
+/// (open loop) when `rate > 0`. Returns `(wall seconds, latencies in ms,
+/// error count)`.
+fn run_phase(
+    stream: &TcpStream,
+    templates: &[TuneRequest],
+    requests: usize,
+    inflight: usize,
+    rate: f64,
+) -> (f64, Vec<f64>, usize) {
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let (credit_tx, credit_rx) = mpsc::channel::<()>();
+    let started = Instant::now();
+
+    let reader_sent_at = sent_at.clone();
+    let mut read_stream = stream.try_clone().expect("clone stream for reading");
+    let reader = std::thread::spawn(move || {
+        let mut latencies = Vec::with_capacity(requests);
+        let mut errors = 0usize;
+        for _ in 0..requests {
+            let response = read_message::<Response>(&mut read_stream)
+                .expect("read response")
+                .expect("server closed mid-phase");
+            let done = Instant::now();
+            match response {
+                Response::Tune(tune) => {
+                    let sent = reader_sent_at
+                        .lock()
+                        .unwrap()
+                        .remove(&tune.id)
+                        .expect("response correlates to a sent request");
+                    latencies.push(done.duration_since(sent).as_secs_f64() * 1e3);
+                    if tune.error.is_some() {
+                        errors += 1;
+                    }
+                }
+                other => panic!("unexpected response in tune phase: {other:?}"),
+            }
+            let _ = credit_tx.send(());
+        }
+        (latencies, errors)
+    });
+
+    let mut write_stream = stream.try_clone().expect("clone stream for writing");
+    for i in 0..requests {
+        if i >= inflight {
+            credit_rx.recv().expect("reader alive");
+        }
+        if rate > 0.0 {
+            let due = started + Duration::from_secs_f64(i as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let mut request = templates[i % templates.len()].clone();
+        request.id = i as u64;
+        sent_at.lock().unwrap().insert(request.id, Instant::now());
+        write_message(&mut write_stream, &Request::Tune(request)).expect("send request");
+    }
+    let (latencies, errors) = reader.join().expect("reader thread");
+    (started.elapsed().as_secs_f64(), latencies, errors)
+}
+
+fn main() {
+    banner(
+        "pnp_load",
+        "serve-path load generator: throughput + latency vs daemon batch workers",
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| string_flag_from(&args, name);
+    let addr = match (flag("--addr"), flag("--port-file")) {
+        (Some(addr), _) => addr,
+        (None, Some(path)) => {
+            let port = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read port file {path}: {e}"));
+            format!("127.0.0.1:{}", port.trim())
+        }
+        (None, None) => panic!("pass --addr HOST:PORT or --port-file PATH"),
+    };
+    let machine = flag("--machine").unwrap_or_else(|| "haswell".into());
+    let workers: Vec<usize> = flag("--workers")
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--workers takes e.g. 1,2,4"))
+        .collect();
+    assert!(!workers.is_empty(), "--workers list must be non-empty");
+    let requests: usize = flag("--requests").map_or(300, |v| v.parse().expect("--requests N"));
+    let inflight: usize = flag("--inflight").map_or(32, |v| v.parse().expect("--inflight N"));
+    let rate: f64 = flag("--rate").map_or(0.0, |v| v.parse().expect("--rate R"));
+    let gen_kernels: usize =
+        flag("--gen-kernels").map_or(24, |v| v.parse().expect("--gen-kernels N"));
+    let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let min_speedup = flag("--min-speedup").map(|v| {
+        let (s, t) = v.split_once(':').expect("--min-speedup S:T, e.g. 1.2:4");
+        (
+            s.parse::<f64>().expect("--min-speedup: S must be a float"),
+            t.parse::<usize>()
+                .expect("--min-speedup: T must be a worker count"),
+        )
+    });
+    let min_throughput: Option<f64> =
+        flag("--min-throughput").map(|v| v.parse().expect("--min-throughput R"));
+
+    let (templates, suite_kernels, generated_kernels) = workload(&machine, gen_kernels);
+    eprintln!(
+        "[pnp_load] workload: {suite_kernels} suite kernel(s) + {generated_kernels} generated, \
+         {requests} request(s)/phase, inflight {inflight}, machine {machine}"
+    );
+
+    let mut control = Client::connect(&addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    match control.request(&Request::Ping) {
+        Ok(Response::Ok) => eprintln!("[pnp_load] daemon at {addr} is live"),
+        other => panic!("daemon ping failed: {other:?}"),
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &w in &workers {
+        match control.request(&Request::SetWorkers { workers: w }) {
+            Ok(Response::Ok) => {}
+            other => panic!("SetWorkers({w}) failed: {other:?}"),
+        }
+        let stream = Client::connect(&addr)
+            .unwrap_or_else(|e| panic!("connect {addr}: {e}"))
+            .into_stream();
+        let (wall_s, latencies, errors) = run_phase(&stream, &templates, requests, inflight, rate);
+        let throughput = requests as f64 / wall_s;
+        let anchor = runs.first().map_or(throughput, |r| r.throughput_rps);
+        let run = Run {
+            workers: w,
+            requests,
+            errors,
+            wall_s,
+            throughput_rps: throughput,
+            p50_ms: percentile(&latencies, 50.0),
+            p99_ms: percentile(&latencies, 99.0),
+            speedup_vs_1w: throughput / anchor,
+        };
+        eprintln!(
+            "[pnp_load] workers {w}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, {errors} error(s), \
+             speedup {:.2}x",
+            run.throughput_rps, run.p50_ms, run.p99_ms, run.speedup_vs_1w
+        );
+        assert_eq!(
+            errors, 0,
+            "served workload must not produce error responses"
+        );
+        runs.push(run);
+    }
+
+    let stats = match control.request(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        other => panic!("Stats failed: {other:?}"),
+    };
+    if bool_flag_from(&args, "--shutdown") {
+        match control.request(&Request::Shutdown) {
+            Ok(Response::Ok) => eprintln!("[pnp_load] daemon asked to shut down"),
+            other => eprintln!("[pnp_load] shutdown request failed: {other:?}"),
+        }
+    }
+
+    let context = Provenance::capture();
+    let available = context.available_parallelism;
+    let report = Report {
+        bench: "serve".into(),
+        machine,
+        suite_kernels,
+        generated_kernels,
+        requests_per_phase: requests,
+        inflight,
+        rate_rps: rate,
+        grids_loaded: stats.grids_loaded,
+        grids_skipped: stats.grids_skipped,
+        max_batch_seen: stats.max_batch_seen,
+        context,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write timing JSON");
+    eprintln!("[pnp_load] wrote {out}");
+
+    if let Some(floor) = min_throughput {
+        let best = report
+            .runs
+            .iter()
+            .map(|r| r.throughput_rps)
+            .fold(0.0f64, f64::max);
+        if best < floor {
+            eprintln!(
+                "[pnp_load] FAIL: best throughput {best:.1} req/s is below the \
+                 --min-throughput floor {floor:.1}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[pnp_load] throughput floor passed: {best:.1} >= {floor:.1} req/s");
+    }
+    let speedups: Vec<(usize, f64)> = report
+        .runs
+        .iter()
+        .map(|r| (r.workers, r.speedup_vs_1w))
+        .collect();
+    enforce_min_speedup("pnp_load", min_speedup, &speedups, available);
+}

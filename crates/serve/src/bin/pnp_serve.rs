@@ -1,0 +1,97 @@
+//! The tuning daemon (SERVING.md): loads every model grid from the artifact
+//! store once at startup, then serves tune requests over the
+//! length-prefixed socket protocol with cross-connection batching.
+//!
+//! ```text
+//! pnp_serve --store DIR [--addr 127.0.0.1:0] [--port-file PATH]
+//!           [--replicas N] [--workers N] [--max-batch N] [--stdio]
+//! ```
+//!
+//! `--store` falls back to the `PNP_STORE` environment variable. With
+//! `--addr` port 0 (the default) the OS picks a free port; `--port-file`
+//! writes the bound port as decimal text once the listener is ready, which
+//! is how CI and `pnp_load --port-file` synchronize startup. `--stdio`
+//! serves a single session over stdin/stdout instead of a socket.
+
+use pnp_bench::{banner, bool_flag_from, string_flag_from};
+use pnp_core::registry::ModelRegistry;
+use pnp_serve::{serve, serve_stdio, EngineConfig, ServeEngine, DEFAULT_MAX_BATCH};
+use pnp_store::Store;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn usize_flag(args: &[String], flag: &str, default: usize) -> usize {
+    string_flag_from(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes an integer"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    banner(
+        "pnp_serve",
+        "tuning-as-a-service daemon on the model registry",
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store = match string_flag_from(&args, "--store") {
+        Some(dir) => Store::open(dir).with_env_modes(),
+        None => Store::from_env().unwrap_or_else(|| {
+            eprintln!("[pnp-serve] no store configured — pass --store DIR or set PNP_STORE");
+            std::process::exit(2);
+        }),
+    };
+    eprintln!("[pnp-serve] store: {}", store.root().display());
+
+    let config = EngineConfig {
+        replicas: usize_flag(&args, "--replicas", 0),
+        workers: usize_flag(&args, "--workers", 0),
+    };
+    let max_batch = usize_flag(&args, "--max-batch", DEFAULT_MAX_BATCH);
+
+    let registry = ModelRegistry::open(store);
+    eprintln!(
+        "[pnp-serve] registry: {} dataset(s), {} model grid(s)",
+        registry.datasets().len(),
+        registry.models().len()
+    );
+    let (engine, report) = ServeEngine::start(registry, &config);
+    eprintln!(
+        "[pnp-serve] cold start: {} grid(s) loaded, {} skipped",
+        report.grids_loaded, report.grids_skipped
+    );
+    let machines = engine.machines();
+    if machines.is_empty() {
+        eprintln!("[pnp-serve] no machine has a serveable scenario1+scenario2 pair — exiting");
+        std::process::exit(2);
+    }
+    eprintln!("[pnp-serve] serving machines: {}", machines.join(", "));
+    let engine = Arc::new(engine);
+
+    if bool_flag_from(&args, "--stdio") {
+        serve_stdio(engine, max_batch);
+        return;
+    }
+
+    let addr = string_flag_from(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    eprintln!("[pnp-serve] listening on {local}");
+    if let Some(path) = string_flag_from(&args, "--port-file") {
+        // Write-then-rename so a watcher never reads a half-written port.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{}\n", local.port()))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .unwrap_or_else(|e| panic!("cannot write port file {path}: {e}"));
+        eprintln!("[pnp-serve] port file: {path}");
+    }
+    serve(listener, engine.clone(), max_batch);
+    let stats = engine.stats();
+    eprintln!(
+        "[pnp-serve] shutdown after {} request(s) in {} batch(es) (max batch {})",
+        stats.requests, stats.batches, stats.max_batch_seen
+    );
+}

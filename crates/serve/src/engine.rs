@@ -1,0 +1,301 @@
+//! The serving engine: registry-driven startup and batched inference.
+//!
+//! At startup the engine walks the [`ModelRegistry`], loads every machine's
+//! dataset once, restores **every** model grid in the store (fit-checking
+//! each — an unfit or corrupt checkpoint is skipped with a log line, never
+//! misapplied), and builds a pool of [`TuneService`] replicas per machine.
+//! Requests are then served by [`ServeEngine::tune_batch`]: a batch fans out
+//! over the in-tree `pnp_openmp` pool via `parallel_map_with_state`, each
+//! worker checking out whichever replica is free. All replicas are restored
+//! from the same grids, so the response vector is bit-identical for every
+//! worker/replica count — and identical to the offline
+//! [`TuneService::tune`] path (DESIGN.md §14).
+
+use pnp_core::registry::{ModelDescriptor, ModelRegistry};
+use pnp_core::serving::{restore_grid, GridPipeline, TuneRequest, TuneResponse, TuneService};
+use pnp_openmp::{parallel_map_with_state, Threads};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::protocol::ServeStats;
+
+/// Startup knobs of the engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// [`TuneService`] replicas per machine; 0 means one per available
+    /// core. More replicas let more batch workers predict concurrently.
+    pub replicas: usize,
+    /// Initial batch worker count; 0 means one per available core.
+    /// Adjustable at runtime via the `SetWorkers` request.
+    pub workers: usize,
+}
+
+/// What the cold start did — one line per grid, printed by the daemon and
+/// asserted on by the integration tests.
+#[derive(Clone, Debug, Default)]
+pub struct StartupReport {
+    /// Grids that restored cleanly (fit check passed).
+    pub grids_loaded: usize,
+    /// Grids skipped: unfit/corrupt checkpoints, unjoined datasets, or
+    /// unparseable settings.
+    pub grids_skipped: usize,
+    /// Human-readable log, one line per grid and per machine.
+    pub lines: Vec<String>,
+}
+
+impl StartupReport {
+    fn log(&mut self, line: String) {
+        eprintln!("[pnp-serve] {line}");
+        self.lines.push(line);
+    }
+}
+
+/// The daemon's shared state: one replica pool per serveable machine plus
+/// the registry for `List`/`Describe`.
+pub struct ServeEngine {
+    registry: ModelRegistry,
+    machines: BTreeMap<String, Vec<Mutex<TuneService>>>,
+    workers: AtomicUsize,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch_seen: AtomicU64,
+    grids_loaded: usize,
+    grids_skipped: usize,
+}
+
+fn grid_pipeline(model: &ModelDescriptor) -> GridPipeline {
+    match model.pipeline.as_str() {
+        "scenario1" => GridPipeline::Scenario1 {
+            dynamic: model.dynamic,
+        },
+        "scenario2" => GridPipeline::Scenario2 {
+            dynamic: model.dynamic,
+        },
+        _ => GridPipeline::UnseenPower {
+            held_out_power: model.held_out_power.unwrap_or(0),
+        },
+    }
+}
+
+impl ServeEngine {
+    /// Cold start: restore every grid in the registry, then build the
+    /// replica pools. Serving zero machines is a valid (if useless) state —
+    /// the daemon binary refuses it, the tests exercise it.
+    pub fn start(registry: ModelRegistry, config: &EngineConfig) -> (ServeEngine, StartupReport) {
+        let mut report = StartupReport::default();
+        let replicas = if config.replicas == 0 {
+            Threads::Auto.resolve()
+        } else {
+            config.replicas
+        };
+        let mut machines: BTreeMap<String, Vec<Mutex<TuneService>>> = BTreeMap::new();
+
+        for dataset in registry.datasets() {
+            let Some(ds) = registry.load_dataset(dataset) else {
+                report.log(format!(
+                    "machine {}: dataset {} failed to load — skipping its grids",
+                    dataset.machine, dataset.address
+                ));
+                report.grids_skipped += registry
+                    .models()
+                    .iter()
+                    .filter(|m| m.dataset_sha256 == dataset.sha256)
+                    .count();
+                continue;
+            };
+            // Fit-check every grid trained on this dataset, serveable or not:
+            // a corrupt checkpoint must surface at startup, not at request
+            // time.
+            let mut statics: BTreeMap<&str, &ModelDescriptor> = BTreeMap::new();
+            for model in registry
+                .models()
+                .iter()
+                .filter(|m| m.dataset_sha256 == dataset.sha256)
+            {
+                let outcome = model.settings().and_then(|settings| {
+                    registry
+                        .load_grid(model)
+                        .ok_or_else(|| "grid payload failed to load".to_string())
+                        .and_then(|grid| {
+                            restore_grid(&ds, &settings, grid_pipeline(model), &grid)
+                                .map(|models| models.len())
+                        })
+                });
+                match outcome {
+                    Ok(n) => {
+                        report.grids_loaded += 1;
+                        report.log(format!("loaded {} ({n} checkpoints)", model.id));
+                        if !model.dynamic && model.held_out_power.is_none() {
+                            statics.insert(model.pipeline.as_str(), model);
+                        }
+                    }
+                    Err(why) => {
+                        report.grids_skipped += 1;
+                        report.log(format!("SKIP {}: {why}", model.id));
+                    }
+                }
+            }
+
+            if ds.is_empty() {
+                report.log(format!(
+                    "machine {}: dataset is empty — nothing to serve",
+                    dataset.machine
+                ));
+                continue;
+            }
+            if machines.contains_key(&dataset.machine) {
+                report.log(format!(
+                    "machine {}: already served by an earlier dataset — skipping {}",
+                    dataset.machine, dataset.address
+                ));
+                continue;
+            }
+            let (Some(s1), Some(s2)) = (statics.get("scenario1"), statics.get("scenario2")) else {
+                report.log(format!(
+                    "machine {}: no loadable static scenario1+scenario2 pair — not serving",
+                    dataset.machine
+                ));
+                continue;
+            };
+            let (Ok(settings), Some(grid1), Some(grid2)) = (
+                s1.settings(),
+                registry.load_grid(s1),
+                registry.load_grid(s2),
+            ) else {
+                report.log(format!(
+                    "machine {}: static grids vanished between fit check and restore",
+                    dataset.machine
+                ));
+                continue;
+            };
+            let mut pool = Vec::with_capacity(replicas);
+            for _ in 0..replicas {
+                match TuneService::restore(&ds, &settings, &grid1, &grid2, &s1.id, &s2.id) {
+                    Ok(service) => pool.push(Mutex::new(service)),
+                    Err(why) => {
+                        report.log(format!(
+                            "machine {}: replica restore failed: {why}",
+                            dataset.machine
+                        ));
+                        break;
+                    }
+                }
+            }
+            if pool.len() == replicas {
+                report.log(format!(
+                    "machine {}: serving with {replicas} replica(s) (time={}, edp={})",
+                    dataset.machine, s1.id, s2.id
+                ));
+                machines.insert(dataset.machine.clone(), pool);
+            }
+        }
+
+        let engine = ServeEngine {
+            registry,
+            machines,
+            workers: AtomicUsize::new(config.workers),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+            grids_loaded: report.grids_loaded,
+            grids_skipped: report.grids_skipped,
+        };
+        (engine, report)
+    }
+
+    /// Machines with a ready replica pool.
+    pub fn machines(&self) -> Vec<String> {
+        self.machines.keys().cloned().collect()
+    }
+
+    /// The registry the engine was started from.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Sets the batch worker count (0 = one per available core).
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers, Ordering::Relaxed);
+    }
+
+    fn batch_threads(&self) -> Threads {
+        match self.workers.load(Ordering::Relaxed) {
+            0 => Threads::Auto,
+            n => Threads::Fixed(n),
+        }
+    }
+
+    /// Serves one batch: requests are partitioned by machine, each
+    /// machine's slice fans out over the worker pool with replica checkout,
+    /// and responses come back in request order. Unknown machines get error
+    /// responses; nothing panics on client input.
+    pub fn tune_batch(&self, requests: &[TuneRequest]) -> Vec<TuneResponse> {
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch_seen
+            .fetch_max(requests.len() as u64, Ordering::Relaxed);
+        let threads = self.batch_threads();
+
+        let mut slots: Vec<Option<TuneResponse>> = vec![None; requests.len()];
+        let mut by_machine: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            match self.machines.get(&request.machine) {
+                Some(_) => by_machine
+                    .entry(request.machine.as_str())
+                    .or_default()
+                    .push(i),
+                None => {
+                    slots[i] = Some(TuneResponse::err(
+                        request.id,
+                        format!(
+                            "unknown machine {:?} (serving: {:?})",
+                            request.machine,
+                            self.machines().join(", ")
+                        ),
+                    ))
+                }
+            }
+        }
+        for (machine, indices) in by_machine {
+            let pool = &self.machines[machine];
+            let group: Vec<&TuneRequest> = indices.iter().map(|&i| &requests[i]).collect();
+            let responses = parallel_map_with_state(&group, threads, pool, |request, service| {
+                match service.tune(&request.kernel, request.objective) {
+                    Ok(prediction) => TuneResponse::ok(request.id, prediction),
+                    Err(why) => TuneResponse::err(request.id, why),
+                }
+            });
+            for (&i, response) in indices.iter().zip(responses) {
+                slots[i] = Some(response);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request slot filled"))
+            .collect()
+    }
+
+    /// The single-request path — literally a one-element batch, so it
+    /// cannot diverge from the batched path.
+    pub fn tune(&self, request: &TuneRequest) -> TuneResponse {
+        self.tune_batch(std::slice::from_ref(request))
+            .into_iter()
+            .next()
+            .expect("one response per request")
+    }
+
+    /// Serving counters since startup.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed),
+            machines: self.machines(),
+            grids_loaded: self.grids_loaded,
+            grids_skipped: self.grids_skipped,
+            workers: self.workers.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The wire protocol (SERVING.md "Protocol"): length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian payload length followed by exactly
+//! that many bytes of UTF-8 JSON — one [`Request`] per client frame, one
+//! [`Response`] per server frame. Length prefixing keeps framing independent
+//! of JSON whitespace and lets both sides pipeline: a client may have many
+//! requests in flight and match tune responses back by their correlation
+//! `id` (control responses carry no id and arrive in request order relative
+//! to each other on one connection).
+
+use pnp_core::registry::ModelSummary;
+use pnp_core::serving::{TuneRequest, TuneResponse};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected — a corrupt or hostile length
+/// prefix must not make the daemon allocate gigabytes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// One client request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Tune one kernel (the hot path; batched by the dispatcher).
+    Tune(TuneRequest),
+    /// List every model grid in the registry.
+    List,
+    /// Describe one model by registry id.
+    Describe {
+        /// The registry id (as returned by `List`).
+        id: String,
+    },
+    /// Serving counters since startup.
+    Stats,
+    /// Set the batch worker count (0 = one worker per available core).
+    SetWorkers {
+        /// The new worker count.
+        workers: usize,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Stop the daemon after this response.
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Tune`], correlated by `id`.
+    Tune(TuneResponse),
+    /// Answer to [`Request::List`].
+    Models {
+        /// Every registry model, serveable or not.
+        models: Vec<ModelSummary>,
+    },
+    /// Answer to [`Request::Describe`] — `None` for an unknown id.
+    Description {
+        /// The human-readable description.
+        text: Option<String>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServeStats),
+    /// Acknowledgement of `SetWorkers`/`Ping`/`Shutdown`.
+    Ok,
+    /// A malformed frame or unhandled request.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Serving counters, reported by [`Request::Stats`] and printed at shutdown.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Tune requests answered (success or error) since startup.
+    pub requests: u64,
+    /// Dispatcher batches executed.
+    pub batches: u64,
+    /// Largest batch executed.
+    pub max_batch_seen: u64,
+    /// Machines with a ready service.
+    pub machines: Vec<String>,
+    /// Grids that restored cleanly at startup.
+    pub grids_loaded: usize,
+    /// Grids skipped at startup (unfit / corrupt / unjoined).
+    pub grids_skipped: usize,
+    /// Current batch worker count (0 = auto).
+    pub workers: usize,
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME,
+        "outgoing frame exceeds MAX_FRAME"
+    );
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean end-of-stream
+/// (EOF before any length byte); anything else incomplete is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
+    let mut len_bytes = [0u8; 4];
+    match r.read(&mut len_bytes[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(format!("read length: {e}")),
+    }
+    r.read_exact(&mut len_bytes[1..])
+        .map_err(|e| format!("read length: {e}"))?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("read payload: {e}"))?;
+    Ok(Some(payload))
+}
+
+/// Serializes and writes one message.
+pub fn write_message<T: Serialize>(w: &mut impl Write, message: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(message).expect("protocol types serialize");
+    write_frame(w, json.as_bytes())
+}
+
+/// Reads and parses one message; `Ok(None)` on clean end-of-stream.
+pub fn read_message<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, String> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| format!("malformed message: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&b"world"[..])
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors_not_hangs() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        assert!(read_frame(&mut Cursor::new(oversized)).is_err());
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&8u32.to_be_bytes());
+        truncated.extend_from_slice(b"abc");
+        assert!(read_frame(&mut Cursor::new(truncated)).is_err());
+    }
+
+    #[test]
+    fn messages_round_trip_through_the_envelope() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Ping).unwrap();
+        write_message(&mut buf, &Request::Describe { id: "x".into() }).unwrap();
+        write_message(&mut buf, &Response::Ok).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_message::<Request>(&mut cursor).unwrap(),
+            Some(Request::Ping)
+        ));
+        match read_message::<Request>(&mut cursor).unwrap() {
+            Some(Request::Describe { id }) => assert_eq!(id, "x"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            read_message::<Response>(&mut cursor).unwrap(),
+            Some(Response::Ok)
+        ));
+        assert!(read_message::<Response>(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_payloads_are_parse_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"not json").unwrap();
+        assert!(read_message::<Request>(&mut Cursor::new(buf)).is_err());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0xFF, 0xFE]).unwrap();
+        assert!(read_message::<Request>(&mut Cursor::new(buf)).is_err());
+    }
+}

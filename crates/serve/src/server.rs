@@ -1,0 +1,211 @@
+//! The daemon's I/O layer: connection handling, the batching dispatcher,
+//! and a small blocking [`Client`].
+//!
+//! Tune requests from every connection funnel into one dispatcher thread,
+//! which drains whatever has accumulated (up to `max_batch`) and hands the
+//! batch to [`ServeEngine::tune_batch`] — so concurrent clients are batched
+//! together and an idle socket adds no latency (the first request of a
+//! batch is served immediately, not held for a timer). Control requests
+//! (`List`, `Stats`, ...) are answered inline by the connection's reader.
+//! Each connection has a single writer thread; every response — tune or
+//! control — goes through it, so frames never interleave.
+
+use crate::engine::ServeEngine;
+use crate::protocol::{read_message, write_message, Request, Response};
+use pnp_core::serving::TuneRequest;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Default upper bound on one dispatcher batch.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
+struct Work {
+    request: TuneRequest,
+    reply: mpsc::Sender<Response>,
+}
+
+fn dispatcher(engine: Arc<ServeEngine>, rx: mpsc::Receiver<Work>, max_batch: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(work) => batch.push(work),
+                Err(_) => break,
+            }
+        }
+        let requests: Vec<TuneRequest> = batch.iter().map(|w| w.request.clone()).collect();
+        let responses = engine.tune_batch(&requests);
+        for (work, response) in batch.into_iter().zip(responses) {
+            // A disconnected client cannot receive its response; drop it.
+            let _ = work.reply.send(Response::Tune(response));
+        }
+    }
+}
+
+/// Reads requests from `reader`, answering control requests inline and
+/// forwarding tune requests to the dispatcher; `writer` is owned by a
+/// dedicated thread draining the reply channel. Returns when the peer
+/// disconnects, sends garbage, or asks for shutdown.
+fn handle_streams(
+    mut reader: impl Read,
+    mut writer: impl Write + Send + 'static,
+    engine: &ServeEngine,
+    work_tx: &mpsc::Sender<Work>,
+    stop: &AtomicBool,
+) {
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let writer_thread = thread::spawn(move || {
+        for response in reply_rx {
+            if write_message(&mut writer, &response).is_err() {
+                break;
+            }
+        }
+    });
+    loop {
+        let request = match read_message::<Request>(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            Err(why) => {
+                let _ = reply_tx.send(Response::Error { message: why });
+                break;
+            }
+        };
+        let response = match request {
+            Request::Tune(tune) => {
+                let work = Work {
+                    request: tune,
+                    reply: reply_tx.clone(),
+                };
+                if work_tx.send(work).is_err() {
+                    let _ = reply_tx.send(Response::Error {
+                        message: "dispatcher stopped".into(),
+                    });
+                    break;
+                }
+                continue;
+            }
+            Request::List => Response::Models {
+                models: engine
+                    .registry()
+                    .models()
+                    .iter()
+                    .map(|m| m.summary())
+                    .collect(),
+            },
+            Request::Describe { id } => Response::Description {
+                text: engine.registry().describe(&id),
+            },
+            Request::Stats => Response::Stats(engine.stats()),
+            Request::SetWorkers { workers } => {
+                engine.set_workers(workers);
+                Response::Ok
+            }
+            Request::Ping => Response::Ok,
+            Request::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = reply_tx.send(Response::Ok);
+                break;
+            }
+        };
+        if reply_tx.send(response).is_err() {
+            break;
+        }
+    }
+    drop(reply_tx);
+    let _ = writer_thread.join();
+}
+
+/// Serves `engine` on `listener` until a client sends `Shutdown`. Each
+/// connection gets reader + writer threads; tune requests are batched
+/// across connections by the shared dispatcher.
+pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, max_batch: usize) {
+    let local = listener.local_addr().ok();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (work_tx, work_rx) = mpsc::channel::<Work>();
+    let dispatcher_thread = {
+        let engine = engine.clone();
+        thread::spawn(move || dispatcher(engine, work_rx, max_batch.max(1)))
+    };
+
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let reader = stream;
+        let Ok(writer) = reader.try_clone() else {
+            continue;
+        };
+        let engine = engine.clone();
+        let work_tx = work_tx.clone();
+        let stop_conn = stop.clone();
+        let stop_accept = stop.clone();
+        thread::spawn(move || {
+            handle_streams(&reader, writer, &engine, &work_tx, &stop_conn);
+            // A shutdown request must also unblock the accept loop.
+            if stop_accept.load(Ordering::SeqCst) {
+                if let Some(addr) = local {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        });
+    }
+    drop(work_tx);
+    let _ = dispatcher_thread.join();
+}
+
+/// Serves one session over stdin/stdout (the `--stdio` mode: no socket, no
+/// port file — for harnesses and debugging with a driving process).
+pub fn serve_stdio(engine: Arc<ServeEngine>, max_batch: usize) {
+    let stop = AtomicBool::new(false);
+    let (work_tx, work_rx) = mpsc::channel::<Work>();
+    let dispatcher_thread = {
+        let engine = engine.clone();
+        thread::spawn(move || dispatcher(engine, work_rx, max_batch.max(1)))
+    };
+    handle_streams(
+        std::io::stdin().lock(),
+        std::io::stdout(),
+        &engine,
+        &work_tx,
+        &stop,
+    );
+    drop(work_tx);
+    let _ = dispatcher_thread.join();
+}
+
+/// A blocking client: one request, one response. For pipelined load
+/// generation use [`Client::into_stream`] and drive the two directions from
+/// separate threads with the `protocol` functions.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Sends one request and waits for the next response frame.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        write_message(&mut self.stream, request).map_err(|e| format!("send: {e}"))?;
+        read_message(&mut self.stream)?.ok_or_else(|| "server closed the connection".to_string())
+    }
+
+    /// Hands out the raw stream for pipelined use.
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests of the serve path (ISSUE 7): the daemon must serve
+//! predictions **bit-identical** to the offline `TuneService` for the same
+//! kernels — through the registry cold start, the batching dispatcher, and
+//! a real socket — and the registry/control surface must answer over the
+//! wire. One tiny trained fixture (built once per process) backs all tests.
+
+use pnp_benchmarks::builders::{matmul_kernel, small_boundary_kernel, streaming_kernel};
+use pnp_benchmarks::Application;
+use pnp_core::artifact::ArtifactStore;
+use pnp_core::registry::ModelRegistry;
+use pnp_core::serving::{KernelInput, TuneObjective, TunePrediction, TuneRequest, TuneService};
+use pnp_core::training::{
+    train_scenario1_models_cached, train_scenario2_model_cached, TrainSettings, TrainedGrid,
+};
+use pnp_core::Dataset;
+use pnp_graph::Vocabulary;
+use pnp_machine::haswell;
+use pnp_openmp::Threads;
+use pnp_serve::{serve, Client, EngineConfig, Request, Response, ServeEngine};
+use pnp_store::Store;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+fn tiny_apps() -> Vec<Application> {
+    vec![
+        Application::new("a1", vec![matmul_kernel("a1_r0", 120, 120, 120)]),
+        Application::new("a2", vec![streaming_kernel("a2_r0", 80_000, 2, 1.0)]),
+        Application::new("a3", vec![small_boundary_kernel("a3_r0", 700, 2)]),
+    ]
+}
+
+fn tiny_settings() -> TrainSettings {
+    TrainSettings {
+        epochs: 4,
+        hidden_dim: 8,
+        rgcn_layers: 1,
+        fc_hidden: 16,
+        folds: 3,
+        train_threads: Threads::Fixed(1),
+        ..TrainSettings::quick()
+    }
+}
+
+struct Fixture {
+    dir: PathBuf,
+    ds: Dataset,
+    settings: TrainSettings,
+    s1: TrainedGrid,
+    s2: TrainedGrid,
+}
+
+/// Trains the tiny fixture once per test process, into a store directory
+/// the registry/daemon tests then cold-start from.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("pnp_serve_it_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir);
+        let settings = tiny_settings();
+        let ds = store.load_or_build_dataset(
+            &haswell(),
+            &tiny_apps(),
+            &Vocabulary::standard(),
+            Threads::Fixed(1),
+        );
+        let cache = store.for_dataset(&ds);
+        train_scenario1_models_cached(&ds, &settings, false, Some(&cache));
+        train_scenario2_model_cached(&ds, &settings, false, Some(&cache));
+        let s1 = cache
+            .store()
+            .load(&cache.scenario1_key(&settings, false))
+            .expect("scenario1 grid cached");
+        let s2 = cache
+            .store()
+            .load(&cache.scenario2_key(&settings, false))
+            .expect("scenario2 grid cached");
+        Fixture {
+            dir,
+            ds,
+            settings,
+            s1,
+            s2,
+        }
+    })
+}
+
+/// The workload both paths replay: every fixture region as source input and
+/// as a pre-encoded graph, plus generated kernels, across both objectives.
+fn workload(ds: &Dataset) -> Vec<TuneRequest> {
+    let apps = tiny_apps();
+    let mut kernels = Vec::new();
+    for app in &apps {
+        let regions: Vec<_> = app.regions.iter().map(|r| r.source.clone()).collect();
+        for region in &app.regions {
+            kernels.push(KernelInput::Source {
+                app: app.name.clone(),
+                regions: regions.clone(),
+                region: region.name().to_string(),
+            });
+        }
+    }
+    for record in &ds.regions {
+        kernels.push(KernelInput::Graph(record.graph.clone()));
+    }
+    for (i, kernel) in pnp_ir::gen::corpus(0xD17A, 8).into_iter().enumerate() {
+        kernels.push(KernelInput::Source {
+            app: format!("gen{i}"),
+            region: kernel.source.name.clone(),
+            regions: vec![kernel.source],
+        });
+    }
+    let num_powers = ds.space.power_levels.len();
+    kernels
+        .into_iter()
+        .enumerate()
+        .map(|(i, kernel)| TuneRequest {
+            id: i as u64,
+            machine: "haswell".into(),
+            objective: if i % 2 == 0 {
+                TuneObjective::Time {
+                    power_idx: i % num_powers,
+                }
+            } else {
+                TuneObjective::Edp
+            },
+            kernel,
+        })
+        .collect()
+}
+
+/// The offline reference: predictions straight from `TuneService`, no
+/// registry, no socket, no batching.
+fn offline_predictions(fx: &Fixture, requests: &[TuneRequest]) -> Vec<TunePrediction> {
+    let mut service = TuneService::restore(
+        &fx.ds,
+        &fx.settings,
+        &fx.s1,
+        &fx.s2,
+        "time-model",
+        "edp-model",
+    )
+    .expect("offline service restores");
+    requests
+        .iter()
+        .map(|r| service.tune(&r.kernel, r.objective).expect("offline tune"))
+        .collect()
+}
+
+fn start_engine(replicas: usize, workers: usize) -> Arc<ServeEngine> {
+    let fx = fixture();
+    let registry = ModelRegistry::open(Store::open(&fx.dir));
+    let (engine, report) = ServeEngine::start(registry, &EngineConfig { replicas, workers });
+    // The cold start must have restored every grid in the store.
+    assert_eq!(report.grids_loaded, 2, "{:?}", report.lines);
+    assert_eq!(report.grids_skipped, 0, "{:?}", report.lines);
+    assert_eq!(engine.machines(), vec!["haswell".to_string()]);
+    Arc::new(engine)
+}
+
+fn spawn_server(engine: Arc<ServeEngine>, max_batch: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || serve(listener, engine, max_batch));
+    addr
+}
+
+#[test]
+fn served_predictions_are_bit_identical_to_the_offline_path() {
+    let fx = fixture();
+    let requests = workload(&fx.ds);
+    let offline = offline_predictions(fx, &requests);
+
+    let engine = start_engine(2, 2);
+    let addr = spawn_server(engine, 16);
+    let mut client = Client::connect(addr).expect("connect");
+    for (request, expected) in requests.iter().zip(&offline) {
+        let response = client
+            .request(&Request::Tune(request.clone()))
+            .expect("tune request");
+        let Response::Tune(tune) = response else {
+            panic!("unexpected response {response:?}");
+        };
+        assert_eq!(tune.id, request.id);
+        let got = tune
+            .prediction
+            .unwrap_or_else(|| panic!("request {} failed: {:?}", request.id, tune.error));
+        // Registry model ids differ from the offline labels; the predicted
+        // class, configuration point, and expected gain must be identical
+        // to the bit.
+        assert_eq!(got.class, expected.class, "request {}", request.id);
+        assert_eq!(got.point, expected.point, "request {}", request.id);
+        assert_eq!(
+            got.expected_gain.to_bits(),
+            expected.expected_gain.to_bits(),
+            "request {}",
+            request.id
+        );
+    }
+    let _ = client.request(&Request::Shutdown);
+}
+
+#[test]
+fn batched_and_single_paths_agree_for_every_worker_count() {
+    let fx = fixture();
+    let requests = workload(&fx.ds);
+    let engine = start_engine(3, 1);
+    let singles: Vec<_> = requests.iter().map(|r| engine.tune(r)).collect();
+    for workers in [1usize, 2, 4] {
+        engine.set_workers(workers);
+        let batched = engine.tune_batch(&requests);
+        assert_eq!(batched.len(), singles.len());
+        for (single, batch) in singles.iter().zip(&batched) {
+            assert_eq!(single.id, batch.id);
+            assert_eq!(
+                single.prediction, batch.prediction,
+                "workers={workers} id={}",
+                single.id
+            );
+            assert_eq!(single.error, batch.error);
+        }
+    }
+}
+
+#[test]
+fn registry_and_control_surface_answer_over_the_wire() {
+    let engine = start_engine(1, 1);
+    let addr = spawn_server(engine, 8);
+    let mut client = Client::connect(addr).expect("connect");
+
+    assert!(matches!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Ok
+    ));
+
+    let Response::Models { models } = client.request(&Request::List).expect("list") else {
+        panic!("List must answer Models");
+    };
+    assert_eq!(models.len(), 2);
+    assert!(models.iter().all(|m| m.machine == "haswell"));
+    let id = models[0].id.clone();
+
+    let Response::Description { text } = client
+        .request(&Request::Describe { id: id.clone() })
+        .expect("describe")
+    else {
+        panic!("Describe must answer Description");
+    };
+    let text = text.expect("known id describes");
+    assert!(text.contains(&id) && text.contains("dataset:"), "{text}");
+    let Response::Description { text } = client
+        .request(&Request::Describe { id: "nope".into() })
+        .expect("describe unknown")
+    else {
+        panic!("Describe must answer Description");
+    };
+    assert!(text.is_none());
+
+    assert!(matches!(
+        client
+            .request(&Request::SetWorkers { workers: 2 })
+            .expect("set workers"),
+        Response::Ok
+    ));
+    let fx = fixture();
+    let request = TuneRequest {
+        id: 9,
+        machine: "haswell".into(),
+        objective: TuneObjective::Edp,
+        kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
+    };
+    let Response::Tune(tune) = client.request(&Request::Tune(request)).expect("tune") else {
+        panic!("Tune must answer Tune");
+    };
+    assert!(tune.prediction.is_some(), "{:?}", tune.error);
+
+    // An unknown machine is an error response, not a dropped connection.
+    let request = TuneRequest {
+        id: 10,
+        machine: "riscv".into(),
+        objective: TuneObjective::Edp,
+        kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
+    };
+    let Response::Tune(tune) = client.request(&Request::Tune(request)).expect("tune") else {
+        panic!("Tune must answer Tune");
+    };
+    assert!(tune.error.as_deref().unwrap_or_default().contains("riscv"));
+
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert_eq!(stats.grids_loaded, 2);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.machines, vec!["haswell".to_string()]);
+
+    assert!(matches!(
+        client.request(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+}

@@ -1,0 +1,389 @@
+//! A persisted index over the store: one small JSON file recording every
+//! artifact's identity, so the model registry can enumerate and look up
+//! artifacts in O(1) without directory walks or payload reads.
+//!
+//! The index is a pure cache of the artifact headers already on disk — it
+//! holds no information of its own, so it can always be rebuilt from the
+//! store, and [`StoreIndex::load_or_rebuild`] does exactly that whenever the
+//! persisted copy is missing, corrupt, or stale (the set of artifact files
+//! changed since it was written). It is published with the same atomic
+//! temp-file+`rename` idiom as artifacts, so concurrent readers never see a
+//! partial index.
+
+use crate::key::ArtifactKey;
+use crate::store::{write_atomic, ArtifactHeader, Store};
+use crate::SCHEMA_VERSION;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the persisted index, directly under `<root>/v<N>/`.
+pub const INDEX_FILE: &str = "index.json";
+
+/// One indexed artifact: its identity and payload digest, lifted verbatim
+/// from the artifact file's header line (payloads are never read).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Artifact family (e.g. `"models/scenario1"`).
+    pub kind: String,
+    /// Content address — SHA-256 of the canonical key, also the file stem.
+    pub address: String,
+    /// Full canonical key; [`ArtifactKey::parse`] recovers the field map.
+    pub key: String,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// SHA-256 of the payload bytes. For a stored dataset this doubles as
+    /// the dataset fingerprint model keys embed, which is what lets the
+    /// registry join models to their dataset via the index alone.
+    pub payload_sha256: String,
+}
+
+impl IndexEntry {
+    /// The entry's key, parsed back into structured form.
+    pub fn parse_key(&self) -> Result<ArtifactKey, String> {
+        ArtifactKey::parse(&self.key)
+    }
+}
+
+/// On-disk form of the index: schema-stamped so a foreign-schema index is
+/// rejected (and rebuilt) rather than misread.
+#[derive(Serialize, Deserialize)]
+struct IndexFile {
+    schema: u32,
+    entries: Vec<IndexEntry>,
+}
+
+/// An in-memory index over one store: entries sorted by `(kind, address)`
+/// (so a rebuild is byte-deterministic) plus an address → entry map for
+/// O(1) lookup.
+#[derive(Debug)]
+pub struct StoreIndex {
+    entries: Vec<IndexEntry>,
+    by_address: HashMap<String, usize>,
+}
+
+impl StoreIndex {
+    /// Where the persisted index for `store` lives.
+    pub fn file_path(store: &Store) -> PathBuf {
+        store
+            .root()
+            .join(format!("v{SCHEMA_VERSION}"))
+            .join(INDEX_FILE)
+    }
+
+    fn from_entries(mut entries: Vec<IndexEntry>) -> StoreIndex {
+        entries.sort_by(|a, b| (&a.kind, &a.address).cmp(&(&b.kind, &b.address)));
+        let by_address = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.address.clone(), i))
+            .collect();
+        StoreIndex {
+            entries,
+            by_address,
+        }
+    }
+
+    /// Builds the index by walking the store and reading only each artifact
+    /// file's header line. Unreadable or inconsistent files (bad header, or
+    /// a header whose key does not hash to the file's own name) are logged
+    /// and skipped — the same degrade-to-miss stance the store takes — so a
+    /// build never fails, it just indexes what is valid. A missing store
+    /// directory yields an empty index.
+    pub fn build(store: &Store) -> StoreIndex {
+        let mut entries = Vec::new();
+        for path in artifact_files(store) {
+            let stem = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(s) => s.to_string(),
+                None => continue,
+            };
+            let header = match ArtifactHeader::read_from(&path) {
+                Ok(h) => h,
+                Err(why) => {
+                    eprintln!("[pnp-store] not indexing {} ({why})", path.display());
+                    continue;
+                }
+            };
+            match ArtifactKey::parse(&header.key) {
+                Ok(key) if key.kind() == header.kind && key.address() == stem => {}
+                Ok(_) => {
+                    eprintln!(
+                        "[pnp-store] not indexing {} (header key does not match its \
+                         path — a file renamed into place by hand?)",
+                        path.display()
+                    );
+                    continue;
+                }
+                Err(why) => {
+                    eprintln!(
+                        "[pnp-store] not indexing {} (unparseable key: {why})",
+                        path.display()
+                    );
+                    continue;
+                }
+            }
+            entries.push(IndexEntry {
+                kind: header.kind,
+                address: stem,
+                key: header.key,
+                payload_len: header.payload_len,
+                payload_sha256: header.payload_sha256,
+            });
+        }
+        StoreIndex::from_entries(entries)
+    }
+
+    /// Loads the persisted index, or `None` when it is absent, unreadable,
+    /// or from a foreign schema (all of which callers treat as "rebuild").
+    pub fn load(store: &Store) -> Option<StoreIndex> {
+        let path = StoreIndex::file_path(store);
+        let text = fs::read_to_string(&path).ok()?;
+        let file: IndexFile = match serde_json::from_str(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!(
+                    "[pnp-store] corrupt index {} ({e}); rebuilding",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        if file.schema != SCHEMA_VERSION {
+            eprintln!(
+                "[pnp-store] index {} has schema {}, this build reads {}; rebuilding",
+                path.display(),
+                file.schema,
+                SCHEMA_VERSION
+            );
+            return None;
+        }
+        Some(StoreIndex::from_entries(file.entries))
+    }
+
+    /// Writes the index atomically to [`StoreIndex::file_path`].
+    pub fn persist(&self, store: &Store) -> io::Result<PathBuf> {
+        let path = StoreIndex::file_path(store);
+        let file = IndexFile {
+            schema: SCHEMA_VERSION,
+            entries: self.entries.clone(),
+        };
+        let json = serde_json::to_string(&file).expect("index serializes");
+        write_atomic(&path, json.as_bytes())?;
+        Ok(path)
+    }
+
+    /// True when the set of artifact files on disk no longer matches this
+    /// index — an artifact landed or vanished since it was written. The
+    /// check walks file *names* only (no file is opened), so it is cheap
+    /// enough to run on every daemon startup.
+    pub fn is_stale(&self, store: &Store) -> bool {
+        let on_disk: BTreeSet<PathBuf> = artifact_files(store).into_iter().collect();
+        let indexed: BTreeSet<PathBuf> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut path = store.root().join(format!("v{SCHEMA_VERSION}"));
+                for part in e.kind.split('/') {
+                    path.push(part);
+                }
+                path.push(format!("{}.json", e.address));
+                path
+            })
+            .collect();
+        on_disk != indexed
+    }
+
+    /// The workhorse: the persisted index when it is present and fresh,
+    /// otherwise a rebuild from the store — persisted back for the next
+    /// reader, with write failures degrading to a log line (a read-only
+    /// store directory must not stop a daemon from starting).
+    pub fn load_or_rebuild(store: &Store) -> StoreIndex {
+        if let Some(index) = StoreIndex::load(store) {
+            if !index.is_stale(store) {
+                return index;
+            }
+            eprintln!(
+                "[pnp-store] index {} is stale; rebuilding",
+                StoreIndex::file_path(store).display()
+            );
+        }
+        let index = StoreIndex::build(store);
+        if let Err(e) = index.persist(store) {
+            eprintln!(
+                "[pnp-store] could not persist {} ({e}); continuing with the \
+                 in-memory index",
+                StoreIndex::file_path(store).display()
+            );
+        }
+        index
+    }
+
+    /// O(1) lookup of one artifact's entry by key.
+    pub fn get(&self, key: &ArtifactKey) -> Option<&IndexEntry> {
+        let entry = self.entries.get(*self.by_address.get(&key.address())?)?;
+        // The address is a hash of the canonical form, so this only guards
+        // against an index edited by hand.
+        (entry.key == key.canonical()).then_some(entry)
+    }
+
+    /// All entries, sorted by `(kind, address)`.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// The entries of one artifact family, in address order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a IndexEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of indexed artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Every artifact file under `<root>/v<N>/`, skipping in-flight `.tmp-*`
+/// files and the index itself. A missing directory yields an empty list.
+fn artifact_files(store: &Store) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let root = store.root().join(format!("v{SCHEMA_VERSION}"));
+    walk(&root, &mut files);
+    files
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            walk(&path, files);
+        } else if name.ends_with(".json") && !name.starts_with(".tmp-") && name != INDEX_FILE {
+            files.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("pnp_index_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir)
+    }
+
+    #[test]
+    fn empty_store_indexes_empty() {
+        let store = temp_store("empty");
+        let index = StoreIndex::build(&store);
+        assert!(index.is_empty());
+        assert!(!index.is_stale(&store));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn index_matches_store_and_supports_lookup() {
+        let store = temp_store("lookup");
+        let k1 = ArtifactKey::new("models/demo").field("epochs", 14);
+        let k2 = ArtifactKey::new("dataset").field("apps", "a+b");
+        store.save(&k1, &vec![1u32, 2]).unwrap();
+        store.save(&k2, &vec![3u32]).unwrap();
+        let index = StoreIndex::build(&store);
+        assert_eq!(index.len(), 2);
+        let entry = index.get(&k1).expect("indexed");
+        assert_eq!(entry.kind, "models/demo");
+        assert_eq!(entry.address, k1.address());
+        assert_eq!(entry.parse_key().unwrap(), k1);
+        assert_eq!(
+            index.of_kind("dataset").count(),
+            1,
+            "kind filter sees exactly the dataset"
+        );
+        let absent = ArtifactKey::new("models/demo").field("epochs", 15);
+        assert!(index.get(&absent).is_none());
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_skipped_not_fatal() {
+        let store = temp_store("corrupt");
+        let good = ArtifactKey::new("k").field("a", 1);
+        let bad = ArtifactKey::new("k").field("a", 2);
+        store.save(&good, &1u32).unwrap();
+        store.save(&bad, &2u32).unwrap();
+        fs::write(store.artifact_path(&bad), b"garbage").unwrap();
+        let index = StoreIndex::build(&store);
+        assert_eq!(index.len(), 1);
+        assert!(index.get(&good).is_some());
+        assert!(index.get(&bad).is_none());
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn staleness_tracks_the_file_set() {
+        let store = temp_store("stale");
+        let k1 = ArtifactKey::new("k").field("a", 1);
+        store.save(&k1, &1u32).unwrap();
+        let index = StoreIndex::build(&store);
+        index.persist(&store).unwrap();
+        assert!(!index.is_stale(&store));
+        // A new artifact lands: stale. (The index file itself must not
+        // count as an artifact.)
+        let k2 = ArtifactKey::new("k").field("a", 2);
+        store.save(&k2, &2u32).unwrap();
+        assert!(index.is_stale(&store));
+        // An artifact vanishing is stale too.
+        fs::remove_file(store.artifact_path(&k2)).unwrap();
+        assert!(!index.is_stale(&store));
+        fs::remove_file(store.artifact_path(&k1)).unwrap();
+        assert!(index.is_stale(&store));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn load_or_rebuild_heals_missing_corrupt_and_stale_indexes() {
+        let store = temp_store("heal");
+        let k1 = ArtifactKey::new("k").field("a", 1);
+        store.save(&k1, &1u32).unwrap();
+        // Missing: builds and persists.
+        let index = StoreIndex::load_or_rebuild(&store);
+        assert_eq!(index.len(), 1);
+        assert!(StoreIndex::file_path(&store).exists());
+        // Corrupt: rebuilt.
+        fs::write(StoreIndex::file_path(&store), b"{not json").unwrap();
+        assert_eq!(StoreIndex::load_or_rebuild(&store).len(), 1);
+        // Stale: a new artifact lands and the rebuilt index includes it.
+        let k2 = ArtifactKey::new("k").field("a", 2);
+        store.save(&k2, &2u32).unwrap();
+        let fresh = StoreIndex::load_or_rebuild(&store);
+        assert_eq!(fresh.len(), 2);
+        assert!(!fresh.is_stale(&store));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn persisted_index_equals_rebuilt_index() {
+        let store = temp_store("equal");
+        for i in 0..5 {
+            let k = ArtifactKey::new("models/demo").field("i", i);
+            store.save(&k, &vec![i]).unwrap();
+        }
+        let built = StoreIndex::build(&store);
+        built.persist(&store).unwrap();
+        let loaded = StoreIndex::load(&store).expect("persisted index loads");
+        assert_eq!(built.entries(), loaded.entries());
+        fs::remove_dir_all(store.root()).ok();
+    }
+}

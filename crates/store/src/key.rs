@@ -20,6 +20,26 @@ use std::fmt;
 /// `PNP_MATMUL_THREADS`) are deliberately *not* key fields: PRs 2–3 made
 /// every pipeline bit-identical across worker counts, which is exactly what
 /// makes their outputs cacheable at all.
+///
+/// ```
+/// use pnp_store::ArtifactKey;
+///
+/// let key = ArtifactKey::new("models/scenario1")
+///     .field("epochs", 14)
+///     .field("dynamic", false);
+///
+/// // Field insertion order never changes the identity.
+/// let same = ArtifactKey::new("models/scenario1")
+///     .field("dynamic", false)
+///     .field("epochs", 14);
+/// assert_eq!(key.address(), same.address());
+///
+/// // The canonical form round-trips through `parse`, which is what the
+/// // model registry uses to recover a key from a stored artifact header.
+/// let parsed = ArtifactKey::parse(&key.canonical()).unwrap();
+/// assert_eq!(parsed, key);
+/// assert_eq!(parsed.get("epochs"), Some("14"));
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArtifactKey {
     kind: String,
@@ -45,6 +65,16 @@ impl ArtifactKey {
     /// The artifact family.
     pub fn kind(&self) -> &str {
         &self.kind
+    }
+
+    /// One field's value, or `None` when the field is absent.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields.get(name).map(String::as_str)
+    }
+
+    /// The key's fields, in sorted (canonical) order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v.as_str()))
     }
 
     /// The canonical string form the address is hashed from:
@@ -73,6 +103,66 @@ impl ArtifactKey {
     pub fn address(&self) -> String {
         sha256_hex(self.canonical().as_bytes())
     }
+
+    /// Parses a canonical string back into a key — the inverse of
+    /// [`ArtifactKey::canonical`].
+    ///
+    /// The escaping makes every literal `|` a field separator and every
+    /// literal `=` a name/value separator, so the canonical form is uniquely
+    /// decodable: `parse(key.canonical()) == Ok(key)` for every key
+    /// (property-tested in `tests/key_properties.rs`). The store index and
+    /// the model registry use this to recover the full key identity from an
+    /// artifact header without re-deriving any fingerprint.
+    ///
+    /// Errors name what is malformed: a bad escape, a missing or foreign
+    /// `schema=N` segment (keys from another [`SCHEMA_VERSION`] are rejected,
+    /// mirroring the store's on-disk versioning), or a field segment without
+    /// a separator.
+    pub fn parse(canonical: &str) -> Result<ArtifactKey, String> {
+        let mut segments = canonical.split('|');
+        let kind = unescape(segments.next().unwrap_or_default())?;
+        let schema = segments.next().ok_or("missing schema segment")?;
+        if schema != format!("schema={SCHEMA_VERSION}") {
+            return Err(format!(
+                "unexpected schema segment {schema:?} (this build reads schema {SCHEMA_VERSION})"
+            ));
+        }
+        let mut fields = BTreeMap::new();
+        for segment in segments {
+            let (name, value) = segment
+                .split_once('=')
+                .ok_or_else(|| format!("field segment {segment:?} has no `=`"))?;
+            if value.contains('=') {
+                // Exactly one literal `=` per segment; a second means an
+                // unescaped `=` leaked through (not our canonical form).
+                return Err(format!("field segment {segment:?} has multiple `=`"));
+            }
+            fields.insert(unescape(name)?, unescape(value)?);
+        }
+        Ok(ArtifactKey { kind, fields })
+    }
+}
+
+/// Inverts the canonical escaping: `\\` → `\`, `\p` → `|`, `\q` → `=`,
+/// `\n` → newline. Any other escape (or a trailing `\`) is a parse error —
+/// the canonical form never produces one.
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('q') => out.push('='),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape {other:?} in {s:?}")),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -126,5 +216,40 @@ mod tests {
         let addr = ArtifactKey::new("dataset").address();
         assert_eq!(addr.len(), 64);
         assert!(addr.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn parse_inverts_canonical_including_structural_characters() {
+        let key = ArtifactKey::new("models/scenario1")
+            .field("a|b", "1=2")
+            .field("nl", "x\ny")
+            .field("esc", "\\p");
+        let parsed = ArtifactKey::parse(&key.canonical()).unwrap();
+        assert_eq!(parsed, key);
+        assert_eq!(parsed.get("a|b"), Some("1=2"));
+        assert_eq!(parsed.get("nl"), Some("x\ny"));
+        assert_eq!(parsed.get("esc"), Some("\\p"));
+        assert_eq!(parsed.address(), key.address());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_foreign_schema_strings() {
+        assert!(ArtifactKey::parse("").is_err(), "no schema segment");
+        assert!(ArtifactKey::parse("kind").is_err(), "no schema segment");
+        let foreign = format!("kind|schema={}", SCHEMA_VERSION + 1);
+        assert!(ArtifactKey::parse(&foreign).is_err(), "foreign schema");
+        let no_eq = format!("kind|schema={SCHEMA_VERSION}|novalue");
+        assert!(ArtifactKey::parse(&no_eq).is_err(), "field without `=`");
+        let bad_escape = format!("kind|schema={SCHEMA_VERSION}|a=\\z");
+        assert!(ArtifactKey::parse(&bad_escape).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn fields_iterates_in_sorted_order() {
+        let key = ArtifactKey::new("k").field("z", 1).field("a", 2);
+        let names: Vec<&str> = key.fields().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert_eq!(key.get("z"), Some("1"));
+        assert_eq!(key.get("missing"), None);
     }
 }

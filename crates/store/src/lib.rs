@@ -18,6 +18,11 @@
 //!   mismatches all degrade to a rebuild, never a panic), a force-rebuild
 //!   escape hatch, and a verify mode that re-computes on every hit and
 //!   byte-compares against the cached payload.
+//! * [`StoreIndex`] — a persisted index over the store (one header-derived
+//!   [`IndexEntry`] per artifact), giving long-running consumers like the
+//!   `pnp-serve` model registry O(1) lookup and enumeration without
+//!   directory walks; stale or corrupt indexes heal by rebuilding from the
+//!   artifact headers.
 //! * [`hash`] — a self-contained SHA-256 (the build environment has no
 //!   registry access).
 //!
@@ -30,10 +35,12 @@
 //! model key) live in `pnp_core::artifact`, next to the types they cache.
 
 pub mod hash;
+mod index;
 mod key;
 mod store;
 
 pub use hash::sha256_hex;
+pub use index::{IndexEntry, StoreIndex, INDEX_FILE};
 pub use key::ArtifactKey;
 pub use store::{Store, StoreStats, FORCE_ENV_VAR, STORE_ENV_VAR, VERIFY_ENV_VAR};
 

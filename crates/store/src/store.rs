@@ -44,24 +44,72 @@ pub struct StoreStats {
 
 /// First line of every artifact file; the payload bytes follow the newline.
 #[derive(Clone, Debug, Serialize, Deserialize)]
-struct ArtifactHeader {
+pub(crate) struct ArtifactHeader {
     /// File-format magic (`"pnp-store"`).
-    magic: String,
+    pub(crate) magic: String,
     /// Store schema version the artifact was written under.
-    schema: u32,
+    pub(crate) schema: u32,
     /// Artifact family.
-    kind: String,
+    pub(crate) kind: String,
     /// Full canonical key, kept readable for debugging and compared verbatim
     /// on load (defends the address against the astronomically unlikely — and
     /// the mundane: a stale file renamed into place by hand).
-    key: String,
+    pub(crate) key: String,
     /// Payload length in bytes.
-    payload_len: usize,
+    pub(crate) payload_len: usize,
     /// SHA-256 of the payload bytes.
-    payload_sha256: String,
+    pub(crate) payload_sha256: String,
 }
 
 const MAGIC: &str = "pnp-store";
+
+impl ArtifactHeader {
+    /// Reads and validates just the header line of an artifact file, without
+    /// touching the payload. The store index is built from these, so an
+    /// index rebuild over thousands of artifacts stays cheap even when the
+    /// payloads are megabytes of trained weights.
+    pub(crate) fn read_from(path: &Path) -> Result<ArtifactHeader, String> {
+        use std::io::BufRead;
+        let file = fs::File::open(path).map_err(|e| format!("open: {e}"))?;
+        let mut line = String::new();
+        io::BufReader::new(file)
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        let header: ArtifactHeader = serde_json::from_str(line.trim_end_matches('\n'))
+            .map_err(|e| format!("bad header: {e}"))?;
+        if header.magic != MAGIC {
+            return Err(format!("bad magic {:?}", header.magic));
+        }
+        if header.schema != SCHEMA_VERSION {
+            return Err(format!(
+                "schema {} != current {}",
+                header.schema, SCHEMA_VERSION
+            ));
+        }
+        Ok(header)
+    }
+}
+
+/// Writes `bytes` to `path` via a unique temp file in the same directory and
+/// an atomic `rename`, creating parent directories as needed. Shared by
+/// artifact writes and the store index, so every on-disk publish has the
+/// same crash/concurrency story: readers see the old file or the new one,
+/// never a truncated in-between.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().expect("target path has a parent");
+    fs::create_dir_all(dir)?;
+    let name = path.file_name().expect("target path has a file name");
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}-{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        name.to_string_lossy()
+    ));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
 
 /// A content-addressed artifact store rooted at a directory.
 ///
@@ -78,6 +126,22 @@ const MAGIC: &str = "pnp-store";
 /// artifact under the real name. Loads verify the header, the payload
 /// length, and the payload hash; anything off is treated as a miss (rebuild)
 /// rather than an error.
+///
+/// ```
+/// use pnp_store::{ArtifactKey, Store};
+///
+/// let root = std::env::temp_dir().join(format!("pnp-store-doc-{}", std::process::id()));
+/// let store = Store::open(&root);
+/// let key = ArtifactKey::new("doc/example").field("n", 3);
+///
+/// // First call computes and caches; the second is served from disk.
+/// let built: Vec<u64> = store.load_or_build(&key, || vec![1, 2, 3]);
+/// let cached: Vec<u64> = store.load_or_build(&key, || unreachable!("cached"));
+/// assert_eq!(built, cached);
+/// assert_eq!(store.stats().hits, 1);
+/// assert_eq!(store.stats().writes, 1);
+/// # std::fs::remove_dir_all(&root).ok();
+/// ```
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
@@ -255,8 +319,6 @@ impl Store {
     /// directory, then `rename`) and returns the artifact path.
     pub fn save_bytes(&self, key: &ArtifactKey, payload: &[u8]) -> io::Result<PathBuf> {
         let path = self.artifact_path(key);
-        let dir = path.parent().expect("artifact path has a parent");
-        fs::create_dir_all(dir)?;
         let header = ArtifactHeader {
             magic: MAGIC.into(),
             schema: SCHEMA_VERSION,
@@ -266,22 +328,11 @@ impl Store {
             payload_sha256: sha256_hex(payload),
         };
         let header_json = serde_json::to_string(&header).expect("header serializes");
-        let tmp = dir.join(format!(
-            ".tmp-{}-{}-{}",
-            std::process::id(),
-            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
-            key.address()
-        ));
         let mut bytes = Vec::with_capacity(header_json.len() + 1 + payload.len());
         bytes.extend_from_slice(header_json.as_bytes());
         bytes.push(b'\n');
         bytes.extend_from_slice(payload);
-        fs::write(&tmp, &bytes)?;
-        // Atomic publish: readers see the old artifact or the new one, never
-        // a partial write. On failure, clean the temp file up.
-        fs::rename(&tmp, &path).inspect_err(|_| {
-            let _ = fs::remove_file(&tmp);
-        })?;
+        write_atomic(&path, &bytes)?;
         self.bump(|s| s.writes += 1);
         Ok(path)
     }

@@ -1,0 +1,103 @@
+//! Integration tests for the persisted store index (ISSUE 7 satellite):
+//! rebuild-equals-persisted over a populated store, stale detection when an
+//! artifact lands, and — the concurrency contract — readers loading the
+//! index while a writer republishes it via atomic rename must only ever see
+//! complete, parseable snapshots.
+
+use pnp_store::{ArtifactKey, Store, StoreIndex};
+use std::fs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn temp_store(tag: &str) -> Store {
+    let dir = std::env::temp_dir().join(format!("pnp_index_it_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    Store::open(dir)
+}
+
+fn model_key(i: usize) -> ArtifactKey {
+    ArtifactKey::new("models/scenario1")
+        .field("machine", "haswell")
+        .field("fold", i)
+}
+
+#[test]
+fn rebuilt_index_equals_persisted_index_across_kinds() {
+    let store = temp_store("rebuild_eq");
+    store
+        .save(
+            &ArtifactKey::new("dataset").field("apps", "a+b"),
+            &vec![1u32],
+        )
+        .unwrap();
+    for i in 0..4 {
+        store.save(&model_key(i), &vec![i]).unwrap();
+    }
+    let built = StoreIndex::build(&store);
+    built.persist(&store).unwrap();
+    let loaded = StoreIndex::load(&store).expect("persisted index loads");
+    assert_eq!(built.entries(), loaded.entries());
+    assert_eq!(loaded.len(), 5);
+    assert_eq!(loaded.of_kind("models/scenario1").count(), 4);
+    assert!(!loaded.is_stale(&store));
+    fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn new_artifact_makes_the_persisted_index_stale_and_rebuild_heals_it() {
+    let store = temp_store("stale_heal");
+    store.save(&model_key(0), &vec![0usize]).unwrap();
+    let index = StoreIndex::load_or_rebuild(&store);
+    assert!(!index.is_stale(&store));
+    store.save(&model_key(1), &vec![1usize]).unwrap();
+    assert!(index.is_stale(&store), "new artifact must be detected");
+    let healed = StoreIndex::load_or_rebuild(&store);
+    assert_eq!(healed.len(), 2);
+    assert!(!healed.is_stale(&store));
+    // The healed index was persisted back, so a plain load now sees it.
+    assert_eq!(StoreIndex::load(&store).unwrap().len(), 2);
+    fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn concurrent_readers_see_only_complete_index_snapshots() {
+    let store = Arc::new(temp_store("concurrent"));
+    store.save(&model_key(0), &vec![0usize]).unwrap();
+    StoreIndex::build(&store).persist(&store).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let store = store.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut seen = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // The index file exists from before the writer starts and
+                // every republish is an atomic rename, so a reader must
+                // never observe a missing or partial file.
+                let index = StoreIndex::load(&store).expect("complete index snapshot");
+                assert!(!index.is_empty());
+                for entry in index.entries() {
+                    let key = entry.parse_key().expect("indexed key parses");
+                    assert_eq!(key.address(), entry.address);
+                }
+                seen = seen.max(index.len());
+            }
+            seen
+        }));
+    }
+
+    // Writer: land new artifacts and republish the index, one rename each.
+    for i in 1..30 {
+        store.save(&model_key(i), &vec![i]).unwrap();
+        StoreIndex::build(&store).persist(&store).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let seen = reader.join().expect("reader panicked");
+        assert!(seen >= 1);
+    }
+    assert_eq!(StoreIndex::load(&store).unwrap().len(), 30);
+    fs::remove_dir_all(store.root()).ok();
+}

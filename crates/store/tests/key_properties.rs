@@ -118,6 +118,22 @@ proptest! {
     }
 
     #[test]
+    fn library_parse_agrees_with_the_test_oracle(
+        kind in arb_string(),
+        fields in arb_fields(),
+    ) {
+        // `ArtifactKey::parse` (promoted into the library for the store
+        // index and model registry) must invert `canonical` exactly like the
+        // independent parser above.
+        let key = build(&kind, &fields);
+        let parsed = ArtifactKey::parse(&key.canonical());
+        prop_assert!(parsed.is_ok(), "library parse failed: {:?}", parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &key);
+        prop_assert_eq!(parsed.address(), key.address());
+    }
+
+    #[test]
     fn canonical_and_address_are_injective_on_identity(
         kind_a in arb_string(),
         fields_a in arb_fields(),

@@ -22,6 +22,9 @@
 //!   datasets and trained model weights across runs and CI jobs.
 //! * [`core`] — datasets, training pipelines, the PnP tuner itself, and one
 //!   driver per paper experiment.
+//! * [`serve`] — the tuning-as-a-service daemon: a model registry over the
+//!   store, a length-prefixed socket protocol with request batching, and
+//!   the `pnp_load` load generator (see `SERVING.md`).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@ pub use pnp_graph as graph;
 pub use pnp_ir as ir;
 pub use pnp_machine as machine;
 pub use pnp_openmp as openmp;
+pub use pnp_serve as serve;
 pub use pnp_store as store;
 pub use pnp_tensor as tensor;
 pub use pnp_tuners as tuners;
