@@ -7,14 +7,17 @@
 //! The split mirrors ARCHITECTURE.md §9: this module is the inference
 //! engine (pure, deterministic, no I/O beyond what callers hand it); the
 //! `pnp-serve` crate adds the registry-driven startup, the socket protocol,
-//! and request batching around it. The offline path and the daemon both
-//! call [`TuneService::tune`], so the bit-identity guarantee is structural —
-//! there is exactly one prediction function to disagree with.
+//! and request batching around it. The offline path calls
+//! [`TuneService::tune`]; the daemon calls [`TuneService::tune_batch`],
+//! which fuses each objective group into one block-diagonal forward
+//! ([`pnp_gnn::GraphBatch`], DESIGN.md §15) and is bit-identical to the
+//! single path per request — so the bit-identity guarantee stays
+//! structural: both paths share one committee and one prediction builder.
 
 use crate::dataset::Dataset;
 use crate::training::{TrainSettings, TrainedGrid};
-use pnp_gnn::PnPModel;
-use pnp_graph::{build_region_graph, EncodedGraph, Vocabulary};
+use pnp_gnn::{BatchError, GraphBatch, PnPModel};
+use pnp_graph::{build_region_graph, EdgeFlow, EncodedGraph, Vocabulary};
 use pnp_ir::{try_lower_kernel, RegionSource};
 use pnp_openmp::OmpConfig;
 use pnp_tuners::{ConfigPoint, SearchSpace};
@@ -122,10 +125,10 @@ impl TuneResponse {
 /// forms of the same kernel yield the same graph (tested below), so clients
 /// can switch freely.
 pub fn resolve_graph(kernel: &KernelInput, vocab: &Vocabulary) -> Result<EncodedGraph, String> {
-    match kernel {
+    let graph = match kernel {
         KernelInput::Graph(graph) => {
             graph.validate(vocab.len())?;
-            Ok(graph.clone())
+            graph.clone()
         }
         KernelInput::Source {
             app,
@@ -136,9 +139,25 @@ pub fn resolve_graph(kernel: &KernelInput, vocab: &Vocabulary) -> Result<Encoded
                 try_lower_kernel(app, regions).map_err(|e| format!("lowering failed: {e:?}"))?;
             let graph = build_region_graph(&module, region)
                 .ok_or_else(|| format!("region {region:?} not found in application {app:?}"))?;
-            Ok(EncodedGraph::encode(&graph, vocab))
+            EncodedGraph::encode(&graph, vocab)
         }
+    };
+    // The model cannot pool an empty node set and its RGCN layers expect
+    // exactly the standard relation arity; a pre-encoded graph violating
+    // either must come back as an error, never a panic (the daemon feeds
+    // this from client input).
+    if graph.num_nodes() == 0 {
+        return Err(format!("{}: kernel graph has no nodes", graph.name));
     }
+    if graph.relations.len() != EdgeFlow::COUNT {
+        return Err(format!(
+            "{}: expected {} edge relations, got {}",
+            graph.name,
+            EdgeFlow::COUNT,
+            graph.relations.len()
+        ));
+    }
+    Ok(graph)
 }
 
 /// Sweep-derived tables computed once at startup: the all-regions class
@@ -316,6 +335,13 @@ pub fn committee_predict(models: &mut [PnPModel], graph: &EncodedGraph, prior: &
         }
     }
     let n = models.len().max(1) as f64;
+    blend_with_prior(&sum, n, prior)
+}
+
+/// The committee's prior-blend argmax: `ln(mean proba) + ln(prior)` with
+/// strict `>` comparison. One function shared by the single and batched
+/// committees so their tie-breaking cannot drift apart.
+fn blend_with_prior(sum: &[f64], n: f64, prior: &[f64]) -> usize {
     let mut best = 0usize;
     let mut best_score = f64::NEG_INFINITY;
     for (c, (&s, &q)) in sum.iter().zip(prior).enumerate() {
@@ -326,6 +352,37 @@ pub fn committee_predict(models: &mut [PnPModel], graph: &EncodedGraph, prior: &
         }
     }
     best
+}
+
+/// Batched committee prediction: one class per graph, each bit-identical to
+/// [`committee_predict`] on that graph alone (DESIGN.md §15).
+///
+/// The whole batch runs through every fold model's fused
+/// [`PnPModel::predict_proba_batch`] forward — one tall matmul per relation
+/// per layer instead of one small matmul per graph per model. Per graph the
+/// f64 probability accumulation still happens in model order and the
+/// prior-blend argmax is byte-for-byte the single-graph loop, so batching
+/// changes the schedule, never the prediction.
+pub fn committee_predict_batch(
+    models: &mut [PnPModel],
+    graphs: &[&EncodedGraph],
+    prior: &[f64],
+) -> Result<Vec<usize>, BatchError> {
+    let batch = GraphBatch::from_graphs(graphs)?;
+    let mut sums = vec![vec![0.0f64; prior.len()]; graphs.len()];
+    for model in models.iter_mut() {
+        let probs = model.predict_proba_batch(&batch, None);
+        for (sum, row) in sums.iter_mut().zip(&probs) {
+            for (s, &p) in sum.iter_mut().zip(row) {
+                *s += p as f64;
+            }
+        }
+    }
+    let n = models.len().max(1) as f64;
+    Ok(sums
+        .iter()
+        .map(|sum| blend_with_prior(sum, n, prior))
+        .collect())
 }
 
 /// One machine's ready-to-serve inference state: the static scenario-1 and
@@ -417,6 +474,40 @@ impl TuneService {
         (self.time.first().map_or(0, Vec::len), self.edp.len())
     }
 
+    /// Packages a scenario-1 class prediction for `power_idx` — one
+    /// construction path for the single and batched tuners.
+    fn time_prediction(&self, power_idx: usize, class: usize) -> TunePrediction {
+        TunePrediction {
+            class,
+            point: ConfigPoint {
+                power_watts: self.space.power_levels[power_idx],
+                omp: self.omp_configs[class],
+            },
+            expected_gain: self.tables.expected_speedup[power_idx][class],
+            model: self.time_model_id.clone(),
+        }
+    }
+
+    /// Packages a scenario-2 joint-class prediction.
+    fn edp_prediction(&self, class: usize) -> TunePrediction {
+        TunePrediction {
+            class,
+            point: self.space.decode_joint(class),
+            expected_gain: self.tables.expected_edp_gain[class],
+            model: self.edp_model_id.clone(),
+        }
+    }
+
+    fn check_power_idx(&self, power_idx: usize) -> Result<(), String> {
+        if power_idx >= self.space.power_levels.len() {
+            return Err(format!(
+                "power_idx {power_idx} out of range ({} levels)",
+                self.space.power_levels.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Predicts for an already-encoded graph.
     pub fn tune_graph(
         &mut self,
@@ -425,35 +516,17 @@ impl TuneService {
     ) -> Result<TunePrediction, String> {
         match objective {
             TuneObjective::Time { power_idx } => {
-                if power_idx >= self.space.power_levels.len() {
-                    return Err(format!(
-                        "power_idx {power_idx} out of range ({} levels)",
-                        self.space.power_levels.len()
-                    ));
-                }
+                self.check_power_idx(power_idx)?;
                 let class = committee_predict(
                     &mut self.time[power_idx],
                     graph,
                     &self.tables.time_priors[power_idx],
                 );
-                Ok(TunePrediction {
-                    class,
-                    point: ConfigPoint {
-                        power_watts: self.space.power_levels[power_idx],
-                        omp: self.omp_configs[class],
-                    },
-                    expected_gain: self.tables.expected_speedup[power_idx][class],
-                    model: self.time_model_id.clone(),
-                })
+                Ok(self.time_prediction(power_idx, class))
             }
             TuneObjective::Edp => {
                 let class = committee_predict(&mut self.edp, graph, &self.tables.edp_prior);
-                Ok(TunePrediction {
-                    class,
-                    point: self.space.decode_joint(class),
-                    expected_gain: self.tables.expected_edp_gain[class],
-                    model: self.edp_model_id.clone(),
-                })
+                Ok(self.edp_prediction(class))
             }
         }
     }
@@ -467,6 +540,93 @@ impl TuneService {
     ) -> Result<TunePrediction, String> {
         let graph = resolve_graph(kernel, &self.vocab)?;
         self.tune_graph(&graph, objective)
+    }
+
+    /// The fused serve path for a batch of request bodies: every kernel is
+    /// resolved, the valid requests are grouped by objective (time requests
+    /// share a committee per power level, EDP requests share one), and each
+    /// group runs through [`committee_predict_batch`] as a single
+    /// block-diagonal forward per fold model.
+    ///
+    /// Results come back in request order and each is bit-identical to
+    /// [`TuneService::tune`] on that request alone (DESIGN.md §15).
+    /// Per-request failures — malformed kernels, out-of-range power
+    /// indices — fill their own slot without failing the rest of the batch.
+    pub fn tune_batch(
+        &mut self,
+        requests: &[(&KernelInput, TuneObjective)],
+    ) -> Vec<Result<TunePrediction, String>> {
+        let mut slots: Vec<Option<Result<TunePrediction, String>>> =
+            (0..requests.len()).map(|_| None).collect();
+
+        // Resolve every kernel up front; failures settle their slot now.
+        // Objective key: (0, power_idx) for time, (1, 0) for EDP.
+        let mut graphs: Vec<Option<EncodedGraph>> = Vec::with_capacity(requests.len());
+        let mut groups: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, (kernel, objective)) in requests.iter().enumerate() {
+            let key = match objective {
+                TuneObjective::Time { power_idx } => {
+                    if let Err(why) = self.check_power_idx(*power_idx) {
+                        slots[i] = Some(Err(why));
+                        graphs.push(None);
+                        continue;
+                    }
+                    (0, *power_idx)
+                }
+                TuneObjective::Edp => (1, 0),
+            };
+            match resolve_graph(kernel, &self.vocab) {
+                Ok(graph) => {
+                    graphs.push(Some(graph));
+                    groups.entry(key).or_default().push(i);
+                }
+                Err(why) => {
+                    slots[i] = Some(Err(why));
+                    graphs.push(None);
+                }
+            }
+        }
+
+        for ((objective_kind, power_idx), indices) in groups {
+            let group: Vec<&EncodedGraph> = indices
+                .iter()
+                .map(|&i| graphs[i].as_ref().expect("grouped request has a graph"))
+                .collect();
+            let classes = if objective_kind == 0 {
+                committee_predict_batch(
+                    &mut self.time[power_idx],
+                    &group,
+                    &self.tables.time_priors[power_idx],
+                )
+            } else {
+                committee_predict_batch(&mut self.edp, &group, &self.tables.edp_prior)
+            };
+            match classes {
+                Ok(classes) => {
+                    for (&i, class) in indices.iter().zip(classes) {
+                        slots[i] = Some(Ok(if objective_kind == 0 {
+                            self.time_prediction(power_idx, class)
+                        } else {
+                            self.edp_prediction(class)
+                        }));
+                    }
+                }
+                // Unreachable for graphs that passed `resolve_graph`, but a
+                // batch-assembly failure must degrade to per-slot errors,
+                // never a panic.
+                Err(why) => {
+                    for &i in &indices {
+                        slots[i] = Some(Err(format!("batch assembly failed: {why}")));
+                    }
+                }
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request slot settled"))
+            .collect()
     }
 }
 
@@ -650,6 +810,116 @@ mod tests {
             restore_grid(&ds, &wider, GridPipeline::Scenario1 { dynamic: false }, &s1).is_err()
         );
         std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn batched_committee_matches_single_committee_exactly() {
+        let (ds, settings, s1, s2, store) = trained_fixture("committee_batch");
+        let mut service =
+            TuneService::restore(&ds, &settings, &s1, &s2, "time-model", "edp-model").unwrap();
+        let graphs: Vec<&EncodedGraph> = ds.regions.iter().map(|r| &r.graph).collect();
+        for p in 0..ds.space.power_levels.len() {
+            let prior = service.tables.time_priors[p].clone();
+            let batched = committee_predict_batch(&mut service.time[p], &graphs, &prior).unwrap();
+            let single: Vec<usize> = graphs
+                .iter()
+                .map(|g| committee_predict(&mut service.time[p], g, &prior))
+                .collect();
+            assert_eq!(batched, single, "power level {p}");
+        }
+        let prior = service.tables.edp_prior.clone();
+        let batched = committee_predict_batch(&mut service.edp, &graphs, &prior).unwrap();
+        let single: Vec<usize> = graphs
+            .iter()
+            .map(|g| committee_predict(&mut service.edp, g, &prior))
+            .collect();
+        assert_eq!(batched, single);
+        std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn tune_batch_is_bit_identical_to_tune_and_isolates_failures() {
+        let (ds, settings, s1, s2, store) = trained_fixture("tune_batch");
+        let mut service =
+            TuneService::restore(&ds, &settings, &s1, &s2, "time-model", "edp-model").unwrap();
+        let num_powers = ds.space.power_levels.len();
+
+        // A mixed batch: every region under every objective, interleaved
+        // with malformed requests that must fail in place.
+        let kernels: Vec<KernelInput> = ds
+            .regions
+            .iter()
+            .map(|r| KernelInput::Graph(r.graph.clone()))
+            .collect();
+        let mut bad = ds.regions[0].graph.clone();
+        bad.tokens.push(usize::MAX);
+        let bad = KernelInput::Graph(bad);
+        let hollow = KernelInput::Graph(EncodedGraph {
+            name: "hollow".into(),
+            tokens: vec![],
+            kinds: vec![],
+            relations: vec![vec![], vec![], vec![]],
+        });
+
+        let mut requests: Vec<(&KernelInput, TuneObjective)> = Vec::new();
+        for (i, kernel) in kernels.iter().enumerate() {
+            requests.push((
+                kernel,
+                TuneObjective::Time {
+                    power_idx: i % num_powers,
+                },
+            ));
+            requests.push((kernel, TuneObjective::Edp));
+        }
+        requests.push((&bad, TuneObjective::Edp));
+        requests.push((&hollow, TuneObjective::Edp));
+        requests.push((&kernels[0], TuneObjective::Time { power_idx: 99 }));
+
+        let batched = service.tune_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for ((kernel, objective), result) in requests.iter().zip(&batched) {
+            let single = service.tune(kernel, *objective);
+            match (result, &single) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b, s);
+                    assert_eq!(
+                        b.expected_gain.to_bits(),
+                        s.expected_gain.to_bits(),
+                        "expected_gain must match to the bit"
+                    );
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s),
+                (b, s) => panic!("batched {b:?} disagrees with single {s:?}"),
+            }
+        }
+        // The malformed tail really did error.
+        assert!(batched[batched.len() - 3].is_err(), "invalid token");
+        assert!(batched[batched.len() - 2].is_err(), "empty graph");
+        assert!(batched[batched.len() - 1].is_err(), "bad power index");
+        std::fs::remove_dir_all(store.store().root()).ok();
+    }
+
+    #[test]
+    fn empty_and_misshapen_kernels_are_errors_on_the_single_path_too() {
+        let vocab = Vocabulary::standard();
+        let hollow = KernelInput::Graph(EncodedGraph {
+            name: "hollow".into(),
+            tokens: vec![],
+            kinds: vec![],
+            relations: vec![vec![], vec![], vec![]],
+        });
+        assert!(resolve_graph(&hollow, &vocab)
+            .unwrap_err()
+            .contains("no nodes"));
+        let two_rel = KernelInput::Graph(EncodedGraph {
+            name: "two-rel".into(),
+            tokens: vec![0],
+            kinds: vec![0],
+            relations: vec![vec![], vec![]],
+        });
+        assert!(resolve_graph(&two_rel, &vocab)
+            .unwrap_err()
+            .contains("edge relations"));
     }
 
     #[test]

@@ -277,6 +277,12 @@ pub(crate) fn predict_with_prior(
     prior: &[f64],
 ) -> usize {
     let probs = model.predict_proba(graph, dynamic);
+    prior_blend_argmax(&probs, prior)
+}
+
+/// The `ln p + ln prior` argmax with strict `>` comparison — one function
+/// shared by the single and batched predictors so tie-breaking cannot drift.
+fn prior_blend_argmax(probs: &[f32], prior: &[f64]) -> usize {
     let mut best = 0usize;
     let mut best_score = f64::NEG_INFINITY;
     for (c, (&p, &q)) in probs.iter().zip(prior).enumerate() {
@@ -287,6 +293,38 @@ pub(crate) fn predict_with_prior(
         }
     }
     best
+}
+
+/// Batched twin of [`predict_with_prior`]: one class per graph through the
+/// fused block-diagonal forward ([`pnp_gnn::GraphBatch`], DESIGN.md §15),
+/// bit-identical to looping `predict_with_prior` over the graphs — the LOOCV
+/// prediction phases call this so a whole validation fold costs one tall
+/// matmul per relation per layer instead of one small matmul per region.
+///
+/// If the batch cannot be assembled (a zero-node graph in the fold — not
+/// producible by the dataset builder, but a fold must degrade gracefully,
+/// never panic), it falls back to the per-graph path.
+pub(crate) fn predict_with_prior_batch(
+    model: &mut PnPModel,
+    graphs: &[&pnp_graph::EncodedGraph],
+    dynamic: Option<&[Vec<f32>]>,
+    prior: &[f64],
+) -> Vec<usize> {
+    if graphs.is_empty() {
+        return Vec::new();
+    }
+    match pnp_gnn::GraphBatch::from_graphs(graphs) {
+        Ok(batch) => model
+            .predict_proba_batch(&batch, dynamic)
+            .iter()
+            .map(|probs| prior_blend_argmax(probs, prior))
+            .collect(),
+        Err(_) => graphs
+            .iter()
+            .enumerate()
+            .map(|(k, g)| predict_with_prior(model, g, dynamic.map(|d| d[k].as_slice()), prior))
+            .collect(),
+    }
 }
 
 fn scenario1_samples(
@@ -482,20 +520,20 @@ pub fn train_scenario1_models_cached(
         trainer.train(&mut model, &samples);
         model
     };
+    // The whole validation fold predicts through one fused block-diagonal
+    // forward — bit-identical to the per-region loop (DESIGN.md §15).
     let predict_job =
         |power_idx: usize, train_idx: &[usize], val_idx: &[usize], model: &mut PnPModel| {
             let prior = class_prior_scenario1(ds, power_idx, train_idx);
-            val_idx
-                .iter()
-                .map(|&i| {
-                    let dynamic = if use_dynamic {
-                        Some(ds.dynamic_features(i, power_idx, false))
-                    } else {
-                        None
-                    };
-                    predict_with_prior(model, &ds.regions[i].graph, dynamic.as_deref(), &prior)
-                })
-                .collect::<Vec<usize>>()
+            let graphs: Vec<&pnp_graph::EncodedGraph> =
+                val_idx.iter().map(|&i| &ds.regions[i].graph).collect();
+            let dynamic: Option<Vec<Vec<f32>>> = use_dynamic.then(|| {
+                val_idx
+                    .iter()
+                    .map(|&i| ds.dynamic_features(i, power_idx, false))
+                    .collect()
+            });
+            predict_with_prior_batch(model, &graphs, dynamic.as_deref(), &prior)
         };
 
     let job_predictions = match cache {
@@ -598,15 +636,19 @@ pub fn train_scenario2_model_cached(
         trainer.train(&mut model, &samples);
         model
     };
+    // Fused fold prediction, bit-identical to the per-region loop
+    // (DESIGN.md §15).
     let predict_job = |train_idx: &[usize], val_idx: &[usize], model: &mut PnPModel| {
         let prior = class_prior_scenario2(ds, train_idx);
-        val_idx
-            .iter()
-            .map(|&i| {
-                let dynamic = use_dynamic.then(|| ds.dynamic_features(i, tdp_idx, false));
-                predict_with_prior(model, &ds.regions[i].graph, dynamic.as_deref(), &prior)
-            })
-            .collect::<Vec<usize>>()
+        let graphs: Vec<&pnp_graph::EncodedGraph> =
+            val_idx.iter().map(|&i| &ds.regions[i].graph).collect();
+        let dynamic: Option<Vec<Vec<f32>>> = use_dynamic.then(|| {
+            val_idx
+                .iter()
+                .map(|&i| ds.dynamic_features(i, tdp_idx, false))
+                .collect()
+        });
+        predict_with_prior_batch(model, &graphs, dynamic.as_deref(), &prior)
     };
 
     let job_predictions = match cache {
@@ -735,13 +777,15 @@ pub fn train_unseen_power_cached(
         for v in &mut prior {
             *v /= total_w.max(1e-9);
         }
-        val_idx
+        // Fused fold prediction at the held-out cap, bit-identical to the
+        // per-region loop (DESIGN.md §15).
+        let graphs: Vec<&pnp_graph::EncodedGraph> =
+            val_idx.iter().map(|&i| &ds.regions[i].graph).collect();
+        let dynamic: Vec<Vec<f32>> = val_idx
             .iter()
-            .map(|&i| {
-                let dynamic = ds.dynamic_features(i, held_out_power, true);
-                predict_with_prior(model, &ds.regions[i].graph, Some(&dynamic), &prior)
-            })
-            .collect::<Vec<usize>>()
+            .map(|&i| ds.dynamic_features(i, held_out_power, true))
+            .collect();
+        predict_with_prior_batch(model, &graphs, Some(&dynamic), &prior)
     };
 
     let job_predictions = match cache {

@@ -31,6 +31,19 @@
 //! bit-identical to the serial kernel at every worker count — enabling it
 //! never changes a trained model, only the wall clock. It pays off when few
 //! concurrent training jobs must fill many cores (fold-count < core-count).
+//!
+//! ## Batched inference
+//!
+//! Inference over many graphs goes through [`GraphBatch`]: the graphs are
+//! merged into one block-diagonal graph (concatenated node features, edge
+//! lists shifted by per-graph node offsets) and
+//! [`PnPModel::forward_batch`] runs the whole batch through one fused
+//! forward — one tall matmul per relation per layer instead of one small
+//! matmul per graph, which is exactly the regime where the row-parallel
+//! matmul above starts to win. Because no edge crosses a graph boundary and
+//! the readout pools per segment, every batched output row is bit-identical
+//! to the single-graph path (DESIGN.md §15) — batching, like threading, is
+//! a scheduling decision, never a numerical one.
 
 pub mod batch;
 pub mod metrics;
@@ -39,7 +52,7 @@ pub mod readout;
 pub mod rgcn;
 pub mod train;
 
-pub use batch::Minibatcher;
+pub use batch::{BatchError, GraphBatch, Minibatcher};
 pub use model::{ModelConfig, PnPModel};
 pub use readout::MeanReadout;
 pub use rgcn::RgcnLayer;

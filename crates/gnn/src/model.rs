@@ -1,5 +1,6 @@
 //! The PnP model: embedding → RGCN stack → readout → dense classifier.
 
+use crate::batch::GraphBatch;
 use crate::readout::MeanReadout;
 use crate::rgcn::RgcnLayer;
 use pnp_graph::EncodedGraph;
@@ -295,6 +296,136 @@ impl PnPModel {
         }
         self.token_embedding.backward_ids(&dh);
         self.kind_embedding.backward_ids(&dh);
+    }
+
+    /// Fused inference forward over a block-diagonal [`GraphBatch`]:
+    /// returns `(B x num_classes)` logits, row `i` bit-identical to
+    /// `forward(graphs[i], …, false)` (DESIGN.md §15).
+    ///
+    /// The batch's merged edge lists have no cross-graph edges and the
+    /// readout pools per segment, so every per-node and per-graph value is
+    /// computed by exactly the per-row/per-edge operation sequence of the
+    /// single-graph path — the batch just makes each matmul `B` times
+    /// taller, which is the regime where the row-parallel
+    /// `pnp_tensor` matmul (`PNP_MATMUL_THREADS`) pays off.
+    ///
+    /// `dynamic_features`, when present, must hold one row of
+    /// `config.num_dynamic_features` values per graph, in batch order.
+    /// Inference-only: no caches are written and dropout is the identity.
+    pub fn forward_batch(
+        &mut self,
+        batch: &GraphBatch,
+        dynamic_features: Option<&[Vec<f32>]>,
+    ) -> Tensor {
+        assert!(!batch.is_empty(), "cannot run the model on an empty batch");
+        match dynamic_features {
+            Some(rows) => {
+                assert_eq!(
+                    rows.len(),
+                    batch.len(),
+                    "expected one dynamic-feature row per graph"
+                );
+                for (i, row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        row.len(),
+                        self.config.num_dynamic_features,
+                        "graph {i}: expected {} dynamic features, got {}",
+                        self.config.num_dynamic_features,
+                        row.len()
+                    );
+                }
+            }
+            None => assert_eq!(
+                self.config.num_dynamic_features, 0,
+                "model expects {} dynamic features per graph",
+                self.config.num_dynamic_features
+            ),
+        }
+
+        // Node features for the whole batch: one concatenated lookup.
+        let tok = self.token_embedding.lookup(batch.tokens(), false);
+        let kind = self.kind_embedding.lookup(batch.kinds(), false);
+        let mut h = tok.add(&kind);
+
+        // RGCN stack over the merged block-diagonal edge lists.
+        for (layer, act) in self
+            .rgcn_layers
+            .iter_mut()
+            .zip(self.rgcn_activations.iter_mut())
+        {
+            let z = layer.forward(&h, batch.relations(), false);
+            h = act.forward(&z, false);
+        }
+
+        // Per-segment readout (+ identity dropout) and optional dynamic
+        // features, one row per graph.
+        let pooled = self.readout.forward_segments(&h, batch.segments());
+        let pooled = self.dropout.forward(&pooled, false);
+        let mut x = match dynamic_features {
+            Some(rows) if self.config.num_dynamic_features > 0 => {
+                let dyn_rows = Tensor::from_rows(rows);
+                pooled.concat_cols(&dyn_rows)
+            }
+            _ => pooled,
+        };
+
+        // Dense classifier.
+        for i in 0..self.fc_layers.len() {
+            x = self.fc_layers[i].forward(&x, false);
+            if i < self.fc_activations.len() {
+                x = self.fc_activations[i].forward(&x, false);
+            }
+        }
+        x
+    }
+
+    /// Class probabilities for every graph in a [`GraphBatch`], in batch
+    /// order. Each row is bit-identical to [`PnPModel::predict_proba`] on
+    /// that graph alone (DESIGN.md §15).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnp_gnn::{GraphBatch, ModelConfig, PnPModel};
+    /// use pnp_graph::EncodedGraph;
+    ///
+    /// let a = EncodedGraph {
+    ///     name: "a".into(),
+    ///     tokens: vec![0, 1, 2],
+    ///     kinds: vec![0, 1, 2],
+    ///     relations: vec![vec![(0, 1), (1, 2)], vec![(2, 0)], vec![]],
+    /// };
+    /// let b = EncodedGraph {
+    ///     name: "b".into(),
+    ///     tokens: vec![3, 4],
+    ///     kinds: vec![0, 1],
+    ///     relations: vec![vec![(1, 0)], vec![], vec![]],
+    /// };
+    /// let mut model = PnPModel::new(ModelConfig {
+    ///     vocab_size: 8,
+    ///     hidden_dim: 4,
+    ///     num_rgcn_layers: 2,
+    ///     fc_hidden: 8,
+    ///     num_classes: 3,
+    ///     ..ModelConfig::default()
+    /// });
+    ///
+    /// let batch = GraphBatch::from_graphs(&[&a, &b]).unwrap();
+    /// let batched = model.predict_proba_batch(&batch, None);
+    ///
+    /// // One probability row per graph, bit-identical to the single path.
+    /// assert_eq!(batched.len(), 2);
+    /// assert_eq!(batched[0], model.predict_proba(&a, None));
+    /// assert_eq!(batched[1], model.predict_proba(&b, None));
+    /// ```
+    pub fn predict_proba_batch(
+        &mut self,
+        batch: &GraphBatch,
+        dynamic_features: Option<&[Vec<f32>]>,
+    ) -> Vec<Vec<f32>> {
+        let logits = self.forward_batch(batch, dynamic_features);
+        let probs = softmax_rows(&logits);
+        (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
     }
 
     /// Class probabilities for one graph (inference mode).

@@ -44,6 +44,22 @@ impl MeanReadout {
         pooled.reshape(&[1, h.cols()])
     }
 
+    /// Pools a block-diagonal batch of node features into one graph vector
+    /// per segment: row `i` of the `(B x d)` result is exactly what
+    /// [`MeanReadout::forward`] would produce for the node rows
+    /// `segments[i]..segments[i + 1]` alone, bit for bit (the segment
+    /// reductions reuse the single-graph accumulation order; DESIGN.md §15).
+    ///
+    /// Inference-only: does not touch the backward cache, so it takes
+    /// `&self`.
+    pub fn forward_segments(&self, h: &Tensor, segments: &[usize]) -> Tensor {
+        if self.sum_pool {
+            h.segment_sum_rows(segments)
+        } else {
+            h.segment_mean_rows(segments)
+        }
+    }
+
     /// Distributes the graph-level gradient back to every node.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let n = self.cached_num_nodes.max(1);
@@ -81,6 +97,36 @@ mod tests {
         let h = Tensor::from_rows(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
         let out = r.forward(&h, true);
         assert_eq!(out.data, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn forward_segments_matches_per_graph_forward_bitwise() {
+        let h = Tensor::from_rows(&[
+            vec![1.0, 3.0],
+            vec![3.0, 5.0],
+            vec![0.7, -2.3],
+            vec![1.1, 0.2],
+            vec![-0.4, 9.9],
+        ]);
+        let segments = [0usize, 2, 5];
+        for sum_pool in [false, true] {
+            let mut single = if sum_pool {
+                MeanReadout::sum()
+            } else {
+                MeanReadout::new()
+            };
+            let batched = single.forward_segments(&h, &segments);
+            assert_eq!(batched.shape, vec![2, 2]);
+            for i in 0..2 {
+                let rows: Vec<Vec<f32>> = (segments[i]..segments[i + 1])
+                    .map(|r| h.row(r).to_vec())
+                    .collect();
+                let alone = single.forward(&Tensor::from_rows(&rows), false);
+                for (a, b) in batched.row(i).iter().zip(alone.row(0)) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,9 @@ struct Report {
     grids_loaded: usize,
     grids_skipped: usize,
     max_batch_seen: u64,
+    fused_batches: u64,
+    fused_graphs: u64,
+    max_fused_batch: u64,
     context: Provenance,
     runs: Vec<Run>,
 }
@@ -278,6 +281,9 @@ fn main() {
         grids_loaded: stats.grids_loaded,
         grids_skipped: stats.grids_skipped,
         max_batch_seen: stats.max_batch_seen,
+        fused_batches: stats.fused_batches,
+        fused_graphs: stats.fused_graphs,
+        max_fused_batch: stats.max_fused_batch,
         context,
         runs,
     };

@@ -94,4 +94,8 @@ fn main() {
         "[pnp-serve] shutdown after {} request(s) in {} batch(es) (max batch {})",
         stats.requests, stats.batches, stats.max_batch_seen
     );
+    eprintln!(
+        "[pnp-serve] fused inference: {} graph(s) in {} fused group(s) (max fused {})",
+        stats.fused_graphs, stats.fused_batches, stats.max_fused_batch
+    );
 }

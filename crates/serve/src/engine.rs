@@ -4,15 +4,22 @@
 //! dataset once, restores **every** model grid in the store (fit-checking
 //! each — an unfit or corrupt checkpoint is skipped with a log line, never
 //! misapplied), and builds a pool of [`TuneService`] replicas per machine.
-//! Requests are then served by [`ServeEngine::tune_batch`]: a batch fans out
-//! over the in-tree `pnp_openmp` pool via `parallel_map_with_state`, each
-//! worker checking out whichever replica is free. All replicas are restored
-//! from the same grids, so the response vector is bit-identical for every
-//! worker/replica count — and identical to the offline
-//! [`TuneService::tune`] path (DESIGN.md §14).
+//! Requests are then served by [`ServeEngine::tune_batch`]: the batch is
+//! partitioned by machine, each machine's requests are grouped by objective,
+//! and the groups fan out over the in-tree `pnp_openmp` pool via
+//! `parallel_map_with_state`, each worker checking out whichever replica is
+//! free and running its whole group as one fused block-diagonal forward
+//! ([`TuneService::tune_batch`], DESIGN.md §15) — one tall matmul per
+//! relation per layer instead of one small matmul per request. All replicas
+//! are restored from the same grids and the fused forward is bit-identical
+//! to the single-graph one, so the response vector is bit-identical for
+//! every worker/replica count and batch composition — and identical to the
+//! offline [`TuneService::tune`] path (DESIGN.md §14).
 
 use pnp_core::registry::{ModelDescriptor, ModelRegistry};
-use pnp_core::serving::{restore_grid, GridPipeline, TuneRequest, TuneResponse, TuneService};
+use pnp_core::serving::{
+    restore_grid, GridPipeline, KernelInput, TuneObjective, TuneRequest, TuneResponse, TuneService,
+};
 use pnp_openmp::{parallel_map_with_state, Threads};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -60,6 +67,9 @@ pub struct ServeEngine {
     requests: AtomicU64,
     batches: AtomicU64,
     max_batch_seen: AtomicU64,
+    fused_batches: AtomicU64,
+    fused_graphs: AtomicU64,
+    max_fused_batch: AtomicU64,
     grids_loaded: usize,
     grids_skipped: usize,
 }
@@ -198,6 +208,9 @@ impl ServeEngine {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
+            fused_graphs: AtomicU64::new(0),
+            max_fused_batch: AtomicU64::new(0),
             grids_loaded: report.grids_loaded,
             grids_skipped: report.grids_skipped,
         };
@@ -227,9 +240,12 @@ impl ServeEngine {
     }
 
     /// Serves one batch: requests are partitioned by machine, each
-    /// machine's slice fans out over the worker pool with replica checkout,
-    /// and responses come back in request order. Unknown machines get error
-    /// responses; nothing panics on client input.
+    /// machine's slice is grouped by objective, and the groups fan out over
+    /// the worker pool with replica checkout — each group running as one
+    /// fused block-diagonal forward ([`TuneService::tune_batch`],
+    /// DESIGN.md §15). Responses come back in request order, bit-identical
+    /// to serving each request alone. Unknown machines get error responses;
+    /// nothing panics on client input.
     pub fn tune_batch(&self, requests: &[TuneRequest]) -> Vec<TuneResponse> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -260,15 +276,40 @@ impl ServeEngine {
         }
         for (machine, indices) in by_machine {
             let pool = &self.machines[machine];
-            let group: Vec<&TuneRequest> = indices.iter().map(|&i| &requests[i]).collect();
-            let responses = parallel_map_with_state(&group, threads, pool, |request, service| {
-                match service.tune(&request.kernel, request.objective) {
-                    Ok(prediction) => TuneResponse::ok(request.id, prediction),
-                    Err(why) => TuneResponse::err(request.id, why),
+            // Group by objective: requests sharing a committee fuse into one
+            // block-diagonal forward. Keys are `(0, power_idx)` for time and
+            // `(1, 0)` for EDP — BTreeMap order keeps dispatch deterministic.
+            let mut by_objective: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            for &i in &indices {
+                let key = match requests[i].objective {
+                    TuneObjective::Time { power_idx } => (0, power_idx),
+                    TuneObjective::Edp => (1, 0),
+                };
+                by_objective.entry(key).or_default().push(i);
+            }
+            let groups: Vec<Vec<usize>> = by_objective.into_values().collect();
+            for group in &groups {
+                self.fused_batches.fetch_add(1, Ordering::Relaxed);
+                self.fused_graphs
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                self.max_fused_batch
+                    .fetch_max(group.len() as u64, Ordering::Relaxed);
+            }
+            let group_results =
+                parallel_map_with_state(&groups, threads, pool, |group, service| {
+                    let bodies: Vec<(&KernelInput, TuneObjective)> = group
+                        .iter()
+                        .map(|&i| (&requests[i].kernel, requests[i].objective))
+                        .collect();
+                    service.tune_batch(&bodies)
+                });
+            for (group, results) in groups.iter().zip(group_results) {
+                for (&i, result) in group.iter().zip(results) {
+                    slots[i] = Some(match result {
+                        Ok(prediction) => TuneResponse::ok(requests[i].id, prediction),
+                        Err(why) => TuneResponse::err(requests[i].id, why),
+                    });
                 }
-            });
-            for (&i, response) in indices.iter().zip(responses) {
-                slots[i] = Some(response);
             }
         }
         slots
@@ -292,6 +333,9 @@ impl ServeEngine {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            fused_graphs: self.fused_graphs.load(Ordering::Relaxed),
+            max_fused_batch: self.max_fused_batch.load(Ordering::Relaxed),
             machines: self.machines(),
             grids_loaded: self.grids_loaded,
             grids_skipped: self.grids_skipped,

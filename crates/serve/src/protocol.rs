@@ -77,6 +77,16 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest batch executed.
     pub max_batch_seen: u64,
+    /// Fused objective groups dispatched: within a dispatcher batch,
+    /// requests for the same machine and objective run as one
+    /// block-diagonal forward per fold model (DESIGN.md §15).
+    pub fused_batches: u64,
+    /// Tune requests carried by fused groups (every request that reached a
+    /// replica, including ones that failed kernel resolution in-slot).
+    pub fused_graphs: u64,
+    /// Largest fused group — the most graphs one block-diagonal forward
+    /// has carried.
+    pub max_fused_batch: u64,
     /// Machines with a ready service.
     pub machines: Vec<String>,
     /// Grids that restored cleanly at startup.

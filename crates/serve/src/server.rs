@@ -200,7 +200,20 @@ impl Client {
 
     /// Sends one request and waits for the next response frame.
     pub fn request(&mut self, request: &Request) -> Result<Response, String> {
-        write_message(&mut self.stream, request).map_err(|e| format!("send: {e}"))?;
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Sends one request without waiting — pair with [`Client::receive`] to
+    /// pipeline many requests over the connection so the dispatcher can
+    /// drain and fuse them into block-diagonal batches.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        write_message(&mut self.stream, request).map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads the next response frame (tune responses are correlated by id,
+    /// not arrival order).
+    pub fn receive(&mut self) -> Result<Response, String> {
         read_message(&mut self.stream)?.ok_or_else(|| "server closed the connection".to_string())
     }
 

@@ -223,6 +223,68 @@ fn batched_and_single_paths_agree_for_every_worker_count() {
     }
 }
 
+/// ISSUE 8: the whole workload pipelined over one connection so the
+/// dispatcher drains it into fused objective groups — every daemon response
+/// must still match the offline single-graph path to the bit, and the fused
+/// counters must show block-diagonal batching actually happened.
+#[test]
+fn fused_daemon_batches_are_bit_identical_to_offline_predictions() {
+    let fx = fixture();
+    let requests = workload(&fx.ds);
+    let offline = offline_predictions(fx, &requests);
+
+    let engine = start_engine(2, 2);
+    let addr = spawn_server(engine, requests.len().max(16));
+    let mut client = Client::connect(addr).expect("connect");
+    // Pipeline every request before reading a single response: the
+    // dispatcher sees them all queued and fuses per (machine, objective).
+    for request in &requests {
+        client
+            .send(&Request::Tune(request.clone()))
+            .expect("send tune");
+    }
+    let mut responses = Vec::with_capacity(requests.len());
+    for _ in &requests {
+        let Response::Tune(tune) = client.receive().expect("receive tune") else {
+            panic!("Tune must answer Tune");
+        };
+        responses.push(tune);
+    }
+    responses.sort_by_key(|t| t.id);
+    for (tune, (request, expected)) in responses.iter().zip(requests.iter().zip(&offline)) {
+        assert_eq!(tune.id, request.id);
+        let got = tune
+            .prediction
+            .as_ref()
+            .unwrap_or_else(|| panic!("request {} failed: {:?}", request.id, tune.error));
+        assert_eq!(got.class, expected.class, "request {}", request.id);
+        assert_eq!(got.point, expected.point, "request {}", request.id);
+        assert_eq!(
+            got.expected_gain.to_bits(),
+            expected.expected_gain.to_bits(),
+            "request {}",
+            request.id
+        );
+    }
+
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert_eq!(stats.requests, requests.len() as u64);
+    // Every tune request reached a replica through a fused group...
+    assert_eq!(stats.fused_graphs, requests.len() as u64);
+    // ...and grouping actually fused: fewer groups than requests, with at
+    // least one group carrying several graphs.
+    assert!(
+        stats.fused_batches < stats.fused_graphs,
+        "fused_batches={} fused_graphs={}",
+        stats.fused_batches,
+        stats.fused_graphs
+    );
+    assert!(stats.max_fused_batch > 1, "{stats:?}");
+    let _ = client.request(&Request::Shutdown);
+}
+
 #[test]
 fn registry_and_control_surface_answer_over_the_wire() {
     let engine = start_engine(1, 1);

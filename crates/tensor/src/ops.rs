@@ -141,6 +141,59 @@ impl Tensor {
         s
     }
 
+    /// Per-segment column-wise sum over contiguous row ranges.
+    ///
+    /// `segments` holds `B + 1` ascending row offsets delimiting `B`
+    /// contiguous row blocks (`segments[0] == 0`,
+    /// `segments[B] == self.rows()`); block `i` spans rows
+    /// `segments[i]..segments[i + 1]`. Returns a `[B, cols]` matrix whose
+    /// row `i` equals `sum_rows()` of block `i` — same accumulation order
+    /// (rows ascending, one f32 accumulator per column), so each output
+    /// row is bit-identical to summing the block as a standalone matrix.
+    pub fn segment_sum_rows(&self, segments: &[usize]) -> Tensor {
+        assert!(
+            !segments.is_empty(),
+            "segments must hold at least one offset"
+        );
+        let n = segments.len() - 1;
+        assert_eq!(segments[0], 0, "segments must start at row 0");
+        assert_eq!(
+            segments[n],
+            self.rows(),
+            "segments must end at the row count"
+        );
+        let cols = self.cols();
+        let mut out = Tensor::zeros(&[n, cols]);
+        for s in 0..n {
+            assert!(segments[s] <= segments[s + 1], "segments must be ascending");
+            let dst = out.row_mut(s);
+            for r in segments[s]..segments[s + 1] {
+                for (o, v) in dst.iter_mut().zip(self.row(r)) {
+                    *o += *v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-segment column-wise mean over contiguous row ranges.
+    ///
+    /// Same layout contract as [`Tensor::segment_sum_rows`]; row `i` of the
+    /// result equals `mean_rows()` of block `i` bit-for-bit (segment sum,
+    /// then one multiplication by `1.0 / len`, with empty blocks divided by
+    /// 1 exactly as `mean_rows` does for an empty matrix).
+    pub fn segment_mean_rows(&self, segments: &[usize]) -> Tensor {
+        let mut out = self.segment_sum_rows(segments);
+        for s in 0..segments.len() - 1 {
+            let len = (segments[s + 1] - segments[s]).max(1) as f32;
+            let inv = 1.0 / len;
+            for x in out.row_mut(s) {
+                *x *= inv;
+            }
+        }
+        out
+    }
+
     /// Index of the maximum value in row `r`.
     pub fn argmax_row(&self, r: usize) -> usize {
         let row = self.row(r);
@@ -261,6 +314,51 @@ mod tests {
         for r in 0..3 {
             assert_eq!(y.row(r), &[1.0, -1.0]);
         }
+    }
+
+    #[test]
+    fn segment_reductions_match_per_block_reductions_bitwise() {
+        // Ragged blocks (3, 1, 0, 2 rows) with awkward values so any change
+        // in accumulation order would flip low bits.
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|r| (0..3).map(|c| 0.1 + (r * 3 + c) as f32 * 0.3).collect())
+            .collect();
+        let m = Tensor::from_rows(&rows);
+        let segments = [0usize, 3, 4, 4, 6];
+        let sums = m.segment_sum_rows(&segments);
+        let means = m.segment_mean_rows(&segments);
+        assert_eq!(sums.shape, vec![4, 3]);
+        assert_eq!(means.shape, vec![4, 3]);
+        for s in 0..4 {
+            let slice = &rows[segments[s]..segments[s + 1]];
+            let block = if slice.is_empty() {
+                Tensor::zeros(&[0, 3])
+            } else {
+                Tensor::from_rows(slice)
+            };
+            for (got, want) in sums.row(s).iter().zip(&block.sum_rows().data) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            for (got, want) in means.row(s).iter().zip(&block.mean_rows().data) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn whole_matrix_segment_equals_plain_reductions() {
+        let m = Tensor::from_rows(&[vec![1.5, -2.0], vec![0.25, 7.0], vec![-3.0, 0.5]]);
+        let sums = m.segment_sum_rows(&[0, 3]);
+        assert_eq!(sums.row(0), &m.sum_rows().data[..]);
+        let means = m.segment_mean_rows(&[0, 3]);
+        assert_eq!(means.row(0), &m.mean_rows().data[..]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn segment_offsets_must_cover_all_rows() {
+        let m = Tensor::zeros(&[4, 2]);
+        let _ = m.segment_sum_rows(&[0, 2]);
     }
 
     #[test]
