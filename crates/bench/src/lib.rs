@@ -294,7 +294,11 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+    assert!(
+        !sorted.iter().any(|s| s.is_nan()),
+        "NaN latency sample: the harness clock is broken"
+    );
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
@@ -550,6 +554,21 @@ mod tests {
         assert_eq!(percentile(&samples, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_is_bitwise_pinned_on_ties_and_signed_zero() {
+        // `total_cmp` orders -0.0 below 0.0, so the nearest-rank picks are
+        // pinned bit for bit even across sign-of-zero ties.
+        let samples = [0.0, -0.0, 0.0, -0.0];
+        assert_eq!(percentile(&samples, 50.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(percentile(&samples, 100.0).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN latency sample")]
+    fn percentile_rejects_nan_samples() {
+        percentile(&[1.0, f64::NAN], 50.0);
     }
 
     #[test]

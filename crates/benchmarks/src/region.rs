@@ -61,6 +61,7 @@ impl Application {
             .iter()
             .map(|r| {
                 let g = build_region_graph(&module, r.name())
+                    // pnp-lint: allow(panic) — every region in `self.regions` is lowered into `module` two lines up
                     .unwrap_or_else(|| panic!("region {} missing after lowering", r.name()));
                 (r.name().to_string(), g)
             })

@@ -876,6 +876,7 @@ pub fn transfer_experiment(
 
     // From scratch on the target machine.
     let mut scratch_model = PnPModel::new(settings.model_config(num_classes, 0, 0x7100));
+    // pnp-lint: allow(wall-clock) — the transfer experiment's deliverable IS wall-clock training time
     let t0 = Instant::now();
     let scratch_report = trainer.train(&mut scratch_model, &target_samples);
     let scratch_seconds = t0.elapsed().as_secs_f64();
@@ -891,6 +892,7 @@ pub fn transfer_experiment(
     let mut transfer_model = PnPModel::new(settings.model_config(num_classes, 0, 0x7200));
     transfer_model.load_gnn_weights(&bundle);
     let frozen_trainer = Trainer::new(settings.train_config(OptimizerKind::AdamWAmsgrad, true));
+    // pnp-lint: allow(wall-clock) — paired timing against the scratch run above
     let t1 = Instant::now();
     let transfer_report = frozen_trainer.train(&mut transfer_model, &target_samples);
     let transfer_seconds = t1.elapsed().as_secs_f64();

@@ -126,7 +126,7 @@ pub const EXPECTED_FAIL: &[ExpectedFailEntry] = &[
     // (observed ~1.3x geomean, with >= 88 % of generated regions no-regret
     // at every cap), but it captures well under half of the oracle's
     // headroom (~28 % on the 6-app quick-budget run). The >= 50 % floor is
-    // kept as the target; the gap is documented in DESIGN.md §13.
+    // kept as the target; the gap is documented in DESIGN.md §13.1.
     ExpectedFailEntry {
         id: "ood.pnp_captures_oracle_headroom",
         scope: SuiteScope::Any,

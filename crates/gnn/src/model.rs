@@ -454,7 +454,7 @@ impl PnPModel {
         let logits = self.forward(graph, dynamic_features, false);
         let row = logits.row(0);
         let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
         idx
     }
 
@@ -576,6 +576,30 @@ mod tests {
             num_dynamic_features: dynamic,
             dropout: 0.0,
             seed: 7,
+        }
+    }
+
+    #[test]
+    fn predict_ranked_is_a_pinned_total_order_over_the_logits() {
+        let g = toy_graph();
+        let mut model = PnPModel::new(small_config(10, 0));
+        let ranked = model.predict_ranked(&g, None);
+        // A permutation of all classes, bitwise-stable across calls.
+        let mut seen = ranked.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(model.predict_ranked(&g, None), ranked);
+        // Consistent with the logits under the same total order the sort
+        // uses (descending `total_cmp`), bit for bit.
+        let logits = model.forward(&g, None, false);
+        let row = logits.row(0);
+        for w in ranked.windows(2) {
+            assert_ne!(
+                row[w[0]].total_cmp(&row[w[1]]),
+                std::cmp::Ordering::Less,
+                "rank order disagrees with logits: {:?}",
+                ranked
+            );
         }
     }
 

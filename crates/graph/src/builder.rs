@@ -21,6 +21,11 @@ use crate::edge::EdgeFlow;
 use crate::graph::CodeGraph;
 use crate::node::NodeKind;
 use pnp_ir::{extract_region, Module, Opcode, Operand};
+// Determinism audit: every HashMap below (`inst_node`, `entry_node`,
+// `ret_nodes`, `arg_node`, `value_node`) is lookup-only — node and edge
+// emission order is driven entirely by the module's function / block /
+// instruction vectors, so hash ordering never reaches the graph. Switch to
+// BTreeMap before iterating any of them.
 use std::collections::HashMap;
 
 /// Builds the code graph of one OpenMP region of a lowered application

@@ -14,15 +14,20 @@
 
 use pnp_ir::{Opcode, Type};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::graph::CodeGraph;
 use crate::node::NodeKind;
 
 /// A bidirectional mapping between node text and token ids.
+///
+/// `token_to_id` is a `BTreeMap` so the serialized artifact bytes are a
+/// function of the vocabulary contents alone, never of the map's internal
+/// ordering — registry records hash the artifact, so byte stability is a
+/// contract, not a nicety.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Vocabulary {
-    token_to_id: HashMap<String, usize>,
+    token_to_id: BTreeMap<String, usize>,
     id_to_token: Vec<String>,
 }
 
@@ -30,7 +35,7 @@ impl Vocabulary {
     /// Builds the standard PROGRAML-style vocabulary over the IR definition.
     pub fn standard() -> Self {
         let mut v = Vocabulary {
-            token_to_id: HashMap::new(),
+            token_to_id: BTreeMap::new(),
             id_to_token: Vec::new(),
         };
         let types = [
@@ -221,6 +226,23 @@ mod tests {
         assert!(v1.len() < 1000);
         assert_eq!(v1.len(), v2.len());
         assert_eq!(v1.id_of("fadd double"), v2.id_of("fadd double"));
+    }
+
+    #[test]
+    fn serialized_vocabulary_bytes_are_deterministic() {
+        // Byte-identical output across independently built instances is what
+        // lets the artifact store content-address trained models. BTreeMap
+        // guarantees this regardless of serializer behavior; the round trip
+        // must also preserve every id.
+        let v1 = Vocabulary::standard();
+        let v2 = Vocabulary::standard();
+        let b1 = serde_json::to_string(&v1).unwrap();
+        let b2 = serde_json::to_string(&v2).unwrap();
+        assert_eq!(b1, b2);
+        let back: Vocabulary = serde_json::from_str(&b1).unwrap();
+        assert_eq!(back.len(), v1.len());
+        assert_eq!(back.id_of("fadd double"), v1.id_of("fadd double"));
+        assert_eq!(back.unk_id(), v1.unk_id());
     }
 
     #[test]

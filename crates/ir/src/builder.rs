@@ -149,6 +149,7 @@ impl FunctionBuilder {
             .blocks
             .iter_mut()
             .find(|b| b.id == self.current)
+            // pnp-lint: allow(unwrap) — `current` only ever holds ids of blocks this builder created
             .expect("current block exists");
         if block.is_terminated() {
             return Err(BuildError::TerminatedBlock {

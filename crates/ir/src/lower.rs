@@ -224,6 +224,7 @@ struct CheckScope<'a> {
 
 impl CheckScope<'_> {
     fn has_size_param(&self, name: &str) -> bool {
+        // pnp-lint: allow(hash-iter) — this `size_params` is the declaration-order slice, not the LowerCtx map
         self.size_params.iter().any(|p| p == name)
     }
 

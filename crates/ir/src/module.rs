@@ -25,6 +25,7 @@ impl Module {
     /// Adds a function and returns a reference to it.
     pub fn add_function(&mut self, f: Function) -> &Function {
         self.functions.push(f);
+        // pnp-lint: allow(unwrap) — the element was pushed on the line above
         self.functions.last().unwrap()
     }
 

@@ -1,0 +1,122 @@
+//! Workspace lint driver (DESIGN.md §16).
+//!
+//! ```text
+//! pnp_lint [--root DIR] [--config FILE] [--format text|json] [--out FILE]
+//! ```
+//!
+//! Walks `src/`, `crates/`, `examples/`, and `tests/` under `--root`
+//! (default: current directory), applies the rule set under the policy in
+//! `--config` (default: `<root>/pnp-lint.json`; absent file means an empty
+//! policy), and exits `1` when any unsuppressed violation remains. `--out`
+//! additionally writes the JSON report to a file regardless of `--format`,
+//! which is how CI feeds the step-summary table.
+
+use pnp_lint::{DocCatalogue, LintConfig, Linter, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str =
+    "usage: pnp_lint [--root DIR] [--config FILE] [--format text|json] [--out FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Text,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("pnp-lint.json"));
+    let config = if config_path.is_file() {
+        let json = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        LintConfig::from_json(&json, RULES)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else if args.config.is_some() {
+        return Err(format!("{}: config file not found", config_path.display()));
+    } else {
+        LintConfig::empty()
+    };
+
+    let catalogue = DocCatalogue::from_root(&args.root).map_err(|e| {
+        format!(
+            "reading section catalogue under {}: {e}",
+            args.root.display()
+        )
+    })?;
+    let linter = Linter::new(config, catalogue);
+    let report = linter
+        .lint_root(&args.root)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+
+    let json = serde_json::to_string(&report).map_err(|e| format!("serializing report: {e:?}"))?;
+    if let Some(out) = &args.out {
+        std::fs::write(out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+    }
+    match args.format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => println!("{json}"),
+    }
+    Ok(report.clean())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("pnp_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("pnp_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

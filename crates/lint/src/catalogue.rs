@@ -1,0 +1,167 @@
+//! The section catalogue the doc-contract rules resolve citations against.
+//!
+//! Two documents in this repository are cited by §-number from rustdoc:
+//!
+//! * `DESIGN.md` — sections are `## §N Title` headers, subsections are
+//!   `**§N.M …**` bold markers inside a section (the §11.x expected-fail
+//!   gap families and §13.1 use this form);
+//! * `ARCHITECTURE.md` — sections are `## N. Title` headers, cited as
+//!   `ARCHITECTURE.md §N`.
+//!
+//! A citation like `DESIGN.md §12` resolves iff the catalogue saw a marker
+//! for that exact section number; `§11.2` resolves only against an explicit
+//! `**§11.2` subsection marker, not against `## §11` alone — that is the
+//! point: deleting a subsection paragraph must break every citation of it.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Which document a citation refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Doc {
+    /// `DESIGN.md` (the default for bare `§N` citations).
+    Design,
+    /// `ARCHITECTURE.md`.
+    Architecture,
+}
+
+/// The set of §-numbered sections each cited document actually contains.
+#[derive(Clone, Debug, Default)]
+pub struct DocCatalogue {
+    design: BTreeSet<String>,
+    architecture: BTreeSet<String>,
+}
+
+/// Extracts the maximal `digits(.digits)*` run starting at `chars[start]`.
+/// Returns `None` when the first char is not an ASCII digit. A trailing dot
+/// with no digit after it (sentence punctuation) is not consumed.
+pub fn section_number_at(chars: &[char], start: usize) -> Option<String> {
+    let mut j = start;
+    let mut out = String::new();
+    if !chars.get(j).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+        return None;
+    }
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_digit() {
+            out.push(c);
+            j += 1;
+        } else if c == '.'
+            && chars
+                .get(j + 1)
+                .map(|d| d.is_ascii_digit())
+                .unwrap_or(false)
+        {
+            out.push('.');
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    Some(out)
+}
+
+fn collect_after_markers(line: &str, marker: &str, out: &mut BTreeSet<String>) {
+    let chars: Vec<char> = line.chars().collect();
+    let marker_chars: Vec<char> = marker.chars().collect();
+    let m = marker_chars.len();
+    if chars.len() < m {
+        return;
+    }
+    for i in 0..=chars.len() - m {
+        if chars[i..i + m] == marker_chars[..] {
+            if let Some(sec) = section_number_at(&chars, i + m) {
+                out.insert(sec);
+            }
+        }
+    }
+}
+
+impl DocCatalogue {
+    /// Parses both catalogues from markdown text.
+    pub fn from_markdown(design: &str, architecture: &str) -> Self {
+        let mut cat = DocCatalogue::default();
+        for line in design.lines() {
+            if line.starts_with('#') {
+                // `## §N Title` headers.
+                collect_after_markers(line, "§", &mut cat.design);
+            } else {
+                // `**§N.M …` bold subsection markers anywhere in a line.
+                collect_after_markers(line, "**§", &mut cat.design);
+            }
+        }
+        for line in architecture.lines() {
+            // `## N. Title` headers.
+            if let Some(rest) = line.strip_prefix("## ") {
+                let chars: Vec<char> = rest.chars().collect();
+                if let Some(sec) = section_number_at(&chars, 0) {
+                    cat.architecture.insert(sec);
+                }
+            }
+        }
+        cat
+    }
+
+    /// Reads `DESIGN.md` and `ARCHITECTURE.md` from the repository root.
+    pub fn from_root(root: &Path) -> io::Result<Self> {
+        let design = fs::read_to_string(root.join("DESIGN.md"))?;
+        let architecture = fs::read_to_string(root.join("ARCHITECTURE.md"))?;
+        Ok(Self::from_markdown(&design, &architecture))
+    }
+
+    /// True when `doc` contains section `sec` (exact match: `11` is not a
+    /// prefix-match for `11.2`, and vice versa).
+    pub fn resolves(&self, doc: Doc, sec: &str) -> bool {
+        match doc {
+            Doc::Design => self.design.contains(sec),
+            Doc::Architecture => self.architecture.contains(sec),
+        }
+    }
+
+    /// True when `sec` is a dotted subsection (`N.M`) present in DESIGN.md —
+    /// what an `EXPECTED_FAIL` entry must cite.
+    pub fn is_design_subsection(&self, sec: &str) -> bool {
+        sec.contains('.') && self.design.contains(sec)
+    }
+
+    /// Number of DESIGN.md sections seen (sanity guard: an empty catalogue
+    /// would vacuously fail every citation).
+    pub fn design_len(&self) -> usize {
+        self.design.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_and_subsection_markers() {
+        let design = "# Design notes\n\n## §1 Goals\n\n## §11 Invariants\n\n* **§11.1 `fig2` (any).** Text.\n\n**§13.1 `ood` gap.** Text.\n";
+        let arch = "# Architecture\n\n## 1. Suite\n\n## 10. Batched inference\n";
+        let cat = DocCatalogue::from_markdown(design, arch);
+        assert!(cat.resolves(Doc::Design, "1"));
+        assert!(cat.resolves(Doc::Design, "11"));
+        assert!(cat.resolves(Doc::Design, "11.1"));
+        assert!(cat.resolves(Doc::Design, "13.1"));
+        assert!(!cat.resolves(Doc::Design, "11.2"));
+        assert!(!cat.resolves(Doc::Design, "99"));
+        assert!(cat.resolves(Doc::Architecture, "1"));
+        assert!(cat.resolves(Doc::Architecture, "10"));
+        assert!(!cat.resolves(Doc::Architecture, "11"));
+        assert!(cat.is_design_subsection("11.1"));
+        assert!(!cat.is_design_subsection("11"));
+    }
+
+    #[test]
+    fn sentence_punctuation_is_not_part_of_a_section_number() {
+        let chars: Vec<char> = "11.4.".chars().collect();
+        assert_eq!(section_number_at(&chars, 0).as_deref(), Some("11.4"));
+        let chars: Vec<char> = "13.".chars().collect();
+        assert_eq!(section_number_at(&chars, 0).as_deref(), Some("13"));
+        let chars: Vec<char> = "IV".chars().collect();
+        assert_eq!(section_number_at(&chars, 0), None);
+    }
+}

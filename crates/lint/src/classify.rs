@@ -1,0 +1,87 @@
+//! File classification: which rule sets apply where.
+//!
+//! The policy mirrors the workspace layout (README "Crate map"):
+//!
+//! * **Library** code — `crates/<name>/src/**` (excluding `src/bin/`) and the
+//!   root facade `src/**` — carries every guarantee: panic-safety rules and
+//!   determinism rules both apply.
+//! * **Harness** code — `src/bin/**` and `examples/**` — is CLI /
+//!   measurement tooling where a panic is an acceptable error report and
+//!   wall-clock reads are the point; only the determinism-of-output rules
+//!   (float ordering, hash iteration) and the doc-contract rules apply.
+//! * **Test** code — any `tests/` or `benches/` directory, plus `#[cfg(test)]` regions
+//!   inside library files (tracked separately by the engine) — is exempt
+//!   from panic-safety and wall-clock rules, and from the determinism rules
+//!   (a test sorting known values with `partial_cmp` is noise, not hazard);
+//!   the doc-contract rules still apply so stale citations cannot hide in
+//!   test rustdoc.
+
+/// The coarse rule-policy class of one file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Library,
+    /// Binaries, examples, criterion benches: determinism + doc rules only.
+    Harness,
+    /// Integration tests and bench fixtures: doc rules only.
+    Test,
+}
+
+/// Classification of one scanned file.
+#[derive(Clone, Debug)]
+pub struct FileClass {
+    /// Owning crate: the directory name under `crates/`, or `pnp` for the
+    /// root facade's `src/`, `examples/`, and `tests/`.
+    pub crate_name: String,
+    /// Which rule sets apply.
+    pub kind: FileKind,
+}
+
+/// Classifies a workspace-relative path (always `/`-separated).
+pub fn classify(rel_path: &str) -> FileClass {
+    let crate_name = match rel_path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("pnp").to_string(),
+        None => "pnp".to_string(),
+    };
+    let kind = if rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.starts_with("benches/")
+        || rel_path.contains("/benches/")
+    {
+        FileKind::Test
+    } else if rel_path.starts_with("examples/")
+        || rel_path.contains("/examples/")
+        || rel_path.starts_with("src/bin/")
+        || rel_path.contains("/src/bin/")
+    {
+        FileKind::Harness
+    } else {
+        FileKind::Library
+    };
+    FileClass { crate_name, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_the_workspace_layout() {
+        assert_eq!(classify("src/lib.rs").kind, FileKind::Library);
+        assert_eq!(classify("src/lib.rs").crate_name, "pnp");
+        assert_eq!(classify("crates/core/src/pnp.rs").kind, FileKind::Library);
+        assert_eq!(classify("crates/core/src/pnp.rs").crate_name, "core");
+        assert_eq!(
+            classify("crates/serve/src/bin/pnp_load.rs").kind,
+            FileKind::Harness
+        );
+        assert_eq!(classify("examples/quickstart.rs").kind, FileKind::Harness);
+        assert_eq!(
+            classify("crates/gnn/benches/rgcn_forward.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(classify("tests/store_roundtrip.rs").kind, FileKind::Test);
+        assert_eq!(classify("src/bin/tool.rs").kind, FileKind::Harness);
+        assert_eq!(classify("crates/store/tests/index.rs").kind, FileKind::Test);
+    }
+}

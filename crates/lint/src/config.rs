@@ -1,0 +1,138 @@
+//! Per-path lint policy, loaded from the committed `pnp-lint.json`.
+//!
+//! The config is the *bulk* suppression channel: where a whole crate opts a
+//! rule out (e.g. `slice-index` in the dense numeric kernels), one reasoned
+//! entry covers it instead of hundreds of inline comments. Inline
+//! suppressions (see [`crate::suppress`]) remain the channel for individual
+//! sites. Both channels share the same hygiene contract:
+//!
+//! * every entry must carry a non-empty reason — an allow without a *why*
+//!   is itself a violation;
+//! * every entry must match at least one finding — a stale entry that no
+//!   longer suppresses anything fails the run, so policy cannot rot;
+//! * entries are counted per rule in the report, so the CI table shows how
+//!   much hazard is being waived, not just that the tree is "clean".
+//!
+//! The format is JSON rather than TOML solely because the offline stand-in
+//! dependency policy (DESIGN.md §8) provides a serde/serde_json stack and no
+//! TOML parser; every other machine-readable file in this repository is
+//! JSON for the same reason.
+
+use serde::{Deserialize, Serialize};
+
+/// Current config schema version (bump on incompatible layout change).
+pub const CONFIG_VERSION: u64 = 1;
+
+/// One path-scoped allow: `rule` findings under `path` are waived.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AllowEntry {
+    /// Workspace-relative path prefix, `/`-separated (e.g.
+    /// `crates/tensor/src/`). A finding matches when its file path starts
+    /// with this prefix.
+    pub path: String,
+    /// Rule id the entry waives (must name a real rule).
+    pub rule: String,
+    /// Mandatory justification, shown in the report.
+    pub reason: String,
+}
+
+/// The whole policy file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LintConfig {
+    /// Schema version; must equal [`CONFIG_VERSION`].
+    pub version: u64,
+    /// Path-scoped waivers, most-specific-wins not required: any matching
+    /// entry suppresses (all matches are marked used).
+    pub allow: Vec<AllowEntry>,
+}
+
+impl LintConfig {
+    /// A config with no waivers (every finding is a violation).
+    pub fn empty() -> Self {
+        LintConfig {
+            version: CONFIG_VERSION,
+            allow: Vec::new(),
+        }
+    }
+
+    /// Parses and structurally validates a config against the rule registry.
+    pub fn from_json(json: &str, known_rules: &[&str]) -> Result<Self, String> {
+        let cfg: LintConfig =
+            serde_json::from_str(json).map_err(|e| format!("config parse error: {e:?}"))?;
+        cfg.validate(known_rules)?;
+        Ok(cfg)
+    }
+
+    /// Checks version, rule names, and the mandatory-reason contract.
+    pub fn validate(&self, known_rules: &[&str]) -> Result<(), String> {
+        if self.version != CONFIG_VERSION {
+            return Err(format!(
+                "config version {} unsupported (expected {})",
+                self.version, CONFIG_VERSION
+            ));
+        }
+        for (i, entry) in self.allow.iter().enumerate() {
+            if !known_rules.contains(&entry.rule.as_str()) {
+                return Err(format!(
+                    "allow[{i}]: unknown rule `{}` (known: {})",
+                    entry.rule,
+                    known_rules.join(", ")
+                ));
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "allow[{i}] ({} / {}): reason must not be empty",
+                    entry.path, entry.rule
+                ));
+            }
+            if entry.path.trim().is_empty() {
+                return Err(format!(
+                    "allow[{i}] ({}): path must not be empty",
+                    entry.rule
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["unwrap", "slice-index"];
+
+    #[test]
+    fn valid_config_round_trips() {
+        let json = r#"{
+            "version": 1,
+            "allow": [
+                {"path": "crates/tensor/src/", "rule": "slice-index", "reason": "loop-bounded"}
+            ]
+        }"#;
+        let cfg = LintConfig::from_json(json, RULES).unwrap();
+        assert_eq!(cfg.allow.len(), 1);
+        let back = serde_json::to_string(&cfg).unwrap();
+        let cfg2 = LintConfig::from_json(&back, RULES).unwrap();
+        assert_eq!(cfg2.allow[0].rule, "slice-index");
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let json =
+            r#"{"version": 1, "allow": [{"path": "src/", "rule": "unwrap", "reason": "  "}]}"#;
+        assert!(LintConfig::from_json(json, RULES).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let json = r#"{"version": 1, "allow": [{"path": "src/", "rule": "nope", "reason": "x"}]}"#;
+        assert!(LintConfig::from_json(json, RULES).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let json = r#"{"version": 2, "allow": []}"#;
+        assert!(LintConfig::from_json(json, RULES).is_err());
+    }
+}

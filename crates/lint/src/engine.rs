@@ -1,0 +1,251 @@
+//! The lint driver: walk, lex, check, suppress, aggregate.
+//!
+//! [`Linter::lint_source`] is the single-file entry point the fixture tests
+//! use; [`Linter::lint_root`] walks `src/`, `crates/`, `examples/`, and `tests/` under a
+//! repository root (skipping `target/` and `vendor/` — the offline stand-ins
+//! are not held to this workspace's guarantees) and produces the [`Report`]
+//! the binary serializes.
+
+use crate::catalogue::DocCatalogue;
+use crate::classify::classify;
+use crate::config::LintConfig;
+use crate::lexer::lex;
+use crate::report::{Report, ReportedFinding, RuleStats, REPORT_SCHEMA_VERSION};
+use crate::rules::{check_file, FileView, Finding, RULES};
+use crate::suppress;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A linter instance: policy + section catalogue.
+pub struct Linter {
+    config: LintConfig,
+    catalogue: DocCatalogue,
+}
+
+/// Outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived suppression (violations).
+    pub violations: Vec<Finding>,
+    /// (rule, count) waived by inline suppressions.
+    pub suppressed: BTreeMap<String, u64>,
+    /// (rule, count) waived by config entries, with the entry indices used.
+    pub config_allowed: BTreeMap<String, u64>,
+    /// Config entry indices that waived at least one finding here.
+    pub config_entries_used: Vec<usize>,
+}
+
+impl Linter {
+    /// Builds a linter from an already-validated config and catalogue.
+    pub fn new(config: LintConfig, catalogue: DocCatalogue) -> Self {
+        Linter { config, catalogue }
+    }
+
+    /// Lints one source string under a workspace-relative path (which
+    /// drives classification and config matching).
+    pub fn lint_source(&self, rel_path: &str, source: &str) -> FileOutcome {
+        let tokens = lex(source);
+        let class = classify(rel_path);
+        let view = FileView::new(rel_path, class, &tokens);
+        let mut findings = check_file(&view, &self.catalogue);
+
+        let (suppressions, malformed) = suppress::extract(&tokens);
+        // Malformed suppressions are violations in their own right.
+        for bad in &malformed {
+            findings.push(Finding {
+                rule: "suppression",
+                file: rel_path.to_string(),
+                line: bad.line,
+                message: bad.message.clone(),
+            });
+        }
+        // Unknown rule names in otherwise well-formed suppressions too.
+        for s in &suppressions {
+            for r in &s.rules {
+                if !RULES.contains(&r.as_str()) {
+                    findings.push(Finding {
+                        rule: "suppression",
+                        file: rel_path.to_string(),
+                        line: s.line,
+                        message: format!(
+                            "unknown rule `{r}` in suppression (known: {})",
+                            RULES.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+
+        let mut outcome = FileOutcome::default();
+        let mut suppression_used = vec![false; suppressions.len()];
+        for f in findings {
+            // `suppression` findings are hygiene checks and cannot
+            // themselves be waived.
+            if f.rule != "suppression" {
+                let inline = suppressions.iter().position(|s| {
+                    (s.line == f.line || s.line + 1 == f.line)
+                        && s.rules.iter().any(|r| r == f.rule)
+                });
+                if let Some(i) = inline {
+                    suppression_used[i] = true;
+                    *outcome.suppressed.entry(f.rule.to_string()).or_insert(0) += 1;
+                    continue;
+                }
+                let config = self
+                    .config
+                    .allow
+                    .iter()
+                    .position(|e| e.rule == f.rule && f.file.starts_with(&e.path));
+                if let Some(i) = config {
+                    if !outcome.config_entries_used.contains(&i) {
+                        outcome.config_entries_used.push(i);
+                    }
+                    *outcome
+                        .config_allowed
+                        .entry(f.rule.to_string())
+                        .or_insert(0) += 1;
+                    continue;
+                }
+            }
+            outcome.violations.push(f);
+        }
+        // A suppression that waived nothing is stale policy: fail it.
+        for (i, s) in suppressions.iter().enumerate() {
+            if !suppression_used[i] {
+                outcome.violations.push(Finding {
+                    rule: "suppression",
+                    file: rel_path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "unused suppression for ({}): it waives no finding — remove it",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Lints every workspace source file under `root` and aggregates the
+    /// report. Stale config entries (waiving nothing anywhere) are reported
+    /// as `suppression` violations against the config file itself.
+    pub fn lint_root(&self, root: &Path) -> io::Result<Report> {
+        let mut files = Vec::new();
+        for top in ["src", "crates", "examples", "tests"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut files)?;
+            }
+        }
+        files.sort();
+
+        fn stat<'m>(
+            per_rule: &'m mut BTreeMap<String, RuleStats>,
+            rule: &str,
+        ) -> &'m mut RuleStats {
+            per_rule
+                .entry(rule.to_string())
+                .or_insert_with(|| RuleStats {
+                    rule: rule.to_string(),
+                    violations: 0,
+                    suppressed: 0,
+                    config_allowed: 0,
+                })
+        }
+        let mut violations: Vec<ReportedFinding> = Vec::new();
+        let mut per_rule: BTreeMap<String, RuleStats> = BTreeMap::new();
+        let mut config_used = vec![false; self.config.allow.len()];
+        for path in &files {
+            let source = fs::read_to_string(path)?;
+            let rel = rel_path(root, path);
+            let outcome = self.lint_source(&rel, &source);
+            for f in &outcome.violations {
+                stat(&mut per_rule, f.rule).violations += 1;
+                violations.push(ReportedFinding {
+                    rule: f.rule.to_string(),
+                    file: f.file.clone(),
+                    line: u64::from(f.line),
+                    message: f.message.clone(),
+                });
+            }
+            for (rule, n) in &outcome.suppressed {
+                stat(&mut per_rule, rule).suppressed += n;
+            }
+            for (rule, n) in &outcome.config_allowed {
+                stat(&mut per_rule, rule).config_allowed += n;
+            }
+            for &i in &outcome.config_entries_used {
+                config_used[i] = true;
+            }
+        }
+        for (i, used) in config_used.iter().enumerate() {
+            if !used {
+                let e = &self.config.allow[i];
+                stat(&mut per_rule, "suppression").violations += 1;
+                violations.push(ReportedFinding {
+                    rule: "suppression".to_string(),
+                    file: "pnp-lint.json".to_string(),
+                    line: 0,
+                    message: format!(
+                        "stale config entry (path `{}`, rule `{}`): it waives no \
+                         finding — remove it",
+                        e.path, e.rule
+                    ),
+                });
+            }
+        }
+
+        violations.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule)
+                .cmp(&(&b.file, b.line, &b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        // Registry order, active rules only.
+        let rules: Vec<RuleStats> = RULES
+            .iter()
+            .filter_map(|r| per_rule.get(*r).cloned())
+            .filter(|s| s.violations + s.suppressed + s.config_allowed > 0)
+            .collect();
+        let total = |f: fn(&RuleStats) -> u64| rules.iter().map(f).sum();
+        Ok(Report {
+            schema_version: REPORT_SCHEMA_VERSION,
+            files_scanned: files.len() as u64,
+            violations,
+            total_violations: total(|r| r.violations),
+            total_suppressed: total(|r| r.suppressed),
+            total_config_allowed: total(|r| r.config_allowed),
+            rules,
+        })
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `target`, `vendor`, and
+/// hidden directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

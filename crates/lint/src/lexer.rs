@@ -1,0 +1,387 @@
+//! A minimal token-level Rust lexer.
+//!
+//! The lint pass needs exactly enough lexical structure to avoid false
+//! positives from text that *looks* like code but is not: string literals
+//! (plain, raw, byte, byte-raw), character literals vs. lifetimes, and
+//! line/block comments (including nested block comments). It deliberately
+//! does not build an AST — see DESIGN.md §16 for why token-level analysis is
+//! the right cost/benefit point for this workspace.
+//!
+//! Guarantees the rule engine relies on:
+//!
+//! * text inside string/char literals never produces `Ident`/`Punct` tokens,
+//!   so `"call .unwrap() here"` in a fixture cannot trip the panic rules;
+//! * comment text is preserved verbatim (with accurate line numbers), so the
+//!   doc-contract rules and the suppression parser can read it;
+//! * every token carries the 1-based line of its first character, so
+//!   findings point at real source lines.
+
+/// The lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers such as `r#type`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A string literal of any flavour; `text` is the body without quotes.
+    Str,
+    /// A character or byte literal; `text` is the body without quotes.
+    Char,
+    /// A lifetime such as `'a` (kept distinct from [`TokenKind::Char`]).
+    Lifetime,
+    /// A `//`-style comment; `text` excludes the leading slashes, so doc
+    /// comments (`///`, `//!`) keep one leading `/` or `!` marker char.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled); `text` excludes delimiters.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is included per kind).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is a comment of either style.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True for an `Ident` token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a `Punct` token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes a complete source file. Total: malformed input (unterminated
+/// strings or comments) produces best-effort tokens rather than an error —
+/// the compiler is the authority on well-formedness, not the linter.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn slice(&self, from: usize, to: usize) -> String {
+        self.chars[from.min(self.chars.len())..to.min(self.chars.len())]
+            .iter()
+            .collect()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start_line = self.line;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(start_line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start_line),
+                '"' => {
+                    self.pos += 1;
+                    self.string_body(start_line);
+                }
+                '\'' => self.lifetime_or_char(start_line),
+                'r' | 'b' if self.raw_or_byte_literal(start_line) => {}
+                _ if is_ident_start(c) => self.ident(start_line),
+                _ if c.is_ascii_digit() => self.number(start_line),
+                _ => {
+                    self.push(TokenKind::Punct, c.to_string(), start_line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start_line: u32) {
+        let body_start = self.pos + 2;
+        let mut j = body_start;
+        while j < self.chars.len() && self.chars[j] != '\n' {
+            j += 1;
+        }
+        let text = self.slice(body_start, j);
+        self.push(TokenKind::LineComment, text, start_line);
+        self.pos = j;
+    }
+
+    fn block_comment(&mut self, start_line: u32) {
+        let body_start = self.pos + 2;
+        let mut depth = 1usize;
+        let mut j = body_start;
+        while j < self.chars.len() && depth > 0 {
+            match self.chars[j] {
+                '\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                '/' if self.chars.get(j + 1) == Some(&'*') => {
+                    depth += 1;
+                    j += 2;
+                }
+                '*' if self.chars.get(j + 1) == Some(&'/') => {
+                    depth -= 1;
+                    j += 2;
+                }
+                _ => j += 1,
+            }
+        }
+        let body_end = if depth == 0 { j - 2 } else { j };
+        let text = self.slice(body_start, body_end);
+        self.push(TokenKind::BlockComment, text, start_line);
+        self.pos = j;
+    }
+
+    /// Scans a plain (escaped) string body starting *after* the opening
+    /// quote; emits the token and leaves the cursor after the closing quote.
+    fn string_body(&mut self, start_line: u32) {
+        let body_start = self.pos;
+        let mut j = self.pos;
+        while j < self.chars.len() {
+            match self.chars[j] {
+                '\\' => {
+                    if self.chars.get(j + 1) == Some(&'\n') {
+                        self.line += 1;
+                    }
+                    j += 2;
+                }
+                '"' => break,
+                '\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        let text = self.slice(body_start, j);
+        self.push(TokenKind::Str, text, start_line);
+        self.pos = (j + 1).min(self.chars.len());
+    }
+
+    /// Scans a raw string body starting at the opening quote, with `hashes`
+    /// trailing `#` markers required to close it.
+    fn raw_string_body(&mut self, hashes: usize, start_line: u32) {
+        let body_start = self.pos + 1;
+        let mut j = body_start;
+        while j < self.chars.len() {
+            match self.chars[j] {
+                '\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                '"' => {
+                    let mut k = 0usize;
+                    while k < hashes && self.chars.get(j + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        let text = self.slice(body_start, j);
+                        self.push(TokenKind::Str, text, start_line);
+                        self.pos = j + 1 + hashes;
+                        return;
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        // Unterminated raw string: emit what we have.
+        let text = self.slice(body_start, j);
+        self.push(TokenKind::Str, text, start_line);
+        self.pos = j;
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns false when the cursor is actually at a plain identifier.
+    fn raw_or_byte_literal(&mut self, start_line: u32) -> bool {
+        let c = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        if c == 'r' {
+            let mut hashes = 0usize;
+            while self.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match self.peek(1 + hashes) {
+                Some('"') => {
+                    self.pos += 1 + hashes;
+                    self.raw_string_body(hashes, start_line);
+                    return true;
+                }
+                Some(ch) if hashes == 1 && is_ident_start(ch) => {
+                    // Raw identifier `r#type`: lex as an Ident (prefix kept).
+                    let start = self.pos;
+                    let mut j = self.pos + 2;
+                    while j < self.chars.len() && is_ident_continue(self.chars[j]) {
+                        j += 1;
+                    }
+                    let text = self.slice(start, j);
+                    self.push(TokenKind::Ident, text, start_line);
+                    self.pos = j;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        // c == 'b'
+        match self.peek(1) {
+            Some('"') => {
+                self.pos += 2;
+                self.string_body(start_line);
+                true
+            }
+            Some('\'') => {
+                self.pos += 1;
+                self.lifetime_or_char(start_line);
+                true
+            }
+            Some('r') => {
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.pos += 2 + hashes;
+                    self.raw_string_body(hashes, start_line);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    /// The cursor is on the opening quote.
+    fn lifetime_or_char(&mut self, start_line: u32) {
+        let next = self.peek(1);
+        if let Some(ch) = next {
+            if is_ident_continue(ch) && ch != '\\' {
+                // Consume the identifier run after the quote.
+                let mut j = self.pos + 1;
+                while j < self.chars.len() && is_ident_continue(self.chars[j]) {
+                    j += 1;
+                }
+                if self.chars.get(j) == Some(&'\'') {
+                    // Closing quote: it was a char literal like 'a'.
+                    let text = self.slice(self.pos + 1, j);
+                    self.push(TokenKind::Char, text, start_line);
+                    self.pos = j + 1;
+                } else {
+                    let text = self.slice(self.pos, j);
+                    self.push(TokenKind::Lifetime, text, start_line);
+                    self.pos = j;
+                }
+                return;
+            }
+        }
+        // Escaped or punctuation char literal: scan to the closing quote.
+        let body_start = self.pos + 1;
+        let mut j = body_start;
+        while j < self.chars.len() {
+            match self.chars[j] {
+                '\\' => j += 2,
+                '\'' => break,
+                '\n' => {
+                    // Malformed; bail out so line counting stays correct.
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let text = self.slice(body_start, j);
+        self.push(TokenKind::Char, text, start_line);
+        self.pos = if self.chars.get(j) == Some(&'\'') {
+            j + 1
+        } else {
+            j
+        };
+    }
+
+    fn ident(&mut self, start_line: u32) {
+        let start = self.pos;
+        let mut j = self.pos;
+        while j < self.chars.len() && is_ident_continue(self.chars[j]) {
+            j += 1;
+        }
+        let text = self.slice(start, j);
+        self.push(TokenKind::Ident, text, start_line);
+        self.pos = j;
+    }
+
+    fn number(&mut self, start_line: u32) {
+        let start = self.pos;
+        let mut j = self.pos;
+        let mut seen_dot = false;
+        while j < self.chars.len() {
+            let c = self.chars[j];
+            if is_ident_continue(c) {
+                j += 1;
+            } else if c == '.'
+                && !seen_dot
+                && self
+                    .chars
+                    .get(j + 1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false)
+            {
+                // A decimal point followed by a digit (so `0..n` ranges and
+                // `x.method()` stay three separate tokens).
+                seen_dot = true;
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let text = self.slice(start, j);
+        self.push(TokenKind::Num, text, start_line);
+        self.pos = j;
+    }
+}

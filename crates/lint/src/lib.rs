@@ -1,0 +1,48 @@
+//! `pnp-lint`: the in-tree static-analysis pass (DESIGN.md §16).
+//!
+//! A dependency-free, token-level Rust scanner that enforces the three
+//! invariant families this workspace's reproducibility claims rest on:
+//!
+//! * **determinism** — no NaN-unsafe float sorts, no iteration over
+//!   `HashMap`/`HashSet` whose order can leak into results or serialized
+//!   artifacts, no wall-clock reads (`Instant::now`, `SystemTime`) inside
+//!   library crates;
+//! * **panic-safety** — no `unwrap`/`expect`/`panic!`-family macros or bare
+//!   slice indexing in library crates outside `#[cfg(test)]` code;
+//! * **doc-contract** — every `DESIGN.md §N` / `ARCHITECTURE.md §N` citation
+//!   in source comments resolves to a real section header, and every
+//!   `EXPECTED_FAIL` entry cites a real DESIGN.md subsection.
+//!
+//! The scanner is deliberately token-level, not AST-based: the offline
+//! stand-in policy (DESIGN.md §8) rules out `syn`, and the hazards above are
+//! all expressible as short token patterns plus line-range context
+//! (`#[cfg(test)]` spans, comment runs). The cost is a known, documented
+//! set of approximations — see the per-rule notes in [`rules`].
+//!
+//! Findings are waived through two audited channels: inline
+//! `// pnp-lint: allow(<rules>) — <reason>` comments ([`suppress`]) for
+//! individual sites, and path-scoped entries in the committed
+//! `pnp-lint.json` ([`config`]) for whole-crate policy. Both require a
+//! reason, and both fail the run when stale, so the waiver set can only
+//! shrink by accident, never grow.
+//!
+//! The `pnp_lint` binary wires this together: it walks `src/`, `crates/`,
+//! `examples/`, and `tests/` under the workspace root and exits non-zero on
+//! any unsuppressed violation. CI runs it in the `lint` job and publishes
+//! the per-rule table from the JSON report.
+
+pub mod catalogue;
+pub mod classify;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use catalogue::DocCatalogue;
+pub use classify::{classify, FileClass, FileKind};
+pub use config::{AllowEntry, LintConfig, CONFIG_VERSION};
+pub use engine::{FileOutcome, Linter};
+pub use report::{Report, ReportedFinding, RuleStats, REPORT_SCHEMA_VERSION};
+pub use rules::{Finding, RULES};

@@ -1,0 +1,95 @@
+//! The machine-readable lint report (`pnp_lint --format json`).
+//!
+//! The CI `lint` job publishes `rules[]` as a per-rule violation /
+//! suppression / config-waiver table in `$GITHUB_STEP_SUMMARY`, and the
+//! ROADMAP carries the waiver totals as a monotonically non-increasing
+//! baseline — so the report exposes counts for *everything it waived*, not
+//! just what it rejected.
+
+use serde::{Deserialize, Serialize};
+
+/// Report schema version (bump on incompatible layout change).
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// One unsuppressed violation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportedFinding {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u64,
+    /// Hazard description.
+    pub message: String,
+}
+
+/// Per-rule outcome counts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RuleStats {
+    /// Rule id.
+    pub rule: String,
+    /// Findings that survived both suppression channels.
+    pub violations: u64,
+    /// Findings waived by an inline `pnp-lint: allow(..)` comment.
+    pub suppressed: u64,
+    /// Findings waived by a `pnp-lint.json` allow entry.
+    pub config_allowed: u64,
+}
+
+/// The whole run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Equals [`REPORT_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Unsuppressed violations, sorted by (file, line, rule).
+    pub violations: Vec<ReportedFinding>,
+    /// Per-rule counts, in rule-registry order (only rules with activity).
+    pub rules: Vec<RuleStats>,
+    /// Sum of `violations` over `rules`.
+    pub total_violations: u64,
+    /// Sum of `suppressed` over `rules`.
+    pub total_suppressed: u64,
+    /// Sum of `config_allowed` over `rules`.
+    pub total_config_allowed: u64,
+}
+
+impl Report {
+    /// True when the tree passes under the active policy.
+    pub fn clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Renders the human-readable verdict (violations first, then the
+    /// per-rule table the CI summary mirrors).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "pnp-lint: {} file(s), {} violation(s), {} inline suppression(s), \
+             {} config waiver(s)\n",
+            self.files_scanned,
+            self.total_violations,
+            self.total_suppressed,
+            self.total_config_allowed
+        ));
+        out.push_str("rule            violations  suppressed  config-allowed\n");
+        for r in &self.rules {
+            out.push_str(&format!(
+                "{:<15} {:>10}  {:>10}  {:>14}\n",
+                r.rule, r.violations, r.suppressed, r.config_allowed
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,743 @@
+//! The rule set (DESIGN.md §16 is the narrative catalogue).
+//!
+//! Three hazard classes, matching the guarantees the runtime tests enforce:
+//!
+//! **Nondeterminism** — anything that can make two runs of the same build
+//! disagree, which breaks the bit-identity contracts (DESIGN.md §9, §10,
+//! §14, §15) and the content-addressed byte-identity contract (§12):
+//!
+//! * `float-sort` — `partial_cmp(..).unwrap()/.expect(..)`: panics on NaN
+//!   and, when "handled" with `unwrap_or`, silently order-unstable; the
+//!   committee and tuner paths must use `total_cmp`.
+//! * `hash-iter` — iterating a `HashMap`/`HashSet`: iteration order is
+//!   randomized per instance, so any order-dependent output downstream
+//!   (serialization, ranking, report rows) becomes run-dependent.
+//! * `hash-serde` — a `#[derive(Serialize)]` type with a `HashMap`/`HashSet`
+//!   field: byte output then depends on the serializer's ordering policy,
+//!   which the content-addressed store must never do.
+//! * `wall-clock` — `Instant::now` / `SystemTime` in library code: time is
+//!   an input no deterministic pipeline may read (harness binaries measure
+//!   wall time by design and are exempt by classification).
+//!
+//! **Panic-safety** — library crates steer toward the typed-error idiom of
+//! PRs 4/6/8 instead of panicking on malformed input:
+//!
+//! * `unwrap` — `.unwrap()` / `.expect(..)` outside `#[cfg(test)]`.
+//! * `panic` — `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//!   (`assert!` family is deliberately not flagged: asserted invariants are
+//!   the documented alternative to unchecked UB, and clippy already walls
+//!   off arithmetic/indexing misuse).
+//! * `slice-index` — `expr[...]` indexing, which panics out of bounds; the
+//!   dense numeric kernels waive this per-crate with a reasoned config
+//!   entry rather than per-site noise.
+//!
+//! **Doc-contract** — rustdoc citations must resolve:
+//!
+//! * `design-ref` — every `§N`/`§N.M` citation in a comment resolves
+//!   against DESIGN.md (or ARCHITECTURE.md when the comment names it).
+//! * `xfail-ref` — every `ExpectedFailEntry { .. }` literal is preceded by
+//!   a comment citing an existing DESIGN.md §11.x/§13.x subsection.
+//!
+//! Plus `suppression` (emitted by the engine): malformed, unknown-rule,
+//! or unused suppressions and stale config entries.
+
+use crate::catalogue::{section_number_at, Doc, DocCatalogue};
+use crate::classify::{FileClass, FileKind};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Every rule id, in report order. `suppression` is engine-emitted.
+pub const RULES: &[&str] = &[
+    "float-sort",
+    "hash-iter",
+    "hash-serde",
+    "wall-clock",
+    "unwrap",
+    "panic",
+    "slice-index",
+    "design-ref",
+    "xfail-ref",
+    "suppression",
+];
+
+/// One raw finding (pre-suppression).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id (an element of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the hazard at this site.
+    pub message: String,
+}
+
+/// A lexed file prepared for rule checks.
+pub struct FileView<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Rule-policy class.
+    pub class: FileClass,
+    /// Full token stream (comments included).
+    pub tokens: &'a [Token],
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Per-`code`-index flag: inside an outer `#[...]` / `#![...]` span.
+    pub in_attr: Vec<bool>,
+    /// Line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> FileView<'a> {
+    /// Prepares a view over a lexed file.
+    pub fn new(path: &'a str, class: FileClass, tokens: &'a [Token]) -> Self {
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let in_attr = attr_mask(tokens, &code);
+        let test_ranges = cfg_test_ranges(tokens, &code);
+        FileView {
+            path,
+            class,
+            tokens,
+            code,
+            in_attr,
+            test_ranges,
+        }
+    }
+
+    fn tok(&self, k: usize) -> &Token {
+        &self.tokens[self.code[k]]
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item (or the whole
+    /// file is test code).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.class.kind == FileKind::Test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Marks the code-token spans of outer/inner attributes `#[...]` / `#![...]`.
+fn attr_mask(tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut k = 0usize;
+    while k < code.len() {
+        if tokens[code[k]].is_punct('#') {
+            let mut open = k + 1;
+            if open < code.len() && tokens[code[open]].is_punct('!') {
+                open += 1;
+            }
+            if open < code.len() && tokens[code[open]].is_punct('[') {
+                let mut depth = 0usize;
+                let mut j = open;
+                while j < code.len() {
+                    let t = &tokens[code[j]];
+                    if t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end = j.min(code.len() - 1);
+                for m in mask.iter_mut().take(end + 1).skip(k) {
+                    *m = true;
+                }
+                k = end + 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    mask
+}
+
+/// Finds `#[cfg(test)]`-gated items and returns their line spans.
+fn cfg_test_ranges(tokens: &[Token], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let at = |k: usize| -> Option<&Token> { code.get(k).map(|&i| &tokens[i]) };
+    let mut k = 0usize;
+    while k < code.len() {
+        // Match `#[cfg(` with `test` anywhere inside the parens.
+        let is_cfg_test = at(k).map(|t| t.is_punct('#')).unwrap_or(false)
+            && at(k + 1).map(|t| t.is_punct('[')).unwrap_or(false)
+            && at(k + 2).map(|t| t.is_ident("cfg")).unwrap_or(false)
+            && at(k + 3).map(|t| t.is_punct('(')).unwrap_or(false);
+        if !is_cfg_test {
+            k += 1;
+            continue;
+        }
+        let start_line = at(k).map(|t| t.line).unwrap_or(1);
+        // Scan the attribute body to the matching `]`, noting `test`.
+        let mut saw_test = false;
+        let mut depth = 0usize;
+        let mut j = k + 1;
+        while j < code.len() {
+            let Some(t) = at(j) else { break };
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                saw_test = true;
+            }
+            j += 1;
+        }
+        if !saw_test {
+            k = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then consume one item.
+        let mut p = j + 1;
+        while p + 1 < code.len()
+            && at(p).map(|t| t.is_punct('#')).unwrap_or(false)
+            && at(p + 1).map(|t| t.is_punct('[')).unwrap_or(false)
+        {
+            let mut depth = 0usize;
+            let mut q = p + 1;
+            while q < code.len() {
+                let Some(t) = at(q) else { break };
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                q += 1;
+            }
+            p = q + 1;
+        }
+        // The item ends at `;` before any brace, or at the matching `}`.
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while p < code.len() {
+            let Some(t) = at(p) else { break };
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                end_line = t.line;
+                break;
+            }
+            end_line = t.line;
+            p += 1;
+        }
+        ranges.push((start_line, end_line));
+        k = p + 1;
+    }
+    ranges
+}
+
+/// Runs every syntactic rule over one file.
+pub fn check_file(view: &FileView<'_>, catalogue: &DocCatalogue) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_float_sort(view, &mut out);
+    check_hash_iter(view, &mut out);
+    check_hash_serde(view, &mut out);
+    check_wall_clock(view, &mut out);
+    check_unwrap(view, &mut out);
+    check_panic(view, &mut out);
+    check_slice_index(view, &mut out);
+    check_design_ref(view, catalogue, &mut out);
+    check_xfail_ref(view, catalogue, &mut out);
+    out
+}
+
+/// Determinism rules apply to library and harness code alike (a harness
+/// report row ordered by hash iteration is still a nondeterministic
+/// artifact); panic rules apply to library code only.
+fn determinism_applies(view: &FileView<'_>, line: u32) -> bool {
+    view.class.kind != FileKind::Test && !view.is_test_line(line)
+}
+
+fn panic_rules_apply(view: &FileView<'_>, line: u32) -> bool {
+    view.class.kind == FileKind::Library && !view.is_test_line(line)
+}
+
+fn check_float_sort(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    for k in 0..view.code.len() {
+        if !view.tok(k).is_ident("partial_cmp") {
+            continue;
+        }
+        let line = view.tok(k).line;
+        if !determinism_applies(view, line) {
+            continue;
+        }
+        // Look ahead for `.unwrap()` / `.expect(` in the same expression.
+        let mut j = k + 1;
+        let limit = (k + 40).min(view.code.len());
+        while j < limit {
+            let t = view.tok(j);
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && j >= 1
+                && view.tok(j - 1).is_punct('.')
+            {
+                out.push(
+                    view.finding(
+                        "float-sort",
+                        line,
+                        "`partial_cmp(..).unwrap()` panics on NaN and is order-unstable; \
+                     use `total_cmp` in float comparators"
+                            .into(),
+                    ),
+                );
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Collects identifiers declared (or assigned) with a hash-table type in
+/// this file: `name: HashMap<..>` (lets, fields, params) and
+/// `name = HashMap::new()` forms.
+fn hash_names(view: &FileView<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for k in 0..view.code.len() {
+        let t = view.tok(k);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(next) = view.code.get(k + 1).map(|_| view.tok(k + 1)) else {
+            continue;
+        };
+        // `name :` but not `name ::` and not `:: name :`-style paths.
+        let typed = next.is_punct(':')
+            && view
+                .code
+                .get(k + 2)
+                .map(|_| !view.tok(k + 2).is_punct(':'))
+                .unwrap_or(false)
+            && (k == 0 || !view.tok(k - 1).is_punct(':'));
+        let assigned = next.is_punct('=');
+        if !typed && !assigned {
+            continue;
+        }
+        let stop_at_comma = typed;
+        let limit = (k + 12).min(view.code.len());
+        let mut j = k + 2;
+        while j < limit {
+            let u = view.tok(j);
+            if u.is_punct(';') || u.is_punct('{') || (stop_at_comma && u.is_punct(',')) {
+                break;
+            }
+            if u.kind == TokenKind::Ident && HASH_TYPES.contains(&u.text.as_str()) {
+                names.insert(t.text.clone());
+                break;
+            }
+            j += 1;
+        }
+    }
+    names
+}
+
+fn check_hash_iter(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    let names = hash_names(view);
+    if names.is_empty() {
+        return;
+    }
+    for k in 0..view.code.len() {
+        let t = view.tok(k);
+        let line = t.line;
+        if !determinism_applies(view, line) {
+            continue;
+        }
+        // `name.iter()` and friends. Only bare `name` and `self.name`
+        // receivers count: `other.name` is a field of a *different* struct
+        // that merely shares the name, and its type is unknown here.
+        if t.kind == TokenKind::Ident && names.contains(&t.text) {
+            if k >= 1
+                && view.tok(k - 1).is_punct('.')
+                && !(k >= 2 && view.tok(k - 2).is_ident("self"))
+            {
+                continue;
+            }
+            if k + 2 < view.code.len()
+                && view.tok(k + 1).is_punct('.')
+                && view.tok(k + 2).kind == TokenKind::Ident
+                && ITER_METHODS.contains(&view.tok(k + 2).text.as_str())
+            {
+                out.push(view.finding(
+                    "hash-iter",
+                    line,
+                    format!(
+                        "iteration over hash table `{}` is order-randomized; sort the \
+                         items first or use a BTree collection",
+                        t.text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `for pat in [&mut] name {`.
+        if t.is_ident("for") {
+            let limit = (k + 24).min(view.code.len());
+            let mut depth = 0usize;
+            let mut j = k + 1;
+            while j < limit {
+                let u = view.tok(j);
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && u.is_ident("in") {
+                    let mut m = j + 1;
+                    while m < view.code.len()
+                        && (view.tok(m).is_punct('&') || view.tok(m).is_ident("mut"))
+                    {
+                        m += 1;
+                    }
+                    if m + 1 < view.code.len()
+                        && view.tok(m).kind == TokenKind::Ident
+                        && names.contains(&view.tok(m).text)
+                        && view.tok(m + 1).is_punct('{')
+                    {
+                        out.push(view.finding(
+                            "hash-iter",
+                            view.tok(m).line,
+                            format!(
+                                "`for .. in {}` iterates a hash table in randomized \
+                                 order; sort the items first or use a BTree collection",
+                                view.tok(m).text
+                            ),
+                        ));
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+fn check_hash_serde(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    let mut k = 0usize;
+    while k < view.code.len() {
+        // Find a `derive(.. Serialize|Deserialize ..)` attribute.
+        if !(view.tok(k).is_ident("derive") && view.in_attr[k]) {
+            k += 1;
+            continue;
+        }
+        let attr_line = view.tok(k).line;
+        let mut saw_serde = false;
+        let mut j = k + 1;
+        while j < view.code.len() && view.in_attr[j] {
+            let t = view.tok(j);
+            if t.is_ident("Serialize") || t.is_ident("Deserialize") {
+                saw_serde = true;
+            }
+            j += 1;
+        }
+        if !saw_serde || !determinism_applies(view, attr_line) {
+            k = j;
+            continue;
+        }
+        // Skip any further attributes, then scan the following item body.
+        let mut p = j;
+        while p + 1 < view.code.len() && view.in_attr[p] {
+            p += 1;
+        }
+        let mut depth = 0usize;
+        while p < view.code.len() {
+            let t = view.tok(p);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            } else if t.kind == TokenKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                out.push(view.finding(
+                    "hash-serde",
+                    t.line,
+                    format!(
+                        "`{}` field in a serializable type: byte output depends on the \
+                         serializer's ordering policy; use a BTree collection so the \
+                         content-addressed byte-identity contract (DESIGN.md §12) cannot \
+                         depend on it",
+                        t.text
+                    ),
+                ));
+            }
+            p += 1;
+        }
+        k = p + 1;
+    }
+}
+
+fn check_wall_clock(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    for k in 0..view.code.len() {
+        let t = view.tok(k);
+        let line = t.line;
+        if !panic_rules_apply(view, line) {
+            // Wall-clock shares the library-only scope of the panic rules.
+            continue;
+        }
+        if t.is_ident("SystemTime") {
+            out.push(
+                view.finding(
+                    "wall-clock",
+                    line,
+                    "`SystemTime` in deterministic library code: time is an input no \
+                 reproducible pipeline may read"
+                        .into(),
+                ),
+            );
+        } else if t.is_ident("Instant")
+            && k + 3 < view.code.len()
+            && view.tok(k + 1).is_punct(':')
+            && view.tok(k + 2).is_punct(':')
+            && view.tok(k + 3).is_ident("now")
+        {
+            out.push(
+                view.finding(
+                    "wall-clock",
+                    line,
+                    "`Instant::now` in deterministic library code: wall-clock reads belong \
+                 in harness binaries (which are exempt by classification)"
+                        .into(),
+                ),
+            );
+        }
+    }
+}
+
+fn check_unwrap(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    for k in 1..view.code.len() {
+        let t = view.tok(k);
+        if !(t.is_ident("unwrap") || t.is_ident("expect")) {
+            continue;
+        }
+        if !view.tok(k - 1).is_punct('.') {
+            continue;
+        }
+        if !(k + 1 < view.code.len() && view.tok(k + 1).is_punct('(')) {
+            continue;
+        }
+        let line = t.line;
+        if !panic_rules_apply(view, line) {
+            continue;
+        }
+        out.push(view.finding(
+            "unwrap",
+            line,
+            format!(
+                "`.{}(..)` in library code panics on the error path; return a typed \
+                 error instead (the PR 4/6/8 idiom)",
+                t.text
+            ),
+        ));
+    }
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn check_panic(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    for k in 0..view.code.len() {
+        let t = view.tok(k);
+        if t.kind != TokenKind::Ident || !PANIC_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !(k + 1 < view.code.len() && view.tok(k + 1).is_punct('!')) {
+            continue;
+        }
+        if view.in_attr[k] {
+            continue;
+        }
+        let line = t.line;
+        if !panic_rules_apply(view, line) {
+            continue;
+        }
+        out.push(view.finding(
+            "panic",
+            line,
+            format!(
+                "`{}!` in library code; return a typed error instead (the PR 4/6/8 idiom)",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Keywords that may legally precede `[` without it being an indexing
+/// expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "break", "continue", "in", "else", "mut", "ref", "move", "as", "dyn", "where",
+    "unsafe", "use", "pub", "let", "const", "static", "enum", "struct", "union", "type", "impl",
+    "match", "if", "while", "loop", "for",
+];
+
+fn check_slice_index(view: &FileView<'_>, out: &mut Vec<Finding>) {
+    for k in 1..view.code.len() {
+        let t = view.tok(k);
+        if !t.is_punct('[') || view.in_attr[k] {
+            continue;
+        }
+        let prev = view.tok(k - 1);
+        let indexes = match prev.kind {
+            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+            _ => false,
+        };
+        if !indexes {
+            continue;
+        }
+        let line = t.line;
+        if !panic_rules_apply(view, line) {
+            continue;
+        }
+        out.push(
+            view.finding(
+                "slice-index",
+                line,
+                "indexing panics out of bounds; prefer `get`/iterators, or waive per \
+             crate where indices are bounded by construction"
+                    .into(),
+            ),
+        );
+    }
+}
+
+fn check_design_ref(view: &FileView<'_>, catalogue: &DocCatalogue, out: &mut Vec<Finding>) {
+    for tok in view.tokens.iter().filter(|t| t.is_comment()) {
+        let chars: Vec<char> = tok.text.chars().collect();
+        for i in 0..chars.len() {
+            if chars[i] != '§' {
+                continue;
+            }
+            let Some(sec) = section_number_at(&chars, i + 1) else {
+                continue; // Roman-numeral paper sections (§IV-B) are not ours.
+            };
+            // The governing document is the nearest preceding mention in the
+            // same comment; bare citations default to DESIGN.md (the
+            // repository convention, README "Documentation").
+            let before: String = chars[..i].iter().collect();
+            let doc = match (before.rfind("DESIGN"), before.rfind("ARCHITECTURE")) {
+                (Some(d), Some(a)) if a > d => Doc::Architecture,
+                (None, Some(_)) => Doc::Architecture,
+                _ => Doc::Design,
+            };
+            if !catalogue.resolves(doc, &sec) {
+                let line_offset = chars[..i].iter().filter(|&&c| c == '\n').count() as u32;
+                let doc_name = match doc {
+                    Doc::Design => "DESIGN.md",
+                    Doc::Architecture => "ARCHITECTURE.md",
+                };
+                out.push(view.finding(
+                    "design-ref",
+                    tok.line + line_offset,
+                    format!("citation `§{sec}` does not resolve to a section of {doc_name}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Item keywords that mean `ExpectedFailEntry {` is a definition, not a
+/// literal.
+const DEFN_KEYWORDS: &[&str] = &["struct", "enum", "union", "trait", "impl", "mod", "for"];
+
+fn check_xfail_ref(view: &FileView<'_>, catalogue: &DocCatalogue, out: &mut Vec<Finding>) {
+    // Walk the *full* token stream so comment runs can be associated with
+    // the entries that follow them.
+    let mut last_comment_sections: Vec<String> = Vec::new();
+    let mut prev_was_comment = false;
+    let mut prev_code: Option<&Token> = None;
+    for (i, tok) in view.tokens.iter().enumerate() {
+        if tok.is_comment() {
+            if !prev_was_comment {
+                last_comment_sections.clear();
+            }
+            let chars: Vec<char> = tok.text.chars().collect();
+            for c in 0..chars.len() {
+                if chars[c] == '§' {
+                    if let Some(sec) = section_number_at(&chars, c + 1) {
+                        last_comment_sections.push(sec);
+                    }
+                }
+            }
+            prev_was_comment = true;
+            continue;
+        }
+        prev_was_comment = false;
+        let is_entry_literal = tok.is_ident("ExpectedFailEntry")
+            && view
+                .tokens
+                .get(i + 1..)
+                .and_then(|rest| rest.iter().find(|t| !t.is_comment()))
+                .map(|t| t.is_punct('{'))
+                .unwrap_or(false)
+            && prev_code
+                .map(|p| {
+                    // Exclude definitions (`struct ExpectedFailEntry {`) and
+                    // return-type positions (`-> ExpectedFailEntry {`).
+                    !(p.is_punct('>')
+                        || p.kind == TokenKind::Ident && DEFN_KEYWORDS.contains(&p.text.as_str()))
+                })
+                .unwrap_or(true);
+        if is_entry_literal {
+            let documented = last_comment_sections
+                .iter()
+                .any(|sec| catalogue.is_design_subsection(sec));
+            if !documented {
+                out.push(
+                    view.finding(
+                        "xfail-ref",
+                        tok.line,
+                        "`ExpectedFailEntry` must be preceded by a comment citing the \
+                     DESIGN.md §11.x/§13.x subsection that documents the gap"
+                            .into(),
+                    ),
+                );
+            }
+        }
+        prev_code = Some(tok);
+    }
+}

@@ -1,0 +1,170 @@
+//! Inline suppression comments.
+//!
+//! Grammar (one line comment, same line as the finding or the line above):
+//!
+//! ```text
+//! // pnp-lint: allow(rule-a, rule-b) — reason text
+//! ```
+//!
+//! The reason separator may be an em dash, `--`, `-`, or `:`; the reason is
+//! mandatory. A comment that starts with the `pnp-lint:` marker but does not
+//! parse — missing reason, missing rule list, unknown rule — is itself a
+//! `suppression` violation, as is a suppression that matches no finding
+//! (both are checked by the engine, which owns the rule registry and the
+//! finding stream).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line of the comment; suppresses findings on this line and the next.
+    pub line: u32,
+    /// Rules the comment waives.
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// A suppression comment that failed to parse.
+#[derive(Clone, Debug)]
+pub struct BadSuppression {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// The marker every suppression comment starts with (after trimming).
+pub const MARKER: &str = "pnp-lint:";
+
+/// Extracts suppressions from a token stream. Only line comments are
+/// honoured; a `pnp-lint:` marker inside a block comment is reported as
+/// malformed rather than silently ignored.
+pub fn extract(tokens: &[Token]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        let trimmed = tok.text.trim();
+        if !trimmed.starts_with(MARKER) {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::LineComment => match parse_marker(trimmed, tok.line) {
+                Ok(s) => ok.push(s),
+                Err(b) => bad.push(b),
+            },
+            TokenKind::BlockComment => bad.push(BadSuppression {
+                line: tok.line,
+                message: "suppressions must be `//` line comments, not block comments".into(),
+            }),
+            _ => {}
+        }
+    }
+    (ok, bad)
+}
+
+fn parse_marker(trimmed: &str, line: u32) -> Result<Suppression, BadSuppression> {
+    let err = |message: &str| BadSuppression {
+        line,
+        message: message.to_string(),
+    };
+    let rest = trimmed[MARKER.len()..].trim_start();
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| err("expected `allow(<rules>) — <reason>` after `pnp-lint:`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| err("expected `(` after `allow`"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| err("unclosed rule list: expected `)`"))?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err(err("empty rule list in `allow()`"));
+    }
+    let mut reason = rest[close + 1..].trim_start();
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(stripped) = reason.strip_prefix(sep) {
+            reason = stripped.trim_start();
+            break;
+        }
+    }
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(err(
+            "suppression reason is mandatory: `allow(<rules>) — <reason>`",
+        ));
+    }
+    Ok(Suppression {
+        line,
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_a_well_formed_suppression() {
+        let src = "let x = 1; // pnp-lint: allow(unwrap, slice-index) — bounded by construction\n";
+        let (ok, bad) = extract(&lex(src));
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rules, vec!["unwrap", "slice-index"]);
+        assert_eq!(ok[0].reason, "bounded by construction");
+        assert_eq!(ok[0].line, 1);
+    }
+
+    #[test]
+    fn ascii_separators_work_too() {
+        let (ok, _) = extract(&lex("// pnp-lint: allow(unwrap) -- checked above\n"));
+        assert_eq!(ok[0].reason, "checked above");
+        let (ok, _) = extract(&lex("// pnp-lint: allow(unwrap): checked above\n"));
+        assert_eq!(ok[0].reason, "checked above");
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (ok, bad) = extract(&lex("// pnp-lint: allow(unwrap)\n"));
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("mandatory"));
+    }
+
+    #[test]
+    fn separator_with_no_text_is_still_missing_a_reason() {
+        let (ok, bad) = extract(&lex("// pnp-lint: allow(unwrap) — \n"));
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn empty_rule_list_is_malformed() {
+        let (ok, bad) = extract(&lex("// pnp-lint: allow() — because\n"));
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_marker_is_malformed() {
+        let (ok, bad) = extract(&lex("/* pnp-lint: allow(unwrap) — x */\n"));
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn marker_inside_string_literal_is_ignored() {
+        let (ok, bad) = extract(&lex("let s = \"pnp-lint: allow(unwrap) — nope\";\n"));
+        assert!(ok.is_empty());
+        assert!(bad.is_empty());
+    }
+}

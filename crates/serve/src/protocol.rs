@@ -131,7 +131,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
 
 /// Serializes and writes one message.
 pub fn write_message<T: Serialize>(w: &mut impl Write, message: &T) -> std::io::Result<()> {
-    let json = serde_json::to_string(message).expect("protocol types serialize");
+    let json = serde_json::to_string(message)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     write_frame(w, json.as_bytes())
 }
 

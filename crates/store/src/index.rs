@@ -169,7 +169,8 @@ impl StoreIndex {
             schema: SCHEMA_VERSION,
             entries: self.entries.clone(),
         };
-        let json = serde_json::to_string(&file).expect("index serializes");
+        let json = serde_json::to_string(&file)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         write_atomic(&path, json.as_bytes())?;
         Ok(path)
     }

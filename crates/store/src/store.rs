@@ -327,7 +327,8 @@ impl Store {
             payload_len: payload.len(),
             payload_sha256: sha256_hex(payload),
         };
-        let header_json = serde_json::to_string(&header).expect("header serializes");
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let mut bytes = Vec::with_capacity(header_json.len() + 1 + payload.len());
         bytes.extend_from_slice(header_json.as_bytes());
         bytes.push(b'\n');

@@ -110,7 +110,7 @@ pub fn topk_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
     for (r, &t) in targets.iter().enumerate() {
         let row = logits.row(r);
         let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
         if idx.iter().take(k).any(|&i| i == t) {
             correct += 1;
         }
@@ -121,6 +121,22 @@ pub fn topk_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topk_ranking_is_total_and_pinned_under_nan_and_signed_zero() {
+        // NaN must not panic the comparator. Under `total_cmp`, NaN sorts
+        // above +inf, so descending rank order is pinned: NaN, 2.0, 0.0,
+        // -0.0, -1.0 — the target at column 1 (2.0) is within top-2.
+        let logits = Tensor::from_rows(&[vec![0.0, 2.0, f32::NAN, -0.0, -1.0]]);
+        assert_eq!(topk_accuracy(&logits, &[2], 1), 1.0); // NaN column ranks first
+        assert_eq!(topk_accuracy(&logits, &[1], 2), 1.0);
+        assert_eq!(topk_accuracy(&logits, &[1], 1), 0.0);
+        // Signed zero: total_cmp orders -0.0 below 0.0, so top-3 holds
+        // column 0 (+0.0) and top-4 is needed for column 3 (-0.0).
+        assert_eq!(topk_accuracy(&logits, &[0], 3), 1.0);
+        assert_eq!(topk_accuracy(&logits, &[3], 3), 0.0);
+        assert_eq!(topk_accuracy(&logits, &[3], 4), 1.0);
+    }
 
     #[test]
     fn softmax_rows_sum_to_one() {

@@ -130,8 +130,9 @@ impl<'a> OpenTunerLike<'a> {
                     let ucb = |i: usize| {
                         credit[i] / uses[i] + (2.0 * total_uses.ln() / uses[i]).sqrt() * 0.3
                     };
-                    ucb(a).partial_cmp(&ucb(b)).unwrap()
+                    ucb(a).total_cmp(&ucb(b))
                 })
+                // pnp-lint: allow(unwrap) — TECHNIQUES is a non-empty const array
                 .unwrap();
             let candidate = match TECHNIQUES[t_idx] {
                 Technique::Random => candidates[rng.below(candidates.len())],

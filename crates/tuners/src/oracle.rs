@@ -60,12 +60,8 @@ impl<'a> OracleTuner<'a> {
         let sweep = self.sweep(evaluator, objective);
         let (best_point, best_sample) = sweep
             .into_iter()
-            .min_by(|a, b| {
-                objective
-                    .score(&a.1)
-                    .partial_cmp(&objective.score(&b.1))
-                    .unwrap()
-            })
+            .min_by(|a, b| objective.score(&a.1).total_cmp(&objective.score(&b.1)))
+            // pnp-lint: allow(unwrap) — the sweep visits every candidate and the space is non-empty
             .expect("search space is never empty");
         TuningResult::new("oracle", best_point, best_sample, evaluator.evaluations())
     }
@@ -100,6 +96,24 @@ mod tests {
         let oracle = OracleTuner::new(&space);
         let result = oracle.tune(&eval, &Objective::Edp);
         assert_eq!(result.evaluations, 504);
+    }
+
+    #[test]
+    fn oracle_selection_is_bitwise_identical_across_runs() {
+        // The `total_cmp` argmin must pick the same point with the same
+        // score bits on every run — ties and denormals included.
+        let (space, _) = setup();
+        let objective = Objective::Edp;
+        let run = || {
+            let (_, eval) = setup();
+            OracleTuner::new(&space).tune(&eval, &objective)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_point, b.best_point);
+        assert_eq!(
+            objective.score(&a.best_sample).to_bits(),
+            objective.score(&b.best_sample).to_bits()
+        );
     }
 
     #[test]

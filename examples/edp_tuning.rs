@@ -40,15 +40,15 @@ fn main() {
     let sweep = oracle.sweep(&evaluator, &Objective::Edp);
     let fastest = sweep
         .iter()
-        .min_by(|a, b| a.1.time_s.partial_cmp(&b.1.time_s).unwrap())
+        .min_by(|a, b| a.1.time_s.total_cmp(&b.1.time_s))
         .unwrap();
     let greenest = sweep
         .iter()
-        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).unwrap())
+        .min_by(|a, b| a.1.energy_j.total_cmp(&b.1.energy_j))
         .unwrap();
     let best_edp = sweep
         .iter()
-        .min_by(|a, b| a.1.edp().partial_cmp(&b.1.edp()).unwrap())
+        .min_by(|a, b| a.1.edp().total_cmp(&b.1.edp()))
         .unwrap();
 
     let describe = |name: &str, point: &pnp_tuners::ConfigPoint, s: &pnp_machine::EnergySample| {
