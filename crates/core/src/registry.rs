@@ -138,6 +138,7 @@ impl ModelDescriptor {
 /// The registry: every dataset and model grid in one store, joined.
 pub struct ModelRegistry {
     store: Store,
+    generation: String,
     datasets: Vec<DatasetDescriptor>,
     models: Vec<ModelDescriptor>,
 }
@@ -221,6 +222,7 @@ impl ModelRegistry {
         }
         ModelRegistry {
             store,
+            generation: index.generation().to_string(),
             datasets,
             models,
         }
@@ -229,6 +231,14 @@ impl ModelRegistry {
     /// The underlying store.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Generation stamp of the store index this registry was assembled
+    /// from ([`StoreIndex::generation`]). The serve daemon's reload watcher
+    /// compares this against the store's current generation to decide when
+    /// a hot reload is due.
+    pub fn generation(&self) -> &str {
+        &self.generation
     }
 
     /// All stored datasets, in index (kind, address) order.

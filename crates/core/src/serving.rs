@@ -67,6 +67,13 @@ pub struct TuneRequest {
     pub objective: TuneObjective,
     /// The kernel.
     pub kernel: KernelInput,
+    /// Per-request deadline in milliseconds, measured from the moment the
+    /// daemon admits the request. `None` (or an absent field, which old
+    /// clients send) means no deadline. A request whose deadline passes
+    /// while it waits in the dispatcher queue is answered with a typed
+    /// rejection instead of a stale prediction — the degradation contract
+    /// (DESIGN.md §17).
+    pub deadline_ms: Option<u64>,
 }
 
 /// A successful prediction.
@@ -589,10 +596,12 @@ impl TuneService {
         }
 
         for ((objective_kind, power_idx), indices) in groups {
-            let group: Vec<&EncodedGraph> = indices
+            // Grouped requests all resolved a graph; pairing index and graph
+            // through one filter keeps them aligned without a panic path.
+            let (indices, group): (Vec<usize>, Vec<&EncodedGraph>) = indices
                 .iter()
-                .map(|&i| graphs[i].as_ref().expect("grouped request has a graph"))
-                .collect();
+                .filter_map(|&i| graphs.get(i).and_then(|g| g.as_ref()).map(|g| (i, g)))
+                .unzip();
             let classes = if objective_kind == 0 {
                 committee_predict_batch(
                     &mut self.time[power_idx],
@@ -623,9 +632,11 @@ impl TuneService {
             }
         }
 
+        // Every slot is settled above; if one ever were not, a typed error
+        // beats a daemon-killing panic.
         slots
             .into_iter()
-            .map(|slot| slot.expect("every request slot settled"))
+            .map(|slot| slot.unwrap_or_else(|| Err("internal: request slot left unsettled".into())))
             .collect()
     }
 }
@@ -934,11 +945,19 @@ mod tests {
                 kinds: vec![0, 1],
                 relations: vec![vec![(0, 1)], vec![], vec![]],
             }),
+            deadline_ms: Some(250),
         };
         let json = serde_json::to_string(&request).unwrap();
         let back: TuneRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back.id, 7);
         assert_eq!(back.objective, request.objective);
+        assert_eq!(back.deadline_ms, Some(250));
+        // A frame from a client predating deadlines has no `deadline_ms`
+        // field at all; it must parse as "no deadline", not an error.
+        let legacy = json.replace(",\"deadline_ms\":250", "");
+        assert_ne!(legacy, json, "the field was present to remove");
+        let back: TuneRequest = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.deadline_ms, None);
         let response = TuneResponse::err(7, "unknown machine \"riscv\"");
         let json = serde_json::to_string(&response).unwrap();
         let back: TuneResponse = serde_json::from_str(&json).unwrap();

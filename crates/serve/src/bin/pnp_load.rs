@@ -8,8 +8,10 @@
 //! ```text
 //! pnp_load (--addr HOST:PORT | --port-file PATH) [--machine haswell]
 //!          [--workers 1,2,4,8] [--requests N] [--inflight N] [--rate R]
-//!          [--gen-kernels N] [--out BENCH_serve.json]
-//!          [--min-speedup S:T] [--min-throughput R] [--shutdown]
+//!          [--deadline-ms MS] [--gen-kernels N] [--out BENCH_serve.json]
+//!          [--min-speedup S:T] [--min-throughput R] [--max-p99-ms MS]
+//!          [--require-sheds] [--wait-machine NAME] [--wait-secs N]
+//!          [--shutdown]
 //! ```
 //!
 //! By default the loop is closed with `--inflight` requests outstanding;
@@ -19,12 +21,24 @@
 //! gate requires batched throughput at `T` workers to reach `S×` the
 //! 1-worker anchor, with the usual fewer-cores auto-skip; `--min-throughput`
 //! is an absolute floor on the best phase.
+//!
+//! Degradation-aware gates (SERVING.md "Overload behavior"): typed
+//! `Rejected` responses are counted as sheds or deadline rejections — never
+//! as protocol errors, which must stay zero. Latency percentiles cover
+//! *accepted* requests only. `--require-sheds` fails the run when the
+//! daemon shed nothing (the overload smoke asserts backpressure actually
+//! engaged); `--max-p99-ms` bounds every phase's accepted-p99 — together
+//! they demonstrate that under saturation the daemon refuses load fast
+//! instead of serving everything slowly. `--wait-machine NAME` polls the
+//! daemon until NAME appears in its serving list (up to `--wait-secs`,
+//! default 30) — how the reload smoke synchronizes with the registry
+//! watcher.
 
 use pnp_bench::{
     banner, bool_flag_from, enforce_min_speedup, percentile, string_flag_from, Provenance,
 };
 use pnp_core::serving::{KernelInput, TuneObjective, TuneRequest};
-use pnp_serve::{read_message, write_message, Client, Request, Response};
+use pnp_serve::{read_message, write_message, Client, RejectReason, Request, Response};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -36,6 +50,9 @@ use std::time::{Duration, Instant};
 struct Run {
     workers: usize,
     requests: usize,
+    accepted: usize,
+    shed: usize,
+    deadline_rejected: usize,
     errors: usize,
     wall_s: f64,
     throughput_rps: f64,
@@ -53,20 +70,38 @@ struct Report {
     requests_per_phase: usize,
     inflight: usize,
     rate_rps: f64,
+    deadline_ms: u64,
     grids_loaded: usize,
     grids_skipped: usize,
     max_batch_seen: u64,
     fused_batches: u64,
     fused_graphs: u64,
     max_fused_batch: u64,
+    shed_requests: u64,
+    deadline_expired: u64,
+    reloads: u64,
     context: Provenance,
     runs: Vec<Run>,
+}
+
+/// What one measured phase observed on the wire.
+struct PhaseOutcome {
+    wall_s: f64,
+    /// Latencies of accepted (answered) requests only, in milliseconds.
+    latencies: Vec<f64>,
+    shed: usize,
+    deadline_rejected: usize,
+    errors: usize,
 }
 
 /// The request mix: every region of the paper suite as a `Source` input
 /// plus `gen_kernels` generated kernels, round-robined. Returns
 /// `(templates, suite count, generated count)`.
-fn workload(machine: &str, gen_kernels: usize) -> (Vec<TuneRequest>, usize, usize) {
+fn workload(
+    machine: &str,
+    gen_kernels: usize,
+    deadline_ms: u64,
+) -> (Vec<TuneRequest>, usize, usize) {
     let mut kernels: Vec<KernelInput> = Vec::new();
     let mut suite_kernels = 0;
     for app in pnp_benchmarks::full_suite() {
@@ -101,6 +136,7 @@ fn workload(machine: &str, gen_kernels: usize) -> (Vec<TuneRequest>, usize, usiz
             } else {
                 TuneObjective::Edp
             },
+            deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
             kernel,
         })
         .collect();
@@ -109,15 +145,16 @@ fn workload(machine: &str, gen_kernels: usize) -> (Vec<TuneRequest>, usize, usiz
 
 /// One measured phase: `requests` tune requests pipelined over the
 /// connection, `inflight` outstanding (closed loop), or paced at `rate`/s
-/// (open loop) when `rate > 0`. Returns `(wall seconds, latencies in ms,
-/// error count)`.
+/// (open loop) when `rate > 0`. Typed rejections are tallied, not treated
+/// as errors — a shed request still consumes one offered slot and one
+/// response frame.
 fn run_phase(
     stream: &TcpStream,
     templates: &[TuneRequest],
     requests: usize,
     inflight: usize,
     rate: f64,
-) -> (f64, Vec<f64>, usize) {
+) -> PhaseOutcome {
     let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
     let (credit_tx, credit_rx) = mpsc::channel::<()>();
     let started = Instant::now();
@@ -126,6 +163,8 @@ fn run_phase(
     let mut read_stream = stream.try_clone().expect("clone stream for reading");
     let reader = std::thread::spawn(move || {
         let mut latencies = Vec::with_capacity(requests);
+        let mut shed = 0usize;
+        let mut deadline_rejected = 0usize;
         let mut errors = 0usize;
         for _ in 0..requests {
             let response = read_message::<Response>(&mut read_stream)
@@ -144,11 +183,22 @@ fn run_phase(
                         errors += 1;
                     }
                 }
+                Response::Rejected { id, reason } => {
+                    reader_sent_at
+                        .lock()
+                        .unwrap()
+                        .remove(&id)
+                        .expect("rejection correlates to a sent request");
+                    match reason {
+                        RejectReason::Overloaded => shed += 1,
+                        RejectReason::DeadlineExceeded => deadline_rejected += 1,
+                    }
+                }
                 other => panic!("unexpected response in tune phase: {other:?}"),
             }
             let _ = credit_tx.send(());
         }
-        (latencies, errors)
+        (latencies, shed, deadline_rejected, errors)
     });
 
     let mut write_stream = stream.try_clone().expect("clone stream for writing");
@@ -167,8 +217,14 @@ fn run_phase(
         sent_at.lock().unwrap().insert(request.id, Instant::now());
         write_message(&mut write_stream, &Request::Tune(request)).expect("send request");
     }
-    let (latencies, errors) = reader.join().expect("reader thread");
-    (started.elapsed().as_secs_f64(), latencies, errors)
+    let (latencies, shed, deadline_rejected, errors) = reader.join().expect("reader thread");
+    PhaseOutcome {
+        wall_s: started.elapsed().as_secs_f64(),
+        latencies,
+        shed,
+        deadline_rejected,
+        errors,
+    }
 }
 
 fn main() {
@@ -197,6 +253,8 @@ fn main() {
     let requests: usize = flag("--requests").map_or(300, |v| v.parse().expect("--requests N"));
     let inflight: usize = flag("--inflight").map_or(32, |v| v.parse().expect("--inflight N"));
     let rate: f64 = flag("--rate").map_or(0.0, |v| v.parse().expect("--rate R"));
+    let deadline_ms: u64 =
+        flag("--deadline-ms").map_or(0, |v| v.parse().expect("--deadline-ms MS"));
     let gen_kernels: usize =
         flag("--gen-kernels").map_or(24, |v| v.parse().expect("--gen-kernels N"));
     let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
@@ -210,8 +268,12 @@ fn main() {
     });
     let min_throughput: Option<f64> =
         flag("--min-throughput").map(|v| v.parse().expect("--min-throughput R"));
+    let max_p99_ms: Option<f64> = flag("--max-p99-ms").map(|v| v.parse().expect("--max-p99-ms MS"));
+    let require_sheds = bool_flag_from(&args, "--require-sheds");
+    let wait_secs: u64 = flag("--wait-secs").map_or(30, |v| v.parse().expect("--wait-secs N"));
 
-    let (templates, suite_kernels, generated_kernels) = workload(&machine, gen_kernels);
+    let (templates, suite_kernels, generated_kernels) =
+        workload(&machine, gen_kernels, deadline_ms);
     eprintln!(
         "[pnp_load] workload: {suite_kernels} suite kernel(s) + {generated_kernels} generated, \
          {requests} request(s)/phase, inflight {inflight}, machine {machine}"
@@ -223,6 +285,31 @@ fn main() {
         other => panic!("daemon ping failed: {other:?}"),
     }
 
+    if let Some(wanted) = flag("--wait-machine") {
+        // The registry watcher reloads asynchronously; poll until the
+        // machine shows up in the serving list or the budget runs out.
+        let waiting_since = Instant::now();
+        loop {
+            let machines = match control.request(&Request::Stats) {
+                Ok(Response::Stats(stats)) => stats.machines,
+                other => panic!("Stats failed while waiting for machine: {other:?}"),
+            };
+            if machines.iter().any(|m| m == &wanted) {
+                eprintln!(
+                    "[pnp_load] machine {wanted} is now served ({:.1}s wait)",
+                    waiting_since.elapsed().as_secs_f64()
+                );
+                break;
+            }
+            assert!(
+                waiting_since.elapsed().as_secs() < wait_secs,
+                "machine {wanted} did not appear within --wait-secs {wait_secs} \
+                 (serving: {machines:?})"
+            );
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
     let mut runs: Vec<Run> = Vec::new();
     for &w in &workers {
         match control.request(&Request::SetWorkers { workers: w }) {
@@ -232,27 +319,41 @@ fn main() {
         let stream = Client::connect(&addr)
             .unwrap_or_else(|e| panic!("connect {addr}: {e}"))
             .into_stream();
-        let (wall_s, latencies, errors) = run_phase(&stream, &templates, requests, inflight, rate);
-        let throughput = requests as f64 / wall_s;
+        let outcome = run_phase(&stream, &templates, requests, inflight, rate);
+        let accepted = outcome.latencies.len();
+        let throughput = accepted as f64 / outcome.wall_s;
         let anchor = runs.first().map_or(throughput, |r| r.throughput_rps);
         let run = Run {
             workers: w,
             requests,
-            errors,
-            wall_s,
+            accepted,
+            shed: outcome.shed,
+            deadline_rejected: outcome.deadline_rejected,
+            errors: outcome.errors,
+            wall_s: outcome.wall_s,
             throughput_rps: throughput,
-            p50_ms: percentile(&latencies, 50.0),
-            p99_ms: percentile(&latencies, 99.0),
-            speedup_vs_1w: throughput / anchor,
+            p50_ms: percentile(&outcome.latencies, 50.0),
+            p99_ms: percentile(&outcome.latencies, 99.0),
+            speedup_vs_1w: if anchor > 0.0 {
+                throughput / anchor
+            } else {
+                0.0
+            },
         };
         eprintln!(
-            "[pnp_load] workers {w}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, {errors} error(s), \
-             speedup {:.2}x",
-            run.throughput_rps, run.p50_ms, run.p99_ms, run.speedup_vs_1w
+            "[pnp_load] workers {w}: {:.1} req/s accepted, p50 {:.2} ms, p99 {:.2} ms, \
+             {} shed, {} deadline-rejected, {} error(s), speedup {:.2}x",
+            run.throughput_rps,
+            run.p50_ms,
+            run.p99_ms,
+            run.shed,
+            run.deadline_rejected,
+            run.errors,
+            run.speedup_vs_1w
         );
         assert_eq!(
-            errors, 0,
-            "served workload must not produce error responses"
+            run.errors, 0,
+            "served workload must not produce error responses (typed rejections are not errors)"
         );
         runs.push(run);
     }
@@ -278,19 +379,57 @@ fn main() {
         requests_per_phase: requests,
         inflight,
         rate_rps: rate,
+        deadline_ms,
         grids_loaded: stats.grids_loaded,
         grids_skipped: stats.grids_skipped,
         max_batch_seen: stats.max_batch_seen,
         fused_batches: stats.fused_batches,
         fused_graphs: stats.fused_graphs,
         max_fused_batch: stats.max_fused_batch,
+        shed_requests: stats.shed_requests,
+        deadline_expired: stats.deadline_expired,
+        reloads: stats.reloads,
         context,
         runs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write timing JSON");
     eprintln!("[pnp_load] wrote {out}");
+    eprintln!(
+        "[pnp_load] daemon counters: {} shed, {} deadline-expired, {} hot reload(s)",
+        stats.shed_requests, stats.deadline_expired, stats.reloads
+    );
 
+    if require_sheds {
+        let total_rejected: usize = report
+            .runs
+            .iter()
+            .map(|r| r.shed + r.deadline_rejected)
+            .sum();
+        if total_rejected == 0 {
+            eprintln!(
+                "[pnp_load] FAIL: --require-sheds was set but the daemon rejected nothing — \
+                 backpressure never engaged"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[pnp_load] shed gate passed: {total_rejected} typed rejection(s) observed");
+    }
+    if let Some(bound) = max_p99_ms {
+        for run in &report.runs {
+            if run.accepted == 0 {
+                continue;
+            }
+            if run.p99_ms > bound {
+                eprintln!(
+                    "[pnp_load] FAIL: workers {} accepted-p99 {:.2} ms exceeds --max-p99-ms {:.2}",
+                    run.workers, run.p99_ms, bound
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[pnp_load] p99 gate passed: every phase's accepted-p99 <= {bound:.2} ms");
+    }
     if let Some(floor) = min_throughput {
         let best = report
             .runs

@@ -1,10 +1,12 @@
 //! The tuning daemon (SERVING.md): loads every model grid from the artifact
 //! store once at startup, then serves tune requests over the
-//! length-prefixed socket protocol with cross-connection batching.
+//! length-prefixed socket protocol with cross-connection batching,
+//! admission control, per-request deadlines, and hot model reload.
 //!
 //! ```text
 //! pnp_serve --store DIR [--addr 127.0.0.1:0] [--port-file PATH]
-//!           [--replicas N] [--workers N] [--max-batch N] [--stdio]
+//!           [--replicas N] [--workers N] [--max-batch N] [--max-queue N]
+//!           [--reload-poll-ms MS] [--stdio]
 //! ```
 //!
 //! `--store` falls back to the `PNP_STORE` environment variable. With
@@ -12,13 +14,24 @@
 //! writes the bound port as decimal text once the listener is ready, which
 //! is how CI and `pnp_load --port-file` synchronize startup. `--stdio`
 //! serves a single session over stdin/stdout instead of a socket.
+//!
+//! `--max-queue` bounds queued-but-unserved tune requests across all
+//! connections; beyond it the daemon sheds with typed `Rejected` responses
+//! (DESIGN.md §17). The default `0` means auto: `max_batch ×` the resolved
+//! worker count — enough headroom to keep every worker fed with a full
+//! batch, small enough that queueing delay stays bounded. `--reload-poll-ms`
+//! sets how often the registry watcher checks the store's index generation
+//! for hot reload (default 1000; `0` disables the watcher).
 
 use pnp_bench::{banner, bool_flag_from, string_flag_from};
 use pnp_core::registry::ModelRegistry;
-use pnp_serve::{serve, serve_stdio, EngineConfig, ServeEngine, DEFAULT_MAX_BATCH};
+use pnp_openmp::Threads;
+use pnp_serve::{serve, serve_stdio, EngineConfig, ServeConfig, ServeEngine, DEFAULT_MAX_BATCH};
 use pnp_store::Store;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usize_flag(args: &[String], flag: &str, default: usize) -> usize {
     string_flag_from(args, flag)
@@ -48,7 +61,20 @@ fn main() {
         replicas: usize_flag(&args, "--replicas", 0),
         workers: usize_flag(&args, "--workers", 0),
     };
-    let max_batch = usize_flag(&args, "--max-batch", DEFAULT_MAX_BATCH);
+    let max_batch = usize_flag(&args, "--max-batch", DEFAULT_MAX_BATCH).max(1);
+    let max_queue = match usize_flag(&args, "--max-queue", 0) {
+        // Auto: a full batch per worker may be in flight, and as much again
+        // may wait — beyond that, shedding beats queueing.
+        0 => {
+            let workers = match config.workers {
+                0 => Threads::Auto.resolve(),
+                n => n,
+            };
+            max_batch * workers.max(1)
+        }
+        n => n,
+    };
+    let reload_poll_ms = usize_flag(&args, "--reload-poll-ms", 1000);
 
     let registry = ModelRegistry::open(store);
     eprintln!(
@@ -67,28 +93,49 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("[pnp-serve] serving machines: {}", machines.join(", "));
+    eprintln!("[pnp-serve] admission: max {max_queue} queued request(s), batches of {max_batch}");
     let engine = Arc::new(engine);
+    let serve_config = ServeConfig::new(max_batch, max_queue, Arc::new(Instant::now));
+
+    let watcher_stop = Arc::new(AtomicBool::new(false));
+    let watcher = match reload_poll_ms {
+        0 => {
+            eprintln!("[pnp-serve] registry watcher disabled (--reload-poll-ms 0)");
+            None
+        }
+        ms => {
+            eprintln!("[pnp-serve] registry watcher: polling store generation every {ms} ms");
+            Some(
+                engine.spawn_reload_watcher(Duration::from_millis(ms as u64), watcher_stop.clone()),
+            )
+        }
+    };
 
     if bool_flag_from(&args, "--stdio") {
-        serve_stdio(engine, max_batch);
-        return;
+        serve_stdio(engine.clone(), serve_config);
+    } else {
+        let addr = string_flag_from(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+        let listener =
+            TcpListener::bind(&addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+        let local = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        eprintln!("[pnp-serve] listening on {local}");
+        if let Some(path) = string_flag_from(&args, "--port-file") {
+            // Write-then-rename so a watcher never reads a half-written port.
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, format!("{}\n", local.port()))
+                .and_then(|()| std::fs::rename(&tmp, &path))
+                .unwrap_or_else(|e| panic!("cannot write port file {path}: {e}"));
+            eprintln!("[pnp-serve] port file: {path}");
+        }
+        serve(listener, engine.clone(), serve_config);
     }
 
-    let addr = string_flag_from(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
-    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
-    let local = listener
-        .local_addr()
-        .expect("bound listener has an address");
-    eprintln!("[pnp-serve] listening on {local}");
-    if let Some(path) = string_flag_from(&args, "--port-file") {
-        // Write-then-rename so a watcher never reads a half-written port.
-        let tmp = format!("{path}.tmp");
-        std::fs::write(&tmp, format!("{}\n", local.port()))
-            .and_then(|()| std::fs::rename(&tmp, &path))
-            .unwrap_or_else(|e| panic!("cannot write port file {path}: {e}"));
-        eprintln!("[pnp-serve] port file: {path}");
+    watcher_stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = watcher {
+        let _ = handle.join();
     }
-    serve(listener, engine.clone(), max_batch);
     let stats = engine.stats();
     eprintln!(
         "[pnp-serve] shutdown after {} request(s) in {} batch(es) (max batch {})",
@@ -97,5 +144,9 @@ fn main() {
     eprintln!(
         "[pnp-serve] fused inference: {} graph(s) in {} fused group(s) (max fused {})",
         stats.fused_graphs, stats.fused_batches, stats.max_fused_batch
+    );
+    eprintln!(
+        "[pnp-serve] degradation: {} shed, {} deadline-expired, {} hot reload(s)",
+        stats.shed_requests, stats.deadline_expired, stats.reloads
     );
 }

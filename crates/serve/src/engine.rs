@@ -1,4 +1,5 @@
-//! The serving engine: registry-driven startup and batched inference.
+//! The serving engine: registry-driven startup, batched inference, and hot
+//! model reload.
 //!
 //! At startup the engine walks the [`ModelRegistry`], loads every machine's
 //! dataset once, restores **every** model grid in the store (fit-checking
@@ -15,17 +16,28 @@
 //! to the single-graph one, so the response vector is bit-identical for
 //! every worker/replica count and batch composition — and identical to the
 //! offline [`TuneService::tune`] path (DESIGN.md §14).
+//!
+//! The registry and replica pools are one atomically swappable snapshot:
+//! [`ServeEngine::reload`] rebuilds them *off* the serving path from a
+//! fresh registry and swaps the snapshot in one write-lock critical
+//! section, so in-flight batches finish on the pools they started with and
+//! new batches see the new grids — no restart, no dropped request
+//! (DESIGN.md §17). [`ServeEngine::spawn_reload_watcher`] automates this by
+//! polling the store's index generation ([`pnp_store::StoreIndex`]).
 
 use pnp_core::registry::{ModelDescriptor, ModelRegistry};
 use pnp_core::serving::{
     restore_grid, GridPipeline, KernelInput, TuneObjective, TuneRequest, TuneResponse, TuneService,
 };
 use pnp_openmp::{parallel_map_with_state, Threads};
+use pnp_store::{Store, StoreIndex};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread;
+use std::time::Duration;
 
-use crate::protocol::ServeStats;
+use crate::protocol::{ServeStats, PROTOCOL_VERSION};
 
 /// Startup knobs of the engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -38,8 +50,8 @@ pub struct EngineConfig {
     pub workers: usize,
 }
 
-/// What the cold start did — one line per grid, printed by the daemon and
-/// asserted on by the integration tests.
+/// What a cold start or a reload did — one line per grid, printed by the
+/// daemon and asserted on by the integration tests.
 #[derive(Clone, Debug, Default)]
 pub struct StartupReport {
     /// Grids that restored cleanly (fit check passed).
@@ -58,11 +70,23 @@ impl StartupReport {
     }
 }
 
-/// The daemon's shared state: one replica pool per serveable machine plus
-/// the registry for `List`/`Describe`.
+/// One machine's checkout pool of interchangeable service replicas.
+type ReplicaPools = BTreeMap<String, Vec<Mutex<TuneService>>>;
+
+/// The swappable snapshot: everything that changes together on a reload.
+/// Batches clone the `pools` Arc once at entry, so a swap mid-batch is
+/// invisible to that batch (DESIGN.md §17).
+struct LiveState {
+    registry: Arc<ModelRegistry>,
+    pools: Arc<ReplicaPools>,
+    generation: String,
+}
+
+/// The daemon's shared state: the swappable registry + replica-pool
+/// snapshot, plus the serving and degradation counters.
 pub struct ServeEngine {
-    registry: ModelRegistry,
-    machines: BTreeMap<String, Vec<Mutex<TuneService>>>,
+    live: RwLock<LiveState>,
+    replicas: usize,
     workers: AtomicUsize,
     requests: AtomicU64,
     batches: AtomicU64,
@@ -70,8 +94,12 @@ pub struct ServeEngine {
     fused_batches: AtomicU64,
     fused_graphs: AtomicU64,
     max_fused_batch: AtomicU64,
-    grids_loaded: usize,
-    grids_skipped: usize,
+    shed_requests: AtomicU64,
+    deadline_expired: AtomicU64,
+    queue_depth: AtomicU64,
+    reloads: AtomicU64,
+    grids_loaded: AtomicUsize,
+    grids_skipped: AtomicUsize,
 }
 
 fn grid_pipeline(model: &ModelDescriptor) -> GridPipeline {
@@ -88,6 +116,117 @@ fn grid_pipeline(model: &ModelDescriptor) -> GridPipeline {
     }
 }
 
+/// Restores and fit-checks every grid in `registry`, then builds the
+/// per-machine replica pools — the shared body of cold start and reload.
+fn build_pools(
+    registry: &ModelRegistry,
+    replicas: usize,
+    report: &mut StartupReport,
+) -> ReplicaPools {
+    let mut machines: ReplicaPools = BTreeMap::new();
+
+    for dataset in registry.datasets() {
+        let Some(ds) = registry.load_dataset(dataset) else {
+            report.log(format!(
+                "machine {}: dataset {} failed to load — skipping its grids",
+                dataset.machine, dataset.address
+            ));
+            report.grids_skipped += registry
+                .models()
+                .iter()
+                .filter(|m| m.dataset_sha256 == dataset.sha256)
+                .count();
+            continue;
+        };
+        // Fit-check every grid trained on this dataset, serveable or not:
+        // a corrupt checkpoint must surface at startup, not at request
+        // time.
+        let mut statics: BTreeMap<&str, &ModelDescriptor> = BTreeMap::new();
+        for model in registry
+            .models()
+            .iter()
+            .filter(|m| m.dataset_sha256 == dataset.sha256)
+        {
+            let outcome = model.settings().and_then(|settings| {
+                registry
+                    .load_grid(model)
+                    .ok_or_else(|| "grid payload failed to load".to_string())
+                    .and_then(|grid| {
+                        restore_grid(&ds, &settings, grid_pipeline(model), &grid)
+                            .map(|models| models.len())
+                    })
+            });
+            match outcome {
+                Ok(n) => {
+                    report.grids_loaded += 1;
+                    report.log(format!("loaded {} ({n} checkpoints)", model.id));
+                    if !model.dynamic && model.held_out_power.is_none() {
+                        statics.insert(model.pipeline.as_str(), model);
+                    }
+                }
+                Err(why) => {
+                    report.grids_skipped += 1;
+                    report.log(format!("SKIP {}: {why}", model.id));
+                }
+            }
+        }
+
+        if ds.is_empty() {
+            report.log(format!(
+                "machine {}: dataset is empty — nothing to serve",
+                dataset.machine
+            ));
+            continue;
+        }
+        if machines.contains_key(&dataset.machine) {
+            report.log(format!(
+                "machine {}: already served by an earlier dataset — skipping {}",
+                dataset.machine, dataset.address
+            ));
+            continue;
+        }
+        let (Some(s1), Some(s2)) = (statics.get("scenario1"), statics.get("scenario2")) else {
+            report.log(format!(
+                "machine {}: no loadable static scenario1+scenario2 pair — not serving",
+                dataset.machine
+            ));
+            continue;
+        };
+        let (Ok(settings), Some(grid1), Some(grid2)) = (
+            s1.settings(),
+            registry.load_grid(s1),
+            registry.load_grid(s2),
+        ) else {
+            report.log(format!(
+                "machine {}: static grids vanished between fit check and restore",
+                dataset.machine
+            ));
+            continue;
+        };
+        let mut pool = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            match TuneService::restore(&ds, &settings, &grid1, &grid2, &s1.id, &s2.id) {
+                Ok(service) => pool.push(Mutex::new(service)),
+                Err(why) => {
+                    report.log(format!(
+                        "machine {}: replica restore failed: {why}",
+                        dataset.machine
+                    ));
+                    break;
+                }
+            }
+        }
+        if pool.len() == replicas {
+            report.log(format!(
+                "machine {}: serving with {} replica(s) (time={}, edp={})",
+                dataset.machine, replicas, s1.id, s2.id
+            ));
+            machines.insert(dataset.machine.clone(), pool);
+        }
+    }
+    machines
+}
+
 impl ServeEngine {
     /// Cold start: restore every grid in the registry, then build the
     /// replica pools. Serving zero machines is a valid (if useless) state —
@@ -99,111 +238,16 @@ impl ServeEngine {
         } else {
             config.replicas
         };
-        let mut machines: BTreeMap<String, Vec<Mutex<TuneService>>> = BTreeMap::new();
-
-        for dataset in registry.datasets() {
-            let Some(ds) = registry.load_dataset(dataset) else {
-                report.log(format!(
-                    "machine {}: dataset {} failed to load — skipping its grids",
-                    dataset.machine, dataset.address
-                ));
-                report.grids_skipped += registry
-                    .models()
-                    .iter()
-                    .filter(|m| m.dataset_sha256 == dataset.sha256)
-                    .count();
-                continue;
-            };
-            // Fit-check every grid trained on this dataset, serveable or not:
-            // a corrupt checkpoint must surface at startup, not at request
-            // time.
-            let mut statics: BTreeMap<&str, &ModelDescriptor> = BTreeMap::new();
-            for model in registry
-                .models()
-                .iter()
-                .filter(|m| m.dataset_sha256 == dataset.sha256)
-            {
-                let outcome = model.settings().and_then(|settings| {
-                    registry
-                        .load_grid(model)
-                        .ok_or_else(|| "grid payload failed to load".to_string())
-                        .and_then(|grid| {
-                            restore_grid(&ds, &settings, grid_pipeline(model), &grid)
-                                .map(|models| models.len())
-                        })
-                });
-                match outcome {
-                    Ok(n) => {
-                        report.grids_loaded += 1;
-                        report.log(format!("loaded {} ({n} checkpoints)", model.id));
-                        if !model.dynamic && model.held_out_power.is_none() {
-                            statics.insert(model.pipeline.as_str(), model);
-                        }
-                    }
-                    Err(why) => {
-                        report.grids_skipped += 1;
-                        report.log(format!("SKIP {}: {why}", model.id));
-                    }
-                }
-            }
-
-            if ds.is_empty() {
-                report.log(format!(
-                    "machine {}: dataset is empty — nothing to serve",
-                    dataset.machine
-                ));
-                continue;
-            }
-            if machines.contains_key(&dataset.machine) {
-                report.log(format!(
-                    "machine {}: already served by an earlier dataset — skipping {}",
-                    dataset.machine, dataset.address
-                ));
-                continue;
-            }
-            let (Some(s1), Some(s2)) = (statics.get("scenario1"), statics.get("scenario2")) else {
-                report.log(format!(
-                    "machine {}: no loadable static scenario1+scenario2 pair — not serving",
-                    dataset.machine
-                ));
-                continue;
-            };
-            let (Ok(settings), Some(grid1), Some(grid2)) = (
-                s1.settings(),
-                registry.load_grid(s1),
-                registry.load_grid(s2),
-            ) else {
-                report.log(format!(
-                    "machine {}: static grids vanished between fit check and restore",
-                    dataset.machine
-                ));
-                continue;
-            };
-            let mut pool = Vec::with_capacity(replicas);
-            for _ in 0..replicas {
-                match TuneService::restore(&ds, &settings, &grid1, &grid2, &s1.id, &s2.id) {
-                    Ok(service) => pool.push(Mutex::new(service)),
-                    Err(why) => {
-                        report.log(format!(
-                            "machine {}: replica restore failed: {why}",
-                            dataset.machine
-                        ));
-                        break;
-                    }
-                }
-            }
-            if pool.len() == replicas {
-                report.log(format!(
-                    "machine {}: serving with {replicas} replica(s) (time={}, edp={})",
-                    dataset.machine, s1.id, s2.id
-                ));
-                machines.insert(dataset.machine.clone(), pool);
-            }
-        }
+        let pools = build_pools(&registry, replicas, &mut report);
+        let generation = registry.generation().to_string();
 
         let engine = ServeEngine {
-            registry,
-            machines,
+            live: RwLock::new(LiveState {
+                registry: Arc::new(registry),
+                pools: Arc::new(pools),
+                generation,
+            }),
+            replicas,
             workers: AtomicUsize::new(config.workers),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -211,20 +255,35 @@ impl ServeEngine {
             fused_batches: AtomicU64::new(0),
             fused_graphs: AtomicU64::new(0),
             max_fused_batch: AtomicU64::new(0),
-            grids_loaded: report.grids_loaded,
-            grids_skipped: report.grids_skipped,
+            shed_requests: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            grids_loaded: AtomicUsize::new(report.grids_loaded),
+            grids_skipped: AtomicUsize::new(report.grids_skipped),
         };
         (engine, report)
     }
 
-    /// Machines with a ready replica pool.
-    pub fn machines(&self) -> Vec<String> {
-        self.machines.keys().cloned().collect()
+    fn live(&self) -> std::sync::RwLockReadGuard<'_, LiveState> {
+        self.live.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The registry the engine was started from.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    /// Machines with a ready replica pool (in the current snapshot).
+    pub fn machines(&self) -> Vec<String> {
+        self.live().pools.keys().cloned().collect()
+    }
+
+    /// The registry behind the current snapshot (`List`/`Describe` answer
+    /// from this; a reload swaps it together with the pools).
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        self.live().registry.clone()
+    }
+
+    /// Generation stamp of the store index the current snapshot was built
+    /// from.
+    pub fn generation(&self) -> String {
+        self.live().generation.clone()
     }
 
     /// Sets the batch worker count (0 = one per available core).
@@ -239,13 +298,43 @@ impl ServeEngine {
         }
     }
 
+    /// Admission control (DESIGN.md §17): reserves a dispatcher-queue slot
+    /// for one tune request. Returns `false` — and counts a shed — when the
+    /// queue already holds `max_queue` requests; the caller must then
+    /// answer with a typed `Overloaded` rejection instead of enqueueing.
+    /// Every admitted request must be paired with one [`ServeEngine::departed`]
+    /// call when it leaves the queue.
+    pub fn admit(&self, max_queue: usize) -> bool {
+        let prior = self.queue_depth.fetch_add(1, Ordering::SeqCst);
+        if prior >= max_queue as u64 {
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            self.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Releases the queue slot taken by [`ServeEngine::admit`] — called by
+    /// the dispatcher as it dequeues, whatever it then decides to do with
+    /// the request.
+    pub fn departed(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Counts one request whose deadline budget ran out in the queue.
+    pub fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Serves one batch: requests are partitioned by machine, each
     /// machine's slice is grouped by objective, and the groups fan out over
     /// the worker pool with replica checkout — each group running as one
     /// fused block-diagonal forward ([`TuneService::tune_batch`],
     /// DESIGN.md §15). Responses come back in request order, bit-identical
     /// to serving each request alone. Unknown machines get error responses;
-    /// nothing panics on client input.
+    /// nothing panics on client input. The replica-pool snapshot is taken
+    /// once at entry, so a concurrent reload never splits a batch across
+    /// two model generations (DESIGN.md §17).
     pub fn tune_batch(&self, requests: &[TuneRequest]) -> Vec<TuneResponse> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -253,41 +342,51 @@ impl ServeEngine {
         self.max_batch_seen
             .fetch_max(requests.len() as u64, Ordering::Relaxed);
         let threads = self.batch_threads();
+        let pools = self.live().pools.clone();
 
-        let mut slots: Vec<Option<TuneResponse>> = vec![None; requests.len()];
-        let mut by_machine: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut settled: BTreeMap<usize, TuneResponse> = BTreeMap::new();
+        let mut by_machine: BTreeMap<&str, Vec<(usize, &TuneRequest)>> = BTreeMap::new();
         for (i, request) in requests.iter().enumerate() {
-            match self.machines.get(&request.machine) {
-                Some(_) => by_machine
+            match pools.contains_key(&request.machine) {
+                true => by_machine
                     .entry(request.machine.as_str())
                     .or_default()
-                    .push(i),
-                None => {
-                    slots[i] = Some(TuneResponse::err(
-                        request.id,
-                        format!(
-                            "unknown machine {:?} (serving: {:?})",
-                            request.machine,
-                            self.machines().join(", ")
+                    .push((i, request)),
+                false => {
+                    settled.insert(
+                        i,
+                        TuneResponse::err(
+                            request.id,
+                            format!(
+                                "unknown machine {:?} (serving: {:?})",
+                                request.machine,
+                                self.machines().join(", ")
+                            ),
                         ),
-                    ))
+                    );
                 }
             }
         }
-        for (machine, indices) in by_machine {
-            let pool = &self.machines[machine];
+        for (machine, entries) in by_machine {
+            let Some(pool) = pools.get(machine) else {
+                // Unreachable (partitioned on the same snapshot above), but
+                // an unsettled slot degrades to a typed error, never a
+                // panic.
+                continue;
+            };
             // Group by objective: requests sharing a committee fuse into one
             // block-diagonal forward. Keys are `(0, power_idx)` for time and
             // `(1, 0)` for EDP — BTreeMap order keeps dispatch deterministic.
-            let mut by_objective: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
-            for &i in &indices {
-                let key = match requests[i].objective {
+            let mut by_objective: BTreeMap<(usize, usize), Vec<(usize, &TuneRequest)>> =
+                BTreeMap::new();
+            for (i, request) in entries {
+                let key = match request.objective {
                     TuneObjective::Time { power_idx } => (0, power_idx),
                     TuneObjective::Edp => (1, 0),
                 };
-                by_objective.entry(key).or_default().push(i);
+                by_objective.entry(key).or_default().push((i, request));
             }
-            let groups: Vec<Vec<usize>> = by_objective.into_values().collect();
+            let groups: Vec<Vec<(usize, &TuneRequest)>> = by_objective.into_values().collect();
             for group in &groups {
                 self.fused_batches.fetch_add(1, Ordering::Relaxed);
                 self.fused_graphs
@@ -299,22 +398,30 @@ impl ServeEngine {
                 parallel_map_with_state(&groups, threads, pool, |group, service| {
                     let bodies: Vec<(&KernelInput, TuneObjective)> = group
                         .iter()
-                        .map(|&i| (&requests[i].kernel, requests[i].objective))
+                        .map(|(_, request)| (&request.kernel, request.objective))
                         .collect();
                     service.tune_batch(&bodies)
                 });
             for (group, results) in groups.iter().zip(group_results) {
-                for (&i, result) in group.iter().zip(results) {
-                    slots[i] = Some(match result {
-                        Ok(prediction) => TuneResponse::ok(requests[i].id, prediction),
-                        Err(why) => TuneResponse::err(requests[i].id, why),
-                    });
+                for ((i, request), result) in group.iter().zip(results) {
+                    settled.insert(
+                        *i,
+                        match result {
+                            Ok(prediction) => TuneResponse::ok(request.id, prediction),
+                            Err(why) => TuneResponse::err(request.id, why),
+                        },
+                    );
                 }
             }
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every request slot filled"))
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                settled.remove(&i).unwrap_or_else(|| {
+                    TuneResponse::err(request.id, "internal: request slot left unsettled")
+                })
+            })
             .collect()
     }
 
@@ -324,7 +431,82 @@ impl ServeEngine {
         self.tune_batch(std::slice::from_ref(request))
             .into_iter()
             .next()
-            .expect("one response per request")
+            .unwrap_or_else(|| TuneResponse::err(request.id, "internal: batch answered nothing"))
+    }
+
+    /// Hot model reload (DESIGN.md §17): restores and fit-checks every grid
+    /// of `registry` *off* the serving path, then swaps the
+    /// registry + pools + generation snapshot in one critical section.
+    /// Batches already running keep the pool Arc they cloned at entry and
+    /// finish undisturbed; the next batch serves the new grids.
+    pub fn reload(&self, registry: ModelRegistry) -> StartupReport {
+        let mut report = StartupReport::default();
+        let pools = build_pools(&registry, self.replicas, &mut report);
+        let generation = registry.generation().to_string();
+        {
+            let mut live = self.live.write().unwrap_or_else(PoisonError::into_inner);
+            live.registry = Arc::new(registry);
+            live.pools = Arc::new(pools);
+            live.generation = generation;
+        }
+        self.grids_loaded
+            .store(report.grids_loaded, Ordering::Relaxed);
+        self.grids_skipped
+            .store(report.grids_skipped, Ordering::Relaxed);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        report.log(format!(
+            "hot reload #{}: {} grid(s) loaded, {} skipped",
+            self.reloads.load(Ordering::Relaxed),
+            report.grids_loaded,
+            report.grids_skipped
+        ));
+        report
+    }
+
+    /// One watcher tick: reopens the store, loads (or rebuilds) its index,
+    /// and hot-reloads when the generation stamp moved. Returns whether a
+    /// reload happened. Cheap when nothing changed — one small JSON read
+    /// plus a file-name walk, no artifact payload is touched.
+    pub fn reload_if_stale(&self) -> bool {
+        let (root, force, verify) = {
+            let live = self.live();
+            let store = live.registry.store();
+            (
+                store.root().to_path_buf(),
+                store.force_rebuild(),
+                store.verify(),
+            )
+        };
+        let store = Store::open(root)
+            .with_force_rebuild(force)
+            .with_verify(verify);
+        let index = StoreIndex::load_or_rebuild(&store);
+        if index.generation() == self.generation() {
+            return false;
+        }
+        self.reload(ModelRegistry::from_index(store, &index));
+        true
+    }
+
+    /// Spawns the registry watcher: every `poll`, check the store's index
+    /// generation and hot-reload on change, until `stop` is set. The daemon
+    /// binary runs this for the life of the process; tests drive
+    /// [`ServeEngine::reload_if_stale`] directly when they want determinism.
+    pub fn spawn_reload_watcher(
+        self: &Arc<ServeEngine>,
+        poll: Duration,
+        stop: Arc<AtomicBool>,
+    ) -> thread::JoinHandle<()> {
+        let engine = Arc::clone(self);
+        thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                thread::sleep(poll);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                engine.reload_if_stale();
+            }
+        })
     }
 
     /// Serving counters since startup.
@@ -337,9 +519,14 @@ impl ServeEngine {
             fused_graphs: self.fused_graphs.load(Ordering::Relaxed),
             max_fused_batch: self.max_fused_batch.load(Ordering::Relaxed),
             machines: self.machines(),
-            grids_loaded: self.grids_loaded,
-            grids_skipped: self.grids_skipped,
+            grids_loaded: self.grids_loaded.load(Ordering::Relaxed),
+            grids_skipped: self.grids_skipped.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            protocol: PROTOCOL_VERSION,
         }
     }
 }

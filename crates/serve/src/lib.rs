@@ -9,7 +9,8 @@
 //!   the [`protocol::Request`]/[`protocol::Response`] envelopes around
 //!   `pnp_core::serving`'s tune types.
 //! * [`server`] — TCP (and stdio) serving with the cross-connection
-//!   batching dispatcher, and the blocking [`server::Client`].
+//!   batching dispatcher, admission control and per-request deadlines
+//!   (DESIGN.md §17), and the blocking [`server::Client`].
 //!
 //! Two binaries ship with the crate: `pnp_serve` (the daemon) and
 //! `pnp_load` (the load generator behind `BENCH_serve.json`). The
@@ -24,6 +25,7 @@ pub mod server;
 
 pub use engine::{EngineConfig, ServeEngine, StartupReport};
 pub use protocol::{
-    read_frame, read_message, write_frame, write_message, Request, Response, ServeStats, MAX_FRAME,
+    read_frame, read_message, write_frame, write_message, RejectReason, Request, Response,
+    ServeStats, MAX_FRAME, PROTOCOL_VERSION,
 };
-pub use server::{serve, serve_stdio, Client, DEFAULT_MAX_BATCH};
+pub use server::{serve, serve_stdio, Client, Clock, ServeConfig, DEFAULT_MAX_BATCH};

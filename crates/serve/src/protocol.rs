@@ -7,6 +7,12 @@
 //! requests in flight and match tune responses back by their correlation
 //! `id` (control responses carry no id and arrive in request order relative
 //! to each other on one connection).
+//!
+//! A tune request is answered by exactly one frame — [`Response::Tune`] on
+//! the happy path, or [`Response::Rejected`] when the daemon degrades under
+//! load (queue full, deadline passed) rather than stall. Rejection carries
+//! the request's correlation id, so pipelined clients account for shed
+//! requests the same way they account for predictions (DESIGN.md §17).
 
 use pnp_core::registry::ModelSummary;
 use pnp_core::serving::{TuneRequest, TuneResponse};
@@ -17,7 +23,48 @@ use std::io::{Read, Write};
 /// prefix must not make the daemon allocate gigabytes.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Protocol revision spoken by this build, reported in [`ServeStats`].
+///
+/// * **1** — the original surface: `Tune`/`List`/`Describe`/`Stats`/
+///   `SetWorkers`/`Ping`/`Shutdown`.
+/// * **2** — adds the optional `deadline_ms` field on tune requests and the
+///   [`Response::Rejected`] variant (load shedding + deadlines,
+///   DESIGN.md §17). Version-1 clients interoperate: an absent
+///   `deadline_ms` parses as "no deadline", and a daemon that never sheds
+///   never emits `Rejected`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// One client request.
+///
+/// A deadline-annotated tune request round-trips the envelope unchanged —
+/// the `deadline_ms` budget is measured by the daemon from admission, so
+/// the client only states the budget, never a wall-clock time:
+///
+/// ```
+/// use pnp_core::serving::{KernelInput, TuneObjective, TuneRequest};
+/// use pnp_serve::{read_message, write_message, Request};
+///
+/// let request = Request::Tune(TuneRequest {
+///     id: 41,
+///     machine: "haswell".into(),
+///     objective: TuneObjective::Edp,
+///     kernel: KernelInput::Source {
+///         app: "demo".into(),
+///         regions: vec![],
+///         region: "r0".into(),
+///     },
+///     deadline_ms: Some(50), // answer within 50 ms of admission, or shed
+/// });
+/// let mut wire = Vec::new();
+/// write_message(&mut wire, &request).unwrap();
+/// match read_message::<Request>(&mut wire.as_slice()).unwrap() {
+///     Some(Request::Tune(tune)) => {
+///         assert_eq!(tune.id, 41);
+///         assert_eq!(tune.deadline_ms, Some(50));
+///     }
+///     other => panic!("expected a tune request, got {other:?}"),
+/// }
+/// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Request {
     /// Tune one kernel (the hot path; batched by the dispatcher).
@@ -42,11 +89,60 @@ pub enum Request {
     Shutdown,
 }
 
+/// Why the daemon refused a tune request instead of answering it.
+///
+/// Both reasons are *degradation*, not failure: the daemon is healthy and
+/// explicitly chose not to spend inference on this request. Predictions
+/// that are served remain bit-identical to the offline path — shedding
+/// changes which requests are answered, never what an answer contains
+/// (DESIGN.md §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The dispatcher queue was at `--max-queue` when the request arrived;
+    /// admitting it would only grow latency for everyone. Back off and
+    /// retry.
+    Overloaded,
+    /// The request's `deadline_ms` budget ran out while it waited in the
+    /// queue; a prediction now would arrive too late to act on.
+    DeadlineExceeded,
+}
+
 /// One server response.
+///
+/// This is what a shed response looks like on the wire — same envelope,
+/// same correlation id a [`Response::Tune`] would have carried:
+///
+/// ```
+/// use pnp_serve::{read_message, write_message, RejectReason, Response};
+///
+/// let shed = Response::Rejected {
+///     id: 41,
+///     reason: RejectReason::Overloaded,
+/// };
+/// let mut wire = Vec::new();
+/// write_message(&mut wire, &shed).unwrap();
+/// match read_message::<Response>(&mut wire.as_slice()).unwrap() {
+///     Some(Response::Rejected { id, reason }) => {
+///         assert_eq!(id, 41);
+///         assert_eq!(reason, RejectReason::Overloaded);
+///     }
+///     other => panic!("expected a rejection, got {other:?}"),
+/// }
+/// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Response {
     /// Answer to [`Request::Tune`], correlated by `id`.
     Tune(TuneResponse),
+    /// A tune request the daemon refused under load — queue full or
+    /// deadline passed — correlated by `id` like a tune answer. A typed
+    /// rejection, not an `Error`: protocol and kernel errors stay
+    /// distinguishable from deliberate load shedding.
+    Rejected {
+        /// The correlation id of the refused [`Request::Tune`].
+        id: u64,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
     /// Answer to [`Request::List`].
     Models {
         /// Every registry model, serveable or not.
@@ -69,6 +165,31 @@ pub enum Response {
 }
 
 /// Serving counters, reported by [`Request::Stats`] and printed at shutdown.
+///
+/// The degradation counters (DESIGN.md §17) are the operator's overload
+/// dashboard: `shed_requests`/`deadline_expired` say how much traffic was
+/// refused and why, `queue_depth` is the live backlog watermark, and
+/// `reloads` counts hot model swaps picked up from the store without a
+/// restart. SERVING.md "Overload behavior" tabulates what to watch.
+///
+/// ```
+/// use pnp_serve::{ServeStats, PROTOCOL_VERSION};
+///
+/// let stats = ServeStats {
+///     requests: 872,
+///     shed_requests: 120,
+///     deadline_expired: 8,
+///     queue_depth: 3,
+///     reloads: 1,
+///     protocol: PROTOCOL_VERSION,
+///     ..ServeStats::default()
+/// };
+/// // Every tune request was either answered (`requests`) or refused with
+/// // a typed rejection — the three counters partition offered traffic.
+/// let offered = stats.requests + stats.shed_requests + stats.deadline_expired;
+/// assert_eq!(offered, 1000);
+/// assert!(stats.reloads > 0, "the daemon picked up a store update live");
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Tune requests answered (success or error) since startup.
@@ -95,6 +216,20 @@ pub struct ServeStats {
     pub grids_skipped: usize,
     /// Current batch worker count (0 = auto).
     pub workers: usize,
+    /// Tune requests refused at admission because the dispatcher queue was
+    /// at `--max-queue` ([`RejectReason::Overloaded`]).
+    pub shed_requests: u64,
+    /// Tune requests whose `deadline_ms` budget ran out in the queue
+    /// ([`RejectReason::DeadlineExceeded`]).
+    pub deadline_expired: u64,
+    /// Tune requests admitted but not yet dispatched — the live backlog
+    /// gauge. Admission sheds once this reaches `--max-queue`.
+    pub queue_depth: u64,
+    /// Completed hot model reloads: store-generation changes picked up by
+    /// the registry watcher and swapped in without a restart.
+    pub reloads: u64,
+    /// Protocol revision of the daemon ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
 }
 
 /// Writes one length-prefixed frame.
@@ -112,12 +247,13 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// (EOF before any length byte); anything else incomplete is an error.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
     let mut len_bytes = [0u8; 4];
-    match r.read(&mut len_bytes[..1]) {
+    let (first, rest) = len_bytes.split_at_mut(1);
+    match r.read(first) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
         Err(e) => return Err(format!("read length: {e}")),
     }
-    r.read_exact(&mut len_bytes[1..])
+    r.read_exact(rest)
         .map_err(|e| format!("read length: {e}"))?;
     let len = u32::from_be_bytes(len_bytes) as usize;
     if len > MAX_FRAME {

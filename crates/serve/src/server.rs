@@ -1,5 +1,6 @@
 //! The daemon's I/O layer: connection handling, the batching dispatcher,
-//! and a small blocking [`Client`].
+//! admission control, per-request deadlines, and a small blocking
+//! [`Client`].
 //!
 //! Tune requests from every connection funnel into one dispatcher thread,
 //! which drains whatever has accumulated (up to `max_batch`) and hands the
@@ -9,9 +10,17 @@
 //! (`List`, `Stats`, ...) are answered inline by the connection's reader.
 //! Each connection has a single writer thread; every response — tune or
 //! control — goes through it, so frames never interleave.
+//!
+//! Under overload the daemon degrades by *refusing* work, never by
+//! computing it differently (DESIGN.md §17): a tune request that cannot
+//! take a dispatcher-queue slot is answered immediately with a typed
+//! `Rejected { reason: Overloaded }`, and a queued request whose
+//! `deadline_ms` budget runs out is answered with
+//! `Rejected { reason: DeadlineExceeded }` instead of occupying a batch
+//! slot. Successful responses stay bit-identical to an unloaded daemon's.
 
 use crate::engine::ServeEngine;
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{read_message, write_message, RejectReason, Request, Response};
 use pnp_core::serving::TuneRequest;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -19,23 +28,99 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Default upper bound on one dispatcher batch.
 pub const DEFAULT_MAX_BATCH: usize = 64;
 
+/// Time source for admission stamps and deadline checks. The binaries pass
+/// `Arc::new(Instant::now)`; tests pass a fake clock so deadline expiry is
+/// deterministic. The serving library itself never reads the wall clock.
+pub type Clock = Arc<dyn Fn() -> Instant + Send + Sync>;
+
+/// I/O-layer knobs: batching, admission control, and the time source.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Upper bound on one dispatcher batch (clamped to at least 1).
+    pub max_batch: usize,
+    /// Upper bound on queued-but-unserved tune requests across all
+    /// connections. A request arriving when the queue is full is shed with
+    /// a typed `Rejected { reason: Overloaded }` (DESIGN.md §17). `0` sheds
+    /// every tune request — useful as a drain/test mode, never a sensible
+    /// serving configuration.
+    pub max_queue: usize,
+    /// Time source (see [`Clock`]).
+    pub clock: Clock,
+}
+
+impl ServeConfig {
+    /// A config with the given bounds and the given time source.
+    pub fn new(max_batch: usize, max_queue: usize, clock: Clock) -> ServeConfig {
+        ServeConfig {
+            max_batch,
+            max_queue,
+            clock,
+        }
+    }
+}
+
 struct Work {
     request: TuneRequest,
     reply: mpsc::Sender<Response>,
+    /// When [`ServeEngine::admit`] accepted this request — the start of its
+    /// `deadline_ms` budget.
+    admitted_at: Instant,
 }
 
-fn dispatcher(engine: Arc<ServeEngine>, rx: mpsc::Receiver<Work>, max_batch: usize) {
+/// `true` once `work`'s deadline budget is spent at time `now`. Requests
+/// without a deadline never expire.
+fn expired(work: &Work, now: Instant) -> bool {
+    match work.request.deadline_ms {
+        Some(budget) => now.duration_since(work.admitted_at).as_millis() > u128::from(budget),
+        None => false,
+    }
+}
+
+fn reject(work: Work, reason: RejectReason) {
+    // A disconnected client cannot receive its rejection; drop it.
+    let _ = work.reply.send(Response::Rejected {
+        id: work.request.id,
+        reason,
+    });
+}
+
+fn dispatcher(engine: Arc<ServeEngine>, rx: mpsc::Receiver<Work>, max_batch: usize, clock: Clock) {
     while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < max_batch {
-            match rx.try_recv() {
-                Ok(work) => batch.push(work),
-                Err(_) => break,
+        // Deadline check #1 — at dequeue: a request that aged out while
+        // queued is answered without ever taking a batch slot, so one slow
+        // burst cannot make the daemon spend cycles on answers nobody is
+        // waiting for (DESIGN.md §17).
+        let mut batch = Vec::with_capacity(max_batch);
+        for work in std::iter::once(first).chain(std::iter::from_fn(|| rx.try_recv().ok())) {
+            engine.departed();
+            if expired(&work, (clock)()) {
+                engine.note_deadline_expired();
+                reject(work, RejectReason::DeadlineExceeded);
+            } else {
+                batch.push(work);
             }
+            if batch.len() >= max_batch {
+                break;
+            }
+        }
+        // Deadline check #2 — at batch formation: draining the queue takes
+        // time too; re-stamp `now` once for the whole batch so a request
+        // admitted with a tiny budget cannot sneak into a fused forward
+        // after its deadline passed.
+        let now = (clock)();
+        let (batch, late): (Vec<Work>, Vec<Work>) =
+            batch.into_iter().partition(|work| !expired(work, now));
+        for work in late {
+            engine.note_deadline_expired();
+            reject(work, RejectReason::DeadlineExceeded);
+        }
+        if batch.is_empty() {
+            continue;
         }
         let requests: Vec<TuneRequest> = batch.iter().map(|w| w.request.clone()).collect();
         let responses = engine.tune_batch(&requests);
@@ -56,6 +141,7 @@ fn handle_streams(
     engine: &ServeEngine,
     work_tx: &mpsc::Sender<Work>,
     stop: &AtomicBool,
+    config: &ServeConfig,
 ) {
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
     let writer_thread = thread::spawn(move || {
@@ -76,11 +162,28 @@ fn handle_streams(
         };
         let response = match request {
             Request::Tune(tune) => {
+                // Admission control: reserve a queue slot or shed fast with
+                // a typed rejection — the client learns in one round-trip
+                // that it must back off (DESIGN.md §17).
+                if !engine.admit(config.max_queue) {
+                    if reply_tx
+                        .send(Response::Rejected {
+                            id: tune.id,
+                            reason: RejectReason::Overloaded,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
                 let work = Work {
                     request: tune,
                     reply: reply_tx.clone(),
+                    admitted_at: (config.clock)(),
                 };
                 if work_tx.send(work).is_err() {
+                    engine.departed();
                     let _ = reply_tx.send(Response::Error {
                         message: "dispatcher stopped".into(),
                     });
@@ -121,14 +224,17 @@ fn handle_streams(
 
 /// Serves `engine` on `listener` until a client sends `Shutdown`. Each
 /// connection gets reader + writer threads; tune requests are batched
-/// across connections by the shared dispatcher.
-pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, max_batch: usize) {
+/// across connections by the shared dispatcher, bounded by
+/// [`ServeConfig::max_queue`].
+pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, config: ServeConfig) {
     let local = listener.local_addr().ok();
     let stop = Arc::new(AtomicBool::new(false));
     let (work_tx, work_rx) = mpsc::channel::<Work>();
     let dispatcher_thread = {
         let engine = engine.clone();
-        thread::spawn(move || dispatcher(engine, work_rx, max_batch.max(1)))
+        let clock = config.clock.clone();
+        let max_batch = config.max_batch.max(1);
+        thread::spawn(move || dispatcher(engine, work_rx, max_batch, clock))
     };
 
     for stream in listener.incoming() {
@@ -144,8 +250,9 @@ pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, max_batch: usize) 
         let work_tx = work_tx.clone();
         let stop_conn = stop.clone();
         let stop_accept = stop.clone();
+        let config = config.clone();
         thread::spawn(move || {
-            handle_streams(&reader, writer, &engine, &work_tx, &stop_conn);
+            handle_streams(&reader, writer, &engine, &work_tx, &stop_conn, &config);
             // A shutdown request must also unblock the accept loop.
             if stop_accept.load(Ordering::SeqCst) {
                 if let Some(addr) = local {
@@ -160,12 +267,14 @@ pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, max_batch: usize) 
 
 /// Serves one session over stdin/stdout (the `--stdio` mode: no socket, no
 /// port file — for harnesses and debugging with a driving process).
-pub fn serve_stdio(engine: Arc<ServeEngine>, max_batch: usize) {
+pub fn serve_stdio(engine: Arc<ServeEngine>, config: ServeConfig) {
     let stop = AtomicBool::new(false);
     let (work_tx, work_rx) = mpsc::channel::<Work>();
     let dispatcher_thread = {
         let engine = engine.clone();
-        thread::spawn(move || dispatcher(engine, work_rx, max_batch.max(1)))
+        let clock = config.clock.clone();
+        let max_batch = config.max_batch.max(1);
+        thread::spawn(move || dispatcher(engine, work_rx, max_batch, clock))
     };
     handle_streams(
         std::io::stdin().lock(),
@@ -173,6 +282,7 @@ pub fn serve_stdio(engine: Arc<ServeEngine>, max_batch: usize) {
         &engine,
         &work_tx,
         &stop,
+        &config,
     );
     drop(work_tx);
     let _ = dispatcher_thread.join();

@@ -3,6 +3,13 @@
 //! kernels — through the registry cold start, the batching dispatcher, and
 //! a real socket — and the registry/control surface must answer over the
 //! wire. One tiny trained fixture (built once per process) backs all tests.
+//!
+//! ISSUE 10 adds the degradation paths (DESIGN.md §17): per-request
+//! deadlines expire into typed rejections (driven by a fake clock, so
+//! expiry is deterministic), a full admission queue sheds with typed
+//! `Overloaded` rejections while every *accepted* request stays
+//! bit-identical to the offline path, and a store update mid-traffic
+//! hot-reloads new grids without dropping a single in-flight request.
 
 use pnp_benchmarks::builders::{matmul_kernel, small_boundary_kernel, streaming_kernel};
 use pnp_benchmarks::Application;
@@ -14,13 +21,17 @@ use pnp_core::training::{
 };
 use pnp_core::Dataset;
 use pnp_graph::Vocabulary;
-use pnp_machine::haswell;
+use pnp_machine::{haswell, skylake};
 use pnp_openmp::Threads;
-use pnp_serve::{serve, Client, EngineConfig, Request, Response, ServeEngine};
+use pnp_serve::{
+    serve, Client, Clock, EngineConfig, RejectReason, Request, Response, ServeConfig, ServeEngine,
+};
 use pnp_store::Store;
 use std::net::{SocketAddr, TcpListener};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 fn tiny_apps() -> Vec<Application> {
     vec![
@@ -125,6 +136,7 @@ fn workload(ds: &Dataset) -> Vec<TuneRequest> {
             } else {
                 TuneObjective::Edp
             },
+            deadline_ms: None,
             kernel,
         })
         .collect()
@@ -159,10 +171,16 @@ fn start_engine(replicas: usize, workers: usize) -> Arc<ServeEngine> {
     Arc::new(engine)
 }
 
-fn spawn_server(engine: Arc<ServeEngine>, max_batch: usize) -> SocketAddr {
+/// A ServeConfig on the real clock with an effectively unbounded queue —
+/// the pre-ISSUE-10 behavior, for tests not about degradation.
+fn roomy_config(max_batch: usize) -> ServeConfig {
+    ServeConfig::new(max_batch, usize::MAX, Arc::new(Instant::now))
+}
+
+fn spawn_server(engine: Arc<ServeEngine>, config: ServeConfig) -> SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
-    std::thread::spawn(move || serve(listener, engine, max_batch));
+    std::thread::spawn(move || serve(listener, engine, config));
     addr
 }
 
@@ -173,7 +191,7 @@ fn served_predictions_are_bit_identical_to_the_offline_path() {
     let offline = offline_predictions(fx, &requests);
 
     let engine = start_engine(2, 2);
-    let addr = spawn_server(engine, 16);
+    let addr = spawn_server(engine, roomy_config(16));
     let mut client = Client::connect(addr).expect("connect");
     for (request, expected) in requests.iter().zip(&offline) {
         let response = client
@@ -234,7 +252,7 @@ fn fused_daemon_batches_are_bit_identical_to_offline_predictions() {
     let offline = offline_predictions(fx, &requests);
 
     let engine = start_engine(2, 2);
-    let addr = spawn_server(engine, requests.len().max(16));
+    let addr = spawn_server(engine, roomy_config(requests.len().max(16)));
     let mut client = Client::connect(addr).expect("connect");
     // Pipeline every request before reading a single response: the
     // dispatcher sees them all queued and fuses per (machine, objective).
@@ -288,7 +306,7 @@ fn fused_daemon_batches_are_bit_identical_to_offline_predictions() {
 #[test]
 fn registry_and_control_surface_answer_over_the_wire() {
     let engine = start_engine(1, 1);
-    let addr = spawn_server(engine, 8);
+    let addr = spawn_server(engine, roomy_config(8));
     let mut client = Client::connect(addr).expect("connect");
 
     assert!(matches!(
@@ -330,6 +348,7 @@ fn registry_and_control_surface_answer_over_the_wire() {
         id: 9,
         machine: "haswell".into(),
         objective: TuneObjective::Edp,
+        deadline_ms: None,
         kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
     };
     let Response::Tune(tune) = client.request(&Request::Tune(request)).expect("tune") else {
@@ -342,6 +361,7 @@ fn registry_and_control_surface_answer_over_the_wire() {
         id: 10,
         machine: "riscv".into(),
         objective: TuneObjective::Edp,
+        deadline_ms: None,
         kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
     };
     let Response::Tune(tune) = client.request(&Request::Tune(request)).expect("tune") else {
@@ -361,4 +381,339 @@ fn registry_and_control_surface_answer_over_the_wire() {
         client.request(&Request::Shutdown).expect("shutdown"),
         Response::Ok
     ));
+}
+
+/// A clock that jumps 100 fake milliseconds on every reading, making
+/// queue-wait "time" deterministic: any request observed by the dispatcher
+/// after admission has aged at least 100 ms, while the whole test spans
+/// well under an hour of fake time.
+fn fast_fake_clock() -> Clock {
+    let base = Instant::now();
+    let ticks = Arc::new(AtomicU64::new(0));
+    Arc::new(move || base + Duration::from_millis(100 * ticks.fetch_add(1, Ordering::SeqCst)))
+}
+
+/// ISSUE 10: a queued request whose `deadline_ms` budget runs out must be
+/// answered with a typed `DeadlineExceeded` rejection — and requests with
+/// no (or a generous) deadline must be wholly unaffected.
+#[test]
+fn expired_deadlines_are_typed_rejections_not_errors() {
+    let fx = fixture();
+    let engine = start_engine(1, 1);
+    let addr = spawn_server(
+        engine.clone(),
+        ServeConfig::new(4, usize::MAX, fast_fake_clock()),
+    );
+    let mut client = Client::connect(addr).expect("connect");
+
+    let tune = |deadline_ms: Option<u64>, id: u64| {
+        Request::Tune(TuneRequest {
+            id,
+            machine: "haswell".into(),
+            objective: TuneObjective::Edp,
+            deadline_ms,
+            kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
+        })
+    };
+    // 10 fake-ms of budget always expires before dequeue (the clock moved
+    // ≥100 fake ms in between)...
+    let response = client.request(&tune(Some(10), 1)).expect("tight deadline");
+    assert!(
+        matches!(
+            response,
+            Response::Rejected {
+                id: 1,
+                reason: RejectReason::DeadlineExceeded
+            }
+        ),
+        "a spent deadline budget must be a typed rejection, got {response:?}"
+    );
+    // ...while no deadline and an hour of budget are served normally.
+    for (deadline_ms, id) in [(None, 2u64), (Some(3_600_000), 3)] {
+        let Response::Tune(tune) = client.request(&tune(deadline_ms, id)).expect("tune") else {
+            panic!("Tune must answer Tune");
+        };
+        assert_eq!(tune.id, id);
+        assert!(tune.prediction.is_some(), "{:?}", tune.error);
+    }
+
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.shed_requests, 0);
+    assert_eq!(
+        stats.requests, 2,
+        "the expired request never took a batch slot"
+    );
+    assert_eq!(stats.queue_depth, 0, "every queue slot was released");
+    let _ = client.request(&Request::Shutdown);
+}
+
+/// ISSUE 10: `max_queue = 0` is the deterministic shed case — every tune
+/// request is refused with a typed `Overloaded` rejection while the control
+/// surface keeps answering.
+#[test]
+fn zero_queue_sheds_every_tune_request_with_typed_rejections() {
+    let fx = fixture();
+    let engine = start_engine(1, 1);
+    let addr = spawn_server(
+        engine.clone(),
+        ServeConfig::new(4, 0, Arc::new(Instant::now)),
+    );
+    let mut client = Client::connect(addr).expect("connect");
+
+    for id in 0..5u64 {
+        let request = Request::Tune(TuneRequest {
+            id,
+            machine: "haswell".into(),
+            objective: TuneObjective::Edp,
+            deadline_ms: None,
+            kernel: KernelInput::Graph(fx.ds.regions[0].graph.clone()),
+        });
+        let response = client.request(&request).expect("shed response");
+        assert!(
+            matches!(
+                response,
+                Response::Rejected {
+                    id: got,
+                    reason: RejectReason::Overloaded
+                } if got == id
+            ),
+            "expected an Overloaded rejection for {id}, got {response:?}"
+        );
+    }
+    assert!(matches!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Ok
+    ));
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert_eq!(stats.shed_requests, 5);
+    assert_eq!(stats.requests, 0, "a shed request never reaches the engine");
+    assert_eq!(stats.queue_depth, 0);
+    let _ = client.request(&Request::Shutdown);
+}
+
+/// ISSUE 10: a saturating pipelined client against a one-slot queue gets a
+/// mix of accepted and shed responses — and the accepted ones must be
+/// bit-identical to the offline path, because shedding changes *whether* a
+/// request is served, never *how* (DESIGN.md §17).
+#[test]
+fn accepted_requests_stay_bit_identical_under_saturating_load() {
+    let fx = fixture();
+    let requests = workload(&fx.ds);
+    let offline = offline_predictions(fx, &requests);
+
+    let engine = start_engine(2, 2);
+    let addr = spawn_server(
+        engine.clone(),
+        ServeConfig::new(1, 1, Arc::new(Instant::now)),
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    for request in &requests {
+        client
+            .send(&Request::Tune(request.clone()))
+            .expect("send tune");
+    }
+    let mut accepted = 0usize;
+    let mut shed = 0usize;
+    for _ in &requests {
+        match client.receive().expect("receive") {
+            Response::Tune(tune) => {
+                accepted += 1;
+                let i = tune.id as usize;
+                let got = tune
+                    .prediction
+                    .unwrap_or_else(|| panic!("request {i} failed: {:?}", tune.error));
+                assert_eq!(got.class, offline[i].class, "request {i}");
+                assert_eq!(got.point, offline[i].point, "request {i}");
+                assert_eq!(
+                    got.expected_gain.to_bits(),
+                    offline[i].expected_gain.to_bits(),
+                    "request {i}"
+                );
+            }
+            Response::Rejected {
+                reason: RejectReason::Overloaded,
+                ..
+            } => shed += 1,
+            other => panic!("unexpected response under saturation: {other:?}"),
+        }
+    }
+    assert_eq!(
+        accepted + shed,
+        requests.len(),
+        "every request was answered"
+    );
+    assert!(accepted >= 1, "an empty queue always admits");
+
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert_eq!(stats.requests, accepted as u64);
+    assert_eq!(stats.shed_requests, shed as u64);
+    assert_eq!(stats.queue_depth, 0);
+    let _ = client.request(&Request::Shutdown);
+}
+
+fn copy_artifacts(from: &Path, to: &Path) {
+    for entry in std::fs::read_dir(from).expect("read_dir").flatten() {
+        let path = entry.path();
+        let dest = to.join(entry.file_name());
+        if path.is_dir() {
+            std::fs::create_dir_all(&dest).expect("mkdir");
+            copy_artifacts(&path, &dest);
+        } else if entry.file_name() != "index.json" {
+            std::fs::copy(&path, &dest).expect("copy artifact");
+        }
+    }
+}
+
+/// ISSUE 10 tentpole: grids landing in the store mid-traffic are picked up
+/// by the reload watcher and served without a restart — while in-flight
+/// haswell traffic keeps flowing, every response bit-identical to the
+/// offline path, with zero drops across the swap.
+#[test]
+fn store_update_hot_reloads_without_dropping_inflight_requests() {
+    let fx = fixture();
+    // The serving store starts as a copy of the haswell fixture; a separate
+    // store gets skylake grids trained with the same tiny settings.
+    let serve_dir = std::env::temp_dir().join(format!("pnp_serve_reload_{}", std::process::id()));
+    let sky_dir = std::env::temp_dir().join(format!("pnp_serve_sky_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let _ = std::fs::remove_dir_all(&sky_dir);
+    std::fs::create_dir_all(&serve_dir).expect("mkdir serve store");
+    copy_artifacts(&fx.dir, &serve_dir);
+    let sky_store = ArtifactStore::open(&sky_dir);
+    let sky_ds = sky_store.load_or_build_dataset(
+        &skylake(),
+        &tiny_apps(),
+        &Vocabulary::standard(),
+        Threads::Fixed(1),
+    );
+    let sky_cache = sky_store.for_dataset(&sky_ds);
+    train_scenario1_models_cached(&sky_ds, &fx.settings, false, Some(&sky_cache));
+    train_scenario2_model_cached(&sky_ds, &fx.settings, false, Some(&sky_cache));
+
+    let registry = ModelRegistry::open(Store::open(&serve_dir));
+    let (engine, report) = ServeEngine::start(
+        registry,
+        &EngineConfig {
+            replicas: 2,
+            workers: 2,
+        },
+    );
+    assert_eq!(report.grids_loaded, 2, "{:?}", report.lines);
+    assert_eq!(engine.machines(), vec!["haswell".to_string()]);
+    let engine = Arc::new(engine);
+    let stop_watcher = Arc::new(AtomicBool::new(false));
+    let watcher = engine.spawn_reload_watcher(Duration::from_millis(10), stop_watcher.clone());
+    let addr = spawn_server(engine.clone(), roomy_config(8));
+
+    // Continuous haswell traffic across the swap: every response must keep
+    // matching the offline reference, before and after the reload.
+    let requests = workload(&fx.ds);
+    let offline = offline_predictions(fx, &requests);
+    let stop_traffic = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let stop = stop_traffic.clone();
+        let requests = requests.clone();
+        let offline = offline.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect traffic");
+            let mut answered = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                for (request, expected) in requests.iter().zip(&offline) {
+                    let Response::Tune(tune) = client
+                        .request(&Request::Tune(request.clone()))
+                        .expect("in-flight tune answered")
+                    else {
+                        panic!("Tune must answer Tune");
+                    };
+                    let got = tune.prediction.unwrap_or_else(|| {
+                        panic!("request {} failed: {:?}", request.id, tune.error)
+                    });
+                    assert_eq!(got.point, expected.point, "request {}", request.id);
+                    assert_eq!(
+                        got.expected_gain.to_bits(),
+                        expected.expected_gain.to_bits(),
+                        "request {}",
+                        request.id
+                    );
+                    answered += 1;
+                }
+            }
+            answered
+        })
+    };
+
+    // The store update: skylake's dataset + grids land as plain files (as a
+    // trainer on another host would deliver them). The watcher must notice
+    // the index generation change and swap the new pools in.
+    copy_artifacts(&sky_dir, &serve_dir);
+    let reloaded_by = Instant::now() + Duration::from_secs(30);
+    while !engine.machines().contains(&"skylake".to_string()) {
+        assert!(
+            Instant::now() < reloaded_by,
+            "watcher never picked up the store update (machines: {:?})",
+            engine.machines()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The new machine serves — bit-identical to an offline service restored
+    // from the same skylake grids.
+    let s1 = sky_cache
+        .store()
+        .load(&sky_cache.scenario1_key(&fx.settings, false))
+        .expect("skylake scenario1 grid");
+    let s2 = sky_cache
+        .store()
+        .load(&sky_cache.scenario2_key(&fx.settings, false))
+        .expect("skylake scenario2 grid");
+    let mut sky_service = TuneService::restore(&sky_ds, &fx.settings, &s1, &s2, "t", "e")
+        .expect("offline skylake service restores");
+    let kernel = KernelInput::Graph(sky_ds.regions[0].graph.clone());
+    let expected = sky_service
+        .tune(&kernel, TuneObjective::Edp)
+        .expect("offline skylake tune");
+    let mut client = Client::connect(addr).expect("connect");
+    let Response::Tune(tune) = client
+        .request(&Request::Tune(TuneRequest {
+            id: 77,
+            machine: "skylake".into(),
+            objective: TuneObjective::Edp,
+            deadline_ms: None,
+            kernel,
+        }))
+        .expect("skylake tune")
+    else {
+        panic!("Tune must answer Tune");
+    };
+    let got = tune.prediction.expect("skylake request served");
+    assert_eq!(got.point, expected.point);
+    assert_eq!(
+        got.expected_gain.to_bits(),
+        expected.expected_gain.to_bits()
+    );
+
+    // Wind down: the traffic thread must have crossed the swap with zero
+    // dropped or diverging responses (its asserts propagate through join).
+    stop_traffic.store(true, Ordering::SeqCst);
+    let answered = traffic.join().expect("traffic thread clean");
+    assert!(answered > 0, "traffic actually flowed during the reload");
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats must answer Stats");
+    };
+    assert!(stats.reloads >= 1, "{stats:?}");
+    assert_eq!(stats.grids_loaded, 4, "both machines' grids are live");
+    assert_eq!(stats.shed_requests, 0);
+    assert_eq!(stats.deadline_expired, 0);
+    stop_watcher.store(true, Ordering::SeqCst);
+    let _ = client.request(&Request::Shutdown);
+    let _ = watcher.join();
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let _ = std::fs::remove_dir_all(&sky_dir);
 }

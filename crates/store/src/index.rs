@@ -10,6 +10,7 @@
 //! temp-file+`rename` idiom as artifacts, so concurrent readers never see a
 //! partial index.
 
+use crate::hash::sha256_hex;
 use crate::key::ArtifactKey;
 use crate::store::{write_atomic, ArtifactHeader, Store};
 use crate::SCHEMA_VERSION;
@@ -48,10 +49,13 @@ impl IndexEntry {
 }
 
 /// On-disk form of the index: schema-stamped so a foreign-schema index is
-/// rejected (and rebuilt) rather than misread.
+/// rejected (and rebuilt) rather than misread. The `generation` stamp is
+/// derived from the entries (see [`StoreIndex::generation`]); it is
+/// persisted for operators and cross-checked on load.
 #[derive(Serialize, Deserialize)]
 struct IndexFile {
     schema: u32,
+    generation: String,
     entries: Vec<IndexEntry>,
 }
 
@@ -62,6 +66,24 @@ struct IndexFile {
 pub struct StoreIndex {
     entries: Vec<IndexEntry>,
     by_address: HashMap<String, usize>,
+    generation: String,
+}
+
+/// The content fingerprint of a sorted entry list: SHA-256 over every
+/// entry's `(kind, address, payload_sha256)` triple. Pure function of the
+/// indexed artifact set, so two indexes over identical store contents agree
+/// regardless of how they were produced.
+fn fingerprint(entries: &[IndexEntry]) -> String {
+    let mut lines = String::new();
+    for entry in entries {
+        lines.push_str(&entry.kind);
+        lines.push('\0');
+        lines.push_str(&entry.address);
+        lines.push('\0');
+        lines.push_str(&entry.payload_sha256);
+        lines.push('\n');
+    }
+    sha256_hex(lines.as_bytes())
 }
 
 impl StoreIndex {
@@ -80,10 +102,21 @@ impl StoreIndex {
             .enumerate()
             .map(|(i, e)| (e.address.clone(), i))
             .collect();
+        let generation = fingerprint(&entries);
         StoreIndex {
             entries,
             by_address,
+            generation,
         }
+    }
+
+    /// The index's generation stamp: a deterministic content fingerprint of
+    /// the indexed artifact set (kinds, addresses, and payload digests).
+    /// Any artifact landing, vanishing, or changing payload changes the
+    /// generation — which is what the serve daemon's reload watcher polls
+    /// to detect that newly trained grids reached the store.
+    pub fn generation(&self) -> &str {
+        &self.generation
     }
 
     /// Builds the index by walking the store and reading only each artifact
@@ -159,7 +192,19 @@ impl StoreIndex {
             );
             return None;
         }
-        Some(StoreIndex::from_entries(file.entries))
+        let index = StoreIndex::from_entries(file.entries);
+        // The persisted stamp is redundant with the entries; a mismatch
+        // means the file was edited by hand, and "rebuild" is safer than
+        // guessing which half to believe.
+        if file.generation != index.generation {
+            eprintln!(
+                "[pnp-store] index {} generation stamp does not match its \
+                 entries; rebuilding",
+                path.display()
+            );
+            return None;
+        }
+        Some(index)
     }
 
     /// Writes the index atomically to [`StoreIndex::file_path`].
@@ -167,6 +212,7 @@ impl StoreIndex {
         let path = StoreIndex::file_path(store);
         let file = IndexFile {
             schema: SCHEMA_VERSION,
+            generation: self.generation.clone(),
             entries: self.entries.clone(),
         };
         let json = serde_json::to_string(&file)
@@ -371,6 +417,48 @@ mod tests {
         let fresh = StoreIndex::load_or_rebuild(&store);
         assert_eq!(fresh.len(), 2);
         assert!(!fresh.is_stale(&store));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn generation_tracks_store_content_not_provenance() {
+        let store = temp_store("generation");
+        let k1 = ArtifactKey::new("k").field("a", 1);
+        store.save(&k1, &1u32).unwrap();
+        let built = StoreIndex::build(&store);
+        built.persist(&store).unwrap();
+        let loaded = StoreIndex::load(&store).expect("persisted index loads");
+        assert_eq!(
+            built.generation(),
+            loaded.generation(),
+            "rebuilt and loaded indexes over the same store must agree"
+        );
+        // A new artifact changes the generation...
+        let k2 = ArtifactKey::new("k").field("a", 2);
+        store.save(&k2, &2u32).unwrap();
+        let grown = StoreIndex::build(&store);
+        assert_ne!(built.generation(), grown.generation());
+        // ...and removing it restores the original stamp exactly.
+        fs::remove_file(store.artifact_path(&k2)).unwrap();
+        assert_eq!(StoreIndex::build(&store).generation(), built.generation());
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn tampered_generation_stamp_forces_a_rebuild() {
+        let store = temp_store("tamper");
+        let k1 = ArtifactKey::new("k").field("a", 1);
+        store.save(&k1, &1u32).unwrap();
+        StoreIndex::build(&store).persist(&store).unwrap();
+        let path = StoreIndex::file_path(&store);
+        let text = fs::read_to_string(&path).unwrap();
+        let real = StoreIndex::load(&store).unwrap().generation().to_string();
+        fs::write(&path, text.replace(&real, &"0".repeat(real.len()))).unwrap();
+        assert!(
+            StoreIndex::load(&store).is_none(),
+            "a stamp that contradicts the entries is treated as corrupt"
+        );
+        assert_eq!(StoreIndex::load_or_rebuild(&store).len(), 1);
         fs::remove_dir_all(store.root()).ok();
     }
 
